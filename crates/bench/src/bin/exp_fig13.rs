@@ -1,0 +1,95 @@
+//! Figure 13: end-to-end ML pipelines, part I — HCV (a), PNMF (b),
+//! HBAND (c). Reproduces the paper's configuration sweeps at reduced
+//! scale and prints measured speedups next to the paper's reported shape.
+
+use memphis_bench::{bench_cache, bench_spark, header, report, verify_checks, ExpConfig};
+use memphis_engine::EngineConfig;
+use memphis_workloads::harness::{run_timed, Backends};
+use memphis_workloads::pipelines::{hband, hcv, pnmf};
+
+fn main() {
+    hcv_experiment();
+    pnmf_experiment();
+    hband_experiment();
+}
+
+fn engine_cfg() -> EngineConfig {
+    let mut cfg = EngineConfig::benchmark();
+    cfg.spark_threshold_bytes = 256 << 10; // fold matrices become RDDs
+    cfg.blen = 128;
+    cfg
+}
+
+fn hcv_experiment() {
+    header(
+        "Figure 13(a) HCV",
+        "MPH 9.6x vs Base (reusing t(X)X, t(X)y per fold + concurrent jobs); \
+         Base-A ~2x; LIMA local-only; HELIX ~ Base; MPH ~20% over MPH-NA",
+    );
+    for rows_per_fold in [2048usize, 4096] {
+        println!("-- input {} rows/fold x 64 cols --", rows_per_fold);
+        let p = hcv::HcvParams::benchmark(rows_per_fold, 64);
+        let mut rows = Vec::new();
+        for cfg in [
+            ExpConfig::Base,
+            ExpConfig::BaseAsync,
+            ExpConfig::Lima,
+            ExpConfig::Helix,
+            ExpConfig::MphNoAsync,
+            ExpConfig::Mph,
+        ] {
+            let b = Backends::with_spark(bench_spark());
+            let mut ctx = b.make_ctx(cfg.engine(engine_cfg()), bench_cache(32 << 20));
+            let mut p = p.clone();
+            p.prefetch = matches!(cfg, ExpConfig::BaseAsync | ExpConfig::Mph);
+            rows.push(run_timed(cfg.label(), &mut ctx, |c| hcv::run(c, &p)).expect("hcv"));
+        }
+        verify_checks(&rows, 1e-6);
+        report(&rows);
+    }
+}
+
+fn pnmf_experiment() {
+    header(
+        "Figure 13(b) PNMF",
+        "Base/LIMA blow up past ~30 iterations (lazy re-execution of all prior \
+         iterations); MPH 7.9x via per-iteration checkpoints",
+    );
+    for iterations in [4usize, 8, 12] {
+        println!("-- {} iterations --", iterations);
+        let mut rows = Vec::new();
+        for cfg in [ExpConfig::Base, ExpConfig::Lima, ExpConfig::Mph] {
+            let b = Backends::with_spark(bench_spark());
+            let mut ctx = b.make_ctx(cfg.engine(engine_cfg()), bench_cache(32 << 20));
+            let p = pnmf::PnmfParams::benchmark(2048, iterations, matches!(cfg, ExpConfig::Mph));
+            rows.push(run_timed(cfg.label(), &mut ctx, |c| pnmf::run(c, &p)).expect("pnmf"));
+        }
+        verify_checks(&rows, 1e-6);
+        report(&rows);
+    }
+}
+
+fn hband_experiment() {
+    header(
+        "Figure 13(c) HBAND",
+        "MPH 2.6x/2.5x vs Base (successive-halving prefix + ensemble XB reuse); \
+         40% over HELIX and LIMA",
+    );
+    for rows in [2048usize, 4096] {
+        println!("-- input {} rows x 32 cols --", rows);
+        let p = hband::HbandParams::benchmark(rows, 32);
+        let mut out = Vec::new();
+        for cfg in [
+            ExpConfig::Base,
+            ExpConfig::Lima,
+            ExpConfig::Helix,
+            ExpConfig::Mph,
+        ] {
+            let b = Backends::with_spark(bench_spark());
+            let mut ctx = b.make_ctx(cfg.engine(engine_cfg()), bench_cache(32 << 20));
+            out.push(run_timed(cfg.label(), &mut ctx, |c| hband::run(c, &p)).expect("hband"));
+        }
+        verify_checks(&out, 1e-6);
+        report(&out);
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared experiment utilities: configuration scaling, reporting, and the
+//! standard MEMPHIS configurations (Base, Base-A, LIMA, HELIX, MPH-NA,
+//! MPH) used by the per-figure experiment binaries.
+
+use memphis_core::cache::config::CacheConfig;
+use memphis_engine::{EngineConfig, ReuseMode};
+use memphis_gpusim::GpuConfig;
+use memphis_sparksim::SparkConfig;
+use memphis_workloads::harness::WorkloadOutcome;
+
+/// Optional scale divisor read from the `MEMPHIS_SCALE` environment
+/// variable, for harness authors sizing custom sweeps. The bundled
+/// experiment binaries use fixed scaled parameters (documented per
+/// binary) and do not consult it.
+pub fn scale() -> usize {
+    std::env::var("MEMPHIS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// The standard experiment configurations of §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpConfig {
+    /// SystemDS without reuse.
+    Base,
+    /// Base plus asynchronous operators only.
+    BaseAsync,
+    /// Fine-grained local-only reuse (LIMA).
+    Lima,
+    /// Coarse-grained function reuse (HELIX; also emulates Clipper's
+    /// prediction cache and VISTA's cross-pipeline CSE).
+    Helix,
+    /// MEMPHIS without asynchronous operators.
+    MphNoAsync,
+    /// Full MEMPHIS.
+    Mph,
+}
+
+impl ExpConfig {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExpConfig::Base => "Base",
+            ExpConfig::BaseAsync => "Base-A",
+            ExpConfig::Lima => "LIMA",
+            ExpConfig::Helix => "HELIX",
+            ExpConfig::MphNoAsync => "MPH-NA",
+            ExpConfig::Mph => "MPH",
+        }
+    }
+
+    /// Engine configuration for this experiment setup.
+    pub fn engine(self, mut base: EngineConfig) -> EngineConfig {
+        base.reuse = match self {
+            ExpConfig::Base | ExpConfig::BaseAsync => ReuseMode::None,
+            ExpConfig::Lima => ReuseMode::Lima,
+            ExpConfig::Helix => ReuseMode::Helix,
+            ExpConfig::MphNoAsync | ExpConfig::Mph => ReuseMode::Memphis,
+        };
+        base.async_ops = matches!(self, ExpConfig::BaseAsync | ExpConfig::Mph);
+        base
+    }
+}
+
+/// Benchmark-scale backend configurations (small enough for seconds-long
+/// runs, structured like the paper's cluster).
+pub fn bench_spark() -> SparkConfig {
+    let mut c = SparkConfig::benchmark();
+    c.storage_capacity = 128 << 20;
+    c
+}
+
+/// Benchmark GPU device configuration.
+pub fn bench_gpu(capacity: usize) -> GpuConfig {
+    GpuConfig::calibrated(capacity)
+}
+
+/// Benchmark cache configuration.
+pub fn bench_cache(local_budget: usize) -> CacheConfig {
+    let mut c = CacheConfig::benchmark();
+    c.local_budget = local_budget;
+    c
+}
+
+/// Prints one experiment header.
+pub fn header(id: &str, claim: &str) {
+    println!("\n=== {id} ===");
+    println!("paper: {claim}");
+    println!("{:-<78}", "");
+}
+
+/// Prints a series of outcomes with speedups relative to the first entry.
+pub fn report(rows: &[WorkloadOutcome]) {
+    let baseline = rows
+        .first()
+        .map(|r| r.elapsed.as_secs_f64())
+        .unwrap_or(1.0);
+    for r in rows {
+        let speedup = baseline / r.elapsed.as_secs_f64().max(1e-12);
+        println!(
+            "{:<10} {:>9.3}s  speedup={:>6.2}x  check={:<14.6} reused={:<8} hits(l/r/g/f)={}/{}/{}/{}",
+            r.label,
+            r.elapsed.as_secs_f64(),
+            speedup,
+            r.check,
+            r.engine.reused,
+            r.reuse.hits_local,
+            r.reuse.hits_rdd,
+            r.reuse.hits_gpu,
+            r.reuse.hits_func,
+        );
+    }
+}
+
+/// Asserts that all checks in a series agree (result equivalence across
+/// configurations), panicking loudly otherwise.
+pub fn verify_checks(rows: &[WorkloadOutcome], tol: f64) {
+    if let Some(first) = rows.first() {
+        for r in rows {
+            assert!(
+                (r.check - first.check).abs() <= tol * (1.0 + first.check.abs()),
+                "result mismatch: {}={} vs {}={}",
+                first.label,
+                first.check,
+                r.label,
+                r.check
+            );
+        }
+    }
+}

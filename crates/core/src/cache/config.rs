@@ -1,0 +1,74 @@
+//! Cache configuration.
+
+use std::path::PathBuf;
+
+/// Configuration of the hierarchical lineage cache.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Driver-local cache budget in bytes (paper: 5 GB default on the
+    /// driver; scaled here).
+    pub local_budget: usize,
+    /// Fraction of Spark storage memory usable for reuse-persisted RDDs
+    /// (paper: 80%, rest reserved for broadcasts and compiler checkpoints).
+    pub spark_reuse_fraction: f64,
+    /// Number of unmaterialized reuses of an RDD entry before an
+    /// asynchronous `count()` job materializes it (paper default: 3).
+    pub materialize_after_misses: u64,
+    /// Default delay factor n for delayed caching (1 = no delay).
+    pub default_delay: u32,
+    /// Directory for disk-evicted local binaries.
+    pub spill_dir: PathBuf,
+    /// Promote disk-evicted entries back to memory on reuse.
+    pub promote_on_disk_hit: bool,
+    /// Spill proven-reusable local entries to disk on eviction (disable to
+    /// always drop — recompute-from-lineage replaces disk reads).
+    pub spill_to_disk: bool,
+}
+
+impl CacheConfig {
+    /// A small configuration for unit tests: 1 MB local budget, no delay.
+    pub fn test() -> Self {
+        Self {
+            local_budget: 1 << 20,
+            spark_reuse_fraction: 0.8,
+            materialize_after_misses: 3,
+            default_delay: 1,
+            spill_dir: std::env::temp_dir().join("memphis_cache_spill"),
+            promote_on_disk_hit: true,
+            spill_to_disk: true,
+        }
+    }
+
+    /// The benchmark configuration: mirrors the paper's 5 GB driver cache
+    /// at 1/1024 scale (5 MB) — experiments override as needed.
+    pub fn benchmark() -> Self {
+        Self {
+            local_budget: 64 << 20,
+            spark_reuse_fraction: 0.8,
+            materialize_after_misses: 3,
+            default_delay: 1,
+            spill_dir: std::env::temp_dir().join("memphis_cache_spill"),
+            promote_on_disk_hit: true,
+            spill_to_disk: true,
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::test()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let c = CacheConfig::test();
+        assert_eq!(c.spark_reuse_fraction, 0.8);
+        assert_eq!(c.materialize_after_misses, 3);
+        assert_eq!(c.default_delay, 1);
+    }
+}

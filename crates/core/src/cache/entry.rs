@@ -1,0 +1,195 @@
+//! Cache entries: backend-local cached objects with reuse metadata.
+
+use crate::lineage::LItem;
+use memphis_gpusim::GpuPtr;
+use memphis_matrix::Matrix;
+use memphis_sparksim::RddRef;
+use std::path::PathBuf;
+
+/// A backend-local cached object — the wrapper of paper §3.3 around
+/// backend-specific pointers.
+#[derive(Debug, Clone)]
+pub enum CachedObject {
+    /// In-memory matrix on the driver.
+    Matrix(Matrix),
+    /// Scalar on the driver.
+    Scalar(f64),
+    /// Handle to a (possibly unmaterialized) distributed RDD, with its
+    /// logical shape (the data characteristics metadata of §3.3).
+    Rdd {
+        /// Distributed handle.
+        rdd: RddRef,
+        /// Logical rows.
+        rows: usize,
+        /// Logical columns.
+        cols: usize,
+    },
+    /// Device pointer managed by the GPU memory manager, with its shape.
+    Gpu {
+        /// Device pointer.
+        ptr: GpuPtr,
+        /// Logical rows.
+        rows: usize,
+        /// Logical columns.
+        cols: usize,
+    },
+    /// Disk-evicted binary (driver-local file).
+    Disk(PathBuf),
+}
+
+impl CachedObject {
+    /// Short backend tag for reports.
+    pub fn backend(&self) -> &'static str {
+        match self {
+            CachedObject::Matrix(_) => "local",
+            CachedObject::Scalar(_) => "local",
+            CachedObject::Rdd { .. } => "spark",
+            CachedObject::Gpu { .. } => "gpu",
+            CachedObject::Disk(_) => "disk",
+        }
+    }
+}
+
+/// Admission status of an entry (delayed caching, paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryStatus {
+    /// Placeholder created by PUT; the object is stored once the operator
+    /// has repeated `needed` times (`TO-BE-CACHED`).
+    ToBeCached {
+        /// Placeholder probes observed so far.
+        seen: u32,
+        /// Delay factor n: store on the n-th execution.
+        needed: u32,
+    },
+    /// Object stored (`CACHED`).
+    Cached,
+}
+
+/// One lineage-cache entry.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// Canonical lineage key of the cached intermediate.
+    pub key: LItem,
+    /// The cached object; `None` while the entry is a placeholder.
+    pub object: Option<CachedObject>,
+    /// Admission status.
+    pub status: EntryStatus,
+    /// Analytical compute cost `c(o)` supplied by the compiler.
+    pub compute_cost: f64,
+    /// Estimated worst-case size `s(o)` in bytes.
+    pub size: usize,
+    /// Reuse hits `r_h`.
+    pub hits: u64,
+    /// Reuses while unmaterialized `r_m` (Spark lazy evaluation).
+    pub misses: u64,
+    /// Jobs that consumed this entry `r_j`.
+    pub jobs: u64,
+    /// Logical clock of the last access (for recency scoring).
+    pub last_access: u64,
+    /// Height of the lineage trace `h(o)`.
+    pub height: u32,
+    /// True for multi-level (function/basic-block) entries.
+    pub is_function: bool,
+    /// Set once an asynchronous materialization job was triggered.
+    pub materialize_triggered: bool,
+    /// Set once lazy GC cleaned up the entry's child references.
+    pub gc_done: bool,
+}
+
+impl CacheEntry {
+    /// Creates a stored (CACHED) entry.
+    pub fn cached(key: LItem, object: CachedObject, compute_cost: f64, size: usize) -> Self {
+        let height = key.height;
+        let is_function = key.opcode.starts_with("func:");
+        Self {
+            key,
+            object: Some(object),
+            status: EntryStatus::Cached,
+            compute_cost,
+            size,
+            hits: 0,
+            misses: 0,
+            jobs: 0,
+            last_access: 0,
+            height,
+            is_function,
+            materialize_triggered: false,
+            gc_done: false,
+        }
+    }
+
+    /// Creates a TO-BE-CACHED placeholder with delay factor `needed`.
+    pub fn placeholder(key: LItem, compute_cost: f64, size: usize, needed: u32) -> Self {
+        let height = key.height;
+        let is_function = key.opcode.starts_with("func:");
+        Self {
+            key,
+            object: None,
+            status: EntryStatus::ToBeCached { seen: 1, needed },
+            compute_cost,
+            size,
+            hits: 0,
+            misses: 0,
+            jobs: 0,
+            last_access: 0,
+            height,
+            is_function,
+            materialize_triggered: false,
+            gc_done: false,
+        }
+    }
+
+    /// Eq. (1) eviction score: `(r_h + r_m + r_j) * c(o) / s(o)` —
+    /// smallest score is evicted first.
+    pub fn cost_size_score(&self) -> f64 {
+        let refs = (self.hits + self.misses + self.jobs) as f64;
+        refs.max(1.0) * self.compute_cost / self.size.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::LineageItem;
+
+    #[test]
+    fn backend_tags() {
+        assert_eq!(CachedObject::Scalar(1.0).backend(), "local");
+        assert_eq!(
+            CachedObject::Matrix(Matrix::zeros(1, 1)).backend(),
+            "local"
+        );
+        assert_eq!(CachedObject::Disk(PathBuf::from("/tmp/x")).backend(), "disk");
+    }
+
+    #[test]
+    fn function_entries_detected() {
+        let f = LineageItem::new("func:l2svm", vec![], vec![]);
+        let e = CacheEntry::cached(f, CachedObject::Scalar(0.0), 1.0, 8);
+        assert!(e.is_function);
+        let o = LineageItem::new("ba+*", vec![], vec![]);
+        let e = CacheEntry::cached(o, CachedObject::Scalar(0.0), 1.0, 8);
+        assert!(!e.is_function);
+    }
+
+    #[test]
+    fn cost_size_score_orders_by_value_density() {
+        let k = LineageItem::leaf("x");
+        // Expensive & small beats cheap & large.
+        let mut precious = CacheEntry::cached(k.clone(), CachedObject::Scalar(0.0), 1e9, 8);
+        let mut bulky = CacheEntry::cached(k, CachedObject::Scalar(0.0), 1.0, 1 << 30);
+        precious.hits = 5;
+        bulky.hits = 5;
+        assert!(precious.cost_size_score() > bulky.cost_size_score());
+    }
+
+    #[test]
+    fn references_increase_score() {
+        let k = LineageItem::leaf("x");
+        let mut a = CacheEntry::cached(k.clone(), CachedObject::Scalar(0.0), 10.0, 100);
+        let mut b = CacheEntry::cached(k, CachedObject::Scalar(0.0), 10.0, 100);
+        a.hits = 10;
+        b.hits = 1;
+        assert!(a.cost_size_score() > b.cost_size_score());
+    }
+}

@@ -1,0 +1,1009 @@
+//! The hierarchical, multi-backend lineage cache (paper §3.3, §4).
+//!
+//! Probing is unified: one hash map from lineage keys to entries,
+//! regardless of where the cached object lives. Admission, eviction, and
+//! memory management are backend-local:
+//!
+//! - **Driver (local)**: matrices and scalars against a byte budget, with
+//!   eq. (1) cost&size eviction to disk-backed binaries.
+//! - **Spark**: RDD handles reused even while unmaterialized; delayed
+//!   `persist()`; eq. (1) eviction via `unpersist`; lazy garbage
+//!   collection of dangling child RDD/broadcast references; asynchronous
+//!   `count()` materialization after `k` unmaterialized reuses.
+//! - **GPU**: pointers managed by the unified [`gpu::GpuMemoryManager`]
+//!   (Live/Free lists, recycling, eq. (2) scoring, eviction injection,
+//!   device-to-host eviction).
+
+pub mod config;
+pub mod entry;
+pub mod gpu;
+pub mod spark;
+
+use crate::lineage::{LItem, LKey};
+use crate::stats::{ReuseStats, ReuseStatsSnapshot};
+use config::CacheConfig;
+use entry::{CacheEntry, CachedObject, EntryStatus};
+use gpu::{GpuAlloc, GpuMemoryManager};
+use memphis_gpusim::{GpuDevice, GpuError, GpuPtr};
+use memphis_matrix::io as mio;
+use memphis_sparksim::StorageLevel;
+use parking_lot::Mutex;
+use spark::SparkBackend;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct State {
+    entries: HashMap<LKey, CacheEntry>,
+    clock: u64,
+    /// Bytes of local (driver) matrices currently cached.
+    local_used: usize,
+    /// Estimated worst-case bytes of reuse-persisted RDDs.
+    rdd_est_bytes: usize,
+}
+
+/// A successful probe: the reusable object plus the canonical lineage item
+/// for LineageMap compaction.
+#[derive(Debug, Clone)]
+pub struct ProbeHit {
+    /// The cached object (cloned handle).
+    pub object: CachedObject,
+    /// The canonical key stored in the cache (share this in the
+    /// LineageMap to increase sub-DAG sharing).
+    pub canonical: LItem,
+}
+
+static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// The hierarchical lineage cache.
+pub struct LineageCache {
+    state: Mutex<State>,
+    config: CacheConfig,
+    stats: Arc<ReuseStats>,
+    spark: Option<SparkBackend>,
+    gpu: Option<Arc<GpuMemoryManager>>,
+    spill_counter: AtomicU64,
+}
+
+impl LineageCache {
+    /// Creates a cache with only the local (driver) backend attached.
+    ///
+    /// Disk-evicted binaries go to a cache-unique subdirectory of the
+    /// configured spill dir, removed when the cache is dropped.
+    pub fn new(mut config: CacheConfig) -> Self {
+        config.spill_dir = config.spill_dir.join(format!(
+            "c{}_{}",
+            std::process::id(),
+            NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        Self {
+            state: Mutex::new(State {
+                entries: HashMap::new(),
+                clock: 0,
+                local_used: 0,
+                rdd_est_bytes: 0,
+            }),
+            config,
+            stats: Arc::new(ReuseStats::default()),
+            spark: None,
+            gpu: None,
+            spill_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches the simulated Spark cluster.
+    pub fn with_spark(mut self, sc: memphis_sparksim::SparkContext) -> Self {
+        self.spark = Some(SparkBackend::new(sc, self.config.spark_reuse_fraction));
+        self
+    }
+
+    /// Attaches a Spark backend in deterministic (inline materialization)
+    /// mode for tests.
+    pub fn with_spark_sync(mut self, sc: memphis_sparksim::SparkContext) -> Self {
+        let mut b = SparkBackend::new(sc, self.config.spark_reuse_fraction);
+        b.sync_materialize = true;
+        self.spark = Some(b);
+        self
+    }
+
+    /// Attaches a simulated GPU device.
+    pub fn with_gpu(mut self, device: Arc<GpuDevice>) -> Self {
+        self.gpu = Some(Arc::new(GpuMemoryManager::new(device, self.stats.clone())));
+        self
+    }
+
+    /// Cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Reuse counters.
+    pub fn stats(&self) -> ReuseStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Shared handle to the stats (for backend managers and experiments).
+    pub fn stats_handle(&self) -> &Arc<ReuseStats> {
+        &self.stats
+    }
+
+    /// The GPU memory manager, if a device is attached.
+    pub fn gpu_manager(&self) -> Option<&Arc<GpuMemoryManager>> {
+        self.gpu.as_ref()
+    }
+
+    /// The Spark backend, if attached.
+    pub fn spark_backend(&self) -> Option<&SparkBackend> {
+        self.spark.as_ref()
+    }
+
+    /// Number of entries (placeholders included).
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of local matrices currently cached on the driver.
+    pub fn local_used(&self) -> usize {
+        self.state.lock().local_used
+    }
+
+    /// Estimated bytes of reuse-persisted RDDs.
+    pub fn rdd_est_bytes(&self) -> usize {
+        self.state.lock().rdd_est_bytes
+    }
+
+    /// Drops every entry and resets accounting (used between experiment
+    /// configurations). GPU pointers are unmarked, RDDs unpersisted.
+    pub fn clear(&self) {
+        let mut state = self.state.lock();
+        let entries = std::mem::take(&mut state.entries);
+        state.local_used = 0;
+        state.rdd_est_bytes = 0;
+        drop(state);
+        for (_, e) in entries {
+            match e.object {
+                Some(CachedObject::Rdd { rdd, .. }) => {
+                    if let Some(sp) = &self.spark {
+                        sp.sc.unpersist(&rdd);
+                        sp.sc.cleanup_shuffle(&rdd);
+                    }
+                }
+                Some(CachedObject::Gpu { ptr, .. }) => {
+                    if let Some(g) = &self.gpu {
+                        g.unmark_cached(ptr);
+                    }
+                }
+                Some(CachedObject::Disk(path)) => {
+                    std::fs::remove_file(path).ok();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // REUSE
+    // ------------------------------------------------------------------
+
+    /// REUSE: probes the cache for the output identified by `item`.
+    /// Returns the cached object (with backend-specific acquisition) or
+    /// `None`, in which case the caller must execute the instruction and
+    /// `PUT` its result.
+    pub fn probe(&self, item: &LItem) -> Option<ProbeHit> {
+        ReuseStats::inc(&self.stats.probes);
+        let key = LKey(item.clone());
+        let mut state = self.state.lock();
+        state.clock += 1;
+        let clock = state.clock;
+
+        let Some(e) = state.entries.get_mut(&key) else {
+            ReuseStats::inc(&self.stats.misses);
+            return None;
+        };
+        e.last_access = clock;
+        if e.object.is_none() {
+            // TO-BE-CACHED placeholder: not reusable yet.
+            ReuseStats::inc(&self.stats.misses);
+            return None;
+        }
+        let canonical = e.key.clone();
+        let is_function = e.is_function;
+        let object = e.object.clone().expect("checked above");
+
+        let hit = match object {
+            CachedObject::Matrix(_) | CachedObject::Scalar(_) => {
+                e.hits += 1;
+                ReuseStats::inc(&self.stats.hits_local);
+                Some(object)
+            }
+            CachedObject::Disk(ref path) => {
+                // Disk-evicted binary: read back; optionally promote.
+                match mio::read_file(path) {
+                    Ok(m) => {
+                        e.hits += 1;
+                        ReuseStats::inc(&self.stats.hits_disk);
+                        if self.config.promote_on_disk_hit {
+                            let size = m.size_bytes();
+                            let path = path.clone();
+                            e.object = Some(CachedObject::Matrix(m.clone()));
+                            e.size = size;
+                            Self::local_make_space_locked(
+                                &mut state,
+                                &self.config,
+                                &self.stats,
+                                &self.spill_counter,
+                                size,
+                                Some(&key),
+                            );
+                            state.local_used += size;
+                            std::fs::remove_file(path).ok();
+                        }
+                        Some(CachedObject::Matrix(m))
+                    }
+                    Err(_) => {
+                        // Spill file lost: drop the entry.
+                        state.entries.remove(&key);
+                        ReuseStats::inc(&self.stats.misses);
+                        return None;
+                    }
+                }
+            }
+            CachedObject::Rdd { ref rdd, rows, cols } => {
+                let rdd = rdd.clone();
+                let (rows, cols) = (rows, cols);
+                let materialized = self
+                    .spark
+                    .as_ref()
+                    .map(|sp| sp.sc.is_fully_cached(&rdd))
+                    .unwrap_or(false);
+                if materialized {
+                    e.hits += 1;
+                    let gc_pending = !e.gc_done;
+                    e.gc_done = true;
+                    ReuseStats::inc(&self.stats.hits_rdd);
+                    if gc_pending {
+                        self.run_lazy_gc(&mut state, &rdd);
+                    }
+                } else {
+                    // Reuse of an unmaterialized RDD: compute sharing still
+                    // applies, but count the miss toward async
+                    // materialization.
+                    e.misses += 1;
+                    let trigger = !e.materialize_triggered
+                        && e.misses >= self.config.materialize_after_misses;
+                    if trigger {
+                        e.materialize_triggered = true;
+                    }
+                    ReuseStats::inc(&self.stats.hits_rdd);
+                    if trigger {
+                        if let Some(sp) = &self.spark {
+                            sp.trigger_materialize(&rdd, &self.stats);
+                        }
+                    }
+                }
+                Some(CachedObject::Rdd { rdd, rows, cols })
+            }
+            CachedObject::Gpu { ptr, rows, cols } => {
+                let acquired = self
+                    .gpu
+                    .as_ref()
+                    .map(|g| g.acquire(ptr))
+                    .unwrap_or(false);
+                if acquired {
+                    e.hits += 1;
+                    ReuseStats::inc(&self.stats.hits_gpu);
+                    Some(CachedObject::Gpu { ptr, rows, cols })
+                } else {
+                    // Pointer no longer managed — stale entry.
+                    state.entries.remove(&key);
+                    None
+                }
+            }
+        };
+
+        match hit {
+            Some(object) => {
+                ReuseStats::inc(&self.stats.hits);
+                if is_function {
+                    ReuseStats::inc(&self.stats.hits_func);
+                }
+                Some(ProbeHit { object, canonical })
+            }
+            None => {
+                ReuseStats::inc(&self.stats.misses);
+                None
+            }
+        }
+    }
+
+    /// Updates the `r_j` job counter of an entry (a job consumed it).
+    pub fn note_job(&self, item: &LItem) {
+        let key = LKey(item.clone());
+        if let Some(e) = self.state.lock().entries.get_mut(&key) {
+            e.jobs += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // PUT
+    // ------------------------------------------------------------------
+
+    /// PUT: offers the result of an executed instruction to the cache.
+    ///
+    /// `cost` is the analytical compute cost, `size_hint` the estimated
+    /// worst-case size (used for RDDs before materialization), and `delay`
+    /// the delayed-caching factor n (1 = cache immediately). Returns true
+    /// if the object was stored (vs. deferred).
+    pub fn put(
+        &self,
+        item: &LItem,
+        object: CachedObject,
+        cost: f64,
+        size_hint: usize,
+        delay: u32,
+    ) -> bool {
+        let key = LKey(item.clone());
+        let mut state = self.state.lock();
+        state.clock += 1;
+        let clock = state.clock;
+
+        match state.entries.get_mut(&key) {
+            Some(e) if e.object.is_some() => {
+                // Already cached (e.g. racing prefetch thread).
+                e.last_access = clock;
+                false
+            }
+            Some(e) => {
+                // Placeholder: advance, store when the delay is reached.
+                let (seen, needed) = match e.status {
+                    EntryStatus::ToBeCached { seen, needed } => (seen + 1, needed),
+                    EntryStatus::Cached => unreachable!("cached entries have objects"),
+                };
+                if seen >= needed {
+                    e.status = EntryStatus::Cached;
+                    e.last_access = clock;
+                    e.compute_cost = cost;
+                    let canonical = e.key.clone();
+                    // Carry the placeholder's reuse statistics into the
+                    // admitted entry so eq. (1) scoring does not restart
+                    // from zero for proven repeaters.
+                    let (hits, misses, jobs) = (e.hits, e.misses, e.jobs);
+                    self.admit(&mut state, key.clone(), canonical, object, cost, size_hint);
+                    if let Some(stored) = state.entries.get_mut(&key) {
+                        stored.hits = hits;
+                        stored.misses = misses;
+                        stored.jobs = jobs;
+                    }
+                    ReuseStats::inc(&self.stats.puts);
+                    true
+                } else {
+                    e.status = EntryStatus::ToBeCached { seen, needed };
+                    e.last_access = clock;
+                    ReuseStats::inc(&self.stats.puts_deferred);
+                    false
+                }
+            }
+            None => {
+                if delay <= 1 {
+                    self.admit(&mut state, key, item.clone(), object, cost, size_hint);
+                    ReuseStats::inc(&self.stats.puts);
+                    true
+                } else {
+                    let mut ph = CacheEntry::placeholder(item.clone(), cost, size_hint, delay);
+                    ph.last_access = clock;
+                    state.entries.insert(key, ph);
+                    ReuseStats::inc(&self.stats.puts_deferred);
+                    false
+                }
+            }
+        }
+    }
+
+    /// PUT with the configured default delay factor.
+    pub fn put_default(&self, item: &LItem, object: CachedObject, cost: f64, size_hint: usize) {
+        self.put(item, object, cost, size_hint, self.config.default_delay);
+    }
+
+    /// Stores an object, applying backend-specific admission.
+    fn admit(
+        &self,
+        state: &mut State,
+        key: LKey,
+        canonical: LItem,
+        object: CachedObject,
+        cost: f64,
+        size_hint: usize,
+    ) {
+        let clock = state.clock;
+        let (object, size) = match object {
+            CachedObject::Matrix(m) => {
+                let size = m.size_bytes();
+                if size > self.config.local_budget {
+                    return; // larger than the whole budget: skip caching
+                }
+                Self::local_make_space_locked(
+                    state,
+                    &self.config,
+                    &self.stats,
+                    &self.spill_counter,
+                    size,
+                    None,
+                );
+                state.local_used += size;
+                (CachedObject::Matrix(m), size)
+            }
+            CachedObject::Scalar(v) => (CachedObject::Scalar(v), 16),
+            CachedObject::Rdd { rdd, rows, cols } => {
+                if let Some(sp) = &self.spark {
+                    // Eq. (1) budget eviction before persisting a new RDD.
+                    while state.rdd_est_bytes + size_hint > sp.reuse_budget {
+                        if !self.evict_worst_rdd(state) {
+                            break;
+                        }
+                    }
+                    rdd.persist(StorageLevel::MemoryAndDisk);
+                    state.rdd_est_bytes += size_hint;
+                }
+                (CachedObject::Rdd { rdd, rows, cols }, size_hint)
+            }
+            CachedObject::Gpu { ptr, rows, cols } => {
+                if let Some(g) = &self.gpu {
+                    g.mark_cached(ptr, key.clone());
+                }
+                (CachedObject::Gpu { ptr, rows, cols }, ptr.size)
+            }
+            CachedObject::Disk(p) => (CachedObject::Disk(p), size_hint),
+        };
+        let mut e = CacheEntry::cached(canonical, object, cost, size);
+        e.last_access = clock;
+        state.entries.insert(key, e);
+    }
+
+    /// Candidates examined per eviction: like Spark's sampling-based
+    /// entry selection, scanning a bounded sample keeps eviction O(1)
+    /// amortized instead of O(entries) per insertion.
+    const EVICTION_SAMPLE: usize = 64;
+
+    /// Evicts the lowest-score stored RDD entry (eq. 1). Returns false if
+    /// none exist.
+    fn evict_worst_rdd(&self, state: &mut State) -> bool {
+        let victim = state
+            .entries
+            .iter()
+            .filter(|(_, e)| matches!(e.object, Some(CachedObject::Rdd { .. })))
+            .take(Self::EVICTION_SAMPLE)
+            .min_by(|(_, a), (_, b)| {
+                a.cost_size_score()
+                    .partial_cmp(&b.cost_size_score())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(k, _)| k.clone());
+        let Some(k) = victim else { return false };
+        let e = state.entries.remove(&k).expect("victim exists");
+        state.rdd_est_bytes = state.rdd_est_bytes.saturating_sub(e.size);
+        if let (Some(sp), Some(CachedObject::Rdd { rdd, .. })) = (&self.spark, &e.object) {
+            sp.sc.unpersist(rdd);
+            sp.sc.cleanup_shuffle(rdd);
+        }
+        ReuseStats::inc(&self.stats.rdd_unpersists);
+        true
+    }
+
+    /// Evicts lowest-score local matrices to disk until `size` extra bytes
+    /// fit the local budget. `skip` protects the entry being promoted.
+    fn local_make_space_locked(
+        state: &mut State,
+        config: &CacheConfig,
+        stats: &Arc<ReuseStats>,
+        spill_counter: &AtomicU64,
+        size: usize,
+        skip: Option<&LKey>,
+    ) {
+        while state.local_used + size > config.local_budget {
+            let victim = state
+                .entries
+                .iter()
+                .filter(|(k, e)| {
+                    matches!(e.object, Some(CachedObject::Matrix(_)))
+                        && skip.map(|s| *k != s).unwrap_or(true)
+                })
+                .take(Self::EVICTION_SAMPLE)
+                .min_by(|(_, a), (_, b)| {
+                    a.cost_size_score()
+                        .partial_cmp(&b.cost_size_score())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(k, _)| k.clone());
+            let Some(k) = victim else { break };
+            let e = state.entries.get_mut(&k).expect("victim exists");
+            let Some(CachedObject::Matrix(m)) = e.object.clone() else {
+                unreachable!("filtered to matrices")
+            };
+            let msize = m.size_bytes();
+            // Spill only entries with proven reuse (at least one hit) to
+            // disk; unproven entries are dropped — avoiding disk-write
+            // storms when a stream of never-reused intermediates thrashes
+            // the budget (the robustness concern of §6.2).
+            let worth_spilling = config.spill_to_disk && e.hits > 0;
+            if worth_spilling {
+                std::fs::create_dir_all(&config.spill_dir).ok();
+                let path = config.spill_dir.join(format!(
+                    "lcache_{}_{}.bin",
+                    e.key.hash,
+                    spill_counter.fetch_add(1, Ordering::Relaxed)
+                ));
+                if mio::write_file(&m, &path).is_ok() {
+                    e.object = Some(CachedObject::Disk(path));
+                    ReuseStats::inc(&stats.local_spills);
+                } else {
+                    state.entries.remove(&k);
+                    ReuseStats::inc(&stats.local_drops);
+                }
+            } else {
+                state.entries.remove(&k);
+                ReuseStats::inc(&stats.local_drops);
+            }
+            state.local_used = state.local_used.saturating_sub(msize);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // GPU integration
+    // ------------------------------------------------------------------
+
+    /// Serves a GPU output allocation through the unified memory manager,
+    /// dropping any cache entries invalidated by recycling and falling
+    /// back to device-to-host eviction of cached pointers on OOM.
+    ///
+    /// # Panics
+    /// Panics if no GPU is attached.
+    pub fn gpu_request(&self, size: usize, height: u32, cost: f64) -> Result<GpuAlloc, GpuError> {
+        let g = self.gpu.as_ref().expect("GPU backend attached").clone();
+        loop {
+            match g.request_with(size, height, cost, true) {
+                Ok(alloc) => {
+                    self.remove_keys(&alloc.invalidated);
+                    return Ok(alloc);
+                }
+                Err(GpuError::OutOfMemory { .. }) => {
+                    // Device-to-host eviction: move the least valuable
+                    // cached free pointer to driver memory, free it, retry.
+                    match g.pop_cached_for_host_eviction() {
+                        Some((ptr, key)) => {
+                            let host = g.device().copy_to_host(ptr).ok();
+                            g.device().free(ptr).ok();
+                            ReuseStats::inc(&self.stats.gpu_evicted_to_host);
+                            let mut state = self.state.lock();
+                            if let Some(e) = state.entries.get_mut(&key) {
+                                match host {
+                                    Some(m) => {
+                                        let msize = m.size_bytes();
+                                        if msize <= self.config.local_budget {
+                                            e.object = Some(CachedObject::Matrix(m));
+                                            e.size = msize;
+                                            Self::local_make_space_locked(
+                                                &mut state,
+                                                &self.config,
+                                                &self.stats,
+                                                &self.spill_counter,
+                                                msize,
+                                                Some(&key),
+                                            );
+                                            state.local_used += msize;
+                                        } else {
+                                            state.entries.remove(&key);
+                                        }
+                                    }
+                                    None => {
+                                        state.entries.remove(&key);
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            // Nothing left to evict: final OOM.
+                            return g.request_with(size, height, cost, false);
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Releases a live GPU pointer reference (variable went out of scope).
+    pub fn gpu_release(&self, ptr: GpuPtr, height: u32, cost: f64) {
+        if let Some(g) = &self.gpu {
+            g.release(ptr, height, cost);
+        }
+    }
+
+    /// Allocation without recycling (naive per-output `cudaMalloc`).
+    ///
+    /// # Panics
+    /// Panics if no GPU is attached.
+    pub fn gpu_request_no_recycle(&self, size: usize, cost: f64) -> Result<GpuAlloc, GpuError> {
+        let g = self.gpu.as_ref().expect("GPU backend attached");
+        g.request_no_recycle(size, cost)
+    }
+
+    /// Release + immediate `cudaFree` (recycling disabled), dropping any
+    /// invalidated cache entry.
+    pub fn gpu_release_and_free(&self, ptr: GpuPtr) {
+        if let Some(g) = &self.gpu {
+            if let Some(key) = g.release_and_free(ptr) {
+                self.remove_keys(&[key]);
+            }
+        }
+    }
+
+    /// The `evict(p)` instruction: frees `fraction` of the GPU free list
+    /// and drops the invalidated entries.
+    pub fn evict_gpu_fraction(&self, fraction: f64) {
+        if let Some(g) = &self.gpu {
+            let keys = g.evict_fraction(fraction);
+            self.remove_keys(&keys);
+        }
+    }
+
+    fn remove_keys(&self, keys: &[LKey]) {
+        if keys.is_empty() {
+            return;
+        }
+        let mut state = self.state.lock();
+        for k in keys {
+            if let Some(e) = state.entries.remove(k) {
+                if let Some(CachedObject::Matrix(m)) = &e.object {
+                    state.local_used = state.local_used.saturating_sub(m.size_bytes());
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Spark lazy GC
+    // ------------------------------------------------------------------
+
+    /// Runs lazy garbage collection from a freshly materialized cached RDD
+    /// (must be called with the state lock held).
+    fn run_lazy_gc(&self, state: &mut State, root: &memphis_sparksim::RddRef) {
+        let Some(sp) = &self.spark else { return };
+        // Protected sets: RDDs referenced by any entry; broadcasts
+        // reachable from unmaterialized RDD entries.
+        let mut cached_rdds: HashSet<u64> = HashSet::new();
+        let mut protected_bc: HashSet<u64> = HashSet::new();
+        for e in state.entries.values() {
+            if let Some(CachedObject::Rdd { rdd: r, .. }) = &e.object {
+                cached_rdds.insert(r.id().0);
+                if !sp.sc.is_fully_cached(r) {
+                    protected_bc.extend(SparkBackend::reachable_broadcasts(r));
+                }
+            }
+        }
+        sp.lazy_gc(root, &cached_rdds, &protected_bc, &self.stats);
+    }
+}
+
+impl Drop for LineageCache {
+    fn drop(&mut self) {
+        // The spill directory is cache-unique (see `new`): safe to remove.
+        std::fs::remove_dir_all(&self.config.spill_dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::LineageItem;
+    use memphis_matrix::rand_gen::rand_uniform;
+    use memphis_matrix::{BlockedMatrix, Matrix};
+    use memphis_sparksim::{SparkConfig, SparkContext};
+    use std::sync::Arc as StdArc;
+
+    fn item(name: &str) -> LItem {
+        LineageItem::new("op", vec![name.to_string()], vec![LineageItem::leaf("X")])
+    }
+
+    fn cache_kb(kb: usize) -> LineageCache {
+        let mut cfg = CacheConfig::test();
+        cfg.local_budget = kb << 10;
+        LineageCache::new(cfg)
+    }
+
+    #[test]
+    fn put_probe_roundtrip_local() {
+        let c = cache_kb(64);
+        let it = item("a");
+        assert!(c.probe(&it).is_none());
+        let m = rand_uniform(8, 8, 0.0, 1.0, 1);
+        c.put(&it, CachedObject::Matrix(m.clone()), 10.0, m.size_bytes(), 1);
+        let hit = c.probe(&it).expect("hit");
+        match hit.object {
+            CachedObject::Matrix(got) => assert!(got.approx_eq(&m, 0.0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = c.stats();
+        assert_eq!(s.probes, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits_local, 1);
+    }
+
+    #[test]
+    fn structurally_equal_items_share_entries() {
+        let c = cache_kb(64);
+        let a = item("same");
+        let b = item("same");
+        assert!(!StdArc::ptr_eq(&a, &b));
+        c.put(&a, CachedObject::Scalar(5.0), 1.0, 16, 1);
+        let hit = c.probe(&b).expect("structural match");
+        assert!(StdArc::ptr_eq(&hit.canonical, &a), "canonical is first trace");
+    }
+
+    #[test]
+    fn delayed_caching_stores_on_nth_execution() {
+        let c = cache_kb(64);
+        let it = item("delayed");
+        // Execution 1: put defers.
+        assert!(!c.put(&it, CachedObject::Scalar(1.0), 1.0, 16, 2));
+        assert!(c.probe(&it).is_none(), "placeholder is not reusable");
+        // Execution 2: put stores.
+        assert!(c.put(&it, CachedObject::Scalar(1.0), 1.0, 16, 2));
+        assert!(c.probe(&it).is_some());
+        let s = c.stats();
+        assert_eq!(s.puts_deferred, 1);
+        assert_eq!(s.puts, 1);
+    }
+
+    #[test]
+    fn delay_three_takes_three_puts() {
+        let c = cache_kb(64);
+        let it = item("d3");
+        assert!(!c.put(&it, CachedObject::Scalar(1.0), 1.0, 16, 3));
+        assert!(!c.put(&it, CachedObject::Scalar(1.0), 1.0, 16, 3));
+        assert!(c.put(&it, CachedObject::Scalar(1.0), 1.0, 16, 3));
+        assert!(c.probe(&it).is_some());
+    }
+
+    #[test]
+    fn local_eviction_spills_to_disk_and_reloads() {
+        // Budget fits one 8 KB matrix, not two.
+        let c = cache_kb(12);
+        let m1 = rand_uniform(32, 32, 0.0, 1.0, 1); // 8 KB
+        let m2 = rand_uniform(32, 32, 0.0, 1.0, 2);
+        let i1 = item("m1");
+        let i2 = item("m2");
+        c.put(&i1, CachedObject::Matrix(m1.clone()), 1.0, m1.size_bytes(), 1);
+        c.probe(&i1).expect("hit"); // proven reusable → spill, not drop
+        c.put(&i2, CachedObject::Matrix(m2.clone()), 100.0, m2.size_bytes(), 1);
+        assert_eq!(c.stats().local_spills, 1, "cheaper m1 spilled");
+        // m1 still reusable from disk.
+        let hit = c.probe(&i1).expect("disk hit");
+        match hit.object {
+            CachedObject::Matrix(got) => assert!(got.approx_eq(&m1, 0.0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.stats().hits_disk, 1);
+        // Unproven entries drop instead of spilling.
+        let m3 = rand_uniform(32, 32, 0.0, 1.0, 3);
+        c.put(&item("m3"), CachedObject::Matrix(m3.clone()), 1.0, m3.size_bytes(), 1);
+        let m4 = rand_uniform(32, 32, 0.0, 1.0, 4);
+        c.put(&item("m4"), CachedObject::Matrix(m4), 200.0, m3.size_bytes(), 1);
+        assert!(c.stats().local_drops >= 1, "never-hit victim dropped");
+    }
+
+    #[test]
+    fn oversized_object_not_cached() {
+        let c = cache_kb(1);
+        let m = rand_uniform(64, 64, 0.0, 1.0, 3); // 32 KB > 1 KB budget
+        let it = item("big");
+        c.put(&it, CachedObject::Matrix(m.clone()), 1.0, m.size_bytes(), 1);
+        assert!(c.probe(&it).is_none());
+        assert_eq!(c.local_used(), 0);
+    }
+
+    #[test]
+    fn scalar_entries_are_cheap() {
+        let c = cache_kb(1);
+        for i in 0..100 {
+            c.put(&item(&format!("s{i}")), CachedObject::Scalar(i as f64), 1.0, 16, 1);
+        }
+        assert_eq!(c.len(), 100);
+    }
+
+    fn spark_cache() -> (LineageCache, SparkContext) {
+        let sc = SparkContext::new(SparkConfig::local_test());
+        let c = cache_kb(1024).with_spark_sync(sc.clone());
+        (c, sc)
+    }
+
+    #[test]
+    fn rdd_reuse_returns_handle_and_counts_misses() {
+        let (c, sc) = spark_cache();
+        let m = rand_uniform(16, 4, 0.0, 1.0, 4);
+        let b = BlockedMatrix::from_dense(&m, 4).unwrap();
+        let src = sc.parallelize_blocked(&b, "X");
+        let mapped = sc.map(&src, "id", StdArc::new(|k, m| (*k, m.deep_clone())));
+        let it = item("rdd");
+        c.put(&it, CachedObject::Rdd { rdd: mapped.clone(), rows: 16, cols: 4 }, 50.0, m.size_bytes(), 1);
+        assert!(mapped.persist_level().is_some(), "admission persists");
+        // Unmaterialized reuse works (compute sharing).
+        for _ in 0..2 {
+            let hit = c.probe(&it).expect("rdd hit");
+            assert!(matches!(hit.object, CachedObject::Rdd { .. }));
+        }
+        // Third unmaterialized reuse triggers the count() materialization.
+        let hit = c.probe(&it).expect("rdd hit");
+        assert!(matches!(hit.object, CachedObject::Rdd { .. }));
+        let s = c.stats();
+        assert_eq!(s.rdd_materialize_jobs, 1);
+        assert!(sc.is_fully_cached(&mapped), "sync materialization ran");
+        // Next probe sees it materialized.
+        c.probe(&it).expect("hit");
+    }
+
+    #[test]
+    fn rdd_budget_evicts_worst_entry() {
+        let sc = SparkContext::new(SparkConfig::local_test());
+        let mut cfg = CacheConfig::test();
+        cfg.local_budget = 1 << 20;
+        let c = LineageCache::new(cfg).with_spark_sync(sc.clone());
+        let budget = c.spark_backend().unwrap().reuse_budget;
+        let m = rand_uniform(16, 4, 0.0, 1.0, 5);
+        let b = BlockedMatrix::from_dense(&m, 4).unwrap();
+
+        let mk = |name: &str| {
+            let src = sc.parallelize_blocked(&b, name);
+            sc.map(&src, "id", StdArc::new(|k, m| (*k, m.deep_clone())))
+        };
+        let r1 = mk("r1");
+        let r2 = mk("r2");
+        // r1 cheap, fills the whole budget; r2 expensive, forces eviction.
+        c.put(&item("r1"), CachedObject::Rdd { rdd: r1.clone(), rows: 16, cols: 4 }, 1.0, budget, 1);
+        assert_eq!(c.rdd_est_bytes(), budget);
+        c.put(&item("r2"), CachedObject::Rdd { rdd: r2.clone(), rows: 16, cols: 4 }, 100.0, budget / 2, 1);
+        let s = c.stats();
+        assert_eq!(s.rdd_unpersists, 1);
+        assert!(c.probe(&item("r1")).is_none(), "r1 evicted");
+        assert!(c.probe(&item("r2")).is_some());
+        assert!(r1.persist_level().is_none(), "unpersisted");
+    }
+
+    #[test]
+    fn materialized_rdd_hit_runs_lazy_gc() {
+        let (c, sc) = spark_cache();
+        let m = rand_uniform(16, 4, 0.0, 1.0, 6);
+        let b = BlockedMatrix::from_dense(&m, 4).unwrap();
+        let src = sc.parallelize_blocked(&b, "X");
+        let bc = sc.broadcast(Matrix::scalar(2.0));
+        let mapped = sc.map_with_broadcast(
+            &src,
+            "scale",
+            &bc,
+            StdArc::new(|k, m, s| {
+                (
+                    *k,
+                    memphis_matrix::ops::binary::binary_scalar(
+                        m,
+                        s.at(0, 0),
+                        memphis_matrix::ops::binary::BinaryOp::Mul,
+                        false,
+                    ),
+                )
+            }),
+        );
+        let it = item("gc");
+        c.put(&it, CachedObject::Rdd { rdd: mapped.clone(), rows: 16, cols: 4 }, 10.0, m.size_bytes(), 1);
+        sc.count(&mapped); // materialize
+        assert!(!bc.is_destroyed());
+        c.probe(&it).expect("materialized hit");
+        assert!(bc.is_destroyed(), "lazy GC destroyed the broadcast");
+        assert!(c.stats().gc_broadcasts_destroyed >= 1);
+    }
+
+    #[test]
+    fn gpu_put_probe_acquires_pointer() {
+        let device = StdArc::new(GpuDevice::new(memphis_gpusim::GpuConfig::zero_cost(1 << 20)));
+        let c = cache_kb(64).with_gpu(device);
+        let g = c.gpu_manager().unwrap().clone();
+        let alloc = c.gpu_request(1024, 2, 5.0).unwrap();
+        let it = item("gpu");
+        c.put(&it, CachedObject::Gpu { ptr: alloc.ptr, rows: 1, cols: 128 }, 5.0, 1024, 1);
+        // Variable releases its reference; pointer goes to the free list
+        // but stays reusable.
+        c.gpu_release(alloc.ptr, 2, 5.0);
+        assert_eq!(g.free_pointers(), 1);
+        let hit = c.probe(&it).expect("gpu hit");
+        assert!(matches!(hit.object, CachedObject::Gpu { ptr: p, .. } if p == alloc.ptr));
+        assert_eq!(g.live_pointers(), 1, "probe re-acquired the pointer");
+        assert_eq!(c.stats().hits_gpu, 1);
+    }
+
+    #[test]
+    fn gpu_recycle_invalidates_entry() {
+        let device = StdArc::new(GpuDevice::new(memphis_gpusim::GpuConfig::zero_cost(1 << 20)));
+        let c = cache_kb(64).with_gpu(device);
+        let alloc = c.gpu_request(512, 2, 1.0).unwrap();
+        let it = item("victim");
+        c.put(&it, CachedObject::Gpu { ptr: alloc.ptr, rows: 1, cols: 128 }, 1.0, 512, 1);
+        c.gpu_release(alloc.ptr, 2, 1.0);
+        // Same-size request recycles the pointer, killing the entry.
+        let again = c.gpu_request(512, 2, 1.0).unwrap();
+        assert!(again.recycled);
+        assert!(c.probe(&it).is_none(), "entry invalidated by recycling");
+    }
+
+    #[test]
+    fn gpu_oom_evicts_cached_pointer_to_host() {
+        let device = StdArc::new(GpuDevice::new(memphis_gpusim::GpuConfig::zero_cost(2048)));
+        let c = cache_kb(64).with_gpu(device.clone());
+        // Fill the device with one cached 1536-byte result.
+        let m = rand_uniform(8, 24, 0.0, 1.0, 7); // 1536 bytes
+        let a = c.gpu_request(1536, 2, 9.0).unwrap();
+        device.copy_to_device(&m, a.ptr).unwrap();
+        let it = item("precious");
+        c.put(&it, CachedObject::Gpu { ptr: a.ptr, rows: 1, cols: 64 }, 9.0, 1536, 1);
+        c.gpu_release(a.ptr, 2, 9.0);
+        // A different-size request that cannot fit alongside it.
+        let b = c.gpu_request(1024, 2, 1.0).unwrap();
+        assert!(!b.recycled);
+        // The cached result moved to the host and is still reusable.
+        let hit = c.probe(&it).expect("still reusable");
+        match hit.object {
+            CachedObject::Matrix(got) => assert!(got.approx_eq(&m, 0.0)),
+            other => panic!("expected host matrix, got {other:?}"),
+        }
+        assert_eq!(c.stats().gpu_evicted_to_host, 1);
+    }
+
+    #[test]
+    fn evict_instruction_drops_fraction() {
+        let device = StdArc::new(GpuDevice::new(memphis_gpusim::GpuConfig::zero_cost(1 << 20)));
+        let c = cache_kb(64).with_gpu(device);
+        let g = c.gpu_manager().unwrap().clone();
+        // Allocate all four up front so sequential requests cannot recycle
+        // each other's pointers.
+        let allocs: Vec<_> = (0..4).map(|i| c.gpu_request(256, 2, i as f64).unwrap()).collect();
+        for (i, a) in allocs.iter().enumerate() {
+            c.put(&item(&format!("e{i}")), CachedObject::Gpu { ptr: a.ptr, rows: 1, cols: 64 }, i as f64, 256, 1);
+            c.gpu_release(a.ptr, 2, i as f64);
+        }
+        assert_eq!(g.free_pointers(), 4);
+        c.evict_gpu_fraction(1.0);
+        assert_eq!(g.free_pointers(), 0);
+        for i in 0..4 {
+            assert!(c.probe(&item(&format!("e{i}"))).is_none());
+        }
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let (c, sc) = spark_cache();
+        let m = rand_uniform(16, 4, 0.0, 1.0, 8);
+        let b = BlockedMatrix::from_dense(&m, 4).unwrap();
+        let src = sc.parallelize_blocked(&b, "X");
+        let mapped = sc.map(&src, "id", StdArc::new(|k, m| (*k, m.deep_clone())));
+        c.put(&item("r"), CachedObject::Rdd { rdd: mapped.clone(), rows: 16, cols: 4 }, 1.0, 1024, 1);
+        c.put(&item("m"), CachedObject::Matrix(m.clone()), 1.0, m.size_bytes(), 1);
+        assert_eq!(c.len(), 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.local_used(), 0);
+        assert_eq!(c.rdd_est_bytes(), 0);
+        assert!(mapped.persist_level().is_none());
+    }
+
+    #[test]
+    fn function_hits_counted_separately() {
+        let c = cache_kb(64);
+        let f = LineageItem::new("func:l2svm", vec![], vec![LineageItem::leaf("X")]);
+        c.put(&f, CachedObject::Scalar(0.95), 100.0, 16, 1);
+        c.probe(&f).expect("hit");
+        assert_eq!(c.stats().hits_func, 1);
+    }
+}

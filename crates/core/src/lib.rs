@@ -1,0 +1,32 @@
+//! MEMPHIS core: fine-grained lineage tracing and the hierarchical,
+//! multi-backend lineage cache (the paper's primary contribution).
+//!
+//! The crate provides the system-internal API of paper §3.1:
+//!
+//! | Paper API | Here |
+//! |---|---|
+//! | `TRACE(inst)` | [`lineage::LineageMap::trace`] |
+//! | `SERIALIZE`/`DESERIALIZE` | [`lineage::serialize`] / [`lineage::deserialize`] |
+//! | `RECOMPUTE(log)` | [`recompute::recompute`] |
+//! | `REUSE(trace)` | [`cache::LineageCache::probe`] |
+//! | `PUT(trace, object)` | [`cache::LineageCache::put`] |
+//! | `MAKE_SPACE(object)` | internal to the backend managers |
+//!
+//! The cache is *hierarchical*: probing is unified across backends, while
+//! cached objects live backend-local — in-memory matrices and scalars on
+//! the driver (with disk eviction), `RddRef` handles pointing into the
+//! simulated Spark cluster, and `GpuPtr` handles managed by the unified
+//! GPU memory manager with its Live/Free lists, recycling, and eq. (2)
+//! eviction scoring.
+
+pub mod cache;
+pub mod lineage;
+pub mod recompute;
+pub mod stats;
+
+pub use cache::config::CacheConfig;
+pub use cache::entry::{CachedObject, EntryStatus};
+pub use cache::gpu::GpuMemoryManager;
+pub use cache::LineageCache;
+pub use lineage::{LKey, LineageItem, LineageMap, LItem};
+pub use stats::{ReuseStats, ReuseStatsSnapshot};

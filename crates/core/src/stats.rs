@@ -1,0 +1,155 @@
+//! Reuse and cache-management counters reported by the experiments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters for the lineage cache and backend managers.
+#[derive(Debug, Default)]
+pub struct ReuseStats {
+    /// Cache probes (REUSE calls).
+    pub probes: AtomicU64,
+    /// Probes that returned a reusable object.
+    pub hits: AtomicU64,
+    /// Hits served by local in-memory matrices/scalars.
+    pub hits_local: AtomicU64,
+    /// Hits served by RDD handles (compute sharing, possibly
+    /// unmaterialized).
+    pub hits_rdd: AtomicU64,
+    /// Hits served by GPU pointers.
+    pub hits_gpu: AtomicU64,
+    /// Hits served from disk-evicted binaries.
+    pub hits_disk: AtomicU64,
+    /// Hits of multi-level (function/block) entries.
+    pub hits_func: AtomicU64,
+    /// Probes that found nothing reusable.
+    pub misses: AtomicU64,
+    /// PUT calls that stored an object.
+    pub puts: AtomicU64,
+    /// PUT calls deferred by delayed caching (placeholder created/advanced).
+    pub puts_deferred: AtomicU64,
+    /// Local entries evicted to disk.
+    pub local_spills: AtomicU64,
+    /// Local entries dropped entirely.
+    pub local_drops: AtomicU64,
+    /// RDD entries unpersisted by eq. (1) eviction.
+    pub rdd_unpersists: AtomicU64,
+    /// Asynchronous `count()` materialization jobs triggered.
+    pub rdd_materialize_jobs: AtomicU64,
+    /// Child RDD references released by lazy garbage collection.
+    pub gc_rdds_released: AtomicU64,
+    /// Broadcast variables destroyed by lazy garbage collection.
+    pub gc_broadcasts_destroyed: AtomicU64,
+    /// GPU pointers recycled (memory reused without `cudaMalloc`).
+    pub gpu_recycled: AtomicU64,
+    /// GPU pointers reused (lineage hits on device pointers).
+    pub gpu_reused: AtomicU64,
+    /// GPU free-list pointers released with `cudaFree`.
+    pub gpu_freed: AtomicU64,
+    /// GPU cache entries evicted to host memory.
+    pub gpu_evicted_to_host: AtomicU64,
+    /// Full device defragmentations.
+    pub gpu_defrags: AtomicU64,
+    /// LineageMap bindings rewritten by compaction.
+    pub compactions: AtomicU64,
+}
+
+/// Point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReuseStatsSnapshot {
+    /// See [`ReuseStats::probes`].
+    pub probes: u64,
+    /// See [`ReuseStats::hits`].
+    pub hits: u64,
+    /// See [`ReuseStats::hits_local`].
+    pub hits_local: u64,
+    /// See [`ReuseStats::hits_rdd`].
+    pub hits_rdd: u64,
+    /// See [`ReuseStats::hits_gpu`].
+    pub hits_gpu: u64,
+    /// See [`ReuseStats::hits_disk`].
+    pub hits_disk: u64,
+    /// See [`ReuseStats::hits_func`].
+    pub hits_func: u64,
+    /// See [`ReuseStats::misses`].
+    pub misses: u64,
+    /// See [`ReuseStats::puts`].
+    pub puts: u64,
+    /// See [`ReuseStats::puts_deferred`].
+    pub puts_deferred: u64,
+    /// See [`ReuseStats::local_spills`].
+    pub local_spills: u64,
+    /// See [`ReuseStats::local_drops`].
+    pub local_drops: u64,
+    /// See [`ReuseStats::rdd_unpersists`].
+    pub rdd_unpersists: u64,
+    /// See [`ReuseStats::rdd_materialize_jobs`].
+    pub rdd_materialize_jobs: u64,
+    /// See [`ReuseStats::gc_rdds_released`].
+    pub gc_rdds_released: u64,
+    /// See [`ReuseStats::gc_broadcasts_destroyed`].
+    pub gc_broadcasts_destroyed: u64,
+    /// See [`ReuseStats::gpu_recycled`].
+    pub gpu_recycled: u64,
+    /// See [`ReuseStats::gpu_reused`].
+    pub gpu_reused: u64,
+    /// See [`ReuseStats::gpu_freed`].
+    pub gpu_freed: u64,
+    /// See [`ReuseStats::gpu_evicted_to_host`].
+    pub gpu_evicted_to_host: u64,
+    /// See [`ReuseStats::gpu_defrags`].
+    pub gpu_defrags: u64,
+    /// See [`ReuseStats::compactions`].
+    pub compactions: u64,
+}
+
+impl ReuseStats {
+    /// Increments a counter.
+    #[inline]
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies all counters.
+    pub fn snapshot(&self) -> ReuseStatsSnapshot {
+        ReuseStatsSnapshot {
+            probes: self.probes.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            hits_local: self.hits_local.load(Ordering::Relaxed),
+            hits_rdd: self.hits_rdd.load(Ordering::Relaxed),
+            hits_gpu: self.hits_gpu.load(Ordering::Relaxed),
+            hits_disk: self.hits_disk.load(Ordering::Relaxed),
+            hits_func: self.hits_func.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            puts_deferred: self.puts_deferred.load(Ordering::Relaxed),
+            local_spills: self.local_spills.load(Ordering::Relaxed),
+            local_drops: self.local_drops.load(Ordering::Relaxed),
+            rdd_unpersists: self.rdd_unpersists.load(Ordering::Relaxed),
+            rdd_materialize_jobs: self.rdd_materialize_jobs.load(Ordering::Relaxed),
+            gc_rdds_released: self.gc_rdds_released.load(Ordering::Relaxed),
+            gc_broadcasts_destroyed: self.gc_broadcasts_destroyed.load(Ordering::Relaxed),
+            gpu_recycled: self.gpu_recycled.load(Ordering::Relaxed),
+            gpu_reused: self.gpu_reused.load(Ordering::Relaxed),
+            gpu_freed: self.gpu_freed.load(Ordering::Relaxed),
+            gpu_evicted_to_host: self.gpu_evicted_to_host.load(Ordering::Relaxed),
+            gpu_defrags: self.gpu_defrags.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ReuseStats::default();
+        ReuseStats::inc(&s.probes);
+        ReuseStats::inc(&s.probes);
+        ReuseStats::inc(&s.hits_gpu);
+        let snap = s.snapshot();
+        assert_eq!(snap.probes, 2);
+        assert_eq!(snap.hits_gpu, 1);
+        assert_eq!(snap.misses, 0);
+    }
+}

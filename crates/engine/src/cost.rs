@@ -1,0 +1,67 @@
+//! Analytical compute-cost and size estimation, used for eviction scoring
+//! (eq. 1 and 2), operator placement, and checkpoint decisions.
+
+/// Estimated floating-point operations of an instruction, given the shapes
+/// involved. Units are abstract FLOPs — only relative magnitudes matter
+/// for the eviction policies.
+pub fn flops(opcode: &str, m: usize, k: usize, n: usize) -> f64 {
+    let m = m.max(1) as f64;
+    let k = k.max(1) as f64;
+    let n = n.max(1) as f64;
+    match opcode {
+        // Matrix multiply family: 2*m*k*n.
+        "ba+*" | "mm" => 2.0 * m * k * n,
+        "tsmm" => m * n * n, // symmetric: half of 2*m*n*n
+        "solve" => (2.0 / 3.0) * n * n * n + 2.0 * n * n * m,
+        "conv2d" => 2.0 * m * k * n, // caller passes im2col dims
+        // Cheap elementwise / reorg ops: one pass.
+        _ => m * n,
+    }
+}
+
+/// Dense size in bytes of an `rows x cols` f64 matrix.
+pub fn dense_bytes(rows: usize, cols: usize) -> usize {
+    rows * cols * 8
+}
+
+/// Classifies an opcode as compute-intensive (GPU-worthy in SystemDS's
+/// placement heuristic).
+pub fn is_compute_intensive(opcode: &str) -> bool {
+    matches!(
+        opcode,
+        "ba+*" | "mm" | "tsmm" | "conv2d" | "affine" | "solve" | "maxpool" | "softmax"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_dominates_elementwise() {
+        assert!(flops("ba+*", 100, 100, 100) > flops("+", 100, 1, 100));
+    }
+
+    #[test]
+    fn tsmm_cheaper_than_full_mm() {
+        assert!(flops("tsmm", 1000, 1, 50) < flops("ba+*", 50, 1000, 50));
+    }
+
+    #[test]
+    fn zero_dims_clamped() {
+        assert!(flops("+", 0, 0, 0) >= 1.0);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(is_compute_intensive("ba+*"));
+        assert!(is_compute_intensive("conv2d"));
+        assert!(!is_compute_intensive("+"));
+        assert!(!is_compute_intensive("relu"));
+    }
+
+    #[test]
+    fn dense_bytes_is_8_per_cell() {
+        assert_eq!(dense_bytes(4, 4), 128);
+    }
+}

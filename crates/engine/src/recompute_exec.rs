@@ -1,0 +1,268 @@
+//! The engine-side [`LineageExecutor`]: re-executes serialized lineage
+//! traces over the local matrix kernels, enabling the paper's RECOMPUTE
+//! API for debugging and cross-environment reproduction (§3.2).
+
+use memphis_core::cache::entry::CachedObject;
+use memphis_core::lineage::LItem;
+use memphis_core::recompute::LineageExecutor;
+use memphis_matrix::ops::agg::{self, AggOp};
+use memphis_matrix::ops::binary::{self, BinaryOp};
+use memphis_matrix::ops::matmul as mm;
+use memphis_matrix::ops::nn;
+use memphis_matrix::ops::reorg;
+use memphis_matrix::ops::solve as msolve;
+use memphis_matrix::ops::unary::{self, UnaryOp};
+use memphis_matrix::rand_gen;
+use memphis_matrix::Matrix;
+use std::collections::HashMap;
+
+/// Executes lineage nodes over driver-local matrices. Leaf nodes resolve
+/// through the registered input datasets (by the same names used in
+/// `ExecutionContext::read`).
+#[derive(Default)]
+pub struct MatrixExecutor {
+    /// Input datasets by lineage leaf name.
+    pub inputs: HashMap<String, Matrix>,
+}
+
+impl MatrixExecutor {
+    /// Creates an executor with the given input datasets.
+    pub fn new(inputs: HashMap<String, Matrix>) -> Self {
+        Self { inputs }
+    }
+
+    /// Registers one input dataset.
+    pub fn with_input(mut self, name: &str, m: Matrix) -> Self {
+        self.inputs.insert(name.to_string(), m);
+        self
+    }
+}
+
+fn as_matrix(o: &CachedObject) -> Result<Matrix, String> {
+    match o {
+        CachedObject::Matrix(m) => Ok(m.clone()),
+        CachedObject::Scalar(v) => Ok(Matrix::scalar(*v)),
+        other => Err(format!("non-local input: {}", other.backend())),
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what}: {s}"))
+}
+
+fn binary_op_of(opcode: &str) -> Option<BinaryOp> {
+    Some(match opcode {
+        "+" => BinaryOp::Add,
+        "-" => BinaryOp::Sub,
+        "*" => BinaryOp::Mul,
+        "/" => BinaryOp::Div,
+        "^" => BinaryOp::Pow,
+        "min" => BinaryOp::Min,
+        "max" => BinaryOp::Max,
+        ">" => BinaryOp::Greater,
+        "<" => BinaryOp::Less,
+        ">=" => BinaryOp::GreaterEq,
+        "<=" => BinaryOp::LessEq,
+        "==" => BinaryOp::Equal,
+        "!=" => BinaryOp::NotEqual,
+        _ => return None,
+    })
+}
+
+fn unary_op_of(opcode: &str) -> Option<UnaryOp> {
+    Some(match opcode {
+        "exp" => UnaryOp::Exp,
+        "log" => UnaryOp::Log,
+        "sqrt" => UnaryOp::Sqrt,
+        "abs" => UnaryOp::Abs,
+        "neg" => UnaryOp::Neg,
+        "round" => UnaryOp::Round,
+        "floor" => UnaryOp::Floor,
+        "ceil" => UnaryOp::Ceil,
+        "relu" => UnaryOp::Relu,
+        "sigmoid" => UnaryOp::Sigmoid,
+        "tanh" => UnaryOp::Tanh,
+        "sign" => UnaryOp::Sign,
+        "recip" => UnaryOp::Recip,
+        "notzero" => UnaryOp::NotZero,
+        "isnan" => UnaryOp::IsNan,
+        "nan0" => UnaryOp::Nan0,
+        _ => return None,
+    })
+}
+
+fn agg_op_of(s: &str) -> Option<AggOp> {
+    Some(match s {
+        "sum" => AggOp::Sum,
+        "mean" => AggOp::Mean,
+        "min" => AggOp::Min,
+        "max" => AggOp::Max,
+        "sumsq" => AggOp::SumSq,
+        "nnz" => AggOp::Nnz,
+        "var" => AggOp::Var,
+        "argmax" => AggOp::ArgMax,
+        _ => return None,
+    })
+}
+
+impl LineageExecutor for MatrixExecutor {
+    fn execute(&mut self, item: &LItem, inputs: &[CachedObject]) -> Result<CachedObject, String> {
+        let opcode: &str = &item.opcode;
+        let m = |i: usize| as_matrix(&inputs[i]);
+        let ok = |m: Matrix| Ok(CachedObject::Matrix(m));
+        match opcode {
+            "leaf" => {
+                let name = &item.data[0];
+                if let Some(v) = name.strip_prefix("scalar:") {
+                    return Ok(CachedObject::Scalar(parse(v, "scalar")?));
+                }
+                self.inputs
+                    .get(name)
+                    .cloned()
+                    .map(CachedObject::Matrix)
+                    .ok_or_else(|| format!("unknown input dataset {name}"))
+            }
+            "rand" => {
+                let rows = parse(&item.data[0], "rows")?;
+                let cols = parse(&item.data[1], "cols")?;
+                let min = parse(&item.data[2], "min")?;
+                let max = parse(&item.data[3], "max")?;
+                let seed = parse(&item.data[4], "seed")?;
+                ok(rand_gen::rand_uniform(rows, cols, min, max, seed))
+            }
+            "seq" => {
+                let from = parse(&item.data[0], "from")?;
+                let to = parse(&item.data[1], "to")?;
+                let incr = parse(&item.data[2], "incr")?;
+                ok(Matrix::seq(from, to, incr))
+            }
+            "ba+*" => ok(mm::matmul(&m(0)?, &m(1)?).map_err(|e| e.to_string())?),
+            "tsmm" => ok(mm::tsmm(&m(0)?).map_err(|e| e.to_string())?),
+            "tmm-y" => ok(mm::matmul(&reorg::transpose(&m(0)?), &m(1)?)
+                .map_err(|e| e.to_string())?),
+            "r'" => ok(reorg::transpose(&m(0)?)),
+            "solve" => ok(msolve::solve(&m(0)?, &m(1)?).map_err(|e| e.to_string())?),
+            "rightIndex" => {
+                let s = parse(&item.data[0], "start")?;
+                let e = parse(&item.data[1], "end")?;
+                ok(reorg::slice_rows(&m(0)?, s, e).map_err(|e| e.to_string())?)
+            }
+            "rightIndexCol" => {
+                let s = parse(&item.data[0], "start")?;
+                let e = parse(&item.data[1], "end")?;
+                ok(reorg::slice_cols(&m(0)?, s, e).map_err(|e| e.to_string())?)
+            }
+            "rbind" => ok(reorg::rbind(&m(0)?, &m(1)?).map_err(|e| e.to_string())?),
+            "cbind" => ok(reorg::cbind(&m(0)?, &m(1)?).map_err(|e| e.to_string())?),
+            "removeEmpty" => ok(reorg::select_rows(&m(0)?, &m(1)?).map_err(|e| e.to_string())?),
+            "softmax" => ok(nn::softmax_rows(&m(0)?)),
+            "dropout" => {
+                let rate = parse(&item.data[0], "rate")?;
+                let seed = parse(&item.data[1], "seed")?;
+                ok(nn::dropout(&m(0)?, rate, seed))
+            }
+            "affine" => ok(nn::affine(&m(0)?, &m(1)?, &m(2)?).map_err(|e| e.to_string())?),
+            "collect" => Ok(inputs[0].clone()),
+            _ => {
+                // Elementwise binary (2 inputs) or against a literal
+                // constant (1 input + data).
+                if let Some(op) = binary_op_of(opcode) {
+                    return if inputs.len() == 2 {
+                        ok(binary::binary(&m(0)?, &m(1)?, op).map_err(|e| e.to_string())?)
+                    } else {
+                        let c = parse(&item.data[0], "constant")?;
+                        let swap: bool = parse(&item.data[1], "swap")?;
+                        ok(binary::binary_scalar(&m(0)?, c, op, swap))
+                    };
+                }
+                if let Some(op) = unary_op_of(opcode) {
+                    return ok(unary::unary(&m(0)?, op));
+                }
+                if let Some(rest) = opcode.strip_prefix("ua") {
+                    let (dir, op_str) = if let Some(r) = rest.strip_prefix('r') {
+                        ('r', r)
+                    } else if let Some(c) = rest.strip_prefix('c') {
+                        ('c', c)
+                    } else {
+                        (' ', rest)
+                    };
+                    let op = agg_op_of(op_str).ok_or_else(|| format!("bad agg {opcode}"))?;
+                    let x = m(0)?;
+                    return match dir {
+                        'r' => ok(agg::row_agg(&x, op).map_err(|e| e.to_string())?),
+                        'c' => ok(agg::col_agg(&x, op).map_err(|e| e.to_string())?),
+                        _ => Ok(CachedObject::Scalar(
+                            agg::aggregate(&x, op).map_err(|e| e.to_string())?,
+                        )),
+                    };
+                }
+                Err(format!("unsupported opcode for recompute: {opcode}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::context::ExecutionContext;
+    use memphis_core::lineage::serialize;
+    use memphis_core::recompute::recompute;
+    use memphis_matrix::ops::matmul::tsmm;
+    use memphis_matrix::rand_gen::rand_uniform;
+
+    #[test]
+    fn recompute_reproduces_traced_pipeline() {
+        let mut ctx = ExecutionContext::local(EngineConfig::test());
+        let x = rand_uniform(16, 4, -1.0, 1.0, 1);
+        ctx.read("X", x.clone(), "X.bin").unwrap();
+        ctx.tsmm("G", "X").unwrap();
+        ctx.binary_const("A", "G", 0.1, BinaryOp::Add, false).unwrap();
+        ctx.unary("R", "A", UnaryOp::Sqrt).unwrap();
+        let expected = ctx.get_matrix("R").unwrap();
+
+        // Serialize the trace, then RECOMPUTE it from scratch.
+        let trace = ctx.lineage_of("R").expect("traced");
+        let log = serialize(&trace);
+        let mut exec = MatrixExecutor::default().with_input("X.bin", x.clone());
+        match recompute(&log, &mut exec).unwrap() {
+            CachedObject::Matrix(m) => {
+                assert!(m.approx_eq(&expected, 1e-12));
+                let manual = unary::unary(
+                    &binary::binary_scalar(&tsmm(&x).unwrap(), 0.1, BinaryOp::Add, false),
+                    UnaryOp::Sqrt,
+                );
+                assert!(m.approx_eq(&manual, 1e-12));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recompute_handles_rand_and_scalars() {
+        let mut ctx = ExecutionContext::local(EngineConfig::test());
+        ctx.rand("X", 8, 8, 0.0, 1.0, 99).unwrap();
+        ctx.literal("s", 3.0).unwrap();
+        ctx.binary("Y", "X", "s", BinaryOp::Mul).unwrap();
+        ctx.agg("t", "Y", AggOp::Sum, crate::ops::AggDir::Full).unwrap();
+        let expected = ctx.get_scalar("t").unwrap();
+        let log = serialize(&ctx.lineage_of("t").unwrap());
+        let mut exec = MatrixExecutor::default();
+        match recompute(&log, &mut exec).unwrap() {
+            CachedObject::Scalar(v) => assert!((v - expected).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_dataset_errors() {
+        let mut ctx = ExecutionContext::local(EngineConfig::test());
+        ctx.read("X", rand_uniform(4, 4, 0.0, 1.0, 2), "missing.bin")
+            .unwrap();
+        ctx.tsmm("G", "X").unwrap();
+        let log = serialize(&ctx.lineage_of("G").unwrap());
+        let mut exec = MatrixExecutor::default();
+        assert!(recompute(&log, &mut exec).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Runtime values: backend-resident data objects and futures from
+//! asynchronous operators.
+
+use memphis_gpusim::GpuPtr;
+use memphis_matrix::Matrix;
+use memphis_sparksim::{BroadcastRef, RddRef};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A data object bound to a live variable, resident on one backend
+/// (the lifecycle of Figure 2(a)).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Driver-local dense matrix.
+    Matrix(Matrix),
+    /// Driver-local scalar.
+    Scalar(f64),
+    /// Distributed blocked matrix (possibly unmaterialized RDD lineage).
+    Rdd {
+        /// Handle into the simulated cluster.
+        rdd: RddRef,
+        /// Logical rows.
+        rows: usize,
+        /// Logical columns.
+        cols: usize,
+        /// Block side length.
+        blen: usize,
+    },
+    /// Device-resident matrix.
+    Gpu {
+        /// Device pointer (managed by the GPU memory manager).
+        ptr: GpuPtr,
+        /// Logical rows.
+        rows: usize,
+        /// Logical columns.
+        cols: usize,
+    },
+    /// Broadcast variable handle plus the driver's original matrix (the
+    /// serialized broadcast copy can be destroyed by lazy GC without
+    /// losing the driver-local value, as in SystemDS).
+    Broadcast {
+        /// The broadcast handle (may be destroyed by lazy GC).
+        bc: BroadcastRef,
+        /// The driver-local original.
+        local: Matrix,
+    },
+    /// Result of an asynchronous operator (prefetch): resolves to another
+    /// value when the background job completes.
+    Future(Future),
+}
+
+impl Value {
+    /// Logical shape where known.
+    pub fn shape(&self) -> Option<(usize, usize)> {
+        match self {
+            Value::Matrix(m) => Some(m.shape()),
+            Value::Scalar(_) => Some((1, 1)),
+            Value::Rdd { rows, cols, .. } => Some((*rows, *cols)),
+            Value::Gpu { rows, cols, .. } => Some((*rows, *cols)),
+            Value::Broadcast { local, .. } => Some(local.shape()),
+            Value::Future(_) => None,
+        }
+    }
+
+    /// Backend tag for debugging and placement decisions.
+    pub fn backend(&self) -> &'static str {
+        match self {
+            Value::Matrix(_) | Value::Scalar(_) => "cp",
+            Value::Rdd { .. } => "sp",
+            Value::Gpu { .. } => "gpu",
+            Value::Broadcast { .. } => "bc",
+            Value::Future(_) => "future",
+        }
+    }
+}
+
+struct FutureState {
+    slot: Mutex<Option<Value>>,
+    ready: Condvar,
+}
+
+/// A write-once future produced by asynchronous operators; cloning shares
+/// the same slot. `get` blocks until the producer calls `fulfill`.
+#[derive(Clone)]
+pub struct Future(Arc<FutureState>);
+
+impl Future {
+    /// Creates an empty future.
+    pub fn new() -> Self {
+        Self(Arc::new(FutureState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }))
+    }
+
+    /// Fulfills the future, waking all waiters. Later calls are ignored
+    /// (write-once).
+    pub fn fulfill(&self, value: Value) {
+        let mut slot = self.0.slot.lock();
+        if slot.is_none() {
+            *slot = Some(value);
+            self.0.ready.notify_all();
+        }
+    }
+
+    /// Blocks until fulfilled and returns a clone of the value.
+    pub fn get(&self) -> Value {
+        let mut slot = self.0.slot.lock();
+        while slot.is_none() {
+            self.0.ready.wait(&mut slot);
+        }
+        slot.clone().expect("fulfilled")
+    }
+
+    /// Non-blocking poll.
+    pub fn try_get(&self) -> Option<Value> {
+        self.0.slot.lock().clone()
+    }
+
+    /// True when fulfilled.
+    pub fn is_ready(&self) -> bool {
+        self.0.slot.lock().is_some()
+    }
+}
+
+impl Default for Future {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Future {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Future(ready={})", self.is_ready())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn future_fulfill_and_get() {
+        let f = Future::new();
+        assert!(!f.is_ready());
+        assert!(f.try_get().is_none());
+        f.fulfill(Value::Scalar(4.0));
+        assert!(f.is_ready());
+        match f.get() {
+            Value::Scalar(v) => assert_eq!(v, 4.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_is_write_once() {
+        let f = Future::new();
+        f.fulfill(Value::Scalar(1.0));
+        f.fulfill(Value::Scalar(2.0));
+        match f.get() {
+            Value::Scalar(v) => assert_eq!(v, 1.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_unblocks_waiter_across_threads() {
+        let f = Future::new();
+        let f2 = f.clone();
+        let t = std::thread::spawn(move || f2.get());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        f.fulfill(Value::Scalar(7.0));
+        match t.join().unwrap() {
+            Value::Scalar(v) => assert_eq!(v, 7.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shapes_and_backends() {
+        assert_eq!(Value::Scalar(1.0).shape(), Some((1, 1)));
+        assert_eq!(Value::Scalar(1.0).backend(), "cp");
+        let m = Value::Matrix(Matrix::zeros(3, 4));
+        assert_eq!(m.shape(), Some((3, 4)));
+        assert_eq!(Value::Future(Future::new()).shape(), None);
+    }
+}

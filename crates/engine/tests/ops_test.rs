@@ -1,0 +1,493 @@
+//! Instruction-set tests: correctness across backends and the Figure-4
+//! reuse behaviour (trace → probe → execute → put).
+
+use memphis_core::cache::config::CacheConfig;
+use memphis_core::cache::LineageCache;
+use memphis_engine::ops::AggDir;
+use memphis_engine::{EngineConfig, ExecutionContext, ReuseMode, Value};
+use memphis_gpusim::{GpuConfig, GpuDevice};
+use memphis_matrix::ops::agg::AggOp;
+use memphis_matrix::ops::binary::BinaryOp;
+use memphis_matrix::ops::matmul::{matmul, tsmm};
+use memphis_matrix::ops::reorg::transpose;
+use memphis_matrix::ops::unary::UnaryOp;
+use memphis_matrix::rand_gen::rand_uniform;
+use memphis_matrix::Matrix;
+use memphis_sparksim::{SparkConfig, SparkContext};
+use std::sync::Arc;
+
+fn local_ctx() -> ExecutionContext {
+    ExecutionContext::local(EngineConfig::test())
+}
+
+fn spark_ctx(threshold: usize) -> ExecutionContext {
+    let sc = SparkContext::new(SparkConfig::local_test());
+    let cache = Arc::new(
+        LineageCache::new(CacheConfig::test()).with_spark_sync(sc.clone()),
+    );
+    let mut cfg = EngineConfig::test();
+    cfg.spark_threshold_bytes = threshold;
+    ExecutionContext::new(cfg, cache, Some(sc), None)
+}
+
+fn gpu_ctx(min_cells: usize) -> ExecutionContext {
+    let device = Arc::new(GpuDevice::new(GpuConfig::zero_cost(16 << 20)));
+    let cache = Arc::new(LineageCache::new(CacheConfig::test()).with_gpu(device.clone()));
+    let mut cfg = EngineConfig::test();
+    cfg.gpu_min_cells = min_cells;
+    ExecutionContext::new(cfg, cache, None, Some(device))
+}
+
+#[test]
+fn local_matmul_matches_kernel() {
+    let mut ctx = local_ctx();
+    let a = rand_uniform(12, 6, -1.0, 1.0, 1);
+    let b = rand_uniform(6, 9, -1.0, 1.0, 2);
+    ctx.read("A", a.clone(), "A").unwrap();
+    ctx.read("B", b.clone(), "B").unwrap();
+    ctx.matmul("C", "A", "B").unwrap();
+    let c = ctx.get_matrix("C").unwrap();
+    assert!(c.approx_eq(&matmul(&a, &b).unwrap(), 1e-12));
+}
+
+#[test]
+fn second_execution_is_reused() {
+    let mut ctx = local_ctx();
+    let a = rand_uniform(8, 8, -1.0, 1.0, 3);
+    ctx.read("A", a.clone(), "A").unwrap();
+    ctx.tsmm("T1", "A").unwrap();
+    assert_eq!(ctx.stats.reused, 0);
+    ctx.tsmm("T2", "A").unwrap();
+    assert_eq!(ctx.stats.reused, 1, "identical tsmm must be reused");
+    let t1 = ctx.get_matrix("T1").unwrap();
+    let t2 = ctx.get_matrix("T2").unwrap();
+    assert!(t1.approx_eq(&t2, 0.0));
+}
+
+#[test]
+fn different_literals_are_not_reused() {
+    let mut ctx = local_ctx();
+    let a = rand_uniform(4, 4, 0.0, 1.0, 4);
+    ctx.read("A", a, "A").unwrap();
+    ctx.binary_const("B", "A", 2.0, BinaryOp::Mul, false).unwrap();
+    ctx.binary_const("C", "A", 3.0, BinaryOp::Mul, false).unwrap();
+    assert_eq!(ctx.stats.reused, 0);
+    ctx.binary_const("D", "A", 2.0, BinaryOp::Mul, false).unwrap();
+    assert_eq!(ctx.stats.reused, 1);
+}
+
+#[test]
+fn base_mode_never_traces_or_reuses() {
+    let mut ctx = ExecutionContext::local(EngineConfig::test().with_reuse(ReuseMode::None));
+    let a = rand_uniform(4, 4, 0.0, 1.0, 5);
+    ctx.read("A", a, "A").unwrap();
+    ctx.tsmm("T1", "A").unwrap();
+    ctx.tsmm("T2", "A").unwrap();
+    assert_eq!(ctx.stats.reused, 0);
+    assert_eq!(ctx.cache().stats().probes, 0);
+    assert!(ctx.lineage_of("T1").is_none());
+}
+
+#[test]
+fn probe_only_mode_probes_but_never_stores() {
+    let mut ctx = ExecutionContext::local(EngineConfig::test().with_reuse(ReuseMode::ProbeOnly));
+    let a = rand_uniform(4, 4, 0.0, 1.0, 6);
+    ctx.read("A", a, "A").unwrap();
+    ctx.tsmm("T1", "A").unwrap();
+    ctx.tsmm("T2", "A").unwrap();
+    assert_eq!(ctx.stats.reused, 0);
+    let s = ctx.cache().stats();
+    assert_eq!(s.probes, 2);
+    assert_eq!(s.puts, 0);
+}
+
+#[test]
+fn rand_is_deterministic_and_reusable() {
+    let mut ctx = local_ctx();
+    ctx.rand("X1", 10, 10, 0.0, 1.0, 42).unwrap();
+    ctx.rand("X2", 10, 10, 0.0, 1.0, 42).unwrap();
+    assert_eq!(ctx.stats.reused, 1, "same seed reuses");
+    ctx.rand("X3", 10, 10, 0.0, 1.0, 43).unwrap();
+    assert_eq!(ctx.stats.reused, 1, "different seed re-executes");
+}
+
+#[test]
+fn unary_binary_agg_pipeline() {
+    let mut ctx = local_ctx();
+    let a = rand_uniform(6, 6, -2.0, 2.0, 7);
+    ctx.read("A", a.clone(), "A").unwrap();
+    ctx.unary("R", "A", UnaryOp::Relu).unwrap();
+    ctx.binary("S", "R", "A", BinaryOp::Sub).unwrap();
+    ctx.agg("total", "S", AggOp::Sum, AggDir::Full).unwrap();
+    let total = ctx.get_scalar("total").unwrap();
+    let manual: f64 = a
+        .values()
+        .iter()
+        .map(|&v| v.max(0.0) - v)
+        .sum();
+    assert!((total - manual).abs() < 1e-9);
+}
+
+#[test]
+fn scalar_literal_lineage_enables_cross_call_reuse() {
+    let mut ctx = local_ctx();
+    let a = rand_uniform(8, 4, 0.0, 1.0, 8);
+    ctx.read("X", a, "X").unwrap();
+    for (i, reg) in [0.1, 0.2, 0.1].iter().enumerate() {
+        ctx.literal("reg", *reg).unwrap();
+        ctx.binary("Xr", "X", "reg", BinaryOp::Mul).unwrap();
+        ctx.assign(&format!("out{i}"), "Xr").unwrap();
+    }
+    // Third iteration repeats reg=0.1 → reuse.
+    assert_eq!(ctx.stats.reused, 1);
+}
+
+// ----------------------------------------------------------------------
+// Spark placement
+// ----------------------------------------------------------------------
+
+#[test]
+fn distributed_tsmm_reduce_action() {
+    let mut ctx = spark_ctx(0); // everything distributed
+    let x = rand_uniform(64, 6, -1.0, 1.0, 9);
+    ctx.read("X", x.clone(), "X").unwrap();
+    assert!(matches!(ctx.value("X").unwrap(), Value::Rdd { .. }));
+    ctx.tsmm("T", "X").unwrap();
+    let t = ctx.get_matrix("T").unwrap();
+    assert!(t.approx_eq(&tsmm(&x).unwrap(), 1e-9));
+    assert!(ctx.spark().unwrap().stats().jobs >= 1);
+}
+
+#[test]
+fn spark_action_result_reused_without_job() {
+    let mut ctx = spark_ctx(0);
+    let x = rand_uniform(64, 6, -1.0, 1.0, 10);
+    ctx.read("X", x, "X").unwrap();
+    ctx.tsmm("T1", "X").unwrap();
+    let jobs_after_first = ctx.spark().unwrap().stats().jobs;
+    ctx.tsmm("T2", "X").unwrap();
+    let jobs_after_second = ctx.spark().unwrap().stats().jobs;
+    assert_eq!(
+        jobs_after_first, jobs_after_second,
+        "action reuse must eliminate the Spark job"
+    );
+    assert_eq!(ctx.stats.reused, 1);
+}
+
+#[test]
+fn ytx_broadcast_action_matches_local() {
+    let mut ctx = spark_ctx(0);
+    let x = rand_uniform(48, 5, -1.0, 1.0, 11);
+    let y = rand_uniform(48, 1, -1.0, 1.0, 12);
+    ctx.read("X", x.clone(), "X").unwrap();
+    ctx.read("yt", transpose(&y), "yt").unwrap();
+    ctx.matmul("b", "yt", "X").unwrap();
+    let b = ctx.get_matrix("b").unwrap();
+    assert!(b.approx_eq(&matmul(&transpose(&y), &x).unwrap(), 1e-9));
+}
+
+#[test]
+fn xty_distributed_matches_local() {
+    let mut ctx = spark_ctx(0);
+    let x = rand_uniform(48, 5, -1.0, 1.0, 13);
+    let y = rand_uniform(48, 1, -1.0, 1.0, 14);
+    ctx.read("X", x.clone(), "X").unwrap();
+    ctx.read("y", y.clone(), "y").unwrap();
+    ctx.xty("b", "X", "y").unwrap();
+    let b = ctx.get_matrix("b").unwrap();
+    assert!(b.approx_eq(&matmul(&transpose(&x), &y).unwrap(), 1e-9));
+}
+
+#[test]
+fn distributed_elementwise_stays_distributed() {
+    let mut ctx = spark_ctx(0);
+    let x = rand_uniform(32, 4, 0.0, 1.0, 15);
+    ctx.read("X", x.clone(), "X").unwrap();
+    ctx.binary_const("X2", "X", 2.0, BinaryOp::Mul, false).unwrap();
+    assert!(matches!(ctx.value("X2").unwrap(), Value::Rdd { .. }));
+    ctx.binary("S", "X2", "X", BinaryOp::Sub).unwrap();
+    assert!(matches!(ctx.value("S").unwrap(), Value::Rdd { .. }));
+    let s = ctx.get_matrix("S").unwrap();
+    assert!(s.approx_eq(&x, 1e-12), "2X - X == X");
+}
+
+#[test]
+fn rdd_reuse_shares_computation() {
+    let mut ctx = spark_ctx(0);
+    let x = rand_uniform(32, 4, 0.0, 1.0, 16);
+    ctx.read("X", x, "X").unwrap();
+    ctx.unary("E1", "X", UnaryOp::Exp).unwrap();
+    ctx.unary("E2", "X", UnaryOp::Exp).unwrap();
+    assert_eq!(ctx.stats.reused, 1, "RDD handle reused (unmaterialized)");
+    let s = ctx.cache().stats();
+    assert!(s.hits_rdd >= 1);
+}
+
+#[test]
+fn distributed_col_agg_and_mean() {
+    let mut ctx = spark_ctx(0);
+    let x = rand_uniform(40, 3, 0.0, 1.0, 17);
+    ctx.read("X", x.clone(), "X").unwrap();
+    ctx.agg("cs", "X", AggOp::Sum, AggDir::Col).unwrap();
+    ctx.agg("cm", "X", AggOp::Mean, AggDir::Col).unwrap();
+    ctx.agg("mx", "X", AggOp::Max, AggDir::Full).unwrap();
+    let cs = ctx.get_matrix("cs").unwrap();
+    let cm = ctx.get_matrix("cm").unwrap();
+    let mx = ctx.get_scalar("mx").unwrap();
+    let ecs = memphis_matrix::ops::agg::col_agg(&x, AggOp::Sum).unwrap();
+    let ecm = memphis_matrix::ops::agg::col_agg(&x, AggOp::Mean).unwrap();
+    assert!(cs.approx_eq(&ecs, 1e-9));
+    assert!(cm.approx_eq(&ecm, 1e-9));
+    assert!((mx - memphis_matrix::ops::agg::aggregate(&x, AggOp::Max).unwrap()).abs() < 1e-12);
+}
+
+#[test]
+fn prefetch_returns_future_and_caches_result() {
+    let sc = SparkContext::new(SparkConfig::local_test());
+    let cache = Arc::new(LineageCache::new(CacheConfig::test()).with_spark_sync(sc.clone()));
+    let mut cfg = EngineConfig::test();
+    cfg.spark_threshold_bytes = 0;
+    cfg.async_ops = true;
+    let mut ctx = ExecutionContext::new(cfg, cache, Some(sc), None);
+    let x = rand_uniform(32, 4, 0.0, 1.0, 18);
+    ctx.read("X", x.clone(), "X").unwrap();
+    ctx.unary("E", "X", UnaryOp::Exp).unwrap();
+    ctx.prefetch("E").unwrap();
+    assert!(matches!(ctx.value("E").unwrap(), Value::Future(_)));
+    let e = ctx.get_matrix("E").unwrap();
+    assert!(e.approx_eq(&memphis_matrix::ops::unary::unary(&x, UnaryOp::Exp), 1e-12));
+}
+
+// ----------------------------------------------------------------------
+// GPU placement
+// ----------------------------------------------------------------------
+
+#[test]
+fn gpu_matmul_matches_local() {
+    let mut ctx = gpu_ctx(0); // all compute-intensive ops on device
+    let a = rand_uniform(16, 8, -1.0, 1.0, 19);
+    let b = rand_uniform(8, 12, -1.0, 1.0, 20);
+    ctx.read("A", a.clone(), "A").unwrap();
+    ctx.read("B", b.clone(), "B").unwrap();
+    ctx.matmul("C", "A", "B").unwrap();
+    assert!(matches!(ctx.value("C").unwrap(), Value::Gpu { .. }));
+    let c = ctx.get_matrix("C").unwrap();
+    assert!(c.approx_eq(&matmul(&a, &b).unwrap(), 1e-12));
+    assert_eq!(ctx.stats.executed_gpu, 1);
+}
+
+#[test]
+fn gpu_chain_stays_on_device() {
+    let mut ctx = gpu_ctx(0);
+    let a = rand_uniform(16, 16, -1.0, 1.0, 21);
+    ctx.read("A", a.clone(), "A").unwrap();
+    ctx.tsmm("T", "A").unwrap();
+    ctx.unary("R", "T", UnaryOp::Relu).unwrap();
+    assert!(matches!(ctx.value("R").unwrap(), Value::Gpu { .. }));
+    let r = ctx.get_matrix("R").unwrap();
+    let expected = memphis_matrix::ops::unary::unary(&tsmm(&a).unwrap(), UnaryOp::Relu);
+    assert!(r.approx_eq(&expected, 1e-12));
+    // Only the initial upload crossed the PCIe link (plus the final D2H).
+    let dstats = ctx.gpu_device().unwrap().stats();
+    assert_eq!(dstats.h2d_bytes, a.size_bytes() as u64);
+}
+
+#[test]
+fn gpu_pointer_reuse_skips_kernels() {
+    let mut ctx = gpu_ctx(0);
+    let a = rand_uniform(16, 16, -1.0, 1.0, 22);
+    ctx.read("A", a, "A").unwrap();
+    ctx.tsmm("T1", "A").unwrap();
+    let kernels_before = ctx.gpu_device().unwrap().stats().kernels;
+    ctx.tsmm("T2", "A").unwrap();
+    assert_eq!(
+        ctx.gpu_device().unwrap().stats().kernels,
+        kernels_before,
+        "GPU pointer reuse must not launch kernels"
+    );
+    assert_eq!(ctx.cache().stats().hits_gpu, 1);
+}
+
+#[test]
+fn gpu_recycling_in_minibatch_loop() {
+    let mut ctx = gpu_ctx(0);
+    let w = rand_uniform(32, 16, -0.5, 0.5, 23);
+    ctx.read("W", w, "W").unwrap();
+    for i in 0..5 {
+        let batch = rand_uniform(8, 32, 0.0, 1.0, 100 + i);
+        ctx.read("B", batch, &format!("batch{i}")).unwrap();
+        ctx.matmul("H", "B", "W").unwrap();
+        ctx.unary("A", "H", UnaryOp::Relu).unwrap();
+        ctx.remove("H");
+        ctx.remove("A");
+        ctx.remove("B");
+    }
+    let s = ctx.cache().stats();
+    assert!(s.gpu_recycled > 0, "fixed batch sizes must recycle pointers");
+    // Allocation count stays far below kernel count.
+    let d = ctx.gpu_device().unwrap().stats();
+    assert!(d.allocs < d.kernels + 5);
+}
+
+#[test]
+fn evict_instruction_clears_gpu_free_list() {
+    let mut ctx = gpu_ctx(0);
+    let a = rand_uniform(16, 16, -1.0, 1.0, 24);
+    ctx.read("A", a, "A").unwrap();
+    ctx.tsmm("T", "A").unwrap();
+    ctx.remove("T"); // pointer to free list, still cached
+    ctx.evict_gpu(1.0);
+    let g = ctx.cache().gpu_manager().unwrap();
+    assert_eq!(g.free_pointers(), 0);
+    // Re-execution required now.
+    ctx.tsmm("T2", "A").unwrap();
+    assert_eq!(ctx.stats.reused, 0);
+}
+
+// ----------------------------------------------------------------------
+// Multi-level (function) reuse
+// ----------------------------------------------------------------------
+
+fn run_func(ctx: &mut ExecutionContext, reg: f64, out: &str) {
+    ctx.literal("reg", reg).unwrap();
+    ctx.call_function("scalePlusReg", &["X", "reg"], &[out], |c| {
+        c.tsmm("G", "X").unwrap();
+        c.binary("Gs", "G", "reg", BinaryOp::Add).unwrap();
+        c.agg(out, "Gs", AggOp::Sum, AggDir::Full).unwrap();
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn function_reuse_skips_body() {
+    let mut ctx = local_ctx();
+    let x = rand_uniform(16, 4, 0.0, 1.0, 25);
+    ctx.read("X", x, "X").unwrap();
+    run_func(&mut ctx, 0.1, "r1");
+    let instrs = ctx.stats.instructions;
+    run_func(&mut ctx, 0.1, "r2");
+    assert_eq!(ctx.stats.functions_reused, 1);
+    assert_eq!(ctx.stats.instructions, instrs, "body skipped entirely");
+    assert_eq!(
+        ctx.get_scalar("r1").unwrap(),
+        ctx.get_scalar("r2").unwrap()
+    );
+    // Different reg executes the body but reuses the reg-independent tsmm.
+    run_func(&mut ctx, 0.2, "r3");
+    assert_eq!(ctx.stats.functions_reused, 1);
+    assert!(ctx.stats.reused >= 1, "fine-grained tsmm reuse inside body");
+}
+
+#[test]
+fn helix_mode_reuses_functions_but_not_operators() {
+    let mut ctx = ExecutionContext::local(EngineConfig::test().with_reuse(ReuseMode::Helix));
+    let x = rand_uniform(16, 4, 0.0, 1.0, 26);
+    ctx.read("X", x, "X").unwrap();
+    run_func(&mut ctx, 0.1, "r1");
+    run_func(&mut ctx, 0.1, "r2");
+    assert_eq!(ctx.stats.functions_reused, 1);
+    // Fine-grained: different reg re-executes everything (no op reuse).
+    let instrs = ctx.stats.instructions;
+    run_func(&mut ctx, 0.2, "r3");
+    assert_eq!(ctx.stats.reused, 0);
+    assert!(ctx.stats.instructions > instrs);
+}
+
+#[test]
+fn lima_reuses_local_but_not_rdds() {
+    let sc = SparkContext::new(SparkConfig::local_test());
+    let cache = Arc::new(LineageCache::new(CacheConfig::test()).with_spark_sync(sc.clone()));
+    let mut cfg = EngineConfig::test().with_reuse(ReuseMode::Lima);
+    cfg.spark_threshold_bytes = 512; // X distributed, small results local
+    let mut ctx = ExecutionContext::new(cfg, cache, Some(sc), None);
+    let x = rand_uniform(32, 4, 0.0, 1.0, 27);
+    ctx.read("X", x, "X").unwrap();
+    // RDD-producing op: result is distributed, LIMA cannot cache it.
+    ctx.unary("E1", "X", UnaryOp::Exp).unwrap();
+    ctx.unary("E2", "X", UnaryOp::Exp).unwrap();
+    assert_eq!(ctx.stats.reused, 0, "LIMA must not reuse RDDs");
+    // Spark actions are Spark instructions: LIMA does not hook them.
+    ctx.tsmm("T1", "X").unwrap();
+    ctx.tsmm("T2", "X").unwrap();
+    assert_eq!(ctx.stats.reused, 0, "LIMA ignores SP instructions");
+    // But pure CP instructions (on the collected local result) are cached.
+    let t = ctx.get_matrix("T1").unwrap();
+    ctx.read("Tl", t, "Tl").unwrap();
+    ctx.unary("E1", "Tl", UnaryOp::Exp).unwrap();
+    ctx.unary("E2", "Tl", UnaryOp::Exp).unwrap();
+    assert_eq!(ctx.stats.reused, 1, "LIMA reuses local CP intermediates");
+}
+
+#[test]
+fn nn_ops_roundtrip() {
+    let mut ctx = local_ctx();
+    let x = rand_uniform(4, 27, -1.0, 1.0, 28); // 4 images 3x3x3
+    let w = rand_uniform(2, 27, -1.0, 1.0, 29); // 2 filters 3x3x3
+    ctx.read("X", x.clone(), "X").unwrap();
+    ctx.read("W", w.clone(), "W").unwrap();
+    let p = memphis_matrix::ops::nn::Conv2dParams {
+        in_channels: 3,
+        out_channels: 2,
+        height: 3,
+        width: 3,
+        kernel: 3,
+        stride: 1,
+        pad: 0,
+    };
+    ctx.conv2d("C", "X", "W", p).unwrap();
+    let c = ctx.get_matrix("C").unwrap();
+    assert_eq!(c.shape(), (4, 2));
+    ctx.softmax("S", "C").unwrap();
+    let s = ctx.get_matrix("S").unwrap();
+    let sums = memphis_matrix::ops::agg::row_agg(&s, AggOp::Sum).unwrap();
+    assert!(sums.values().iter().all(|v| (v - 1.0).abs() < 1e-12));
+    // Dropout determinism → reuse is sound.
+    ctx.dropout("D1", "S", 0.5, 7).unwrap();
+    ctx.dropout("D2", "S", 0.5, 7).unwrap();
+    assert_eq!(ctx.stats.reused, 1);
+}
+
+#[test]
+fn slice_and_append_ops() {
+    let mut ctx = local_ctx();
+    let x = rand_uniform(10, 4, 0.0, 1.0, 30);
+    ctx.read("X", x.clone(), "X").unwrap();
+    ctx.slice_rows("top", "X", 0, 5).unwrap();
+    ctx.slice_rows("bottom", "X", 5, 10).unwrap();
+    ctx.rbind("whole", "top", "bottom").unwrap();
+    let whole = ctx.get_matrix("whole").unwrap();
+    assert!(whole.approx_eq(&x, 0.0));
+    ctx.slice_cols("left", "X", 0, 2).unwrap();
+    ctx.slice_cols("right", "X", 2, 4).unwrap();
+    ctx.cbind("whole2", "left", "right").unwrap();
+    let whole2 = ctx.get_matrix("whole2").unwrap();
+    assert!(whole2.approx_eq(&x, 0.0));
+}
+
+#[test]
+fn select_rows_masks() {
+    let mut ctx = local_ctx();
+    let x = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+    ctx.read("X", x, "X").unwrap();
+    ctx.binary_const("mask", "X", 2.5, BinaryOp::Greater, false)
+        .unwrap();
+    ctx.select_rows("sel", "X", "mask").unwrap();
+    let sel = ctx.get_matrix("sel").unwrap();
+    assert_eq!(sel.values(), &[3.0, 4.0]);
+}
+
+#[test]
+fn solve_linear_regression_normal_equations() {
+    let mut ctx = local_ctx();
+    let x = rand_uniform(60, 4, -1.0, 1.0, 31);
+    let w_true = rand_uniform(4, 1, -1.0, 1.0, 32);
+    let y = matmul(&x, &w_true).unwrap();
+    ctx.read("X", x, "X").unwrap();
+    ctx.read("y", y, "y").unwrap();
+    ctx.tsmm("G", "X").unwrap();
+    ctx.xty("b", "X", "y").unwrap();
+    ctx.solve("w", "G", "b").unwrap();
+    let w = ctx.get_matrix("w").unwrap();
+    assert!(w.approx_eq(&w_true, 1e-6));
+}

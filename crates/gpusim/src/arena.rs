@@ -1,0 +1,206 @@
+//! First-fit free-list allocator over the device's virtual address space.
+//!
+//! Unlike a bump allocator, this arena reproduces *real fragmentation*:
+//! interleaved allocations and frees of different sizes leave holes, and a
+//! request can fail even though total free bytes would suffice — the
+//! behaviour MEMPHIS's exact-size recycling policy is designed to avoid
+//! (paper §4.2).
+
+use std::collections::BTreeMap;
+
+/// A device address (byte offset into the simulated device memory).
+pub type DeviceAddr = u64;
+
+/// Free-list arena over `capacity` bytes of device memory.
+#[derive(Debug)]
+pub struct Arena {
+    capacity: u64,
+    /// Free ranges: start address → length, coalesced on free.
+    free: BTreeMap<u64, u64>,
+    /// Live allocations: start address → length.
+    allocated: BTreeMap<u64, u64>,
+}
+
+impl Arena {
+    /// Creates an arena of `capacity` bytes, fully free.
+    pub fn new(capacity: usize) -> Self {
+        let mut free = BTreeMap::new();
+        if capacity > 0 {
+            free.insert(0, capacity as u64);
+        }
+        Self {
+            capacity: capacity as u64,
+            free,
+            allocated: BTreeMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.allocated.values().sum::<u64>() as usize
+    }
+
+    /// Bytes currently free (possibly fragmented).
+    pub fn free_bytes(&self) -> usize {
+        self.free.values().sum::<u64>() as usize
+    }
+
+    /// Size of the largest contiguous free range.
+    pub fn largest_free_range(&self) -> usize {
+        self.free.values().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Number of free ranges — a direct fragmentation measure.
+    pub fn fragments(&self) -> usize {
+        self.free.len()
+    }
+
+    /// External fragmentation in `[0, 1]`: 1 - largest_free/total_free.
+    pub fn fragmentation(&self) -> f64 {
+        let total = self.free_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.largest_free_range() as f64 / total as f64
+        }
+    }
+
+    /// Allocates `size` bytes first-fit. Returns `None` when no contiguous
+    /// free range is large enough (even if total free bytes suffice).
+    pub fn alloc(&mut self, size: usize) -> Option<DeviceAddr> {
+        if size == 0 {
+            return None;
+        }
+        let size = size as u64;
+        let (start, len) = self
+            .free
+            .iter()
+            .find(|(_, &len)| len >= size)
+            .map(|(&s, &l)| (s, l))?;
+        self.free.remove(&start);
+        if len > size {
+            self.free.insert(start + size, len - size);
+        }
+        self.allocated.insert(start, size);
+        Some(start)
+    }
+
+    /// Frees a previously allocated address, coalescing adjacent free
+    /// ranges. Returns the freed size, or `None` for an unknown address.
+    pub fn free(&mut self, addr: DeviceAddr) -> Option<usize> {
+        let size = self.allocated.remove(&addr)?;
+        // Coalesce with the previous free range if adjacent.
+        let mut start = addr;
+        let mut len = size;
+        if let Some((&pstart, &plen)) = self.free.range(..addr).next_back() {
+            if pstart + plen == addr {
+                self.free.remove(&pstart);
+                start = pstart;
+                len += plen;
+            }
+        }
+        // Coalesce with the next free range if adjacent.
+        if let Some(&nlen) = self.free.get(&(addr + size)) {
+            self.free.remove(&(addr + size));
+            len += nlen;
+        }
+        self.free.insert(start, len);
+        Some(size as usize)
+    }
+
+    /// Size of a live allocation.
+    pub fn size_of(&self, addr: DeviceAddr) -> Option<usize> {
+        self.allocated.get(&addr).map(|&s| s as usize)
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.allocated.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut a = Arena::new(1000);
+        let p = a.alloc(100).unwrap();
+        assert_eq!(a.used(), 100);
+        assert_eq!(a.size_of(p), Some(100));
+        assert_eq!(a.free(p), Some(100));
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.free_bytes(), 1000);
+        assert_eq!(a.fragments(), 1);
+    }
+
+    #[test]
+    fn zero_and_unknown_rejected() {
+        let mut a = Arena::new(100);
+        assert!(a.alloc(0).is_none());
+        assert!(a.free(55).is_none());
+    }
+
+    #[test]
+    fn exhaustion_fails() {
+        let mut a = Arena::new(100);
+        assert!(a.alloc(60).is_some());
+        assert!(a.alloc(60).is_none());
+        assert!(a.alloc(40).is_some());
+    }
+
+    #[test]
+    fn fragmentation_blocks_large_alloc() {
+        let mut a = Arena::new(300);
+        let p1 = a.alloc(100).unwrap();
+        let _p2 = a.alloc(100).unwrap();
+        let p3 = a.alloc(100).unwrap();
+        a.free(p1);
+        a.free(p3);
+        // 200 bytes free but split into two 100-byte holes.
+        assert_eq!(a.free_bytes(), 200);
+        assert_eq!(a.largest_free_range(), 100);
+        assert!(a.alloc(150).is_none(), "fragmented: no contiguous 150");
+        assert!(a.fragmentation() > 0.0);
+    }
+
+    #[test]
+    fn coalescing_merges_adjacent_holes() {
+        let mut a = Arena::new(300);
+        let p1 = a.alloc(100).unwrap();
+        let p2 = a.alloc(100).unwrap();
+        let p3 = a.alloc(100).unwrap();
+        a.free(p1);
+        a.free(p3);
+        a.free(p2); // merges all three
+        assert_eq!(a.fragments(), 1);
+        assert_eq!(a.largest_free_range(), 300);
+        assert!(a.alloc(300).is_some());
+    }
+
+    #[test]
+    fn first_fit_reuses_earliest_hole() {
+        let mut a = Arena::new(400);
+        let p1 = a.alloc(100).unwrap();
+        let _p2 = a.alloc(100).unwrap();
+        a.free(p1);
+        let p3 = a.alloc(50).unwrap();
+        assert_eq!(p3, p1, "first-fit must reuse the first hole");
+    }
+
+    #[test]
+    fn live_allocation_count() {
+        let mut a = Arena::new(1000);
+        let p1 = a.alloc(10).unwrap();
+        let _p2 = a.alloc(10).unwrap();
+        assert_eq!(a.live_allocations(), 2);
+        a.free(p1);
+        assert_eq!(a.live_allocations(), 1);
+    }
+}

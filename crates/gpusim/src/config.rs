@@ -1,0 +1,97 @@
+//! Device configuration and overhead calibration.
+
+use std::time::Duration;
+
+/// Simulated device properties.
+///
+/// The default calibration reproduces the overhead *ratios* the paper
+/// measures in Figure 2(d) for an affine+ReLU mini-batch layer: memory
+/// allocation/free ≈ 4.6x and data copy ≈ 9x of the kernel compute time.
+/// Absolute values are scaled down so experiments run in seconds.
+#[derive(Debug, Clone)]
+pub struct GpuConfig {
+    /// Device memory capacity in bytes (A40: 48 GB; scaled default 256 MB).
+    pub memory_capacity: usize,
+    /// `cudaMalloc` overhead — charged on the host *after* a stream sync.
+    pub alloc_overhead: Duration,
+    /// `cudaFree` overhead — charged on the host after a stream sync.
+    pub free_overhead: Duration,
+    /// Kernel launch overhead charged on the device thread per kernel.
+    pub kernel_launch: Duration,
+    /// Host-to-device per-byte cost (pageable transfers; Table 2: 6.1 GB/s
+    /// measured from the host on real hardware).
+    pub h2d_ns_per_byte: f64,
+    /// Device-to-host per-byte cost.
+    pub d2h_ns_per_byte: f64,
+    /// Device compute speed-up factor versus the host thread: the device
+    /// thread busy-executes the real kernel, then the simulated duration is
+    /// `real/speedup`. 1.0 means device == CPU core.
+    pub compute_speedup: f64,
+}
+
+impl GpuConfig {
+    /// Zero-overhead configuration for semantic unit tests.
+    pub fn zero_cost(memory_capacity: usize) -> Self {
+        Self {
+            memory_capacity,
+            alloc_overhead: Duration::ZERO,
+            free_overhead: Duration::ZERO,
+            kernel_launch: Duration::ZERO,
+            h2d_ns_per_byte: 0.0,
+            d2h_ns_per_byte: 0.0,
+            compute_speedup: 1.0,
+        }
+    }
+
+    /// Benchmark calibration: reproduces the Figure 2(d) overhead ratios at
+    /// a scale where one mini-batch kernel takes tens of microseconds.
+    pub fn calibrated(memory_capacity: usize) -> Self {
+        Self {
+            memory_capacity,
+            alloc_overhead: Duration::from_micros(150),
+            free_overhead: Duration::from_micros(80),
+            kernel_launch: Duration::from_micros(8),
+            h2d_ns_per_byte: 2.0, // ~0.5 GB/s scaled pageable H2D
+            d2h_ns_per_byte: 2.0,
+            compute_speedup: 4.0,
+        }
+    }
+
+    /// Transfer delay for `bytes` at the given per-byte cost.
+    pub fn transfer_delay(bytes: usize, ns_per_byte: f64) -> Duration {
+        Duration::from_nanos((bytes as f64 * ns_per_byte) as u64)
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::calibrated(256 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cost_has_no_overheads() {
+        let c = GpuConfig::zero_cost(1024);
+        assert_eq!(c.alloc_overhead, Duration::ZERO);
+        assert_eq!(c.memory_capacity, 1024);
+    }
+
+    #[test]
+    fn transfer_delay_is_linear() {
+        let a = GpuConfig::transfer_delay(100, 3.0);
+        let b = GpuConfig::transfer_delay(200, 3.0);
+        assert_eq!(a.as_nanos() * 2, b.as_nanos());
+    }
+
+    #[test]
+    fn calibrated_ratios_hold() {
+        // alloc+free overhead should exceed kernel launch by a large factor
+        // (the premise of recycling, Fig 2(d)).
+        let c = GpuConfig::default();
+        assert!(c.alloc_overhead + c.free_overhead > 10 * c.kernel_launch);
+    }
+}

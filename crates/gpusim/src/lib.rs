@@ -1,0 +1,32 @@
+//! A simulated CUDA-like GPU device for the MEMPHIS reproduction.
+//!
+//! The original MEMPHIS uses NVIDIA A40 GPUs through CUDA. This crate
+//! models the device properties the paper's GPU mechanisms depend on
+//! (§2.3, §4.2):
+//!
+//! - **Asynchronous, in-order kernel stream**: kernels enqueue from the
+//!   host and run on a dedicated device thread; the host keeps going —
+//!   exactly like a single CUDA stream.
+//! - **Synchronization barriers**: `cudaMalloc`/`cudaFree`-style
+//!   allocation, device-to-host copies, and explicit `synchronize` drain
+//!   the stream before returning, stalling the host.
+//! - **Allocation overhead & fragmentation**: device memory is a real
+//!   first-fit free-list arena over a virtual address space, so repeated
+//!   alloc/free with shifting sizes produces genuine fragmentation and
+//!   allocation failures.
+//! - **Bandwidth-modelled transfers**: host-to-device and device-to-host
+//!   copies charge per-byte costs calibrated to the paper's Figure 2(d)
+//!   ratios (alloc/free ≈ 4.6x and copy ≈ 9x of kernel compute).
+//!
+//! Kernels execute the real matrix kernels from `memphis-matrix` on the
+//! device thread, so results are bit-identical to CPU execution.
+
+pub mod arena;
+pub mod config;
+pub mod device;
+pub mod stats;
+
+pub use arena::{Arena, DeviceAddr};
+pub use config::GpuConfig;
+pub use device::{GpuDevice, GpuError, GpuPtr};
+pub use stats::{GpuStats, GpuStatsSnapshot};

@@ -1,0 +1,124 @@
+//! Device counters used by the GPU experiments (allocation/copy overheads,
+//! synchronization barriers, kernel counts).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Atomic device counters.
+#[derive(Debug, Default)]
+pub struct GpuStats {
+    /// `cudaMalloc`-style allocations served.
+    pub allocs: AtomicU64,
+    /// `cudaFree`-style deallocations.
+    pub frees: AtomicU64,
+    /// Failed allocation attempts (arena could not fit the request).
+    pub alloc_failures: AtomicU64,
+    /// Kernels launched.
+    pub kernels: AtomicU64,
+    /// Host-blocking stream synchronizations.
+    pub syncs: AtomicU64,
+    /// Host-to-device bytes copied.
+    pub h2d_bytes: AtomicU64,
+    /// Device-to-host bytes copied.
+    pub d2h_bytes: AtomicU64,
+    /// Nanoseconds the host spent blocked in alloc/free overhead.
+    pub alloc_free_wait_ns: AtomicU64,
+    /// Nanoseconds the host spent blocked in transfers.
+    pub transfer_wait_ns: AtomicU64,
+    /// Nanoseconds the host spent blocked waiting for the stream to drain.
+    pub sync_wait_ns: AtomicU64,
+    /// Nanoseconds of simulated device compute.
+    pub compute_ns: AtomicU64,
+}
+
+/// Point-in-time copy of device counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GpuStatsSnapshot {
+    /// See [`GpuStats::allocs`].
+    pub allocs: u64,
+    /// See [`GpuStats::frees`].
+    pub frees: u64,
+    /// See [`GpuStats::alloc_failures`].
+    pub alloc_failures: u64,
+    /// See [`GpuStats::kernels`].
+    pub kernels: u64,
+    /// See [`GpuStats::syncs`].
+    pub syncs: u64,
+    /// See [`GpuStats::h2d_bytes`].
+    pub h2d_bytes: u64,
+    /// See [`GpuStats::d2h_bytes`].
+    pub d2h_bytes: u64,
+    /// See [`GpuStats::alloc_free_wait_ns`].
+    pub alloc_free_wait_ns: u64,
+    /// See [`GpuStats::transfer_wait_ns`].
+    pub transfer_wait_ns: u64,
+    /// See [`GpuStats::sync_wait_ns`].
+    pub sync_wait_ns: u64,
+    /// See [`GpuStats::compute_ns`].
+    pub compute_ns: u64,
+}
+
+impl GpuStats {
+    /// Adds a duration to a nanosecond counter.
+    pub fn add_duration(counter: &AtomicU64, d: Duration) {
+        counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Copies every counter.
+    pub fn snapshot(&self) -> GpuStatsSnapshot {
+        GpuStatsSnapshot {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            alloc_failures: self.alloc_failures.load(Ordering::Relaxed),
+            kernels: self.kernels.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
+            d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
+            alloc_free_wait_ns: self.alloc_free_wait_ns.load(Ordering::Relaxed),
+            transfer_wait_ns: self.transfer_wait_ns.load(Ordering::Relaxed),
+            sync_wait_ns: self.sync_wait_ns.load(Ordering::Relaxed),
+            compute_ns: self.compute_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl GpuStatsSnapshot {
+    /// Counter-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &GpuStatsSnapshot) -> GpuStatsSnapshot {
+        GpuStatsSnapshot {
+            allocs: self.allocs - earlier.allocs,
+            frees: self.frees - earlier.frees,
+            alloc_failures: self.alloc_failures - earlier.alloc_failures,
+            kernels: self.kernels - earlier.kernels,
+            syncs: self.syncs - earlier.syncs,
+            h2d_bytes: self.h2d_bytes - earlier.h2d_bytes,
+            d2h_bytes: self.d2h_bytes - earlier.d2h_bytes,
+            alloc_free_wait_ns: self.alloc_free_wait_ns - earlier.alloc_free_wait_ns,
+            transfer_wait_ns: self.transfer_wait_ns - earlier.transfer_wait_ns,
+            sync_wait_ns: self.sync_wait_ns - earlier.sync_wait_ns,
+            compute_ns: self.compute_ns - earlier.compute_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_accumulates() {
+        let s = GpuStats::default();
+        GpuStats::add_duration(&s.sync_wait_ns, Duration::from_micros(5));
+        GpuStats::add_duration(&s.sync_wait_ns, Duration::from_micros(5));
+        assert_eq!(s.snapshot().sync_wait_ns, 10_000);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let s = GpuStats::default();
+        s.kernels.fetch_add(3, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.kernels.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(s.snapshot().delta(&a).kernels, 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Behavioural tests of the asynchronous kernel stream: the host must be
+//! able to run ahead of the device, and synchronization points must drain
+//! the queue — the properties MEMPHIS's GPU integration (§2.3, §5.1)
+//! relies on.
+
+use memphis_gpusim::{GpuConfig, GpuDevice};
+use memphis_matrix::ops::unary::{unary, UnaryOp};
+use memphis_matrix::rand_gen::rand_uniform;
+use std::time::{Duration, Instant};
+
+#[test]
+fn host_runs_ahead_of_slow_kernels() {
+    let mut cfg = GpuConfig::zero_cost(8 << 20);
+    cfg.kernel_launch = Duration::from_millis(5);
+    let d = GpuDevice::new(cfg);
+    let m = rand_uniform(8, 8, 0.0, 1.0, 1);
+    let input = d.upload(&m).unwrap();
+    let out = d.alloc(m.size_bytes()).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..10 {
+        d.launch_unary(input, out, |x| unary(x, UnaryOp::Relu));
+    }
+    let enqueue = t0.elapsed();
+    assert!(
+        enqueue < Duration::from_millis(10),
+        "launches must not block the host: {enqueue:?}"
+    );
+    let t1 = Instant::now();
+    d.synchronize();
+    let drain = t1.elapsed();
+    assert!(
+        drain >= Duration::from_millis(40),
+        "sync must wait for the queued kernels: {drain:?}"
+    );
+}
+
+#[test]
+fn alloc_is_a_synchronization_barrier() {
+    let mut cfg = GpuConfig::zero_cost(8 << 20);
+    cfg.kernel_launch = Duration::from_millis(4);
+    let d = GpuDevice::new(cfg);
+    let m = rand_uniform(8, 8, 0.0, 1.0, 2);
+    let input = d.upload(&m).unwrap();
+    let out = d.alloc(m.size_bytes()).unwrap();
+    for _ in 0..5 {
+        d.launch_unary(input, out, |x| unary(x, UnaryOp::Relu));
+    }
+    let t0 = Instant::now();
+    let extra = d.alloc(64).unwrap(); // cudaMalloc → drains the stream
+    assert!(
+        t0.elapsed() >= Duration::from_millis(16),
+        "alloc must synchronize"
+    );
+    d.free(extra).unwrap();
+}
+
+#[test]
+fn concurrent_hosts_share_one_stream_safely() {
+    let d = std::sync::Arc::new(GpuDevice::new(GpuConfig::zero_cost(8 << 20)));
+    let m = rand_uniform(16, 16, 0.5, 1.0, 3);
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let d = d.clone();
+            let m = m.clone();
+            std::thread::spawn(move || {
+                let input = d.upload(&m).unwrap();
+                let out = d.alloc(m.size_bytes()).unwrap();
+                d.launch_unary(input, out, |x| unary(x, UnaryOp::Sqrt));
+                let got = d.copy_to_host(out).unwrap();
+                assert!(got.approx_eq(&unary(&m, UnaryOp::Sqrt), 1e-12));
+                d.free(out).unwrap();
+                d.free(input).unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(d.mem_used(), 0);
+}

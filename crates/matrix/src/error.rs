@@ -1,0 +1,83 @@
+//! Error types for matrix operations.
+
+use std::fmt;
+
+/// Result alias used across the matrix crate.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+/// Errors produced by dense and blocked matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// An index or range is outside the matrix bounds.
+    OutOfBounds {
+        /// Operation name.
+        op: &'static str,
+        /// Offending index (row, col).
+        index: (usize, usize),
+        /// Matrix shape.
+        shape: (usize, usize),
+    },
+    /// A solve failed because the system matrix is singular (or not SPD for
+    /// the Cholesky path and not invertible for the LU fallback).
+    SingularMatrix,
+    /// Serialized bytes could not be decoded into a matrix.
+    Corrupt(String),
+    /// The operation requires a non-empty matrix.
+    Empty(&'static str),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::OutOfBounds { op, index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds in {op} for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            MatrixError::SingularMatrix => write!(f, "matrix is singular"),
+            MatrixError::Corrupt(msg) => write!(f, "corrupt matrix bytes: {msg}"),
+            MatrixError::Empty(op) => write!(f, "{op} requires a non-empty matrix"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = MatrixError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("2x3"));
+
+        let e = MatrixError::OutOfBounds {
+            op: "get",
+            index: (9, 9),
+            shape: (3, 3),
+        };
+        assert!(e.to_string().contains("out of bounds"));
+
+        assert_eq!(MatrixError::SingularMatrix.to_string(), "matrix is singular");
+    }
+}

@@ -1,0 +1,108 @@
+//! Raw binary (de)serialization of matrices, used by disk eviction in the
+//! lineage cache and by partition spilling in the simulated Spark
+//! BlockManager.
+//!
+//! Format: `magic (4) | rows (8 LE) | cols (8 LE) | values (rows*cols*8 LE)`.
+
+use crate::dense::Matrix;
+use crate::error::{MatrixError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"MPHM";
+
+/// Serializes a matrix to a contiguous byte buffer.
+pub fn to_bytes(m: &Matrix) -> Bytes {
+    let mut buf = BytesMut::with_capacity(20 + m.size_bytes());
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(m.rows() as u64);
+    buf.put_u64_le(m.cols() as u64);
+    for &v in m.values() {
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a matrix from bytes produced by [`to_bytes`].
+pub fn from_bytes(mut bytes: Bytes) -> Result<Matrix> {
+    if bytes.remaining() < 20 {
+        return Err(MatrixError::Corrupt("buffer too short".into()));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(MatrixError::Corrupt("bad magic".into()));
+    }
+    let rows = bytes.get_u64_le() as usize;
+    let cols = bytes.get_u64_le() as usize;
+    let expected = rows
+        .checked_mul(cols)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or_else(|| MatrixError::Corrupt("shape overflow".into()))?;
+    if bytes.remaining() != expected {
+        return Err(MatrixError::Corrupt(format!(
+            "expected {} value bytes, found {}",
+            expected,
+            bytes.remaining()
+        )));
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        data.push(bytes.get_f64_le());
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Writes a matrix to a file (used by disk eviction).
+pub fn write_file(m: &Matrix, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_bytes(m))
+}
+
+/// Reads a matrix previously written with [`write_file`].
+pub fn read_file(path: &std::path::Path) -> std::io::Result<Matrix> {
+    let bytes = Bytes::from(std::fs::read(path)?);
+    from_bytes(bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand_gen::rand_uniform;
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        let m = rand_uniform(17, 23, -1e9, 1e9, 42);
+        let back = from_bytes(to_bytes(&m)).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_scalar() {
+        for m in [Matrix::zeros(0, 5), Matrix::scalar(3.25)] {
+            let back = from_bytes(to_bytes(&m)).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_buffers() {
+        assert!(from_bytes(Bytes::from_static(b"short")).is_err());
+        let mut ok = to_bytes(&Matrix::scalar(1.0)).to_vec();
+        ok[0] = b'X';
+        assert!(from_bytes(Bytes::from(ok)).is_err());
+        let mut truncated = to_bytes(&Matrix::zeros(4, 4)).to_vec();
+        truncated.pop();
+        assert!(from_bytes(Bytes::from(truncated)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("memphis_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.bin");
+        let m = rand_uniform(8, 8, 0.0, 1.0, 7);
+        write_file(&m, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(m, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,23 @@
+//! Matrix operator kernels.
+//!
+//! Each submodule implements one family of operations from the SystemDS
+//! operator set that the MEMPHIS runtime executes: elementwise binary and
+//! unary maps, aggregations, matrix multiplication, reorganization
+//! (transpose, slicing, appends), linear-system solves, and neural-network
+//! kernels.
+
+pub mod agg;
+pub mod binary;
+pub mod matmul;
+pub mod nn;
+pub mod reorg;
+pub mod solve;
+pub mod unary;
+
+pub use agg::{AggOp, aggregate, col_agg, row_agg};
+pub use binary::{BinaryOp, binary, binary_scalar};
+pub use matmul::{matmul, matmul_parallel, tsmm};
+pub use nn::{conv2d, max_pool2d, Conv2dParams, Pool2dParams};
+pub use reorg::{cbind, rbind, slice_cols, slice_rows, transpose};
+pub use solve::solve;
+pub use unary::{unary, UnaryOp};

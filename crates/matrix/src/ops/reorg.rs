@@ -1,0 +1,201 @@
+//! Reorganization operations: transpose, slicing, row/column appends.
+
+use crate::dense::Matrix;
+use crate::error::{MatrixError, Result};
+
+/// `t(m)`.
+pub fn transpose(m: &Matrix) -> Matrix {
+    let (rows, cols) = m.shape();
+    let src = m.values();
+    let mut out = vec![0.0; rows * cols];
+    // Blocked transpose for cache locality on larger inputs.
+    const B: usize = 32;
+    for rb in (0..rows).step_by(B) {
+        for cb in (0..cols).step_by(B) {
+            for r in rb..(rb + B).min(rows) {
+                for c in cb..(cb + B).min(cols) {
+                    out[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+    Matrix::from_vec(cols, rows, out).expect("shape preserved")
+}
+
+/// Rows `[start, end)` of `m` — DML's `X[start:end,]`.
+pub fn slice_rows(m: &Matrix, start: usize, end: usize) -> Result<Matrix> {
+    if start > end || end > m.rows() {
+        return Err(MatrixError::OutOfBounds {
+            op: "slice_rows",
+            index: (start, end),
+            shape: m.shape(),
+        });
+    }
+    let cols = m.cols();
+    let out = m.values()[start * cols..end * cols].to_vec();
+    Matrix::from_vec(end - start, cols, out)
+}
+
+/// Columns `[start, end)` of `m` — DML's `X[,start:end]`.
+pub fn slice_cols(m: &Matrix, start: usize, end: usize) -> Result<Matrix> {
+    if start > end || end > m.cols() {
+        return Err(MatrixError::OutOfBounds {
+            op: "slice_cols",
+            index: (start, end),
+            shape: m.shape(),
+        });
+    }
+    let cols = m.cols();
+    let width = end - start;
+    let mut out = Vec::with_capacity(m.rows() * width);
+    for r in 0..m.rows() {
+        out.extend_from_slice(&m.values()[r * cols + start..r * cols + end]);
+    }
+    Matrix::from_vec(m.rows(), width, out)
+}
+
+/// Vertical append (`rbind`): stacks `top` above `bottom`.
+pub fn rbind(top: &Matrix, bottom: &Matrix) -> Result<Matrix> {
+    if top.cols() != bottom.cols() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "rbind",
+            lhs: top.shape(),
+            rhs: bottom.shape(),
+        });
+    }
+    let mut out = Vec::with_capacity(top.len() + bottom.len());
+    out.extend_from_slice(top.values());
+    out.extend_from_slice(bottom.values());
+    Matrix::from_vec(top.rows() + bottom.rows(), top.cols(), out)
+}
+
+/// Horizontal append (`cbind`): places `right` next to `left`.
+pub fn cbind(left: &Matrix, right: &Matrix) -> Result<Matrix> {
+    if left.rows() != right.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "cbind",
+            lhs: left.shape(),
+            rhs: right.shape(),
+        });
+    }
+    let cols = left.cols() + right.cols();
+    let mut out = Vec::with_capacity(left.rows() * cols);
+    for r in 0..left.rows() {
+        out.extend_from_slice(left.row(r));
+        out.extend_from_slice(right.row(r));
+    }
+    Matrix::from_vec(left.rows(), cols, out)
+}
+
+/// Selects the rows of `m` flagged by the 0/1 column vector `mask` —
+/// the core of `removeEmpty(target=X, margin="rows", select=mask)` used by
+/// sampling and outlier-removal primitives.
+pub fn select_rows(m: &Matrix, mask: &Matrix) -> Result<Matrix> {
+    if mask.rows() != m.rows() || mask.cols() != 1 {
+        return Err(MatrixError::DimensionMismatch {
+            op: "select_rows",
+            lhs: m.shape(),
+            rhs: mask.shape(),
+        });
+    }
+    let mut out = Vec::new();
+    let mut kept = 0usize;
+    for r in 0..m.rows() {
+        if mask.at(r, 0) != 0.0 {
+            out.extend_from_slice(m.row(r));
+            kept += 1;
+        }
+    }
+    Matrix::from_vec(kept, m.cols(), out)
+}
+
+/// Gathers rows of `m` by 0-based indices (order-preserving, repeats
+/// allowed) — used by shuffling and mini-batch slicing with permutations.
+pub fn gather_rows(m: &Matrix, indices: &[usize]) -> Result<Matrix> {
+    let mut out = Vec::with_capacity(indices.len() * m.cols());
+    for &idx in indices {
+        if idx >= m.rows() {
+            return Err(MatrixError::OutOfBounds {
+                op: "gather_rows",
+                index: (idx, 0),
+                shape: m.shape(),
+            });
+        }
+        out.extend_from_slice(m.row(idx));
+    }
+    Matrix::from_vec(indices.len(), m.cols(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand_gen::rand_uniform;
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = rand_uniform(33, 65, -1.0, 1.0, 3);
+        let tt = transpose(&transpose(&m));
+        assert!(m.approx_eq(&tt, 0.0));
+        assert_eq!(transpose(&m).shape(), (65, 33));
+    }
+
+    #[test]
+    fn transpose_small_exact() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = transpose(&m);
+        assert_eq!(t.values(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn row_and_col_slices() {
+        let m = Matrix::from_vec(3, 3, (1..=9).map(|v| v as f64).collect()).unwrap();
+        let rs = slice_rows(&m, 1, 3).unwrap();
+        assert_eq!(rs.values(), &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        let cs = slice_cols(&m, 0, 2).unwrap();
+        assert_eq!(cs.values(), &[1.0, 2.0, 4.0, 5.0, 7.0, 8.0]);
+        assert!(slice_rows(&m, 2, 4).is_err());
+        assert!(slice_cols(&m, 2, 1).is_err());
+    }
+
+    #[test]
+    fn empty_slices_allowed() {
+        let m = Matrix::zeros(3, 3);
+        let s = slice_rows(&m, 1, 1).unwrap();
+        assert_eq!(s.shape(), (0, 3));
+    }
+
+    #[test]
+    fn rbind_cbind() {
+        let a = Matrix::filled(1, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        let v = rbind(&a, &b).unwrap();
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.values(), &[1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+
+        let l = Matrix::filled(2, 1, 3.0);
+        let r = Matrix::filled(2, 2, 4.0);
+        let h = cbind(&l, &r).unwrap();
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h.values(), &[3.0, 4.0, 4.0, 3.0, 4.0, 4.0]);
+
+        assert!(rbind(&a, &Matrix::zeros(1, 3)).is_err());
+        assert!(cbind(&l, &Matrix::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn select_rows_by_mask() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]).unwrap();
+        let mask = Matrix::col_vector(&[1.0, 0.0, 1.0]);
+        let s = select_rows(&m, &mask).unwrap();
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.values(), &[1.0, 1.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn gather_rows_with_repeats() {
+        let m = Matrix::from_vec(3, 1, vec![10.0, 20.0, 30.0]).unwrap();
+        let g = gather_rows(&m, &[2, 0, 2]).unwrap();
+        assert_eq!(g.values(), &[30.0, 10.0, 30.0]);
+        assert!(gather_rows(&m, &[3]).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Linear-system solve: Cholesky for symmetric positive definite systems
+//! (the `solve(t(X)%*%X + lambda*I, t(X)%*%y)` path of `linRegDS`), with a
+//! partial-pivoting LU fallback for general square systems.
+
+use crate::dense::Matrix;
+use crate::error::{MatrixError, Result};
+
+/// Solves `A x = B` for `x`, where `A` is square (`n x n`) and `B` is
+/// `n x k`. Tries Cholesky first; falls back to LU with partial pivoting.
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let n = a.rows();
+    if a.cols() != n || b.rows() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "solve",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if n == 0 {
+        return Err(MatrixError::Empty("solve"));
+    }
+    match cholesky_solve(a, b) {
+        Ok(x) => Ok(x),
+        Err(_) => lu_solve(a, b),
+    }
+}
+
+/// Cholesky factorization solve; errors unless `A` is symmetric positive
+/// definite.
+pub fn cholesky_solve(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let n = a.rows();
+    // Cheap symmetry check on a sample of off-diagonal entries.
+    for i in 0..n.min(8) {
+        for j in 0..i {
+            if (a.at(i, j) - a.at(j, i)).abs() > 1e-8 * (1.0 + a.at(i, j).abs()) {
+                return Err(MatrixError::SingularMatrix);
+            }
+        }
+    }
+    // Factor A = L L^T.
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a.at(i, j);
+            for k in 0..j {
+                s -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return Err(MatrixError::SingularMatrix);
+                }
+                l[i * n + i] = s.sqrt();
+            } else {
+                l[i * n + j] = s / l[j * n + j];
+            }
+        }
+    }
+    // Solve L y = B, then L^T x = y, one right-hand side at a time.
+    let k = b.cols();
+    let mut x = vec![0.0; n * k];
+    for col in 0..k {
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b.at(i, col);
+            for j in 0..i {
+                s -= l[i * n + j] * y[j];
+            }
+            y[i] = s / l[i * n + i];
+        }
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= l[j * n + i] * x[j * k + col];
+            }
+            x[i * k + col] = s / l[i * n + i];
+        }
+    }
+    Matrix::from_vec(n, k, x)
+}
+
+/// LU solve with partial pivoting for general square systems.
+pub fn lu_solve(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let n = a.rows();
+    let k = b.cols();
+    let mut lu = a.values().to_vec();
+    let mut piv: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // Pivot selection.
+        let mut pivot = col;
+        let mut best = lu[col * n + col].abs();
+        for r in col + 1..n {
+            let v = lu[r * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        if best < 1e-12 {
+            return Err(MatrixError::SingularMatrix);
+        }
+        if pivot != col {
+            for c in 0..n {
+                lu.swap(col * n + c, pivot * n + c);
+            }
+            piv.swap(col, pivot);
+        }
+        // Elimination.
+        let d = lu[col * n + col];
+        for r in col + 1..n {
+            let f = lu[r * n + col] / d;
+            lu[r * n + col] = f;
+            for c in col + 1..n {
+                lu[r * n + c] -= f * lu[col * n + c];
+            }
+        }
+    }
+
+    let mut x = vec![0.0; n * k];
+    for rhs in 0..k {
+        // Apply permutation, then forward substitution with unit lower.
+        let mut y: Vec<f64> = (0..n).map(|i| b.at(piv[i], rhs)).collect();
+        for i in 1..n {
+            for j in 0..i {
+                y[i] -= lu[i * n + j] * y[j];
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            for j in i + 1..n {
+                y[i] -= lu[i * n + j] * x[j * k + rhs];
+            }
+            x[i * k + rhs] = y[i] / lu[i * n + i];
+        }
+    }
+    Matrix::from_vec(n, k, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul::{matmul, tsmm};
+    use crate::ops::reorg::transpose;
+    use crate::rand_gen::rand_uniform;
+
+    #[test]
+    fn solves_spd_system_via_cholesky() {
+        let x = rand_uniform(50, 8, -1.0, 1.0, 11);
+        let a = tsmm(&x).unwrap(); // SPD with high probability
+        let truth = rand_uniform(8, 1, -1.0, 1.0, 12);
+        let b = matmul(&a, &truth).unwrap();
+        let sol = cholesky_solve(&a, &b).unwrap();
+        assert!(sol.approx_eq(&truth, 1e-8));
+    }
+
+    #[test]
+    fn solves_general_system_via_lu() {
+        // Asymmetric, needs pivoting (zero on the diagonal).
+        let a = Matrix::from_vec(3, 3, vec![0.0, 2.0, 1.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0]).unwrap();
+        let truth = Matrix::col_vector(&[1.0, -2.0, 3.0]);
+        let b = matmul(&a, &truth).unwrap();
+        let sol = solve(&a, &b).unwrap();
+        assert!(sol.approx_eq(&truth, 1e-10));
+    }
+
+    #[test]
+    fn multiple_right_hand_sides() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 1.0, 1.0, 3.0]).unwrap();
+        let truth = Matrix::from_vec(2, 2, vec![1.0, 0.5, -1.0, 2.0]).unwrap();
+        let b = matmul(&a, &truth).unwrap();
+        let sol = solve(&a, &b).unwrap();
+        assert!(sol.approx_eq(&truth, 1e-10));
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        let b = Matrix::col_vector(&[1.0, 2.0]);
+        assert_eq!(solve(&a, &b), Err(MatrixError::SingularMatrix));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 1);
+        assert!(solve(&a, &b).is_err());
+        let a = Matrix::identity(3);
+        let b = Matrix::zeros(2, 1);
+        assert!(solve(&a, &b).is_err());
+    }
+
+    #[test]
+    fn lu_matches_cholesky_on_spd() {
+        let x = rand_uniform(30, 6, -1.0, 1.0, 21);
+        let a = tsmm(&x).unwrap();
+        let b = matmul(&transpose(&x), &rand_uniform(30, 1, -1.0, 1.0, 22)).unwrap();
+        let c = cholesky_solve(&a, &b).unwrap();
+        let l = lu_solve(&a, &b).unwrap();
+        assert!(c.approx_eq(&l, 1e-7));
+    }
+}

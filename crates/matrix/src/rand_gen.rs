@@ -1,0 +1,119 @@
+//! Seeded random matrix generation (DML's `rand()` builtin).
+
+use crate::dense::Matrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random matrix in `[min, max)` with a fixed seed. `min == max`
+/// yields a constant matrix (DML's `rand(min=v, max=v)`).
+pub fn rand_uniform(rows: usize, cols: usize, min: f64, max: f64, seed: u64) -> Matrix {
+    if min >= max {
+        return Matrix::filled(rows, cols, min);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(min, max);
+    let data: Vec<f64> = (0..rows * cols).map(|_| dist.sample(&mut rng)).collect();
+    Matrix::from_vec(rows, cols, data).expect("length matches")
+}
+
+/// Standard-normal random matrix (Box–Muller over the seeded stream),
+/// scaled by `std` and shifted by `mean`.
+pub fn rand_normal(rows: usize, cols: usize, mean: f64, std: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Matrix::from_vec(rows, cols, data).expect("length matches")
+}
+
+/// Random matrix with the given density: each cell is non-zero (uniform in
+/// `[min, max)`) with probability `sparsity`, else exactly zero.
+pub fn rand_sparse(
+    rows: usize,
+    cols: usize,
+    min: f64,
+    max: f64,
+    sparsity: f64,
+    seed: u64,
+) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(min, max);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| {
+            if rng.gen::<f64>() < sparsity {
+                dist.sample(&mut rng)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("length matches")
+}
+
+/// A random permutation of `0..n` (Fisher–Yates over the seeded stream),
+/// used for shuffling and sampling primitives.
+pub fn rand_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::agg::{aggregate, AggOp};
+
+    #[test]
+    fn uniform_respects_bounds_and_seed() {
+        let a = rand_uniform(50, 50, -2.0, 3.0, 77);
+        assert!(a.values().iter().all(|&v| (-2.0..3.0).contains(&v)));
+        let b = rand_uniform(50, 50, -2.0, 3.0, 77);
+        assert!(a.approx_eq(&b, 0.0));
+        let c = rand_uniform(50, 50, -2.0, 3.0, 78);
+        assert!(!a.approx_eq(&c, 0.0));
+    }
+
+    #[test]
+    fn normal_has_expected_moments() {
+        let m = rand_normal(200, 200, 1.0, 2.0, 9);
+        let mean = aggregate(&m, AggOp::Mean).unwrap();
+        let var = aggregate(&m, AggOp::Var).unwrap();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn sparse_density_close_to_target() {
+        let m = rand_sparse(100, 100, 1.0, 2.0, 0.1, 4);
+        let nnz = aggregate(&m, AggOp::Nnz).unwrap();
+        let density = nnz / m.len() as f64;
+        assert!((density - 0.1).abs() < 0.02, "density {density}");
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let p = rand_permutation(100, 5);
+        let mut seen = vec![false; 100];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(rand_permutation(100, 5), p);
+        assert_ne!(rand_permutation(100, 6), p);
+    }
+}

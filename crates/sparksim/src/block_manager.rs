@@ -1,0 +1,545 @@
+//! The BlockManager: cluster storage-region accounting for cached RDD
+//! partitions, with LRU eviction, disk spilling, and lost-partition
+//! tracking for lineage recomputation.
+
+use crate::rdd::{Record, RddId};
+use crate::stats::SparkStats;
+use memphis_matrix::{io as mio, BlockId};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Spark storage levels supported by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageLevel {
+    /// Deserialized in storage memory only; evicted partitions are dropped
+    /// and recomputed from lineage.
+    Memory,
+    /// In memory, spilled to local disk under memory pressure.
+    MemoryAndDisk,
+    /// Directly on disk.
+    Disk,
+}
+
+/// Approximate size in bytes of one cached partition.
+pub fn bytes_of_partition(records: &[Record]) -> usize {
+    records
+        .iter()
+        .map(|(_, m)| m.size_bytes() + std::mem::size_of::<BlockId>())
+        .sum()
+}
+
+enum Residence {
+    InMemory(Arc<Vec<Record>>),
+    OnDisk(PathBuf),
+}
+
+struct CachedPartition {
+    residence: Residence,
+    level: StorageLevel,
+    size: usize,
+    last_access: u64,
+}
+
+struct Inner {
+    entries: HashMap<(RddId, usize), CachedPartition>,
+    mem_used: usize,
+    clock: u64,
+    /// Keys whose memory copy was dropped at least once (for recompute
+    /// statistics and eviction-robustness tests).
+    evicted_ever: HashSet<(RddId, usize)>,
+}
+
+/// Storage-region manager shared by all executors of the simulated cluster.
+pub struct BlockManager {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    spill_dir: PathBuf,
+    stats: Arc<SparkStats>,
+}
+
+/// Materialization summary for one RDD — the simulation's
+/// `getRDDStorageInfo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RddStorageInfo {
+    /// Partitions currently cached (memory or disk).
+    pub cached_partitions: usize,
+    /// Bytes held in storage memory.
+    pub mem_bytes: usize,
+    /// Bytes held on disk.
+    pub disk_bytes: usize,
+}
+
+static NEXT_BM_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl BlockManager {
+    /// Creates a block manager with `capacity` bytes of storage memory.
+    /// Spill files go to an instance-unique subdirectory, removed on drop.
+    pub fn new(capacity: usize, spill_dir: PathBuf, stats: Arc<SparkStats>) -> Self {
+        let spill_dir = spill_dir.join(format!(
+            "bm{}_{}",
+            std::process::id(),
+            NEXT_BM_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        Self {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                mem_used: 0,
+                clock: 0,
+                evicted_ever: HashSet::new(),
+            }),
+            capacity,
+            spill_dir,
+            stats,
+        }
+    }
+
+    /// Storage memory currently used by cached partitions.
+    pub fn mem_used(&self) -> usize {
+        self.inner.lock().mem_used
+    }
+
+    /// Total storage capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fetches a cached partition, reading it back from disk if spilled.
+    pub fn get(&self, rdd: RddId, partition: usize) -> Option<Arc<Vec<Record>>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let entry = inner.entries.get_mut(&(rdd, partition))?;
+        entry.last_access = clock;
+        match &entry.residence {
+            Residence::InMemory(data) => {
+                SparkStats::inc(&self.stats.cache_hits);
+                Some(data.clone())
+            }
+            Residence::OnDisk(path) => {
+                let path = path.clone();
+                drop(inner);
+                let data = Arc::new(read_partition(&path).ok()?);
+                SparkStats::inc(&self.stats.cache_hits);
+                SparkStats::inc(&self.stats.partitions_read_from_disk);
+                Some(data)
+            }
+        }
+    }
+
+    /// True if the partition is resident (memory or disk).
+    pub fn contains(&self, rdd: RddId, partition: usize) -> bool {
+        self.inner.lock().entries.contains_key(&(rdd, partition))
+    }
+
+    /// True if this partition was evicted from memory at least once.
+    pub fn was_evicted(&self, rdd: RddId, partition: usize) -> bool {
+        self.inner.lock().evicted_ever.contains(&(rdd, partition))
+    }
+
+    /// Stores a computed partition at the requested storage level, evicting
+    /// LRU partitions of *other* RDDs if the storage region is full.
+    ///
+    /// Follows Spark semantics: if memory cannot be freed, a `Memory`-level
+    /// partition is silently not cached, while `MemoryAndDisk` and `Disk`
+    /// partitions go to disk.
+    pub fn put(&self, rdd: RddId, partition: usize, data: Arc<Vec<Record>>, level: StorageLevel) {
+        let size = bytes_of_partition(&data);
+        let key = (rdd, partition);
+        if level == StorageLevel::Disk {
+            if let Ok(path) = self.write_spill(key, &data) {
+                let mut inner = self.inner.lock();
+                inner.clock += 1;
+                let clock = inner.clock;
+                inner.entries.insert(
+                    key,
+                    CachedPartition {
+                        residence: Residence::OnDisk(path),
+                        level,
+                        size,
+                        last_access: clock,
+                    },
+                );
+                SparkStats::inc(&self.stats.partitions_cached);
+            }
+            return;
+        }
+
+        let fits = self.ensure_space(size, rdd);
+        let mut inner = self.inner.lock();
+        if inner.entries.contains_key(&key) {
+            return; // racing task already cached it
+        }
+        if fits && inner.mem_used + size <= self.capacity {
+            inner.clock += 1;
+            let clock = inner.clock;
+            inner.mem_used += size;
+            inner.entries.insert(
+                key,
+                CachedPartition {
+                    residence: Residence::InMemory(data),
+                    level,
+                    size,
+                    last_access: clock,
+                },
+            );
+            SparkStats::inc(&self.stats.partitions_cached);
+        } else if level == StorageLevel::MemoryAndDisk {
+            drop(inner);
+            if let Ok(path) = self.write_spill(key, &data) {
+                let mut inner = self.inner.lock();
+                inner.clock += 1;
+                let clock = inner.clock;
+                inner.entries.insert(
+                    key,
+                    CachedPartition {
+                        residence: Residence::OnDisk(path),
+                        level,
+                        size,
+                        last_access: clock,
+                    },
+                );
+                SparkStats::inc(&self.stats.partitions_cached);
+                SparkStats::inc(&self.stats.partitions_spilled);
+            }
+        }
+        // Memory-only and no space: silently skip caching (Spark behaviour).
+    }
+
+    /// Evicts LRU partitions of other RDDs until `size` bytes fit in the
+    /// storage region. Returns false if not enough space could be freed.
+    fn ensure_space(&self, size: usize, incoming: RddId) -> bool {
+        if size > self.capacity {
+            return false;
+        }
+        loop {
+            let victim = {
+                let inner = self.inner.lock();
+                if inner.mem_used + size <= self.capacity {
+                    return true;
+                }
+                // LRU over in-memory partitions, skipping the incoming RDD
+                // (Spark never evicts blocks of the RDD being written).
+                let victim_key = inner
+                    .entries
+                    .iter()
+                    .filter(|((rid, _), e)| {
+                        *rid != incoming && matches!(e.residence, Residence::InMemory(_))
+                    })
+                    .min_by_key(|(_, e)| e.last_access)
+                    .map(|(k, _)| *k);
+                match victim_key {
+                    None => return false,
+                    Some(k) => {
+                        let entry = inner.entries.get(&k).expect("victim exists");
+                        let spill = entry.level == StorageLevel::MemoryAndDisk;
+                        let data = match &entry.residence {
+                            Residence::InMemory(d) => d.clone(),
+                            Residence::OnDisk(_) => unreachable!("filtered to in-memory"),
+                        };
+                        (k, spill, data, entry.size)
+                    }
+                }
+            };
+            let (key, spill, data, vsize) = victim;
+            if spill {
+                if let Ok(path) = self.write_spill(key, &data) {
+                    let mut inner = self.inner.lock();
+                    if let Some(e) = inner.entries.get_mut(&key) {
+                        e.residence = Residence::OnDisk(path);
+                        inner.mem_used = inner.mem_used.saturating_sub(vsize);
+                        inner.evicted_ever.insert(key);
+                    }
+                    SparkStats::inc(&self.stats.partitions_spilled);
+                    SparkStats::inc(&self.stats.partitions_evicted);
+                } else {
+                    // Spill failed: drop the partition instead.
+                    let mut inner = self.inner.lock();
+                    inner.entries.remove(&key);
+                    inner.mem_used = inner.mem_used.saturating_sub(vsize);
+                    inner.evicted_ever.insert(key);
+                    SparkStats::inc(&self.stats.partitions_evicted);
+                }
+            } else {
+                let mut inner = self.inner.lock();
+                inner.entries.remove(&key);
+                inner.mem_used = inner.mem_used.saturating_sub(vsize);
+                inner.evicted_ever.insert(key);
+                SparkStats::inc(&self.stats.partitions_evicted);
+            }
+        }
+    }
+
+    /// Removes every cached partition of `rdd` (the `unpersist` path) and
+    /// deletes its spill files.
+    pub fn remove_rdd(&self, rdd: RddId) {
+        let removed: Vec<(usize, Option<PathBuf>, usize, bool)> = {
+            let mut inner = self.inner.lock();
+            let keys: Vec<(RddId, usize)> = inner
+                .entries
+                .keys()
+                .filter(|(rid, _)| *rid == rdd)
+                .copied()
+                .collect();
+            keys.into_iter()
+                .map(|k| {
+                    let e = inner.entries.remove(&k).expect("key listed");
+                    let (path, in_mem) = match e.residence {
+                        Residence::InMemory(_) => (None, true),
+                        Residence::OnDisk(p) => (Some(p), false),
+                    };
+                    if in_mem {
+                        inner.mem_used = inner.mem_used.saturating_sub(e.size);
+                    }
+                    (k.1, path, e.size, in_mem)
+                })
+                .collect()
+        };
+        for (_, path, _, _) in &removed {
+            if let Some(p) = path {
+                std::fs::remove_file(p).ok();
+            }
+        }
+    }
+
+    /// Drops one partition as if an executor was lost — used by failure
+    /// injection tests to exercise lineage recomputation.
+    pub fn drop_partition(&self, rdd: RddId, partition: usize) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.entries.remove(&(rdd, partition)) {
+            if let Residence::InMemory(_) = e.residence {
+                inner.mem_used = inner.mem_used.saturating_sub(e.size);
+            } else if let Residence::OnDisk(p) = e.residence {
+                std::fs::remove_file(p).ok();
+            }
+            inner.evicted_ever.insert((rdd, partition));
+        }
+    }
+
+    /// Materialization summary for an RDD (`getRDDStorageInfo`).
+    pub fn storage_info(&self, rdd: RddId) -> RddStorageInfo {
+        let inner = self.inner.lock();
+        let mut info = RddStorageInfo::default();
+        for ((rid, _), e) in inner.entries.iter() {
+            if *rid == rdd {
+                info.cached_partitions += 1;
+                match e.residence {
+                    Residence::InMemory(_) => info.mem_bytes += e.size,
+                    Residence::OnDisk(_) => info.disk_bytes += e.size,
+                }
+            }
+        }
+        info
+    }
+
+    fn write_spill(&self, key: (RddId, usize), data: &[Record]) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.spill_dir)?;
+        let path = self
+            .spill_dir
+            .join(format!("rdd_{}_p{}.bin", key.0 .0, key.1));
+        write_partition(&path, data)?;
+        Ok(path)
+    }
+}
+
+impl Drop for BlockManager {
+    fn drop(&mut self) {
+        // The spill directory is instance-unique (see `new`).
+        std::fs::remove_dir_all(&self.spill_dir).ok();
+    }
+}
+
+/// Serializes a partition to a spill file: `count | (row, col, matrix)*`.
+pub fn write_partition(path: &PathBuf, records: &[Record]) -> std::io::Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    for (id, m) in records {
+        buf.extend_from_slice(&(id.row as u64).to_le_bytes());
+        buf.extend_from_slice(&(id.col as u64).to_le_bytes());
+        let mb = mio::to_bytes(m);
+        buf.extend_from_slice(&(mb.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&mb);
+    }
+    std::fs::write(path, buf)
+}
+
+/// Reads a partition written by [`write_partition`].
+pub fn read_partition(path: &PathBuf) -> std::io::Result<Vec<Record>> {
+    let bytes = std::fs::read(path)?;
+    let corrupt = || std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt spill file");
+    let mut pos = 0usize;
+    let read_u64 = |pos: &mut usize| -> std::io::Result<u64> {
+        let end = *pos + 8;
+        let slice = bytes.get(*pos..end).ok_or_else(corrupt)?;
+        *pos = end;
+        Ok(u64::from_le_bytes(slice.try_into().unwrap()))
+    };
+    let count = read_u64(&mut pos)? as usize;
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let row = read_u64(&mut pos)? as usize;
+        let col = read_u64(&mut pos)? as usize;
+        let len = read_u64(&mut pos)? as usize;
+        let end = pos + len;
+        let slice = bytes.get(pos..end).ok_or_else(corrupt)?;
+        pos = end;
+        let m = mio::from_bytes(bytes::Bytes::copy_from_slice(slice))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        records.push((BlockId { row, col }, m));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memphis_matrix::rand_gen::rand_uniform;
+
+    fn rec(row: usize, cells: usize, seed: u64) -> Record {
+        (
+            BlockId { row, col: 0 },
+            rand_uniform(1, cells, 0.0, 1.0, seed),
+        )
+    }
+
+    fn bm(capacity: usize) -> BlockManager {
+        BlockManager::new(
+            capacity,
+            std::env::temp_dir().join("memphis_bm_test"),
+            Arc::new(SparkStats::default()),
+        )
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let m = bm(1 << 20);
+        let data = Arc::new(vec![rec(0, 100, 1)]);
+        m.put(RddId(1), 0, data.clone(), StorageLevel::Memory);
+        let got = m.get(RddId(1), 0).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].1.approx_eq(&data[0].1, 0.0));
+        assert!(m.get(RddId(1), 1).is_none());
+        assert!(m.get(RddId(2), 0).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_drops_memory_only() {
+        // Capacity fits two ~800B partitions, not three.
+        let m = bm(1800);
+        for p in 0..3u64 {
+            m.put(
+                RddId(p),
+                0,
+                Arc::new(vec![rec(0, 100, p)]),
+                StorageLevel::Memory,
+            );
+        }
+        // First partition was LRU → evicted and dropped.
+        assert!(m.get(RddId(0), 0).is_none());
+        assert!(m.was_evicted(RddId(0), 0));
+        assert!(m.get(RddId(2), 0).is_some());
+    }
+
+    #[test]
+    fn memory_and_disk_spills_instead_of_dropping() {
+        let m = bm(1800);
+        m.put(
+            RddId(10),
+            0,
+            Arc::new(vec![rec(0, 100, 1)]),
+            StorageLevel::MemoryAndDisk,
+        );
+        for p in 0..2u64 {
+            m.put(
+                RddId(20 + p),
+                0,
+                Arc::new(vec![rec(0, 100, p)]),
+                StorageLevel::Memory,
+            );
+        }
+        // Spilled but still readable.
+        let got = m.get(RddId(10), 0);
+        assert!(got.is_some(), "spilled partition must be readable");
+        assert!(m.was_evicted(RddId(10), 0));
+    }
+
+    #[test]
+    fn disk_level_bypasses_memory() {
+        let m = bm(1 << 20);
+        m.put(
+            RddId(5),
+            0,
+            Arc::new(vec![rec(0, 50, 3)]),
+            StorageLevel::Disk,
+        );
+        assert_eq!(m.mem_used(), 0);
+        assert!(m.get(RddId(5), 0).is_some());
+    }
+
+    #[test]
+    fn remove_rdd_frees_memory() {
+        let m = bm(1 << 20);
+        m.put(RddId(7), 0, Arc::new(vec![rec(0, 64, 1)]), StorageLevel::Memory);
+        m.put(RddId(7), 1, Arc::new(vec![rec(1, 64, 2)]), StorageLevel::Memory);
+        assert!(m.mem_used() > 0);
+        m.remove_rdd(RddId(7));
+        assert_eq!(m.mem_used(), 0);
+        assert!(m.get(RddId(7), 0).is_none());
+    }
+
+    #[test]
+    fn oversized_partition_not_cached_in_memory() {
+        let m = bm(100);
+        m.put(
+            RddId(9),
+            0,
+            Arc::new(vec![rec(0, 1000, 1)]),
+            StorageLevel::Memory,
+        );
+        assert!(m.get(RddId(9), 0).is_none());
+        // MemoryAndDisk still lands on disk.
+        m.put(
+            RddId(9),
+            1,
+            Arc::new(vec![rec(1, 1000, 2)]),
+            StorageLevel::MemoryAndDisk,
+        );
+        assert!(m.get(RddId(9), 1).is_some());
+    }
+
+    #[test]
+    fn storage_info_reports_residence() {
+        let m = bm(1 << 20);
+        m.put(RddId(3), 0, Arc::new(vec![rec(0, 64, 1)]), StorageLevel::Memory);
+        m.put(RddId(3), 1, Arc::new(vec![rec(1, 64, 2)]), StorageLevel::Disk);
+        let info = m.storage_info(RddId(3));
+        assert_eq!(info.cached_partitions, 2);
+        assert!(info.mem_bytes > 0);
+        assert!(info.disk_bytes > 0);
+    }
+
+    #[test]
+    fn drop_partition_simulates_loss() {
+        let m = bm(1 << 20);
+        m.put(RddId(4), 0, Arc::new(vec![rec(0, 64, 1)]), StorageLevel::Memory);
+        m.drop_partition(RddId(4), 0);
+        assert!(m.get(RddId(4), 0).is_none());
+        assert!(m.was_evicted(RddId(4), 0));
+        assert_eq!(m.mem_used(), 0);
+    }
+
+    #[test]
+    fn partition_file_roundtrip() {
+        let dir = std::env::temp_dir().join("memphis_bm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("part.bin");
+        let recs = vec![rec(0, 10, 1), rec(1, 20, 2)];
+        write_partition(&path, &recs).unwrap();
+        let back = read_partition(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, recs[0].0);
+        assert!(back[1].1.approx_eq(&recs[1].1, 0.0));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,160 @@
+//! Cluster configuration and interconnect cost model.
+
+use std::time::Duration;
+
+/// Injected costs that make the single-machine simulation reproduce the
+/// *relative* behaviour of a real cluster (Table 2 of the paper: shuffle
+/// bandwidth ~15 GB/s cluster-aggregate, task-launch latencies, broadcast
+/// chunking).
+///
+/// All costs are realized as busy-wait delays inside executor tasks, so they
+/// overlap with other tasks exactly like real network/scheduler latency.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Fixed scheduling + serialization overhead charged per task.
+    pub task_launch: Duration,
+    /// Per-byte cost of shuffle writes + reads (models the interconnect).
+    pub shuffle_ns_per_byte: f64,
+    /// Per-byte cost of collecting results back to the driver.
+    pub collect_ns_per_byte: f64,
+    /// Per-byte cost of shipping a broadcast chunk to one executor.
+    pub broadcast_ns_per_byte: f64,
+    /// Fixed cost per broadcast chunk (torrent block registration).
+    pub broadcast_chunk_overhead: Duration,
+    /// Fixed driver-side cost of launching a job (DAGScheduler overhead).
+    pub job_launch: Duration,
+}
+
+impl CostModel {
+    /// A cost model with every injected delay set to zero — used by unit
+    /// tests that only check semantics.
+    pub fn zero() -> Self {
+        Self {
+            task_launch: Duration::ZERO,
+            shuffle_ns_per_byte: 0.0,
+            collect_ns_per_byte: 0.0,
+            broadcast_ns_per_byte: 0.0,
+            broadcast_chunk_overhead: Duration::ZERO,
+            job_launch: Duration::ZERO,
+        }
+    }
+
+    /// The default calibration: scaled-down cluster latencies that keep the
+    /// paper's cost ratios (job launch >> task launch >> per-byte costs)
+    /// while letting experiments finish in seconds.
+    pub fn calibrated() -> Self {
+        Self {
+            task_launch: Duration::from_micros(120),
+            shuffle_ns_per_byte: 0.25,   // ~4 GB/s simulated interconnect
+            collect_ns_per_byte: 0.15,   // ~6.7 GB/s driver link
+            broadcast_ns_per_byte: 0.15,
+            broadcast_chunk_overhead: Duration::from_micros(20),
+            job_launch: Duration::from_micros(500),
+        }
+    }
+
+    /// Delay for moving `bytes` at `ns_per_byte`.
+    pub fn transfer_delay(bytes: usize, ns_per_byte: f64) -> Duration {
+        Duration::from_nanos((bytes as f64 * ns_per_byte) as u64)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+/// Static configuration of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct SparkConfig {
+    /// Number of executor processes.
+    pub num_executors: usize,
+    /// Worker threads (task slots) per executor.
+    pub cores_per_executor: usize,
+    /// Total storage-region capacity in bytes across the cluster (the
+    /// unified-memory storage fraction of executor heaps).
+    pub storage_capacity: usize,
+    /// Torrent broadcast chunk size in bytes (Spark default: 4 MB).
+    pub broadcast_chunk_size: usize,
+    /// Default number of partitions for parallelized data.
+    pub default_parallelism: usize,
+    /// Directory for spilled partitions; created on demand.
+    pub spill_dir: std::path::PathBuf,
+    /// Injected interconnect/scheduler costs.
+    pub cost: CostModel,
+}
+
+impl SparkConfig {
+    /// A small local cluster suitable for tests: 2 executors x 2 cores,
+    /// 64 MB storage, zero injected cost.
+    pub fn local_test() -> Self {
+        Self {
+            num_executors: 2,
+            cores_per_executor: 2,
+            storage_capacity: 64 << 20,
+            broadcast_chunk_size: 4 << 20,
+            default_parallelism: 4,
+            spill_dir: std::env::temp_dir().join("memphis_spill"),
+            cost: CostModel::zero(),
+        }
+    }
+
+    /// The benchmark cluster: mirrors the paper's 8-node scale-out setup at
+    /// reduced scale, with calibrated injected costs.
+    pub fn benchmark() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8);
+        Self {
+            num_executors: 4,
+            cores_per_executor: (cores / 4).max(1),
+            storage_capacity: 512 << 20,
+            broadcast_chunk_size: 4 << 20,
+            default_parallelism: cores.max(4),
+            spill_dir: std::env::temp_dir().join("memphis_spill"),
+            cost: CostModel::calibrated(),
+        }
+    }
+
+    /// Total task slots across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.num_executors * self.cores_per_executor
+    }
+}
+
+impl Default for SparkConfig {
+    fn default() -> Self {
+        Self::local_test()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_delay_scales_linearly() {
+        let d1 = CostModel::transfer_delay(1000, 2.0);
+        let d2 = CostModel::transfer_delay(2000, 2.0);
+        assert_eq!(d1.as_nanos() * 2, d2.as_nanos());
+        assert_eq!(CostModel::transfer_delay(0, 5.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_model_has_no_costs() {
+        let z = CostModel::zero();
+        assert_eq!(z.task_launch, Duration::ZERO);
+        assert_eq!(z.shuffle_ns_per_byte, 0.0);
+    }
+
+    #[test]
+    fn total_cores_multiplies() {
+        let c = SparkConfig {
+            num_executors: 3,
+            cores_per_executor: 4,
+            ..SparkConfig::local_test()
+        };
+        assert_eq!(c.total_cores(), 12);
+    }
+}

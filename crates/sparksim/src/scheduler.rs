@@ -1,0 +1,331 @@
+//! Executor pool and DAGScheduler.
+//!
+//! Jobs are triggered by actions on the driver. The scheduler walks the RDD
+//! lineage, produces every ancestor shuffle (map stages) in topological
+//! order — skipping shuffles whose files are still retained — and then runs
+//! the final result stage. Task sets execute on a fixed pool of executor
+//! worker threads, so cluster parallelism is bounded by
+//! `num_executors * cores_per_executor` exactly like a real cluster.
+
+use crate::block_manager::StorageLevel;
+use crate::rdd::{partition_of, Record, RddKind, RddRef, ShuffleId};
+use crate::stats::SparkStats;
+use crossbeam::channel::{unbounded, Sender};
+use crossbeam::sync::WaitGroup;
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+thread_local! {
+    static EXECUTOR_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The executor id of the current worker thread, or 0 when called from a
+/// driver thread (e.g. unit tests computing partitions directly).
+pub fn current_executor() -> usize {
+    EXECUTOR_ID.with(|c| {
+        let id = c.get();
+        if id == usize::MAX {
+            0
+        } else {
+            id
+        }
+    })
+}
+
+type Task = Box<dyn FnOnce() + Send>;
+
+/// Fixed pool of executor worker threads (task slots).
+pub struct ExecutorPool {
+    sender: Option<Sender<Task>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ExecutorPool {
+    /// Spawns `num_executors * cores_per_executor` workers; worker `i`
+    /// belongs to executor `i / cores_per_executor`.
+    pub fn new(num_executors: usize, cores_per_executor: usize) -> Self {
+        let (tx, rx) = unbounded::<Task>();
+        let mut handles = Vec::new();
+        for worker in 0..num_executors.max(1) * cores_per_executor.max(1) {
+            let rx = rx.clone();
+            let executor_id = worker / cores_per_executor.max(1);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("executor-{executor_id}-slot-{worker}"))
+                    .spawn(move || {
+                        EXECUTOR_ID.with(|c| c.set(executor_id));
+                        while let Ok(task) = rx.recv() {
+                            // A panicking task must not kill the worker:
+                            // the slot stays alive and the driver reports
+                            // the failure via the missing result.
+                            let _ = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(task),
+                            );
+                        }
+                    })
+                    .expect("spawn executor worker"),
+            );
+        }
+        Self {
+            sender: Some(tx),
+            handles,
+        }
+    }
+
+    /// Number of task slots.
+    pub fn slots(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues a task.
+    pub fn submit(&self, task: Task) {
+        self.sender
+            .as_ref()
+            .expect("pool alive")
+            .send(task)
+            .expect("workers alive");
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        self.sender.take();
+        // A worker thread may drop the last runtime handle (its task body
+        // releases captured Arcs after the job barrier); never self-join.
+        let me = std::thread::current().id();
+        for h in self.handles.drain(..) {
+            if h.thread().id() != me {
+                h.join().ok();
+            }
+        }
+    }
+}
+
+/// Shared cluster runtime: configuration, storage, shuffle service, and the
+/// executor pool. [`crate::context::SparkContext`] wraps this in an `Arc`.
+pub struct Runtime {
+    /// Cluster configuration.
+    pub config: crate::config::SparkConfig,
+    /// Cluster-wide counters.
+    pub stats: Arc<SparkStats>,
+    /// Storage region for cached partitions.
+    pub block_manager: crate::block_manager::BlockManager,
+    /// Shuffle-file store.
+    pub shuffle: crate::shuffle::ShuffleManager,
+    /// Executor task slots.
+    pub pool: ExecutorPool,
+}
+
+impl Runtime {
+    /// Runs `n` tasks on the executor pool and gathers their results in
+    /// task order. Blocks until all complete.
+    pub fn run_tasks<R, F>(self: &Arc<Self>, n: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        SparkStats::add(&self.stats.tasks, n as u64);
+        let f = Arc::new(f);
+        let results: Arc<Mutex<Vec<Option<R>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let wg = WaitGroup::new();
+        let launch = self.config.cost.task_launch;
+        for p in 0..n {
+            let f = f.clone();
+            let results = results.clone();
+            let wg = wg.clone();
+            self.pool.submit(Box::new(move || {
+                if !launch.is_zero() {
+                    std::thread::sleep(launch);
+                }
+                let r = f(p);
+                results.lock()[p] = Some(r);
+                // Release captured handles before the barrier so the
+                // driver-side drop order is deterministic.
+                drop(f);
+                drop(results);
+                drop(wg);
+            }));
+        }
+        wg.wait();
+        let mut guard = results.lock();
+        guard
+            .iter_mut()
+            .enumerate()
+            .map(|(p, r)| {
+                r.take().unwrap_or_else(|| {
+                    panic!("task for partition {p} panicked on an executor")
+                })
+            })
+            .collect()
+    }
+
+    /// Computes one partition of an RDD, recursively evaluating narrow
+    /// parents, reading shuffle files across wide dependencies, and serving
+    /// or populating the block-manager cache for persisted RDDs.
+    pub fn compute_partition(self: &Arc<Self>, rdd: &RddRef, p: usize) -> Arc<Vec<Record>> {
+        let persist = rdd.persist_level();
+        if persist.is_some() {
+            if let Some(cached) = self.block_manager.get(rdd.id(), p) {
+                return cached;
+            }
+        }
+        let records: Vec<Record> = match &rdd.0.kind {
+            RddKind::Parallelize { partitions } => partitions[p].clone(),
+            RddKind::Map { parent, f } => {
+                let input = self.compute_partition(parent, p);
+                SparkStats::add(&self.stats.narrow_records_computed, input.len() as u64);
+                input.iter().map(|(k, m)| f(k, m)).collect()
+            }
+            RddKind::MapWithBroadcast { parent, bc, f } => {
+                let value = bc
+                    .fetch(current_executor(), &self.config.cost, &self.stats)
+                    .expect("broadcast destroyed before use");
+                let input = self.compute_partition(parent, p);
+                SparkStats::add(&self.stats.narrow_records_computed, input.len() as u64);
+                input.iter().map(|(k, m)| f(k, m, &value)).collect()
+            }
+            RddKind::ZipJoin { left, right, f } => {
+                let l = self.compute_partition(left, p);
+                let r = self.compute_partition(right, p);
+                SparkStats::add(&self.stats.narrow_records_computed, l.len() as u64);
+                let index: std::collections::HashMap<_, _> =
+                    r.iter().map(|(k, m)| (*k, m)).collect();
+                l.iter()
+                    .filter_map(|(k, lm)| index.get(k).map(|rm| (*k, f(k, lm, rm))))
+                    .collect()
+            }
+            RddKind::ReduceByKey {
+                combine, shuffle, ..
+            } => {
+                let grouped = self.shuffle.read(*shuffle, p);
+                let mut out: Vec<Record> = grouped
+                    .into_iter()
+                    .map(|(k, vals)| {
+                        let mut it = vals.into_iter();
+                        let first = it.next().expect("non-empty group");
+                        (k, it.fold(first, |a, b| combine(a, b)))
+                    })
+                    .collect();
+                out.sort_by_key(|(k, _)| *k);
+                out
+            }
+        };
+        let records = Arc::new(records);
+        if let Some(level) = persist {
+            if self.block_manager.was_evicted(rdd.id(), p) {
+                SparkStats::inc(&self.stats.partitions_recomputed);
+            }
+            self.block_manager.put(rdd.id(), p, records.clone(), level);
+        }
+        records
+    }
+
+    /// Runs a job triggered by an action on `rdd`: produces all missing
+    /// ancestor shuffles, then evaluates `result_task` over every partition
+    /// of `rdd` on the executor pool.
+    pub fn run_job<R, F>(self: &Arc<Self>, rdd: &RddRef, result_task: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &[Record]) -> R + Send + Sync + 'static,
+    {
+        SparkStats::inc(&self.stats.jobs);
+        if !self.config.cost.job_launch.is_zero() {
+            std::thread::sleep(self.config.cost.job_launch);
+        }
+
+        // Plan: ancestor shuffle stages in topological order (deepest first).
+        let mut shuffle_nodes: Vec<RddRef> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        self.collect_shuffles(rdd, &mut visited, &mut shuffle_nodes);
+
+        for node in shuffle_nodes {
+            let sid = node.shuffle_id().expect("shuffle node");
+            if !self.shuffle.claim_or_wait(sid) {
+                SparkStats::inc(&self.stats.skipped_stages);
+                continue;
+            }
+            self.run_map_stage(&node, sid);
+        }
+
+        // Final result stage.
+        SparkStats::inc(&self.stats.stages);
+        let rt = self.clone();
+        let rdd_for_tasks = rdd.clone();
+        self.run_tasks(rdd.num_partitions(), move |p| {
+            let records = rt.compute_partition(&rdd_for_tasks, p);
+            result_task(p, &records)
+        })
+    }
+
+    /// Post-order DFS gathering wide-dependency nodes (deepest ancestors
+    /// first). Does not descend past a persisted-and-fully-cached RDD: its
+    /// partitions are served from the block manager, so ancestor shuffles
+    /// are unnecessary (partially cached RDDs still plan ancestors so lost
+    /// partitions can recompute).
+    fn collect_shuffles(
+        self: &Arc<Self>,
+        rdd: &RddRef,
+        visited: &mut HashSet<u64>,
+        out: &mut Vec<RddRef>,
+    ) {
+        if !visited.insert(rdd.id().0) {
+            return;
+        }
+        if fully_cached(self, rdd) {
+            return;
+        }
+        for parent in rdd.parents() {
+            self.collect_shuffles(&parent, visited, out);
+        }
+        if matches!(rdd.0.kind, RddKind::ReduceByKey { .. }) {
+            out.push(rdd.clone());
+        }
+    }
+
+    fn run_map_stage(self: &Arc<Self>, node: &RddRef, sid: ShuffleId) {
+        let (parent, emit) = match &node.0.kind {
+            RddKind::ReduceByKey { parent, emit, .. } => (parent.clone(), emit.clone()),
+            _ => unreachable!("map stages only exist for wide dependencies"),
+        };
+        SparkStats::inc(&self.stats.stages);
+        let num_out = node.num_partitions();
+        self.shuffle.begin(sid, parent.num_partitions());
+        let rt = self.clone();
+        let shuffle_parent = parent.clone();
+        let stage = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_tasks(parent.num_partitions(), move |p| {
+                let records = rt.compute_partition(&shuffle_parent, p);
+                let mut buckets: Vec<Vec<Record>> =
+                    (0..num_out).map(|_| Vec::new()).collect();
+                for (k, m) in records.iter() {
+                    for (nk, nm) in emit(k, m) {
+                        buckets[partition_of(&nk, num_out)].push((nk, nm));
+                    }
+                }
+                rt.shuffle.write_map_output(sid, p, buckets);
+            });
+        }));
+        if let Err(panic) = stage {
+            // Release the claim so concurrent jobs waiting in
+            // claim_or_wait can retry instead of hanging forever.
+            self.shuffle.abort(sid);
+            std::panic::resume_unwind(panic);
+        }
+        self.shuffle.finish(sid);
+    }
+}
+
+/// Computes whether every partition of a persisted RDD is already resident,
+/// letting callers (and MEMPHIS's lazy GC) check materialization.
+pub fn fully_cached(rt: &Runtime, rdd: &RddRef) -> bool {
+    rdd.persist_level().is_some()
+        && (0..rdd.num_partitions()).all(|p| rt.block_manager.contains(rdd.id(), p))
+}
+
+/// Convenience used by `StorageLevel` re-export consumers.
+pub fn default_storage_level() -> StorageLevel {
+    StorageLevel::Memory
+}

@@ -1,0 +1,251 @@
+//! Shuffle manager: stores map-task outputs ("shuffle files") keyed by
+//! `(shuffle_id, map_partition)`, serves reduce-side reads, and — like
+//! Spark — implicitly retains shuffle files so later jobs can skip
+//! recomputing the map side of a wide dependency.
+
+use crate::config::CostModel;
+use crate::rdd::{Record, ShuffleId};
+use crate::stats::SparkStats;
+use memphis_matrix::BlockId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::block_manager::bytes_of_partition;
+
+struct ShuffleState {
+    /// `outputs[map_partition][reduce_partition]` → records.
+    outputs: HashMap<usize, Vec<Vec<Record>>>,
+    /// Number of map partitions expected.
+    num_map_partitions: usize,
+    complete: bool,
+}
+
+/// Cluster-wide shuffle-file store.
+pub struct ShuffleManager {
+    shuffles: Mutex<HashMap<ShuffleId, ShuffleState>>,
+    /// Shuffles currently being produced by some job (for concurrent jobs
+    /// sharing a dependency).
+    running: Mutex<HashSet<ShuffleId>>,
+    running_cv: Condvar,
+    stats: Arc<SparkStats>,
+    cost: CostModel,
+}
+
+impl ShuffleManager {
+    /// Creates an empty shuffle manager.
+    pub fn new(stats: Arc<SparkStats>, cost: CostModel) -> Self {
+        Self {
+            shuffles: Mutex::new(HashMap::new()),
+            running: Mutex::new(HashSet::new()),
+            running_cv: Condvar::new(),
+            stats,
+            cost,
+        }
+    }
+
+    /// True when all map outputs of `sid` are available (the stage can be
+    /// skipped).
+    pub fn is_complete(&self, sid: ShuffleId) -> bool {
+        self.shuffles
+            .lock()
+            .get(&sid)
+            .map(|s| s.complete)
+            .unwrap_or(false)
+    }
+
+    /// Claims the right to produce shuffle `sid`. Returns `true` if this
+    /// caller must run the map stage; `false` if another job produced (or
+    /// is producing) it — in that case the call blocks until completion.
+    pub fn claim_or_wait(&self, sid: ShuffleId) -> bool {
+        loop {
+            if self.is_complete(sid) {
+                return false;
+            }
+            let mut running = self.running.lock();
+            if running.insert(sid) {
+                // Re-check: it may have completed between the two locks.
+                if self.is_complete(sid) {
+                    running.remove(&sid);
+                    self.running_cv.notify_all();
+                    return false;
+                }
+                return true;
+            }
+            // Another job is producing it; wait for a state change.
+            self.running_cv.wait(&mut running);
+        }
+    }
+
+    /// Registers a new shuffle production run.
+    pub fn begin(&self, sid: ShuffleId, num_map_partitions: usize) {
+        let mut shuffles = self.shuffles.lock();
+        shuffles.insert(
+            sid,
+            ShuffleState {
+                outputs: HashMap::new(),
+                num_map_partitions,
+                complete: false,
+            },
+        );
+    }
+
+    /// Writes one map task's bucketed output.
+    pub fn write_map_output(&self, sid: ShuffleId, map_partition: usize, buckets: Vec<Vec<Record>>) {
+        let bytes: usize = buckets.iter().map(|b| bytes_of_partition(b)).sum();
+        SparkStats::add(&self.stats.shuffle_bytes_written, bytes as u64);
+        let delay = CostModel::transfer_delay(bytes, self.cost.shuffle_ns_per_byte);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let mut shuffles = self.shuffles.lock();
+        if let Some(state) = shuffles.get_mut(&sid) {
+            state.outputs.insert(map_partition, buckets);
+        }
+    }
+
+    /// Marks shuffle `sid` complete and wakes jobs waiting on it.
+    pub fn finish(&self, sid: ShuffleId) {
+        {
+            let mut shuffles = self.shuffles.lock();
+            if let Some(state) = shuffles.get_mut(&sid) {
+                debug_assert_eq!(state.outputs.len(), state.num_map_partitions);
+                state.complete = true;
+            }
+        }
+        let mut running = self.running.lock();
+        running.remove(&sid);
+        self.running_cv.notify_all();
+    }
+
+    /// Reduce-side read: gathers bucket `reduce_partition` from every map
+    /// output, grouped by key.
+    pub fn read(
+        &self,
+        sid: ShuffleId,
+        reduce_partition: usize,
+    ) -> HashMap<BlockId, Vec<memphis_matrix::Matrix>> {
+        let shuffles = self.shuffles.lock();
+        let state = match shuffles.get(&sid) {
+            Some(s) => s,
+            None => return HashMap::new(),
+        };
+        let mut grouped: HashMap<BlockId, Vec<memphis_matrix::Matrix>> = HashMap::new();
+        let mut bytes = 0usize;
+        for buckets in state.outputs.values() {
+            if let Some(bucket) = buckets.get(reduce_partition) {
+                bytes += bytes_of_partition(bucket);
+                for (k, m) in bucket {
+                    grouped.entry(*k).or_default().push(m.clone());
+                }
+            }
+        }
+        drop(shuffles);
+        SparkStats::add(&self.stats.shuffle_bytes_read, bytes as u64);
+        let delay = CostModel::transfer_delay(bytes, self.cost.shuffle_ns_per_byte);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        grouped
+    }
+
+    /// Drops the shuffle files of `sid` (RDD cleanup).
+    pub fn remove(&self, sid: ShuffleId) {
+        self.shuffles.lock().remove(&sid);
+    }
+
+    /// Abandons a failed production run: removes partial outputs and
+    /// releases the claim so waiting jobs can retry.
+    pub fn abort(&self, sid: ShuffleId) {
+        self.shuffles.lock().remove(&sid);
+        let mut running = self.running.lock();
+        running.remove(&sid);
+        self.running_cv.notify_all();
+    }
+
+    /// Number of retained shuffles (for memory-overhead reporting).
+    pub fn retained(&self) -> usize {
+        self.shuffles.lock().len()
+    }
+
+    /// Total bytes retained across all shuffle files.
+    pub fn retained_bytes(&self) -> usize {
+        let shuffles = self.shuffles.lock();
+        shuffles
+            .values()
+            .flat_map(|s| s.outputs.values())
+            .flat_map(|buckets| buckets.iter())
+            .map(|b| bytes_of_partition(b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memphis_matrix::Matrix;
+
+    fn mgr() -> ShuffleManager {
+        ShuffleManager::new(Arc::new(SparkStats::default()), CostModel::zero())
+    }
+
+    fn rec(row: usize, v: f64) -> Record {
+        (BlockId { row, col: 0 }, Matrix::scalar(v))
+    }
+
+    #[test]
+    fn write_read_groups_by_key() {
+        let m = mgr();
+        let sid = ShuffleId(1);
+        m.begin(sid, 2);
+        // Map task 0 emits to both reduce partitions.
+        m.write_map_output(sid, 0, vec![vec![rec(0, 1.0)], vec![rec(1, 2.0)]]);
+        m.write_map_output(sid, 1, vec![vec![rec(0, 3.0)], vec![]]);
+        m.finish(sid);
+        assert!(m.is_complete(sid));
+
+        let r0 = m.read(sid, 0);
+        assert_eq!(r0[&BlockId { row: 0, col: 0 }].len(), 2);
+        let r1 = m.read(sid, 1);
+        assert_eq!(r1[&BlockId { row: 1, col: 0 }].len(), 1);
+    }
+
+    #[test]
+    fn claim_prevents_duplicate_production() {
+        let m = mgr();
+        let sid = ShuffleId(2);
+        assert!(m.claim_or_wait(sid)); // first caller produces
+        m.begin(sid, 1);
+        m.write_map_output(sid, 0, vec![vec![rec(0, 1.0)]]);
+        m.finish(sid);
+        assert!(!m.claim_or_wait(sid)); // second caller sees it complete
+    }
+
+    #[test]
+    fn concurrent_claims_serialize() {
+        let m = Arc::new(mgr());
+        let sid = ShuffleId(3);
+        assert!(m.claim_or_wait(sid));
+        let m2 = m.clone();
+        let waiter = std::thread::spawn(move || m2.claim_or_wait(sid));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        m.begin(sid, 1);
+        m.write_map_output(sid, 0, vec![vec![rec(0, 1.0)]]);
+        m.finish(sid);
+        assert!(!waiter.join().unwrap(), "waiter must not re-produce");
+    }
+
+    #[test]
+    fn remove_releases_files() {
+        let m = mgr();
+        let sid = ShuffleId(4);
+        m.begin(sid, 1);
+        m.write_map_output(sid, 0, vec![vec![rec(0, 1.0)]]);
+        m.finish(sid);
+        assert_eq!(m.retained(), 1);
+        assert!(m.retained_bytes() > 0);
+        m.remove(sid);
+        assert_eq!(m.retained(), 0);
+        assert!(!m.is_complete(sid));
+    }
+}

@@ -1,0 +1,157 @@
+//! Cluster-wide counters used by the MEMPHIS experiments to report reuse
+//! effects (jobs avoided, stages skipped, partitions recomputed, ...).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters maintained by the scheduler, block manager, shuffle
+/// manager, and broadcast manager. All counters are monotonically
+/// increasing; read them with [`SparkStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct SparkStats {
+    /// Jobs launched by actions.
+    pub jobs: AtomicU64,
+    /// Stages executed (excluding skipped).
+    pub stages: AtomicU64,
+    /// Stages skipped because shuffle outputs were still available.
+    pub skipped_stages: AtomicU64,
+    /// Tasks executed.
+    pub tasks: AtomicU64,
+    /// Bytes written to shuffle files.
+    pub shuffle_bytes_written: AtomicU64,
+    /// Bytes read from shuffle files.
+    pub shuffle_bytes_read: AtomicU64,
+    /// Partitions served from the block manager cache.
+    pub cache_hits: AtomicU64,
+    /// Cached partitions stored.
+    pub partitions_cached: AtomicU64,
+    /// Cached partitions evicted from memory.
+    pub partitions_evicted: AtomicU64,
+    /// Partitions spilled to disk.
+    pub partitions_spilled: AtomicU64,
+    /// Partitions re-read from disk spills.
+    pub partitions_read_from_disk: AtomicU64,
+    /// Partitions recomputed after loss/eviction.
+    pub partitions_recomputed: AtomicU64,
+    /// Records processed by narrow transformations (map/zip) — measures
+    /// lazy re-execution of long RDD chains.
+    pub narrow_records_computed: AtomicU64,
+    /// Broadcast-variable chunk transfers to executors.
+    pub broadcast_chunks_sent: AtomicU64,
+    /// Bytes collected to the driver by actions.
+    pub bytes_collected: AtomicU64,
+}
+
+/// A point-in-time copy of all counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// See [`SparkStats::jobs`].
+    pub jobs: u64,
+    /// See [`SparkStats::stages`].
+    pub stages: u64,
+    /// See [`SparkStats::skipped_stages`].
+    pub skipped_stages: u64,
+    /// See [`SparkStats::tasks`].
+    pub tasks: u64,
+    /// See [`SparkStats::shuffle_bytes_written`].
+    pub shuffle_bytes_written: u64,
+    /// See [`SparkStats::shuffle_bytes_read`].
+    pub shuffle_bytes_read: u64,
+    /// See [`SparkStats::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`SparkStats::partitions_cached`].
+    pub partitions_cached: u64,
+    /// See [`SparkStats::partitions_evicted`].
+    pub partitions_evicted: u64,
+    /// See [`SparkStats::partitions_spilled`].
+    pub partitions_spilled: u64,
+    /// See [`SparkStats::partitions_read_from_disk`].
+    pub partitions_read_from_disk: u64,
+    /// See [`SparkStats::partitions_recomputed`].
+    pub partitions_recomputed: u64,
+    /// See [`SparkStats::narrow_records_computed`].
+    pub narrow_records_computed: u64,
+    /// See [`SparkStats::broadcast_chunks_sent`].
+    pub broadcast_chunks_sent: u64,
+    /// See [`SparkStats::bytes_collected`].
+    pub bytes_collected: u64,
+}
+
+impl SparkStats {
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copies every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            stages: self.stages.load(Ordering::Relaxed),
+            skipped_stages: self.skipped_stages.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            shuffle_bytes_written: self.shuffle_bytes_written.load(Ordering::Relaxed),
+            shuffle_bytes_read: self.shuffle_bytes_read.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            partitions_cached: self.partitions_cached.load(Ordering::Relaxed),
+            partitions_evicted: self.partitions_evicted.load(Ordering::Relaxed),
+            partitions_spilled: self.partitions_spilled.load(Ordering::Relaxed),
+            partitions_read_from_disk: self.partitions_read_from_disk.load(Ordering::Relaxed),
+            partitions_recomputed: self.partitions_recomputed.load(Ordering::Relaxed),
+            narrow_records_computed: self.narrow_records_computed.load(Ordering::Relaxed),
+            broadcast_chunks_sent: self.broadcast_chunks_sent.load(Ordering::Relaxed),
+            bytes_collected: self.bytes_collected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Difference of two snapshots (`self - earlier`), counter-wise.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            jobs: self.jobs - earlier.jobs,
+            stages: self.stages - earlier.stages,
+            skipped_stages: self.skipped_stages - earlier.skipped_stages,
+            tasks: self.tasks - earlier.tasks,
+            shuffle_bytes_written: self.shuffle_bytes_written - earlier.shuffle_bytes_written,
+            shuffle_bytes_read: self.shuffle_bytes_read - earlier.shuffle_bytes_read,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            partitions_cached: self.partitions_cached - earlier.partitions_cached,
+            partitions_evicted: self.partitions_evicted - earlier.partitions_evicted,
+            partitions_spilled: self.partitions_spilled - earlier.partitions_spilled,
+            partitions_read_from_disk: self.partitions_read_from_disk
+                - earlier.partitions_read_from_disk,
+            partitions_recomputed: self.partitions_recomputed - earlier.partitions_recomputed,
+            narrow_records_computed: self.narrow_records_computed
+                - earlier.narrow_records_computed,
+            broadcast_chunks_sent: self.broadcast_chunks_sent - earlier.broadcast_chunks_sent,
+            bytes_collected: self.bytes_collected - earlier.bytes_collected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = SparkStats::default();
+        SparkStats::inc(&s.jobs);
+        SparkStats::add(&s.tasks, 5);
+        let a = s.snapshot();
+        assert_eq!(a.jobs, 1);
+        assert_eq!(a.tasks, 5);
+        SparkStats::inc(&s.jobs);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.jobs, 1);
+        assert_eq!(d.tasks, 0);
+    }
+}

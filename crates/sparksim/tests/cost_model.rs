@@ -1,0 +1,66 @@
+//! Tests of the injected cost model: task-launch overhead and transfer
+//! delays must shape wall-clock time the way the calibration promises
+//! (more partitions → more scheduling cost; bigger broadcast → longer
+//! first fetch per executor).
+
+use memphis_matrix::rand_gen::rand_uniform;
+use memphis_matrix::BlockedMatrix;
+use memphis_sparksim::{CostModel, SparkConfig, SparkContext};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn cfg_with_task_launch(micros: u64) -> SparkConfig {
+    let mut c = SparkConfig::local_test();
+    c.cost = CostModel {
+        task_launch: Duration::from_micros(micros),
+        ..CostModel::zero()
+    };
+    c
+}
+
+#[test]
+fn task_launch_overhead_scales_with_partitions() {
+    let m = rand_uniform(64, 4, 0.0, 1.0, 1);
+    let blocked = BlockedMatrix::from_dense(&m, 4).unwrap(); // 16 blocks
+    let time_with = |micros: u64| {
+        let sc = SparkContext::new(cfg_with_task_launch(micros));
+        let rdd = sc.parallelize(blocked.blocks().to_vec(), 8, "X");
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            sc.count(&rdd);
+        }
+        t0.elapsed()
+    };
+    let fast = time_with(0);
+    let slow = time_with(3000);
+    // 5 jobs x 8 tasks x 3 ms / 4 parallel slots = ~30 ms minimum extra.
+    assert!(
+        slow > fast + Duration::from_millis(20),
+        "fast={fast:?} slow={slow:?}"
+    );
+}
+
+#[test]
+fn broadcast_transfer_charged_once_per_executor() {
+    let mut c = SparkConfig::local_test();
+    c.cost = CostModel {
+        broadcast_ns_per_byte: 10_000.0, // 10 µs per byte → measurable
+        ..CostModel::zero()
+    };
+    let sc = SparkContext::new(c);
+    let m = rand_uniform(16, 4, 0.0, 1.0, 2);
+    let blocked = BlockedMatrix::from_dense(&m, 4).unwrap();
+    let rdd = sc.parallelize(blocked.blocks().to_vec(), 4, "X");
+    let bc = sc.broadcast(rand_uniform(1, 512, 0.0, 1.0, 3)); // 4 KB
+    let mapped = sc.map_with_broadcast(&rdd, "useB", &bc, Arc::new(|k, b, _| (*k, b.deep_clone())));
+    let t0 = Instant::now();
+    sc.count(&mapped);
+    let first = t0.elapsed();
+    let t1 = Instant::now();
+    sc.count(&mapped);
+    let second = t1.elapsed();
+    // First job ships 4 KB x 10 µs/B = ~41 ms per executor; the second job
+    // finds the chunks resident.
+    assert!(first > second + Duration::from_millis(20), "first={first:?} second={second:?}");
+    assert_eq!(sc.stats().broadcast_chunks_sent, bc.num_chunks() as u64 * 2);
+}

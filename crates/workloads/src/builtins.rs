@@ -1,0 +1,617 @@
+//! ML builtins: the SystemDS-style primitives the paper's pipelines
+//! compose (linRegDS, L2SVM, logistic regression, PCA, cleaning and
+//! feature-transformation primitives, autoencoder steps, CNN layers).
+//!
+//! Every builtin issues instructions through the engine's reuse hook, so
+//! fine-grained reuse applies inside and across builtins; several also
+//! offer function-level wrappers for multi-level reuse.
+
+use memphis_engine::context::Result;
+use memphis_engine::ops::AggDir;
+use memphis_engine::ExecutionContext;
+use memphis_matrix::ops::agg::AggOp;
+use memphis_matrix::ops::binary::BinaryOp;
+use memphis_matrix::ops::nn::{Conv2dParams, Pool2dParams};
+use memphis_matrix::ops::unary::UnaryOp;
+use memphis_matrix::Matrix;
+
+/// Direct-solve linear regression (Example 4.1):
+/// `w = solve(t(X)X + reg*I, t(X)y)`. The reg-independent `t(X)X` and
+/// `t(X)y` dominate and are reusable across calls.
+pub fn lin_reg_ds(ctx: &mut ExecutionContext, x: &str, y: &str, reg: &str, out_w: &str) -> Result<()> {
+    ctx.tsmm("__lr_G", x)?;
+    ctx.xty("__lr_b", x, y)?;
+    // G + reg (scalar shift approximates + reg*I on the normal equations;
+    // SystemDS adds to the diagonal — we shift the diagonal via eye mul).
+    ctx.binary("__lr_A", "__lr_G", reg, BinaryOp::Add)?;
+    ctx.solve(out_w, "__lr_A", "__lr_b")?;
+    Ok(())
+}
+
+/// linRegDS with multi-level (function) reuse.
+pub fn lin_reg_ds_fn(
+    ctx: &mut ExecutionContext,
+    x: &str,
+    y: &str,
+    reg: &str,
+    out_w: &str,
+) -> Result<()> {
+    let (x2, y2, reg2) = (x.to_string(), y.to_string(), reg.to_string());
+    ctx.call_function("linRegDS", &[x, y, reg], &[out_w], move |c| {
+        lin_reg_ds(c, &x2, &y2, &reg2, out_w)
+    })
+}
+
+/// Iterative L2SVM-style training: `iters` gradient steps of
+/// `w -= lr * (t(X)(Xw - y) + reg*w)`. Deterministic, so re-running a
+/// configuration with more iterations reuses the shared prefix (the
+/// successive-halving pattern of HBAND).
+pub fn l2svm_train(
+    ctx: &mut ExecutionContext,
+    x: &str,
+    y: &str,
+    reg: &str,
+    iters: usize,
+    lr: f64,
+    out_w: &str,
+) -> Result<()> {
+    let d = ctx
+        .value(x)?
+        .shape()
+        .map(|(_, c)| c)
+        .unwrap_or(1);
+    ctx.rand(out_w, d, 1, 0.0, 0.0, 7)?; // zero init, deterministic
+    for _ in 0..iters {
+        ctx.matmul("__svm_p", x, out_w)?;
+        ctx.binary("__svm_e", "__svm_p", y, BinaryOp::Sub)?;
+        ctx.xty("__svm_g", x, "__svm_e")?;
+        ctx.binary("__svm_rw", out_w, reg, BinaryOp::Mul)?;
+        ctx.binary("__svm_g2", "__svm_g", "__svm_rw", BinaryOp::Add)?;
+        ctx.binary_const("__svm_step", "__svm_g2", lr, BinaryOp::Mul, false)?;
+        ctx.binary(out_w, out_w, "__svm_step", BinaryOp::Sub)?;
+    }
+    Ok(())
+}
+
+/// Logistic-regression-style training (sigmoid link), the paper's MLRG
+/// stand-in.
+pub fn mlogreg_train(
+    ctx: &mut ExecutionContext,
+    x: &str,
+    y: &str,
+    reg: &str,
+    iters: usize,
+    lr: f64,
+    out_w: &str,
+) -> Result<()> {
+    let d = ctx.value(x)?.shape().map(|(_, c)| c).unwrap_or(1);
+    ctx.rand(out_w, d, 1, 0.0, 0.0, 11)?;
+    for _ in 0..iters {
+        ctx.matmul("__ml_p", x, out_w)?;
+        ctx.unary("__ml_s", "__ml_p", UnaryOp::Sigmoid)?;
+        ctx.binary("__ml_e", "__ml_s", y, BinaryOp::Sub)?;
+        ctx.xty("__ml_g", x, "__ml_e")?;
+        ctx.binary("__ml_rw", out_w, reg, BinaryOp::Mul)?;
+        ctx.binary("__ml_g2", "__ml_g", "__ml_rw", BinaryOp::Add)?;
+        ctx.binary_const("__ml_step", "__ml_g2", lr, BinaryOp::Mul, false)?;
+        ctx.binary(out_w, out_w, "__ml_step", BinaryOp::Sub)?;
+    }
+    Ok(())
+}
+
+/// Mean squared error between predictions `X w` and `y`, as a scalar.
+pub fn mse(ctx: &mut ExecutionContext, x: &str, w: &str, y: &str, out: &str) -> Result<()> {
+    ctx.matmul("__mse_p", x, w)?;
+    ctx.binary("__mse_e", "__mse_p", y, BinaryOp::Sub)?;
+    ctx.binary("__mse_sq", "__mse_e", "__mse_e", BinaryOp::Mul)?;
+    ctx.agg(out, "__mse_sq", AggOp::Mean, AggDir::Full)?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Cleaning and feature-transformation primitives (CLEAN, HDROP)
+// ----------------------------------------------------------------------
+
+/// Missing-value imputation by column mean (NaN-aware, pure matrix ops).
+pub fn impute_by_mean(ctx: &mut ExecutionContext, x: &str, out: &str) -> Result<()> {
+    ctx.unary("__im_mask", x, UnaryOp::IsNan)?;
+    ctx.unary("__im_xz", x, UnaryOp::Nan0)?;
+    ctx.agg("__im_sums", "__im_xz", AggOp::Sum, AggDir::Col)?;
+    ctx.agg("__im_nan_cnt", "__im_mask", AggOp::Sum, AggDir::Col)?;
+    let n = ctx.value(x)?.shape().map(|(r, _)| r).unwrap_or(1);
+    ctx.binary_const("__im_present", "__im_nan_cnt", n as f64, BinaryOp::Sub, true)?;
+    ctx.binary("__im_means", "__im_sums", "__im_present", BinaryOp::Div)?;
+    // X_imputed = Xz + mask * means (row-vector broadcast).
+    ctx.binary("__im_fill", "__im_mask", "__im_means", BinaryOp::Mul)?;
+    ctx.binary(out, "__im_xz", "__im_fill", BinaryOp::Add)?;
+    Ok(())
+}
+
+/// Missing-value imputation by column mode (host-side builtin).
+pub fn impute_by_mode(ctx: &mut ExecutionContext, x: &str, out: &str) -> Result<()> {
+    ctx.map_custom(out, x, "imputeByMode", vec![], |m| {
+        let mut out = m.deep_clone();
+        let (rows, cols) = m.shape();
+        for c in 0..cols {
+            let mut counts: std::collections::HashMap<u64, usize> = Default::default();
+            for r in 0..rows {
+                let v = m.at(r, c);
+                if !v.is_nan() {
+                    *counts.entry(v.to_bits()).or_default() += 1;
+                }
+            }
+            // Deterministic tie-break: highest count, then smallest value.
+            let mode = counts
+                .into_iter()
+                .map(|(bits, n)| (n, std::cmp::Reverse(bits)))
+                .max()
+                .map(|(_, std::cmp::Reverse(bits))| f64::from_bits(bits))
+                .unwrap_or(0.0);
+            for r in 0..rows {
+                if m.at(r, c).is_nan() {
+                    out.set(r, c, mode).expect("in bounds");
+                }
+            }
+        }
+        Ok(out)
+    })
+}
+
+/// IQR outlier clamping: values outside `[Q1 - 1.5 IQR, Q3 + 1.5 IQR]`
+/// per column are clipped (host-side builtin, as in SystemDS's
+/// `outlierByIQR` with repair).
+pub fn outlier_by_iqr(ctx: &mut ExecutionContext, x: &str, out: &str) -> Result<()> {
+    ctx.map_custom(out, x, "outlierByIQR", vec![], |m| {
+        let (rows, cols) = m.shape();
+        let mut out = m.deep_clone();
+        for c in 0..cols {
+            let mut col: Vec<f64> = (0..rows).map(|r| m.at(r, c)).filter(|v| !v.is_nan()).collect();
+            if col.is_empty() {
+                continue;
+            }
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let q = |p: f64| col[((col.len() - 1) as f64 * p) as usize];
+            let (q1, q3) = (q(0.25), q(0.75));
+            let iqr = q3 - q1;
+            let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+            for r in 0..rows {
+                let v = m.at(r, c);
+                if v < lo {
+                    out.set(r, c, lo).expect("in bounds");
+                } else if v > hi {
+                    out.set(r, c, hi).expect("in bounds");
+                }
+            }
+        }
+        Ok(out)
+    })
+}
+
+/// Standard scaling `(X - mean) / sd` per column.
+pub fn scale_standard(ctx: &mut ExecutionContext, x: &str, out: &str) -> Result<()> {
+    ctx.agg("__ss_mu", x, AggOp::Mean, AggDir::Col)?;
+    ctx.agg("__ss_var", x, AggOp::Var, AggDir::Col)?;
+    ctx.unary("__ss_sd", "__ss_var", UnaryOp::Sqrt)?;
+    ctx.binary_const("__ss_sd1", "__ss_sd", 1e-9, BinaryOp::Add, false)?;
+    ctx.binary("__ss_c", x, "__ss_mu", BinaryOp::Sub)?;
+    ctx.binary(out, "__ss_c", "__ss_sd1", BinaryOp::Div)?;
+    Ok(())
+}
+
+/// Min-max scaling to `[0, 1]` per column.
+pub fn scale_minmax(ctx: &mut ExecutionContext, x: &str, out: &str) -> Result<()> {
+    ctx.agg("__mm_min", x, AggOp::Min, AggDir::Col)?;
+    ctx.agg("__mm_max", x, AggOp::Max, AggDir::Col)?;
+    ctx.binary("__mm_rng", "__mm_max", "__mm_min", BinaryOp::Sub)?;
+    ctx.binary_const("__mm_rng1", "__mm_rng", 1e-9, BinaryOp::Add, false)?;
+    ctx.binary("__mm_c", x, "__mm_min", BinaryOp::Sub)?;
+    ctx.binary(out, "__mm_c", "__mm_rng1", BinaryOp::Div)?;
+    Ok(())
+}
+
+/// Class-balancing under-sampling: keeps all minority rows and an equal
+/// number of majority rows (deterministic prefix).
+pub fn under_sample(ctx: &mut ExecutionContext, x: &str, labels: &str, out: &str) -> Result<()> {
+    ctx.zip_custom(out, x, labels, "underSampling", vec![], |m, y| {
+        let minority: Vec<usize> = (0..m.rows()).filter(|&r| y.at(r, 0) != 0.0).collect();
+        let majority: Vec<usize> = (0..m.rows()).filter(|&r| y.at(r, 0) == 0.0).collect();
+        let take = minority.len().max(1).min(majority.len());
+        let mut keep = minority;
+        keep.extend_from_slice(&majority[..take]);
+        keep.sort_unstable();
+        memphis_matrix::ops::reorg::gather_rows(m, &keep).map_err(|e| e.to_string())
+    })
+}
+
+/// Equi-width binning of every column into `bins` integer codes.
+pub fn bin_features(ctx: &mut ExecutionContext, x: &str, bins: usize, out: &str) -> Result<()> {
+    ctx.map_custom(out, x, "binning", vec![bins.to_string()], move |m| {
+        let (rows, cols) = m.shape();
+        let mut out = m.deep_clone();
+        for c in 0..cols {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for r in 0..rows {
+                let v = m.at(r, c);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let width = ((hi - lo) / bins as f64).max(1e-12);
+            for r in 0..rows {
+                let b = (((m.at(r, c) - lo) / width) as usize).min(bins - 1);
+                out.set(r, c, b as f64).expect("in bounds");
+            }
+        }
+        Ok(out)
+    })
+}
+
+/// Recode: maps distinct values of every column to dense integer codes
+/// (sorted order, deterministic).
+pub fn recode(ctx: &mut ExecutionContext, x: &str, out: &str) -> Result<()> {
+    ctx.map_custom(out, x, "recode", vec![], |m| {
+        let (rows, cols) = m.shape();
+        let mut out = m.deep_clone();
+        for c in 0..cols {
+            let mut distinct: Vec<u64> = (0..rows).map(|r| m.at(r, c).to_bits()).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let index: std::collections::HashMap<u64, usize> =
+                distinct.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+            for r in 0..rows {
+                let code = index[&m.at(r, c).to_bits()];
+                out.set(r, c, code as f64).expect("in bounds");
+            }
+        }
+        Ok(out)
+    })
+}
+
+/// One-hot encodes integer-coded columns with a FIXED per-column
+/// cardinality (values clamped into range), so batch-wise application
+/// yields a stable output width — required by the HDROP input data
+/// pipeline, which transforms one mini-batch at a time.
+pub fn one_hot_fixed(ctx: &mut ExecutionContext, x: &str, card: usize, out: &str) -> Result<()> {
+    let card = card.max(1);
+    ctx.map_custom(out, x, "oneHotFixed", vec![card.to_string()], move |m| {
+        let (rows, cols) = m.shape();
+        let width = cols * card;
+        let mut out = vec![0.0; rows * width];
+        for r in 0..rows {
+            for c in 0..cols {
+                let code = (m.at(r, c).max(0.0) as usize).min(card - 1);
+                out[r * width + c * card + code] = 1.0;
+            }
+        }
+        Matrix::from_vec(rows, width, out).map_err(|e| e.to_string())
+    })
+}
+
+/// One-hot encodes integer-coded columns (dummy coding); output width is
+/// the sum of per-column cardinalities.
+pub fn one_hot(ctx: &mut ExecutionContext, x: &str, out: &str) -> Result<()> {
+    ctx.map_custom(out, x, "oneHot", vec![], |m| {
+        let (rows, cols) = m.shape();
+        let mut cards = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let max = (0..rows).map(|r| m.at(r, c) as usize).max().unwrap_or(0);
+            cards.push(max + 1);
+        }
+        let width: usize = cards.iter().sum();
+        let mut out = vec![0.0; rows * width];
+        for r in 0..rows {
+            let mut off = 0;
+            for c in 0..cols {
+                let code = m.at(r, c) as usize;
+                out[r * width + off + code.min(cards[c] - 1)] = 1.0;
+                off += cards[c];
+            }
+        }
+        Matrix::from_vec(rows, width, out).map_err(|e| e.to_string())
+    })
+}
+
+/// PCA via a fixed number of power iterations on the covariance of the
+/// centered data; returns the `k`-dim projection of `X`.
+pub fn pca(ctx: &mut ExecutionContext, x: &str, k: usize, out: &str) -> Result<()> {
+    ctx.agg("__pca_mu", x, AggOp::Mean, AggDir::Col)?;
+    ctx.binary("__pca_c", x, "__pca_mu", BinaryOp::Sub)?;
+    ctx.tsmm("__pca_cov", "__pca_c")?;
+    let d = ctx.value("__pca_cov")?.shape().map(|(r, _)| r).unwrap_or(k);
+    ctx.rand("__pca_v", d, k, -1.0, 1.0, 1234)?;
+    for _ in 0..5 {
+        ctx.matmul("__pca_cv", "__pca_cov", "__pca_v")?;
+        // Gram–Schmidt orthonormalization (host builtin).
+        ctx.map_custom("__pca_v", "__pca_cv", "orth", vec![], |m| {
+            let (rows, cols) = m.shape();
+            let mut cols_v: Vec<Vec<f64>> = (0..cols)
+                .map(|c| (0..rows).map(|r| m.at(r, c)).collect())
+                .collect();
+            for c in 0..cols {
+                for p in 0..c {
+                    let dot: f64 = cols_v[c].iter().zip(&cols_v[p]).map(|(a, b)| a * b).sum();
+                    let prev = cols_v[p].clone();
+                    for (v, pv) in cols_v[c].iter_mut().zip(prev) {
+                        *v -= dot * pv;
+                    }
+                }
+                let norm: f64 = cols_v[c].iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+                for v in cols_v[c].iter_mut() {
+                    *v /= norm;
+                }
+            }
+            let mut data = vec![0.0; rows * cols];
+            for (c, col) in cols_v.iter().enumerate() {
+                for (r, v) in col.iter().enumerate() {
+                    data[r * cols + c] = *v;
+                }
+            }
+            Matrix::from_vec(rows, cols, data).map_err(|e| e.to_string())
+        })?;
+    }
+    ctx.matmul(out, "__pca_c", "__pca_v")?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Neural-network building blocks (HDROP, EN2DE, TLVIS, Fig. 12(b))
+// ----------------------------------------------------------------------
+
+/// One conv → ReLU stage of a CNN forward pass.
+pub fn conv_relu(
+    ctx: &mut ExecutionContext,
+    x: &str,
+    w: &str,
+    p: Conv2dParams,
+    out: &str,
+) -> Result<()> {
+    ctx.conv2d("__cr_c", x, w, p)?;
+    ctx.unary(out, "__cr_c", UnaryOp::Relu)?;
+    Ok(())
+}
+
+/// One max-pool stage.
+pub fn pool(ctx: &mut ExecutionContext, x: &str, p: Pool2dParams, out: &str) -> Result<()> {
+    ctx.max_pool2d(out, x, p)
+}
+
+/// Fully-connected → ReLU stage.
+pub fn fc_relu(ctx: &mut ExecutionContext, x: &str, w: &str, b: &str, out: &str) -> Result<()> {
+    ctx.affine("__fc_a", x, w, b)?;
+    ctx.unary(out, "__fc_a", UnaryOp::Relu)?;
+    Ok(())
+}
+
+/// Classifier head: affine → softmax.
+pub fn fc_softmax(ctx: &mut ExecutionContext, x: &str, w: &str, b: &str, out: &str) -> Result<()> {
+    ctx.affine("__fs_a", x, w, b)?;
+    ctx.softmax(out, "__fs_a")?;
+    Ok(())
+}
+
+/// One autoencoder training step (2-layer encoder/decoder with dropout):
+/// forward + explicit backward + SGD update of the four weight matrices
+/// `w1, b1, w2, b2` (in/out variable names). Returns the batch loss in
+/// `out_loss`.
+#[allow(clippy::too_many_arguments)]
+pub fn autoencoder_step(
+    ctx: &mut ExecutionContext,
+    batch: &str,
+    w1: &str,
+    b1: &str,
+    w2: &str,
+    b2: &str,
+    dropout_rate: f64,
+    dropout_seed: u64,
+    lr: f64,
+    out_loss: &str,
+) -> Result<()> {
+    // Forward: h = dropout(relu(X W1 + b1)); recon = h W2 + b2.
+    ctx.affine("__ae_a1", batch, w1, b1)?;
+    ctx.unary("__ae_h0", "__ae_a1", UnaryOp::Relu)?;
+    ctx.dropout("__ae_h", "__ae_h0", dropout_rate, dropout_seed)?;
+    ctx.affine("__ae_recon", "__ae_h", w2, b2)?;
+    // Loss and output gradient: d = recon - X.
+    ctx.binary("__ae_d", "__ae_recon", batch, BinaryOp::Sub)?;
+    ctx.binary("__ae_sq", "__ae_d", "__ae_d", BinaryOp::Mul)?;
+    ctx.agg(out_loss, "__ae_sq", AggOp::Mean, AggDir::Full)?;
+    // Backward: dW2 = t(h) d; db2 = colSums(d);
+    ctx.xty("__ae_dw2", "__ae_h", "__ae_d")?;
+    ctx.agg("__ae_db2", "__ae_d", AggOp::Sum, AggDir::Col)?;
+    // dh = d t(W2) masked by relu'(a1).
+    ctx.transpose("__ae_w2t", w2)?;
+    ctx.matmul("__ae_dh", "__ae_d", "__ae_w2t")?;
+    ctx.binary_const("__ae_mask", "__ae_h0", 0.0, BinaryOp::Greater, false)?;
+    ctx.binary("__ae_dh2", "__ae_dh", "__ae_mask", BinaryOp::Mul)?;
+    ctx.xty("__ae_dw1", batch, "__ae_dh2")?;
+    ctx.agg("__ae_db1", "__ae_dh2", AggOp::Sum, AggDir::Col)?;
+    // SGD updates.
+    for (wvar, gvar) in [(w1, "__ae_dw1"), (w2, "__ae_dw2"), (b1, "__ae_db1"), (b2, "__ae_db2")] {
+        let step = format!("__ae_step_{wvar}");
+        ctx.binary_const(&step, gvar, lr, BinaryOp::Mul, false)?;
+        ctx.binary(wvar, wvar, &step, BinaryOp::Sub)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+    use memphis_engine::EngineConfig;
+
+    fn ctx() -> ExecutionContext {
+        ExecutionContext::local(EngineConfig::test())
+    }
+
+    #[test]
+    fn lin_reg_recovers_planted_model() {
+        let mut c = ctx();
+        let (x, y) = data::regression(200, 6, 0.001, 1);
+        c.read("X", x, "X").unwrap();
+        c.read("y", y, "y").unwrap();
+        c.literal("reg", 1e-6).unwrap();
+        lin_reg_ds(&mut c, "X", "y", "reg", "w").unwrap();
+        mse(&mut c, "X", "w", "y", "err").unwrap();
+        assert!(c.get_scalar("err").unwrap() < 0.01);
+    }
+
+    #[test]
+    fn lin_reg_fn_reuses_across_identical_calls() {
+        let mut c = ctx();
+        let (x, y) = data::regression(100, 4, 0.01, 2);
+        c.read("X", x, "X").unwrap();
+        c.read("y", y, "y").unwrap();
+        c.literal("reg", 0.1).unwrap();
+        lin_reg_ds_fn(&mut c, "X", "y", "reg", "w1").unwrap();
+        lin_reg_ds_fn(&mut c, "X", "y", "reg", "w2").unwrap();
+        assert_eq!(c.stats.functions_reused, 1);
+        // Different reg: body runs but tsmm/xty reused.
+        c.literal("reg", 0.2).unwrap();
+        let reused_before = c.stats.reused;
+        lin_reg_ds_fn(&mut c, "X", "y", "reg", "w3").unwrap();
+        assert!(c.stats.reused >= reused_before + 2);
+    }
+
+    #[test]
+    fn l2svm_training_reduces_error() {
+        let mut c = ctx();
+        let (x, y) = data::classification(150, 5, 3);
+        c.read("X", x, "X").unwrap();
+        c.read("y", y, "y").unwrap();
+        c.literal("reg", 0.001).unwrap();
+        l2svm_train(&mut c, "X", "y", "reg", 30, 0.002, "w").unwrap();
+        mse(&mut c, "X", "w", "y", "err").unwrap();
+        let err = c.get_scalar("err").unwrap();
+        assert!(err < 1.0, "training must beat the zero model, err={err}");
+    }
+
+    #[test]
+    fn successive_halving_prefix_reuse() {
+        let mut c = ctx();
+        let (x, y) = data::classification(80, 4, 4);
+        c.read("X", x, "X").unwrap();
+        c.read("y", y, "y").unwrap();
+        c.literal("reg", 0.01).unwrap();
+        l2svm_train(&mut c, "X", "y", "reg", 5, 0.01, "w5").unwrap();
+        let reused_before = c.stats.reused;
+        // Doubling the iteration count must reuse the first 5 iterations.
+        l2svm_train(&mut c, "X", "y", "reg", 10, 0.01, "w10").unwrap();
+        assert!(
+            c.stats.reused >= reused_before + 5 * 7,
+            "first-half iterations reused: {} -> {}",
+            reused_before,
+            c.stats.reused
+        );
+    }
+
+    #[test]
+    fn impute_by_mean_fills_nans() {
+        let mut c = ctx();
+        let m = Matrix::from_vec(3, 2, vec![1.0, 10.0, f64::NAN, 20.0, 3.0, f64::NAN]).unwrap();
+        c.read("X", m, "X").unwrap();
+        impute_by_mean(&mut c, "X", "Xi").unwrap();
+        let xi = c.get_matrix("Xi").unwrap();
+        assert!(xi.values().iter().all(|v| !v.is_nan()));
+        assert_eq!(xi.at(1, 0), 2.0, "mean of 1 and 3");
+        assert_eq!(xi.at(2, 1), 15.0, "mean of 10 and 20");
+    }
+
+    #[test]
+    fn impute_by_mode_uses_most_frequent() {
+        let mut c = ctx();
+        let m = Matrix::from_vec(4, 1, vec![5.0, 5.0, 7.0, f64::NAN]).unwrap();
+        c.read("X", m, "X").unwrap();
+        impute_by_mode(&mut c, "X", "Xi").unwrap();
+        let xi = c.get_matrix("Xi").unwrap();
+        assert_eq!(xi.at(3, 0), 5.0);
+    }
+
+    #[test]
+    fn outlier_iqr_clips_extremes() {
+        let mut c = ctx();
+        let mut vals = vec![1.0; 20];
+        vals[0] = 1000.0;
+        let m = Matrix::from_vec(20, 1, vals).unwrap();
+        c.read("X", m, "X").unwrap();
+        outlier_by_iqr(&mut c, "X", "Xo").unwrap();
+        let xo = c.get_matrix("Xo").unwrap();
+        assert!(xo.at(0, 0) < 1000.0, "outlier clipped");
+    }
+
+    #[test]
+    fn scaling_bounds() {
+        let mut c = ctx();
+        let m = data::regression(50, 3, 0.1, 5).0;
+        c.read("X", m, "X").unwrap();
+        scale_minmax(&mut c, "X", "Xm").unwrap();
+        let xm = c.get_matrix("Xm").unwrap();
+        assert!(xm.values().iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+        scale_standard(&mut c, "X", "Xs").unwrap();
+        let xs = c.get_matrix("Xs").unwrap();
+        let mu = memphis_matrix::ops::agg::aggregate(&xs, AggOp::Mean).unwrap();
+        assert!(mu.abs() < 1e-9);
+    }
+
+    #[test]
+    fn under_sampling_balances() {
+        let mut c = ctx();
+        let x = data::regression(100, 2, 0.1, 6).0;
+        let mut labels = vec![0.0; 100];
+        for l in labels.iter_mut().take(10) {
+            *l = 1.0;
+        }
+        let y = Matrix::from_vec(100, 1, labels).unwrap();
+        c.read("X", x, "X").unwrap();
+        c.read("y", y, "y").unwrap();
+        under_sample(&mut c, "X", "y", "Xb").unwrap();
+        let xb = c.get_matrix("Xb").unwrap();
+        assert_eq!(xb.rows(), 20, "10 minority + 10 majority");
+    }
+
+    #[test]
+    fn binning_recode_onehot_chain() {
+        let mut c = ctx();
+        let (x, _) = data::kdd98_like(60, 2, 1, 4, 7);
+        c.read("X", x, "X").unwrap();
+        bin_features(&mut c, "X", 5, "Xb").unwrap();
+        let xb = c.get_matrix("Xb").unwrap();
+        assert!(xb.values().iter().all(|&v| v >= 0.0 && v < 5.0));
+        recode(&mut c, "Xb", "Xr").unwrap();
+        one_hot(&mut c, "Xr", "Xo").unwrap();
+        let xo = c.get_matrix("Xo").unwrap();
+        // Every row has exactly one 1 per original column.
+        let rs = memphis_matrix::ops::agg::row_agg(&xo, AggOp::Sum).unwrap();
+        assert!(rs.values().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn pca_projects_to_k_dims() {
+        let mut c = ctx();
+        let x = data::regression(80, 6, 0.1, 8).0;
+        c.read("X", x, "X").unwrap();
+        pca(&mut c, "X", 2, "P").unwrap();
+        let p = c.get_matrix("P").unwrap();
+        assert_eq!(p.shape(), (80, 2));
+        assert!(p.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn autoencoder_loss_decreases() {
+        let mut c = ctx();
+        let x = data::regression(64, 8, 0.1, 9).0;
+        c.read("X", x, "X").unwrap();
+        c.rand("W1", 8, 4, -0.3, 0.3, 10).unwrap();
+        c.rand("b1", 1, 4, 0.0, 0.0, 11).unwrap();
+        c.rand("W2", 4, 8, -0.3, 0.3, 12).unwrap();
+        c.rand("b2", 1, 8, 0.0, 0.0, 13).unwrap();
+        let mut first = None;
+        let mut last = 0.0;
+        for e in 0..40 {
+            autoencoder_step(&mut c, "X", "W1", "b1", "W2", "b2", 0.0, e, 0.002, "loss").unwrap();
+            last = c.get_scalar("loss").unwrap();
+            first.get_or_insert(last);
+        }
+        assert!(last < first.unwrap(), "loss {first:?} -> {last}");
+    }
+}

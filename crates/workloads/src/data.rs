@@ -1,0 +1,221 @@
+//! Deterministic synthetic dataset generators matching the relevant
+//! statistics of the paper's datasets (Table 3). Lineage-based reuse is
+//! data-skew independent (§6.3), so generators control exactly the
+//! properties that matter: shapes, duplicate rates, missing-value rates,
+//! categorical cardinalities, and class balance.
+
+use memphis_matrix::rand_gen::{rand_normal, rand_permutation, rand_uniform};
+use memphis_matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Regression data: `X` (n x d) with a planted linear model plus noise,
+/// responses `y`.
+pub fn regression(n: usize, d: usize, noise: f64, seed: u64) -> (Matrix, Matrix) {
+    let x = rand_uniform(n, d, -1.0, 1.0, seed);
+    let w = rand_uniform(d, 1, -1.0, 1.0, seed ^ 0x9e37);
+    let clean = memphis_matrix::ops::matmul::matmul(&x, &w).expect("dims");
+    let eps = rand_normal(n, 1, 0.0, noise, seed ^ 0x79b9);
+    let y = memphis_matrix::ops::binary::binary(
+        &clean,
+        &eps,
+        memphis_matrix::ops::binary::BinaryOp::Add,
+    )
+    .expect("dims");
+    (x, y)
+}
+
+/// Binary classification with ±1 labels (L2SVM-style).
+pub fn classification(n: usize, d: usize, seed: u64) -> (Matrix, Matrix) {
+    let (x, y) = regression(n, d, 0.2, seed);
+    let labels = memphis_matrix::ops::unary::unary(&y, memphis_matrix::ops::unary::UnaryOp::Sign);
+    (x, labels)
+}
+
+/// APS-like data (SCANIA trucks): n x d numeric features with a fraction
+/// of missing values (NaN) and an imbalanced 0/1 class column appended as
+/// the last column. The real APS has 60K rows, 170 features, 0.6% missing.
+pub fn aps_like(n: usize, d: usize, missing_rate: f64, seed: u64) -> Matrix {
+    let mut x = rand_normal(n, d + 1, 0.0, 1.0, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xaaaa);
+    {
+        let vals = x.values_mut();
+        for r in 0..n {
+            for c in 0..d {
+                if rng.gen::<f64>() < missing_rate {
+                    vals[r * (d + 1) + c] = f64::NAN;
+                }
+            }
+            // Imbalanced class label (~2% positives, like APS failures).
+            vals[r * (d + 1) + d] = if rng.gen::<f64>() < 0.02 { 1.0 } else { 0.0 };
+        }
+    }
+    x
+}
+
+/// KDD98-like data: numeric features to be binned plus integer-coded
+/// categorical features with the given cardinality, and a response.
+pub fn kdd98_like(
+    n: usize,
+    numeric: usize,
+    categorical: usize,
+    cardinality: usize,
+    seed: u64,
+) -> (Matrix, Matrix) {
+    let num = rand_normal(n, numeric, 50.0, 20.0, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbbbb);
+    let mut cat = vec![0.0; n * categorical];
+    for v in cat.iter_mut() {
+        *v = rng.gen_range(0..cardinality) as f64;
+    }
+    let cat = Matrix::from_vec(n, categorical, cat).expect("dims");
+    let x = memphis_matrix::ops::reorg::cbind(&num, &cat).expect("rows match");
+    let y = rand_normal(n, 1, 10.0, 5.0, seed ^ 0xcccc);
+    (x, y)
+}
+
+/// MovieLens-like ratings matrix: n x m dense matrix with ratings in
+/// [0, 5] and the given fill density (zeros elsewhere). The real data has
+/// 20M ratings over 138K users x 27K movies; we scale down.
+pub fn movielens_like(users: usize, movies: usize, density: f64, seed: u64) -> Matrix {
+    let mut m = Matrix::zeros(users, movies);
+    let mut rng = StdRng::seed_from_u64(seed);
+    {
+        let vals = m.values_mut();
+        for v in vals.iter_mut() {
+            if rng.gen::<f64>() < density {
+                *v = rng.gen_range(1..=5) as f64;
+            }
+        }
+    }
+    m
+}
+
+/// A token stream with Zipf-like duplicates over `vocab` words — the
+/// EN2DE input (the paper's 200K-word news subset has heavy repetition).
+pub fn zipf_tokens(len: usize, vocab: usize, skew: f64, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Normalized Zipf CDF.
+    let weights: Vec<f64> = (1..=vocab).map(|r| 1.0 / (r as f64).powf(skew)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(vocab);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    // Random rank → word id mapping so hot words are spread over ids.
+    let perm = rand_permutation(vocab, seed ^ 0xdddd);
+    (0..len)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let rank = cdf.partition_point(|&c| c < u).min(vocab - 1);
+            perm[rank]
+        })
+        .collect()
+}
+
+/// Word embeddings: vocab x dim (300 in the paper).
+pub fn embeddings(vocab: usize, dim: usize, seed: u64) -> Matrix {
+    rand_uniform(vocab, dim, -0.5, 0.5, seed)
+}
+
+/// CIFAR-like linearized images: n x (c*h*w) in [0, 1], with a fraction of
+/// exact duplicates (object-detection streams see repeated inputs).
+pub fn images(n: usize, channels: usize, side: usize, dup_rate: f64, seed: u64) -> Matrix {
+    let base = rand_uniform(n, channels * side * side, 0.0, 1.0, seed);
+    if dup_rate <= 0.0 {
+        return base;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xeeee);
+    let mut rows: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        if i > 0 && rng.gen::<f64>() < dup_rate {
+            rows.push(rows[rng.gen_range(0..i)]);
+        } else {
+            rows.push(i);
+        }
+    }
+    memphis_matrix::ops::reorg::gather_rows(&base, &rows).expect("in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memphis_matrix::ops::agg::{aggregate, AggOp};
+
+    #[test]
+    fn regression_is_learnable() {
+        let (x, y) = regression(100, 5, 0.01, 1);
+        assert_eq!(x.shape(), (100, 5));
+        assert_eq!(y.shape(), (100, 1));
+        // Signal dominates noise: y correlates with Xw.
+        assert!(aggregate(&y, AggOp::Var).unwrap() > 0.01);
+    }
+
+    #[test]
+    fn classification_labels_are_signs() {
+        let (_, y) = classification(50, 4, 2);
+        assert!(y.values().iter().all(|&v| v == 1.0 || v == -1.0 || v == 0.0));
+    }
+
+    #[test]
+    fn aps_missing_rate_close() {
+        let m = aps_like(2000, 20, 0.05, 3);
+        let nans = m.values().iter().filter(|v| v.is_nan()).count();
+        let rate = nans as f64 / (2000.0 * 20.0);
+        assert!((rate - 0.05).abs() < 0.01, "rate {rate}");
+        // Label column has only 0/1.
+        for r in 0..2000 {
+            let l = m.at(r, 20);
+            assert!(l == 0.0 || l == 1.0);
+        }
+    }
+
+    #[test]
+    fn kdd98_categoricals_in_range() {
+        let (x, y) = kdd98_like(500, 3, 2, 7, 4);
+        assert_eq!(x.shape(), (500, 5));
+        assert_eq!(y.shape(), (500, 1));
+        for r in 0..500 {
+            for c in 3..5 {
+                let v = x.at(r, c);
+                assert!(v >= 0.0 && v < 7.0 && v.fract() == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn movielens_density_and_range() {
+        let m = movielens_like(200, 100, 0.1, 5);
+        let nnz = aggregate(&m, AggOp::Nnz).unwrap();
+        let density = nnz / (200.0 * 100.0);
+        assert!((density - 0.1).abs() < 0.02);
+        assert!(aggregate(&m, AggOp::Max).unwrap() <= 5.0);
+    }
+
+    #[test]
+    fn zipf_tokens_have_heavy_duplicates() {
+        let toks = zipf_tokens(5000, 500, 1.1, 6);
+        let unique: std::collections::HashSet<_> = toks.iter().collect();
+        assert!(unique.len() < 500, "duplicates expected");
+        assert!(toks.iter().all(|&t| t < 500));
+        // Deterministic.
+        assert_eq!(toks, zipf_tokens(5000, 500, 1.1, 6));
+    }
+
+    #[test]
+    fn image_duplicates_exist() {
+        let m = images(100, 1, 4, 0.5, 7);
+        let mut fps: Vec<u64> = (0..100)
+            .map(|r| {
+                memphis_matrix::ops::reorg::slice_rows(&m, r, r + 1)
+                    .unwrap()
+                    .fingerprint()
+            })
+            .collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert!(fps.len() < 100, "duplicate rows expected");
+    }
+}

@@ -1,0 +1,11 @@
+//! Workloads for the MEMPHIS reproduction: ML builtins (the SystemDS
+//! primitives the paper's pipelines compose), deterministic synthetic
+//! dataset generators standing in for the paper's datasets (Table 3), and
+//! the seven end-to-end pipelines of §6.3.
+
+pub mod builtins;
+pub mod data;
+pub mod harness;
+pub mod pipelines;
+
+pub use harness::{run_timed, Backends, WorkloadOutcome};

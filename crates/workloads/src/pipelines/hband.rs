@@ -1,0 +1,159 @@
+//! HBAND: Hyperband-like model search via successive halving over L2SVM
+//! and logistic regression, followed by weighted ensemble learning
+//! (Figure 13(c)). Reuse sources: successive halving re-runs surviving
+//! configurations with doubled iteration counts — the shared training
+//! prefix is reused — and the ensemble's `X w` products are reused across
+//! the weight grid.
+
+use crate::builtins;
+use crate::data;
+use memphis_engine::context::Result;
+use memphis_engine::ops::AggDir;
+use memphis_engine::ExecutionContext;
+use memphis_matrix::ops::agg::AggOp;
+use memphis_matrix::ops::binary::BinaryOp;
+
+/// HBAND parameters.
+#[derive(Debug, Clone)]
+pub struct HbandParams {
+    /// Training rows.
+    pub rows: usize,
+    /// Feature columns.
+    pub cols: usize,
+    /// Initial number of regularization values (halved per bracket).
+    pub initial_configs: usize,
+    /// Brackets of successive halving.
+    pub brackets: usize,
+    /// Initial iteration count (doubled per bracket).
+    pub initial_iters: usize,
+    /// Ensemble weight configurations searched.
+    pub weight_configs: usize,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl HbandParams {
+    /// Tiny configuration for tests.
+    pub fn small() -> Self {
+        Self {
+            rows: 60,
+            cols: 4,
+            initial_configs: 4,
+            brackets: 2,
+            initial_iters: 3,
+            weight_configs: 10,
+            seed: 3,
+        }
+    }
+
+    /// Benchmark scale (reduced from 25 configs / 5 brackets / 1K weights).
+    pub fn benchmark(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            initial_configs: 8,
+            brackets: 3,
+            initial_iters: 5,
+            weight_configs: 100,
+            seed: 3,
+        }
+    }
+}
+
+/// Runs HBAND; returns the best ensemble score.
+pub fn run(ctx: &mut ExecutionContext, p: &HbandParams) -> Result<f64> {
+    let (x, y) = data::classification(p.rows, p.cols, p.seed);
+    ctx.read("X", x, "hband/X")?;
+    ctx.read("y", y, "hband/y")?;
+
+    // Successive halving per algorithm.
+    let mut best: Vec<(String, f64)> = Vec::new(); // (weight var, score)
+    for (alg, trainer) in [
+        ("svm", 0usize),
+        ("mlr", 1usize),
+    ] {
+        let mut configs: Vec<f64> = (1..=p.initial_configs)
+            .map(|i| 0.01 * i as f64)
+            .collect();
+        let mut iters = p.initial_iters;
+        let mut scored: Vec<(f64, f64)> = Vec::new();
+        for _bracket in 0..p.brackets {
+            scored.clear();
+            for &reg in &configs {
+                ctx.literal("reg", reg)?;
+                let wvar = format!("w_{alg}_{reg}");
+                if trainer == 0 {
+                    builtins::l2svm_train(ctx, "X", "y", "reg", iters, 0.002, &wvar)?;
+                } else {
+                    builtins::mlogreg_train(ctx, "X", "y", "reg", iters, 0.002, &wvar)?;
+                }
+                builtins::mse(ctx, "X", &wvar, "y", "__hb_score")?;
+                scored.push((reg, ctx.get_scalar("__hb_score")?));
+            }
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let keep = (configs.len() / 2).max(1);
+            configs = scored.iter().take(keep).map(|(r, _)| *r).collect();
+            iters *= 2;
+        }
+        let (best_reg, best_score) = scored[0];
+        best.push((format!("w_{alg}_{best_reg}"), best_score));
+    }
+
+    // Weighted ensemble: predictions of the two best models combined over
+    // a weight grid — the X w products are weight-independent.
+    let (w1, _) = best[0].clone();
+    let (w2, _) = best[1].clone();
+    let mut best_score = f64::INFINITY;
+    for i in 0..p.weight_configs {
+        let a = i as f64 / p.weight_configs.max(1) as f64;
+        ctx.matmul("__P1", "X", &w1)?;
+        ctx.matmul("__P2", "X", &w2)?;
+        ctx.literal("a", a)?;
+        ctx.literal("na", 1.0 - a)?;
+        ctx.binary("__P1w", "__P1", "a", BinaryOp::Mul)?;
+        ctx.binary("__P2w", "__P2", "na", BinaryOp::Mul)?;
+        ctx.binary("__P", "__P1w", "__P2w", BinaryOp::Add)?;
+        ctx.binary("__E", "__P", "y", BinaryOp::Sub)?;
+        ctx.binary("__E2", "__E", "__E", BinaryOp::Mul)?;
+        ctx.agg("__ens", "__E2", AggOp::Mean, AggDir::Full)?;
+        best_score = best_score.min(ctx.get_scalar("__ens")?);
+    }
+    Ok(best_score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Backends;
+    use memphis_core::cache::config::CacheConfig;
+    use memphis_engine::{EngineConfig, ReuseMode};
+
+    #[test]
+    fn modes_agree_and_memphis_reuses() {
+        let p = HbandParams::small();
+        let b = Backends::local();
+        let mut base = b.make_ctx(
+            EngineConfig::test().with_reuse(ReuseMode::None),
+            CacheConfig::test(),
+        );
+        let s_base = run(&mut base, &p).unwrap();
+        let mut mph = b.make_ctx(
+            EngineConfig::test().with_reuse(ReuseMode::Memphis),
+            CacheConfig::test(),
+        );
+        let s_mph = run(&mut mph, &p).unwrap();
+        assert!((s_base - s_mph).abs() < 1e-9);
+        // Halving re-runs shared prefixes; the ensemble reuses X w.
+        assert!(mph.stats.reused > 50, "reused={}", mph.stats.reused);
+    }
+
+    #[test]
+    fn ensemble_score_not_worse_than_single_models() {
+        let p = HbandParams::small();
+        let b = Backends::local();
+        let mut ctx = b.make_ctx(EngineConfig::test(), CacheConfig::test());
+        let score = run(&mut ctx, &p).unwrap();
+        assert!(score.is_finite());
+        assert!(score >= 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! HCV: grid-search hyper-parameter tuning of cross-validated linear
+//! regression (Figure 13(a)). The core is Example 4.1's `linRegDS`: the
+//! per-fold `t(X)X` / `t(X)y` are regularization-independent and dominate,
+//! so MEMPHIS reuses them across the whole grid (local matrices, Spark
+//! actions, and RDDs), while `Base` re-runs every distributed job.
+
+use crate::data;
+use memphis_engine::context::Result;
+use memphis_engine::ops::AggDir;
+use memphis_engine::ExecutionContext;
+use memphis_matrix::ops::agg::AggOp;
+use memphis_matrix::ops::binary::BinaryOp;
+
+/// HCV parameters.
+#[derive(Debug, Clone)]
+pub struct HcvParams {
+    /// Rows per fold.
+    pub rows_per_fold: usize,
+    /// Feature columns.
+    pub cols: usize,
+    /// Number of folds.
+    pub folds: usize,
+    /// Regularization grid.
+    pub regs: Vec<f64>,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Use asynchronous prefetch on the distributed actions.
+    pub prefetch: bool,
+}
+
+impl HcvParams {
+    /// Tiny configuration for tests.
+    pub fn small() -> Self {
+        Self {
+            rows_per_fold: 40,
+            cols: 4,
+            folds: 3,
+            regs: vec![0.1, 0.2, 0.4],
+            seed: 1,
+            prefetch: false,
+        }
+    }
+
+    /// Benchmark scale: 10 regularization values as in the paper.
+    pub fn benchmark(rows_per_fold: usize, cols: usize) -> Self {
+        Self {
+            rows_per_fold,
+            cols,
+            folds: 3,
+            regs: (1..=10).map(|i| 0.05 * i as f64).collect(),
+            seed: 1,
+            prefetch: true,
+        }
+    }
+}
+
+/// Runs HCV; returns the summed cross-validation MSE over the grid (the
+/// cross-configuration checksum).
+pub fn run(ctx: &mut ExecutionContext, p: &HcvParams) -> Result<f64> {
+    // Load folds as separate datasets (SystemDS splits before the loop).
+    for f in 0..p.folds {
+        let (x, y) = data::regression(p.rows_per_fold, p.cols, 0.1, p.seed + f as u64);
+        ctx.read(&format!("Xf{f}"), x, &format!("hcv/X{f}"))?;
+        ctx.read(&format!("yf{f}"), y, &format!("hcv/y{f}"))?;
+    }
+    let mut total = 0.0;
+    for (ri, &reg) in p.regs.iter().enumerate() {
+        ctx.literal("reg", reg)?;
+        for hold in 0..p.folds {
+            // linRegDS over the complement of the held-out fold: the
+            // normal equations are additive over folds.
+            let mut have = false;
+            for f in 0..p.folds {
+                if f == hold {
+                    continue;
+                }
+                ctx.tsmm("__G_f", &format!("Xf{f}"))?;
+                ctx.xty("__b_f", &format!("Xf{f}"), &format!("yf{f}"))?;
+                if p.prefetch {
+                    ctx.prefetch("__G_f")?;
+                    ctx.prefetch("__b_f")?;
+                }
+                if have {
+                    ctx.binary("__G", "__G", "__G_f", BinaryOp::Add)?;
+                    ctx.binary("__b", "__b", "__b_f", BinaryOp::Add)?;
+                } else {
+                    ctx.assign("__G", "__G_f")?;
+                    ctx.assign("__b", "__b_f")?;
+                    have = true;
+                }
+            }
+            ctx.binary("__A", "__G", "reg", BinaryOp::Add)?;
+            ctx.solve("__w", "__A", "__b")?;
+            // Evaluate on the held-out fold.
+            ctx.matmul("__pred", &format!("Xf{hold}"), "__w")?;
+            ctx.binary("__err", "__pred", &format!("yf{hold}"), BinaryOp::Sub)?;
+            ctx.binary("__sq", "__err", "__err", BinaryOp::Mul)?;
+            ctx.agg(&format!("mse_{ri}_{hold}"), "__sq", AggOp::Mean, AggDir::Full)?;
+            total += ctx.get_scalar(&format!("mse_{ri}_{hold}"))?;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Backends;
+    use memphis_core::cache::config::CacheConfig;
+    use memphis_engine::{EngineConfig, ReuseMode};
+    use memphis_sparksim::SparkConfig;
+
+    #[test]
+    fn results_identical_across_modes() {
+        let p = HcvParams::small();
+        let mut checks = Vec::new();
+        for mode in [ReuseMode::None, ReuseMode::Lima, ReuseMode::Memphis] {
+            let b = Backends::local();
+            let mut ctx = b.make_ctx(EngineConfig::test().with_reuse(mode), CacheConfig::test());
+            checks.push(run(&mut ctx, &p).unwrap());
+        }
+        assert!((checks[0] - checks[1]).abs() < 1e-9);
+        assert!((checks[0] - checks[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memphis_eliminates_fold_recomputation() {
+        let p = HcvParams::small();
+        let b = Backends::local();
+        let mut base = b.make_ctx(
+            EngineConfig::test().with_reuse(ReuseMode::None),
+            CacheConfig::test(),
+        );
+        run(&mut base, &p).unwrap();
+        let mut mph = b.make_ctx(
+            EngineConfig::test().with_reuse(ReuseMode::Memphis),
+            CacheConfig::test(),
+        );
+        run(&mut mph, &p).unwrap();
+        // 3 regs x 3 holds x 2 folds = 18 (tsmm + xty) executions in Base;
+        // MPH executes each fold's pair once.
+        assert!(mph.stats.reused > 20, "reused={}", mph.stats.reused);
+        assert_eq!(base.stats.reused, 0);
+    }
+
+    #[test]
+    fn distributed_hcv_reuses_spark_actions() {
+        let p = HcvParams::small();
+        let b = Backends::with_spark(SparkConfig::local_test());
+        let mut cfg = EngineConfig::test().with_reuse(ReuseMode::Memphis);
+        cfg.spark_threshold_bytes = 512; // folds become RDDs
+        let mut ctx = b.make_ctx_sync(cfg, CacheConfig::test());
+        run(&mut ctx, &p).unwrap();
+        let jobs = b.sc.as_ref().unwrap().stats().jobs;
+        // Base would run 18 tsmm/xty jobs + 9 prediction aggregations; MPH
+        // needs one tsmm+xty pair per fold plus per-(reg,hold) evaluation.
+        assert!(jobs < 40, "jobs={jobs}");
+        assert!(ctx.cache().stats().hits_local > 0);
+    }
+}

@@ -1,0 +1,10 @@
+//! The seven end-to-end ML pipelines of §6.3 (Table 3), each parameterized
+//! so the benchmark harness can sweep the paper's x-axes at reduced scale.
+
+pub mod clean;
+pub mod en2de;
+pub mod hband;
+pub mod hcv;
+pub mod hdrop;
+pub mod pnmf;
+pub mod tlvis;

@@ -1,0 +1,67 @@
+//! Example 4.1 of the paper: grid-search hyper-parameter tuning over
+//! direct-solve linear regression, with the feature matrix distributed on
+//! the simulated Spark cluster. The regularization-independent `t(X)X`
+//! and `t(X)y` Spark jobs run once and are reused across the entire grid
+//! (Spark action reuse + local reuse), as in Figure 7.
+//!
+//! Run with: `cargo run --release -p memphis-examples --bin gridsearch_lr`
+
+use memphis_core::cache::config::CacheConfig;
+use memphis_engine::{EngineConfig, ReuseMode};
+use memphis_matrix::ops::binary::BinaryOp;
+use memphis_workloads::data;
+use memphis_workloads::harness::Backends;
+use memphis_sparksim::SparkConfig;
+use std::time::Instant;
+
+fn main() {
+    let regs: Vec<f64> = (1..=10).map(|i| i as f64 * 0.05).collect();
+    for mode in [ReuseMode::None, ReuseMode::Memphis] {
+        let backends = Backends::with_spark(SparkConfig::benchmark());
+        let mut cfg = EngineConfig::benchmark().with_reuse(mode);
+        cfg.spark_threshold_bytes = 64 << 10; // X becomes an RDD
+        cfg.blen = 256;
+        let mut ctx = backends.make_ctx(cfg, CacheConfig::benchmark());
+
+        let (x, y) = data::regression(4096, 32, 0.05, 7);
+        ctx.read("X", x, "lr/X").unwrap();
+        ctx.read("y", y, "lr/y").unwrap();
+
+        let t0 = Instant::now();
+        let mut best = (f64::INFINITY, 0.0);
+        for &reg in &regs {
+            ctx.literal("reg", reg).unwrap();
+            // linRegDS: w = solve(t(X)X + reg*I, t(X)y)
+            ctx.tsmm("G", "X").unwrap(); // Spark job (reused)
+            ctx.xty("b", "X", "y").unwrap(); // Spark job (reused)
+            ctx.binary("A", "G", "reg", BinaryOp::Add).unwrap();
+            ctx.solve("w", "A", "b").unwrap();
+            // Score on the training data.
+            ctx.matmul("p", "X", "w").unwrap();
+            ctx.binary("e", "p", "y", BinaryOp::Sub).unwrap();
+            ctx.binary("e2", "e", "e", BinaryOp::Mul).unwrap();
+            ctx.agg(
+                "mse",
+                "e2",
+                memphis_matrix::ops::agg::AggOp::Mean,
+                memphis_engine::ops::AggDir::Full,
+            )
+            .unwrap();
+            let mse = ctx.get_scalar("mse").unwrap();
+            if mse < best.0 {
+                best = (mse, reg);
+            }
+        }
+        let elapsed = t0.elapsed();
+        let jobs = backends.sc.as_ref().unwrap().stats().jobs;
+        println!(
+            "{:?}: best reg={:.2} (mse {:.5}) in {:.3}s — {} Spark jobs, {} instructions reused",
+            mode,
+            best.1,
+            best.0,
+            elapsed.as_secs_f64(),
+            jobs,
+            ctx.stats.reused
+        );
+    }
+}

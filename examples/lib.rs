@@ -1,0 +1,2 @@
+//! Shared helpers for the MEMPHIS examples (currently none — each example
+//! is self-contained).

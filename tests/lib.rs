@@ -1,0 +1,1 @@
+//! Support crate for the cross-crate integration tests (see `tests/tests/`).

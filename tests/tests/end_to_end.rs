@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: full pipelines through every layer
+//! (matrix kernels → simulated backends → lineage cache → engine →
+//! workloads), exercising the paper's mechanisms end to end.
+
+use memphis_core::cache::config::CacheConfig;
+use memphis_core::cache::LineageCache;
+use memphis_engine::{EngineConfig, ExecutionContext, ReuseMode};
+use memphis_gpusim::{GpuConfig, GpuDevice};
+use memphis_matrix::ops::binary::BinaryOp;
+use memphis_matrix::ops::unary::UnaryOp;
+use memphis_matrix::rand_gen::rand_uniform;
+use memphis_sparksim::{SparkConfig, SparkContext};
+use memphis_workloads::harness::Backends;
+use memphis_workloads::pipelines::{clean, en2de, hband, hcv, hdrop, pnmf, tlvis};
+use std::sync::Arc;
+
+/// Full three-backend context: CPU + simulated Spark + simulated GPU.
+fn full_ctx(threshold: usize, gpu_min: usize) -> (ExecutionContext, Backends) {
+    let backends = Backends {
+        sc: Some(SparkContext::new(SparkConfig::local_test())),
+        gpu: Some(Arc::new(GpuDevice::new(GpuConfig::zero_cost(32 << 20)))),
+    };
+    let mut cfg = EngineConfig::test();
+    cfg.spark_threshold_bytes = threshold;
+    cfg.gpu_min_cells = gpu_min;
+    let ctx = backends.make_ctx_sync(cfg, CacheConfig::test());
+    (ctx, backends)
+}
+
+#[test]
+fn hybrid_plan_crosses_all_three_backends() {
+    // X large → Spark; dense matmul on collected result → GPU; final agg
+    // local. One pipeline touches every backend, with reuse across a
+    // repeat.
+    let (mut ctx, backends) = full_ctx(1024, 64);
+    let x = rand_uniform(64, 8, -1.0, 1.0, 1); // 4 KB > 1 KB → Spark
+    ctx.read("X", x, "X").unwrap();
+    for round in 0..2 {
+        ctx.tsmm("G", "X").unwrap(); // Spark action
+        ctx.matmul("GG", "G", "G").unwrap(); // 8x8=64 cells → GPU
+        ctx.unary("R", "GG", UnaryOp::Relu).unwrap(); // stays on GPU
+        ctx.agg(
+            "s",
+            "R",
+            memphis_matrix::ops::agg::AggOp::Sum,
+            memphis_engine::ops::AggDir::Full,
+        )
+        .unwrap();
+        let s = ctx.get_scalar("s").unwrap();
+        assert!(s.is_finite());
+        if round == 1 {
+            // Everything was reusable the second time.
+            assert!(ctx.stats.reused >= 3, "reused={}", ctx.stats.reused);
+        }
+    }
+    assert!(backends.sc.as_ref().unwrap().stats().jobs >= 1);
+    assert!(backends.gpu.as_ref().unwrap().stats().kernels >= 2);
+    let r = ctx.cache().stats();
+    assert!(r.hits_local >= 1, "Spark action result reused locally");
+    assert!(r.hits_gpu >= 1, "GPU pointer reused");
+}
+
+#[test]
+fn eviction_pressure_preserves_correctness() {
+    // A tiny 64 KB driver cache forces constant spilling; results must
+    // stay correct and disk hits must occur.
+    let backends = Backends::local();
+    let mut cache_cfg = CacheConfig::test();
+    cache_cfg.local_budget = 64 << 10;
+    let mut ctx = backends.make_ctx(EngineConfig::test(), cache_cfg);
+    let x = rand_uniform(64, 16, -1.0, 1.0, 2); // 8 KB each result
+    ctx.read("X", x.clone(), "X").unwrap();
+    let mut firsts = Vec::new();
+    for round in 0..2 {
+        for i in 0..24 {
+            ctx.binary_const("Y", "X", i as f64 + 1.0, BinaryOp::Mul, false)
+                .unwrap();
+            let y = ctx.get_matrix("Y").unwrap();
+            if round == 0 {
+                firsts.push(y);
+            } else {
+                assert!(y.approx_eq(&firsts[i], 0.0), "i={i}");
+            }
+        }
+    }
+    let r = ctx.cache().stats();
+    assert!(
+        r.local_spills + r.local_drops > 0,
+        "budget must force evictions (spill or drop): {r:?}"
+    );
+    assert!(r.hits_disk + r.hits_local > 0);
+}
+
+#[test]
+fn gpu_memory_pressure_recycles_and_evicts_to_host() {
+    // Device holds only ~3 results; the workload cycles through 8 cached
+    // intermediates. Reuse falls back to host copies.
+    let backends = Backends {
+        sc: None,
+        gpu: Some(Arc::new(GpuDevice::new(GpuConfig::zero_cost(100 << 10)))),
+    };
+    let mut cfg = EngineConfig::test();
+    cfg.gpu_min_cells = 1;
+    let mut ctx = backends.make_ctx(cfg, CacheConfig::test());
+    let x = rand_uniform(64, 64, -1.0, 1.0, 3); // 32 KB on device
+    ctx.read("X", x.clone(), "X").unwrap();
+    for round in 0..2 {
+        for i in 0..4 {
+            ctx.binary_const("Xi", "X", i as f64 + 1.0, BinaryOp::Mul, false)
+                .unwrap();
+            ctx.tsmm("G", "Xi").unwrap(); // GPU op, 32 KB output
+            let g = ctx.get_matrix("G").unwrap();
+            assert!(g.values().iter().all(|v| v.is_finite()));
+            ctx.remove("G");
+            ctx.remove("Xi");
+            let _ = round;
+        }
+        // X itself gets re-uploaded as needed; results must be exact.
+    }
+    let r = ctx.cache().stats();
+    assert!(
+        r.gpu_evicted_to_host + r.gpu_recycled + r.gpu_freed > 0,
+        "device pressure must trigger memory management: {r:?}"
+    );
+}
+
+#[test]
+fn all_pipelines_run_on_full_backends() {
+    // Smoke: every §6.3 pipeline completes on a three-backend context and
+    // produces a finite result.
+    let (mut ctx, _b) = full_ctx(64 << 10, 4096);
+    assert!(hcv::run(&mut ctx, &hcv::HcvParams::small()).unwrap().is_finite());
+    assert!(pnmf::run(&mut ctx, &pnmf::PnmfParams::small()).unwrap().is_finite());
+    assert!(hband::run(&mut ctx, &hband::HbandParams::small()).unwrap().is_finite());
+    assert!(clean::run(&mut ctx, &clean::CleanParams::small()).unwrap().is_finite());
+    assert!(hdrop::run(&mut ctx, &hdrop::HdropParams::small()).unwrap().is_finite());
+    assert!(en2de::run(&mut ctx, &en2de::En2deParams::small()).unwrap().is_finite());
+    assert!(tlvis::run(&mut ctx, &tlvis::TlvisParams::small()).unwrap().is_finite());
+}
+
+#[test]
+fn async_actions_agree_with_sync() {
+    // MPH with async operators produces identical results to MPH-NA.
+    let run_once = |async_ops: bool| {
+        let backends = Backends::with_spark(SparkConfig::local_test());
+        let mut cfg = EngineConfig::test();
+        cfg.spark_threshold_bytes = 512;
+        cfg.async_ops = async_ops;
+        let mut ctx = backends.make_ctx_sync(cfg, CacheConfig::test());
+        let mut p = hcv::HcvParams::small();
+        p.prefetch = async_ops;
+        hcv::run(&mut ctx, &p).unwrap()
+    };
+    let sync = run_once(false);
+    let asyn = run_once(true);
+    assert!((sync - asyn).abs() < 1e-9, "{sync} vs {asyn}");
+}
+
+#[test]
+fn reuse_modes_form_a_speed_hierarchy_of_work() {
+    // Executed-instruction counts: Base >= HELIX >= LIMA >= MPH on a
+    // reuse-heavy workload (executed = instructions - reused; function
+    // reuse skips instruction submission entirely).
+    let p = hband::HbandParams::small();
+    let mut executed = Vec::new();
+    for mode in [
+        ReuseMode::None,
+        ReuseMode::Helix,
+        ReuseMode::Lima,
+        ReuseMode::Memphis,
+    ] {
+        let backends = Backends::local();
+        let mut ctx = backends.make_ctx(EngineConfig::test().with_reuse(mode), CacheConfig::test());
+        hband::run(&mut ctx, &p).unwrap();
+        executed.push(ctx.stats.instructions - ctx.stats.reused);
+    }
+    assert!(executed[0] >= executed[1], "{executed:?}");
+    assert!(executed[1] >= executed[2], "{executed:?}");
+    assert!(executed[2] >= executed[3], "{executed:?}");
+}
+
+#[test]
+fn shared_cache_across_contexts() {
+    // Two contexts over the same cache (concurrent sessions) share reuse.
+    let cache = Arc::new(LineageCache::new(CacheConfig::test()));
+    let mut a = ExecutionContext::new(EngineConfig::test(), cache.clone(), None, None);
+    let mut b = ExecutionContext::new(EngineConfig::test(), cache, None, None);
+    let x = rand_uniform(16, 4, 0.0, 1.0, 4);
+    a.read("X", x.clone(), "shared/X").unwrap();
+    a.tsmm("G", "X").unwrap();
+    b.read("X", x, "shared/X").unwrap();
+    b.tsmm("G", "X").unwrap();
+    assert_eq!(b.stats.reused, 1, "second context reuses the first's work");
+}
