@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, tests, lints, formatting. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+cargo fmt --check
+
+echo "ci: all checks passed"

@@ -96,11 +96,7 @@ fn bench_spark(c: &mut Criterion) {
         bench.iter_batched(
             || sc.parallelize_blocked(&blocked, "X"),
             |rdd| {
-                let partial = sc.map(
-                    &rdd,
-                    "tsmm",
-                    Arc::new(|k, b| (*k, tsmm(b).unwrap())),
-                );
+                let partial = sc.map(&rdd, "tsmm", Arc::new(|k, b| (*k, tsmm(b).unwrap())));
                 sc.reduce(
                     &partial,
                     Arc::new(|x, y| {

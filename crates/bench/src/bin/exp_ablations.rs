@@ -63,6 +63,7 @@ fn delayed_caching_ablation() {
             ctx.stats.reused,
         );
         let _ = sc_stats;
+        println!("{}", ctx.cache().backend_report());
     }
 }
 
@@ -94,6 +95,7 @@ fn eviction_injection_ablation() {
             r.gpu_recycled,
             r.gpu_evicted_to_host,
         );
+        println!("{}", ctx.cache().backend_report());
     }
 }
 

@@ -17,7 +17,13 @@ use std::time::Instant;
 
 /// The L2SVM-core loop: binary matrix-vector instructions over a grid of
 /// hyper-parameters with a controlled repeat fraction.
-fn l2svm_core(ctx: &mut ExecutionContext, rows: usize, cols: usize, iters: usize, reuse_pct: usize) {
+fn l2svm_core(
+    ctx: &mut ExecutionContext,
+    rows: usize,
+    cols: usize,
+    iters: usize,
+    reuse_pct: usize,
+) {
     let x = rand_uniform(rows, cols, -1.0, 1.0, 7);
     ctx.read("X", x, "fig11/X").unwrap();
     // Repeated hyper-parameters arrive with temporal locality (tuning
@@ -28,7 +34,8 @@ fn l2svm_core(ctx: &mut ExecutionContext, rows: usize, cols: usize, iters: usize
         ctx.literal("reg", reg).unwrap();
         ctx.binary("s1", "X", "reg", BinaryOp::Mul).unwrap();
         ctx.binary("s2", "s1", "reg", BinaryOp::Add).unwrap();
-        ctx.binary_const("s3", "s2", 2.0, BinaryOp::Pow, false).unwrap();
+        ctx.binary_const("s3", "s2", 2.0, BinaryOp::Pow, false)
+            .unwrap();
         ctx.binary("s4", "s3", "X", BinaryOp::Sub).unwrap();
     }
 }
@@ -75,6 +82,7 @@ fn main() {
          amortizes it; 40% reuse ~1.5x; an unbounded cache adds nothing",
     );
     let rows = 1250; // 80 KB inputs, scaled from the paper's 8 MB
+    let mut last_report = String::new();
     for iters in [2_000usize, 6_000, 12_000] {
         let base = run(ReuseMode::None, rows, 8, iters, 0);
         let probe = run(ReuseMode::ProbeOnly, rows, 8, iters, 0);
@@ -91,6 +99,7 @@ fn main() {
         let t0 = Instant::now();
         l2svm_core(&mut ctx, rows, 8, iters, 40);
         let r40inf = t0.elapsed().as_secs_f64();
+        last_report = ctx.cache().backend_report();
         println!(
             "{:>6} instrs: Base {base:.3}s  Probe +{:.0}%  20% {:.2}x  40% {:.2}x  40%INF {:.2}x",
             iters * 4,
@@ -100,4 +109,5 @@ fn main() {
             base / r40inf
         );
     }
+    println!("backends (40%INF, largest run):\n{last_report}");
 }

@@ -45,7 +45,11 @@ fn fig12a() {
         };
         print!("Base {base:.3}s ");
         // Three cache budgets, scaled from the paper's 900MB/5GB/30GB.
-        for (label, budget) in [("small", 2 << 20), ("medium", 12 << 20), ("large", 96 << 20)] {
+        for (label, budget) in [
+            ("small", 2 << 20),
+            ("medium", 12 << 20),
+            ("large", 96 << 20),
+        ] {
             let b = Backends::local();
             let mut ctx = b.make_ctx(
                 EngineConfig::benchmark().with_reuse(ReuseMode::Memphis),
@@ -97,10 +101,8 @@ fn fig12b() {
             let mut cfg = EngineConfig::benchmark().with_reuse(mode);
             cfg.gpu_min_cells = 256;
             let mut ctx = b.make_ctx(cfg, bench_cache(32 << 20));
-            let out = run_timed(label, &mut ctx, |c| {
-                ensemble_score(c, 256, batch, dup)
-            })
-            .expect("fig12b");
+            let out =
+                run_timed(label, &mut ctx, |c| ensemble_score(c, 256, batch, dup)).expect("fig12b");
             rows.push(out);
         }
         // Checks only comparable at equal duplicate rates.
@@ -173,7 +175,11 @@ fn ensemble_score(
                 };
                 let out = format!("__c{tag}{ci}");
                 ctx.conv2d(&out, &cur, w, p)?;
-                ctx.unary(&format!("__r{tag}{ci}"), &out, memphis_matrix::ops::unary::UnaryOp::Relu)?;
+                ctx.unary(
+                    &format!("__r{tag}{ci}"),
+                    &out,
+                    memphis_matrix::ops::unary::UnaryOp::Relu,
+                )?;
                 cur = format!("__r{tag}{ci}");
                 ch = p.out_channels;
                 if ci == 0 {

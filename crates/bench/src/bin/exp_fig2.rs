@@ -77,6 +77,7 @@ fn fig2c() {
     // MEMPHIS: lazy reuse through the engine (repeated scales hit the
     // cache; no forced materialization).
     let t0 = Instant::now();
+    let backend_report;
     {
         let b = Backends::with_spark(bench_spark());
         let mut cfg = EngineConfig::benchmark().with_reuse(ReuseMode::Memphis);
@@ -92,7 +93,8 @@ fn fig2c() {
         ctx.read("X", m.clone(), "fig2c/X").unwrap();
         for i in 0..total {
             let scale = (i % distinct) as f64 / distinct as f64 + 0.5;
-            ctx.binary_const("Y", "X", scale, BinaryOp::Mul, false).unwrap();
+            ctx.binary_const("Y", "X", scale, BinaryOp::Mul, false)
+                .unwrap();
             // Aggregate each derived RDD (the consuming job); repeated
             // scales reuse the cached action result and skip it entirely.
             ctx.agg(
@@ -104,6 +106,7 @@ fn fig2c() {
             .unwrap();
             ctx.get_scalar("s").unwrap();
         }
+        backend_report = ctx.cache().backend_report();
     }
     let memphis = t0.elapsed();
 
@@ -118,6 +121,7 @@ fn fig2c() {
         memphis.as_secs_f64(),
         no_cache.as_secs_f64() / memphis.as_secs_f64()
     );
+    println!("backends (MEMPHIS):\n{backend_report}");
 }
 
 /// The paper forces each kernel to allocate its output, copy to host, and
@@ -142,8 +146,10 @@ fn fig2d() {
     cfg.gpu_recycling = false; // force cudaMalloc/cudaFree per output
     let mut ctx = b.make_ctx(cfg, bench_cache(16 << 20));
     let batches = 200usize;
-    ctx.read("W", rand_uniform(64, 32, -0.3, 0.3, 2), "fig2d/W").unwrap();
-    ctx.read("bv", rand_uniform(1, 32, 0.0, 0.0, 3), "fig2d/b").unwrap();
+    ctx.read("W", rand_uniform(64, 32, -0.3, 0.3, 2), "fig2d/W")
+        .unwrap();
+    ctx.read("bv", rand_uniform(1, 32, 0.0, 0.0, 3), "fig2d/b")
+        .unwrap();
     for i in 0..batches {
         let batch = rand_uniform(32, 64, 0.0, 1.0, 100 + i as u64);
         ctx.read("B", batch, &format!("batch{i}")).unwrap();
@@ -172,4 +178,5 @@ fn fig2d() {
         "({} allocs, {} frees, {} kernels, {} syncs)",
         d.allocs, d.frees, d.kernels, d.syncs
     );
+    println!("backends:\n{}", ctx.cache().backend_report());
 }

@@ -26,7 +26,15 @@ fn main() {
     let shuffled = sc.reduce_by_key(
         &rdd,
         "rekey",
-        Arc::new(|k, m| vec![(memphis_matrix::BlockId { row: k.row % 4, col: 0 }, m.deep_clone())]),
+        Arc::new(|k, m| {
+            vec![(
+                memphis_matrix::BlockId {
+                    row: k.row % 4,
+                    col: 0,
+                },
+                m.deep_clone(),
+            )]
+        }),
         Arc::new(|a, _| a),
         4,
     );

@@ -90,12 +90,11 @@ pub fn header(id: &str, claim: &str) {
     println!("{:-<78}", "");
 }
 
-/// Prints a series of outcomes with speedups relative to the first entry.
+/// Prints a series of outcomes with speedups relative to the first entry,
+/// followed by the unified per-backend stats block of the last (usually
+/// MPH) configuration, sourced from `CacheBackend::snapshot`.
 pub fn report(rows: &[WorkloadOutcome]) {
-    let baseline = rows
-        .first()
-        .map(|r| r.elapsed.as_secs_f64())
-        .unwrap_or(1.0);
+    let baseline = rows.first().map(|r| r.elapsed.as_secs_f64()).unwrap_or(1.0);
     for r in rows {
         let speedup = baseline / r.elapsed.as_secs_f64().max(1e-12);
         println!(
@@ -110,6 +109,12 @@ pub fn report(rows: &[WorkloadOutcome]) {
             r.reuse.hits_gpu,
             r.reuse.hits_func,
         );
+    }
+    if let Some(last) = rows.last() {
+        if !last.backends.is_empty() {
+            println!("backends ({}):", last.label);
+            println!("{}", memphis_workloads::harness::backend_rows(last));
+        }
     }
 }
 

@@ -1,0 +1,414 @@
+//! First-class backend layer for the lineage cache (paper §3.3, §4).
+//!
+//! The cache's probe map is backend-agnostic: every entry carries a
+//! [`BackendId`] naming the tier that owns its object. Admission,
+//! eviction, and hit-side materialization are delegated through the
+//! [`CacheBackend`] trait, and the set of tiers attached to a cache is a
+//! [`BackendRegistry`] — the driver-local store, the disk-spill tier,
+//! Spark, and the GPU are all plain registry entries, and external crates
+//! can register additional tiers without touching the cache itself.
+//!
+//! Every `MAKE_SPACE` path scores victims through one shared
+//! [`EvictionPolicy`]: eq. (1) cost&size scoring for entry-granularity
+//! tiers and eq. (2) recency/height/cost scoring for GPU free pointers.
+
+use crate::cache::entry::{CacheEntry, CachedObject};
+use crate::lineage::LKey;
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies the cache tier owning an entry's object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendId {
+    /// Driver-local in-memory matrices and scalars.
+    Local,
+    /// Driver-local disk-spill binaries.
+    Disk,
+    /// Simulated Spark cluster (RDD handles).
+    Spark,
+    /// Simulated GPU device (managed pointers).
+    Gpu,
+    /// An externally registered tier.
+    Custom(u16),
+}
+
+impl BackendId {
+    /// Short tag for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackendId::Local => "local",
+            BackendId::Disk => "disk",
+            BackendId::Spark => "spark",
+            BackendId::Gpu => "gpu",
+            BackendId::Custom(_) => "custom",
+        }
+    }
+}
+
+impl fmt::Display for BackendId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendId::Custom(n) => write!(f, "custom#{n}"),
+            other => f.write_str(other.as_str()),
+        }
+    }
+}
+
+/// The unified eviction policy: one scoring function per granularity,
+/// instantiated with per-backend parameters (sample bound).
+#[derive(Debug, Clone, Copy)]
+pub struct EvictionPolicy {
+    /// Candidates examined per eviction: like Spark's sampling-based
+    /// entry selection, scanning a bounded sample keeps eviction O(1)
+    /// amortized instead of O(entries) per insertion.
+    pub sample_limit: usize,
+}
+
+impl Default for EvictionPolicy {
+    fn default() -> Self {
+        Self { sample_limit: 64 }
+    }
+}
+
+impl EvictionPolicy {
+    /// Eq. (1) score `(r_h + r_m + r_j) * c(o) / s(o)` — smallest is
+    /// evicted first.
+    pub fn cost_size_score(refs: u64, cost: f64, size: usize) -> f64 {
+        (refs as f64).max(1.0) * cost / size.max(1) as f64
+    }
+
+    /// Eq. (1) applied to an entry's reuse metadata.
+    pub fn entry_score(e: &CacheEntry) -> f64 {
+        Self::cost_size_score(e.hits + e.misses + e.jobs, e.compute_cost, e.size)
+    }
+
+    /// Eq. (2) score `T_a(o) + 1/h(o) + c(o)` (each term normalized) —
+    /// smallest is recycled/freed first.
+    pub fn gpu_score(last_access: u64, clock: u64, height: u32, cost: f64, max_cost: f64) -> f64 {
+        let ta = if clock == 0 {
+            0.0
+        } else {
+            last_access as f64 / clock as f64
+        };
+        let inv_h = 1.0 / height.max(1) as f64;
+        let c = if max_cost > 0.0 { cost / max_cost } else { 0.0 };
+        ta + inv_h + c
+    }
+
+    /// Selects the minimum-score victim among a bounded sample of
+    /// candidates (eq. (1) ordering).
+    pub fn select_victim<'a, I>(&self, candidates: I) -> Option<LKey>
+    where
+        I: Iterator<Item = (&'a LKey, &'a CacheEntry)>,
+    {
+        candidates
+            .take(self.sample_limit)
+            .min_by(|(_, a), (_, b)| {
+                Self::entry_score(a)
+                    .partial_cmp(&Self::entry_score(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(k, _)| k.clone())
+    }
+}
+
+/// The unified probe map: lineage keys to entries (any backend) plus the
+/// logical clock. Guarded by its own mutex in the cache; backends receive
+/// it `&mut` while the caller holds that lock, and keep their byte
+/// accounting behind their own locks (lock order: probe map, then
+/// backend).
+#[derive(Default)]
+pub struct EntryMap {
+    /// All entries, placeholders included.
+    pub entries: HashMap<LKey, CacheEntry>,
+    /// Logical clock advanced on every probe/put (recency scoring).
+    pub clock: u64,
+}
+
+impl EntryMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances and returns the logical clock.
+    pub fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// Outcome of a hit-side [`CacheBackend::materialize`].
+#[derive(Debug)]
+pub enum Materialized {
+    /// The object is reusable (backend resources acquired as needed).
+    Hit(CachedObject),
+    /// The entry is no longer usable (lost spill file, stale pointer);
+    /// the cache drops it and reports a miss.
+    Stale,
+}
+
+/// Point-in-time report of one backend, aggregated by the registry into
+/// the unified per-backend stats report.
+#[derive(Debug, Clone)]
+pub struct BackendSnapshot {
+    /// The reporting tier.
+    pub id: BackendId,
+    /// Bytes currently accounted to the tier.
+    pub used: usize,
+    /// Byte budget (`usize::MAX` = unbounded).
+    pub budget: usize,
+    /// Entries owned in the probe map (filled by the cache; a backend
+    /// alone cannot see the map).
+    pub entries: usize,
+    /// Backend-specific counters (spills, recycles, jobs, ...).
+    pub detail: Vec<(&'static str, u64)>,
+}
+
+impl fmt::Display for BackendSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let budget = if self.budget == usize::MAX {
+            "inf".to_string()
+        } else {
+            format!("{}", self.budget)
+        };
+        write!(
+            f,
+            "{:<7} used={}/{} entries={}",
+            self.id.to_string(),
+            self.used,
+            budget,
+            self.entries
+        )?;
+        for (k, v) in &self.detail {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One cache tier: admission, hit-side materialization, eviction, and
+/// accounting for the entries it owns.
+///
+/// Methods taking `&mut EntryMap` are called with the cache's probe-map
+/// lock held; implementations may take their own accounting locks inside
+/// (never the reverse order). The registry is passed so tiers can
+/// cooperate — e.g. the local tier spills into the disk tier, and the
+/// disk tier promotes hot entries back through the local tier.
+pub trait CacheBackend: Send + Sync {
+    /// The tier this backend implements.
+    fn id(&self) -> BackendId;
+
+    /// MAKE_SPACE + admission of `entry` (not yet inserted in the map).
+    /// The backend evicts its own victims as needed, updates accounting,
+    /// performs side effects (persist, mark-cached), and may adjust
+    /// `entry.size`. Returns false to reject the object entirely.
+    fn put(
+        &self,
+        map: &mut EntryMap,
+        reg: &BackendRegistry,
+        key: &LKey,
+        entry: &mut CacheEntry,
+    ) -> bool;
+
+    /// Hit-side conversion of the stored object into a reusable one:
+    /// disk read (and optional promotion), RDD materialization checks,
+    /// GPU pointer acquisition. Updates the entry's reuse counters and
+    /// the per-backend hit statistics.
+    fn materialize(&self, map: &mut EntryMap, reg: &BackendRegistry, key: &LKey) -> Materialized;
+
+    /// Evicts this tier's victims (eq. (1)/(2) order) until at least
+    /// `bytes` are freed or no victims remain. `skip` protects the entry
+    /// currently being admitted/promoted. Returns bytes freed.
+    fn evict_until(
+        &self,
+        map: &mut EntryMap,
+        reg: &BackendRegistry,
+        bytes: usize,
+        skip: Option<&LKey>,
+    ) -> usize;
+
+    /// Bytes currently accounted to this tier.
+    fn used(&self) -> usize;
+
+    /// Byte budget of this tier (`usize::MAX` = unbounded).
+    fn budget(&self) -> usize;
+
+    /// Uniform stats report (the cache fills `entries`).
+    fn snapshot(&self) -> BackendSnapshot;
+
+    /// Releases backend resources held by an entry leaving the cache
+    /// (unpersist, unmark, spill-file removal) and reverses accounting.
+    fn release(&self, entry: &CacheEntry);
+
+    /// Downcast support for backend-concrete accessors.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// The ordered set of tiers attached to one cache.
+#[derive(Default, Clone)]
+pub struct BackendRegistry {
+    backends: Vec<Arc<dyn CacheBackend>>,
+}
+
+impl BackendRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tier, replacing any previous tier with the same id.
+    pub fn register(&mut self, backend: Arc<dyn CacheBackend>) {
+        let id = backend.id();
+        self.backends.retain(|b| b.id() != id);
+        self.backends.push(backend);
+    }
+
+    /// Looks a tier up by id.
+    pub fn get(&self, id: BackendId) -> Option<&Arc<dyn CacheBackend>> {
+        self.backends.iter().find(|b| b.id() == id)
+    }
+
+    /// True when a tier with this id is registered.
+    pub fn contains(&self, id: BackendId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Iterates the registered tiers in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn CacheBackend>> {
+        self.backends.iter()
+    }
+
+    /// Downcasts a registered tier to its concrete type.
+    pub fn downcast<T: 'static>(&self, id: BackendId) -> Option<&T> {
+        self.get(id).and_then(|b| b.as_any().downcast_ref::<T>())
+    }
+
+    /// Aggregates every tier's [`CacheBackend::snapshot`] into one
+    /// per-backend report (entry counts left at zero; the cache fills
+    /// them from the probe map).
+    pub fn snapshots(&self) -> Vec<BackendSnapshot> {
+        self.backends.iter().map(|b| b.snapshot()).collect()
+    }
+}
+
+impl fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.backends.iter().map(|b| b.id()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::LineageItem;
+
+    #[test]
+    fn backend_id_tags_and_display() {
+        assert_eq!(BackendId::Local.as_str(), "local");
+        assert_eq!(BackendId::Spark.as_str(), "spark");
+        assert_eq!(BackendId::Custom(3).to_string(), "custom#3");
+        assert_eq!(BackendId::Gpu.to_string(), "gpu");
+    }
+
+    #[test]
+    fn eq1_orders_by_value_density() {
+        // Expensive & small beats cheap & large; references scale up.
+        let precious = EvictionPolicy::cost_size_score(5, 1e9, 8);
+        let bulky = EvictionPolicy::cost_size_score(5, 1.0, 1 << 30);
+        assert!(precious > bulky);
+        assert!(
+            EvictionPolicy::cost_size_score(10, 10.0, 100)
+                > EvictionPolicy::cost_size_score(1, 10.0, 100)
+        );
+        // Zero references count as one (freshly admitted entries).
+        assert_eq!(
+            EvictionPolicy::cost_size_score(0, 10.0, 100),
+            EvictionPolicy::cost_size_score(1, 10.0, 100)
+        );
+    }
+
+    #[test]
+    fn eq2_prefers_stale_tall_cheap() {
+        let stale_tall_cheap = EvictionPolicy::gpu_score(1, 100, 10, 1.0, 100.0);
+        let fresh_short_costly = EvictionPolicy::gpu_score(99, 100, 1, 100.0, 100.0);
+        assert!(stale_tall_cheap < fresh_short_costly);
+        // Degenerate clocks/costs do not divide by zero.
+        assert!(EvictionPolicy::gpu_score(0, 0, 0, 0.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn select_victim_picks_min_score() {
+        let policy = EvictionPolicy::default();
+        let mut map = EntryMap::new();
+        for (name, cost) in [("a", 50.0), ("b", 2.0), ("c", 9.0)] {
+            let item = LineageItem::leaf(name);
+            let e = CacheEntry::cached(item.clone(), CachedObject::Scalar(0.0), cost, 16);
+            map.entries.insert(LKey(item), e);
+        }
+        let victim = policy.select_victim(map.entries.iter()).expect("victim");
+        let e = &map.entries[&victim];
+        assert_eq!(e.compute_cost, 2.0, "cheapest entry evicted first");
+    }
+
+    #[test]
+    fn registry_replaces_same_id_and_downcasts() {
+        struct Dummy(u64);
+        impl CacheBackend for Dummy {
+            fn id(&self) -> BackendId {
+                BackendId::Custom(1)
+            }
+            fn put(
+                &self,
+                _: &mut EntryMap,
+                _: &BackendRegistry,
+                _: &LKey,
+                _: &mut CacheEntry,
+            ) -> bool {
+                true
+            }
+            fn materialize(&self, _: &mut EntryMap, _: &BackendRegistry, _: &LKey) -> Materialized {
+                Materialized::Stale
+            }
+            fn evict_until(
+                &self,
+                _: &mut EntryMap,
+                _: &BackendRegistry,
+                _: usize,
+                _: Option<&LKey>,
+            ) -> usize {
+                0
+            }
+            fn used(&self) -> usize {
+                0
+            }
+            fn budget(&self) -> usize {
+                usize::MAX
+            }
+            fn snapshot(&self) -> BackendSnapshot {
+                BackendSnapshot {
+                    id: self.id(),
+                    used: 0,
+                    budget: usize::MAX,
+                    entries: 0,
+                    detail: vec![],
+                }
+            }
+            fn release(&self, _: &CacheEntry) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut reg = BackendRegistry::new();
+        reg.register(Arc::new(Dummy(1)));
+        reg.register(Arc::new(Dummy(2)));
+        assert_eq!(reg.iter().count(), 1, "same id replaced");
+        assert_eq!(reg.downcast::<Dummy>(BackendId::Custom(1)).unwrap().0, 2);
+        assert!(!reg.contains(BackendId::Gpu));
+        assert!(reg.snapshots().len() == 1);
+    }
+}

@@ -1,0 +1,695 @@
+//! The four built-in cache tiers as [`CacheBackend`] implementations:
+//! driver-local memory, driver-local disk spill, Spark, and GPU.
+//!
+//! Each tier owns its byte accounting behind its own lock (the probe map
+//! locks independently) and cooperates with the others through the
+//! registry: the local tier spills cold matrices into the disk tier, the
+//! disk tier promotes hot matrices back through the local tier, and the
+//! GPU's device-to-host eviction re-admits matrices through the local
+//! tier as well.
+
+use crate::backend::{
+    BackendId, BackendRegistry, BackendSnapshot, CacheBackend, EntryMap, EvictionPolicy,
+    Materialized,
+};
+use crate::cache::config::CacheConfig;
+use crate::cache::entry::{CacheEntry, CachedObject};
+use crate::cache::gpu::GpuMemoryManager;
+use crate::cache::spark::SparkBackend;
+use crate::lineage::LKey;
+use crate::stats::ReuseStats;
+use memphis_matrix::io as mio;
+use memphis_matrix::Matrix;
+use memphis_sparksim::StorageLevel;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ----------------------------------------------------------------------
+// Local (driver memory)
+// ----------------------------------------------------------------------
+
+/// Driver-local in-memory tier: matrices and scalars against a byte
+/// budget, eq. (1) eviction with spill into the disk tier.
+pub struct LocalBackend {
+    budget: usize,
+    spill_enabled: bool,
+    policy: EvictionPolicy,
+    used: Mutex<usize>,
+    stats: Arc<ReuseStats>,
+    spill: Option<Arc<DiskBackend>>,
+}
+
+impl LocalBackend {
+    /// Creates the tier; `spill` receives evicted-but-proven entries.
+    pub fn new(
+        config: &CacheConfig,
+        stats: Arc<ReuseStats>,
+        spill: Option<Arc<DiskBackend>>,
+    ) -> Self {
+        Self {
+            budget: config.local_budget,
+            spill_enabled: config.spill_to_disk,
+            policy: EvictionPolicy::default(),
+            used: Mutex::new(0),
+            stats,
+            spill,
+        }
+    }
+
+    /// Evicts one eq. (1) victim (spill or drop). Returns bytes freed,
+    /// or `None` when no victim remains.
+    fn evict_one(&self, map: &mut EntryMap, skip: Option<&LKey>) -> Option<usize> {
+        let victim = self
+            .policy
+            .select_victim(map.entries.iter().filter(|(k, e)| {
+                e.backend == BackendId::Local
+                    && matches!(e.object, Some(CachedObject::Matrix(_)))
+                    && skip.map(|s| *k != s).unwrap_or(true)
+            }))?;
+        let e = map.entries.get_mut(&victim).expect("victim exists");
+        let Some(CachedObject::Matrix(m)) = e.object.clone() else {
+            unreachable!("filtered to matrices")
+        };
+        let msize = m.size_bytes();
+        // Spill only entries with proven reuse (at least one hit) to
+        // disk; unproven entries are dropped — avoiding disk-write
+        // storms when a stream of never-reused intermediates thrashes
+        // the budget (the robustness concern of §6.2).
+        let spilled = self.spill_enabled
+            && e.hits > 0
+            && self
+                .spill
+                .as_ref()
+                .and_then(|d| d.store(&m, e.key.hash))
+                .map(|path| {
+                    e.object = Some(CachedObject::Disk(path));
+                    e.backend = BackendId::Disk;
+                })
+                .is_some();
+        if spilled {
+            ReuseStats::inc(&self.stats.local_spills);
+        } else {
+            map.entries.remove(&victim);
+            ReuseStats::inc(&self.stats.local_drops);
+        }
+        let mut used = self.used.lock();
+        *used = used.saturating_sub(msize);
+        Some(msize)
+    }
+
+    /// MAKE_SPACE: evicts until `size` extra bytes fit the budget.
+    fn make_space(&self, map: &mut EntryMap, size: usize, skip: Option<&LKey>) {
+        while *self.used.lock() + size > self.budget {
+            if self.evict_one(map, skip).is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Admits a matrix into an *existing* entry (disk promotion,
+    /// device-to-host eviction): makes space, rewrites the entry to the
+    /// local tier, updates accounting. Returns false when the matrix
+    /// exceeds the whole budget (entry left untouched).
+    pub fn admit_existing(&self, map: &mut EntryMap, key: &LKey, m: Arc<Matrix>) -> bool {
+        let size = m.size_bytes();
+        if size > self.budget {
+            return false;
+        }
+        self.make_space(map, size, Some(key));
+        let Some(e) = map.entries.get_mut(key) else {
+            return false;
+        };
+        e.object = Some(CachedObject::Matrix(m));
+        e.size = size;
+        e.backend = BackendId::Local;
+        *self.used.lock() += size;
+        true
+    }
+}
+
+impl CacheBackend for LocalBackend {
+    fn id(&self) -> BackendId {
+        BackendId::Local
+    }
+
+    fn put(
+        &self,
+        map: &mut EntryMap,
+        _reg: &BackendRegistry,
+        _key: &LKey,
+        entry: &mut CacheEntry,
+    ) -> bool {
+        match &entry.object {
+            Some(CachedObject::Matrix(m)) => {
+                let size = m.size_bytes();
+                if size > self.budget {
+                    return false; // larger than the whole budget: skip caching
+                }
+                self.make_space(map, size, None);
+                *self.used.lock() += size;
+                entry.size = size;
+                true
+            }
+            Some(CachedObject::Scalar(_)) => {
+                entry.size = 16;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn materialize(&self, map: &mut EntryMap, _reg: &BackendRegistry, key: &LKey) -> Materialized {
+        let Some(e) = map.entries.get_mut(key) else {
+            return Materialized::Stale;
+        };
+        let Some(object) = e.object.clone() else {
+            return Materialized::Stale;
+        };
+        e.hits += 1;
+        ReuseStats::inc(&self.stats.hits_local);
+        Materialized::Hit(object)
+    }
+
+    fn evict_until(
+        &self,
+        map: &mut EntryMap,
+        _reg: &BackendRegistry,
+        bytes: usize,
+        skip: Option<&LKey>,
+    ) -> usize {
+        let mut freed = 0;
+        while freed < bytes {
+            match self.evict_one(map, skip) {
+                Some(n) => freed += n,
+                None => break,
+            }
+        }
+        freed
+    }
+
+    fn used(&self) -> usize {
+        *self.used.lock()
+    }
+
+    fn budget(&self) -> usize {
+        self.budget
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        let s = self.stats.snapshot();
+        BackendSnapshot {
+            id: self.id(),
+            used: self.used(),
+            budget: self.budget,
+            entries: 0,
+            detail: vec![
+                ("hits", s.hits_local),
+                ("spills", s.local_spills),
+                ("drops", s.local_drops),
+            ],
+        }
+    }
+
+    fn release(&self, entry: &CacheEntry) {
+        if let Some(CachedObject::Matrix(m)) = &entry.object {
+            let mut used = self.used.lock();
+            *used = used.saturating_sub(m.size_bytes());
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ----------------------------------------------------------------------
+// Disk (driver-local spill files)
+// ----------------------------------------------------------------------
+
+/// Driver-local disk tier: binaries spilled from the local tier, read
+/// back on hit and optionally promoted to memory again.
+pub struct DiskBackend {
+    dir: PathBuf,
+    promote_on_hit: bool,
+    policy: EvictionPolicy,
+    counter: AtomicU64,
+    used: Mutex<usize>,
+    stats: Arc<ReuseStats>,
+}
+
+impl DiskBackend {
+    /// Creates the tier writing into the cache-unique `dir` (removed on
+    /// drop).
+    pub fn new(config: &CacheConfig, stats: Arc<ReuseStats>) -> Self {
+        Self {
+            dir: config.spill_dir.clone(),
+            promote_on_hit: config.promote_on_disk_hit,
+            policy: EvictionPolicy::default(),
+            counter: AtomicU64::new(0),
+            used: Mutex::new(0),
+            stats,
+        }
+    }
+
+    /// Writes a spilled matrix, returning its path (accounted to this
+    /// tier) or `None` on I/O failure.
+    pub fn store(&self, m: &Matrix, tag: u64) -> Option<PathBuf> {
+        std::fs::create_dir_all(&self.dir).ok();
+        let path = self.dir.join(format!(
+            "lcache_{}_{}.bin",
+            tag,
+            self.counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        if mio::write_file(m, &path).is_ok() {
+            *self.used.lock() += m.size_bytes();
+            Some(path)
+        } else {
+            None
+        }
+    }
+
+    fn discard(&self, path: &Path, size: usize) {
+        std::fs::remove_file(path).ok();
+        let mut used = self.used.lock();
+        *used = used.saturating_sub(size);
+    }
+}
+
+impl CacheBackend for DiskBackend {
+    fn id(&self) -> BackendId {
+        BackendId::Disk
+    }
+
+    fn put(
+        &self,
+        _map: &mut EntryMap,
+        _reg: &BackendRegistry,
+        _key: &LKey,
+        entry: &mut CacheEntry,
+    ) -> bool {
+        // Direct admission of an already-written binary.
+        if matches!(entry.object, Some(CachedObject::Disk(_))) {
+            *self.used.lock() += entry.size;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn materialize(&self, map: &mut EntryMap, reg: &BackendRegistry, key: &LKey) -> Materialized {
+        let Some(e) = map.entries.get(key) else {
+            return Materialized::Stale;
+        };
+        let Some(CachedObject::Disk(path)) = e.object.clone() else {
+            return Materialized::Stale;
+        };
+        let size = e.size;
+        match mio::read_file(&path) {
+            Ok(m) => {
+                let m = Arc::new(m);
+                if let Some(e) = map.entries.get_mut(key) {
+                    e.hits += 1;
+                }
+                ReuseStats::inc(&self.stats.hits_disk);
+                if self.promote_on_hit {
+                    let promoted = reg
+                        .downcast::<LocalBackend>(BackendId::Local)
+                        .map(|local| local.admit_existing(map, key, m.clone()))
+                        .unwrap_or(false);
+                    if promoted {
+                        self.discard(&path, size);
+                    }
+                }
+                Materialized::Hit(CachedObject::Matrix(m))
+            }
+            // Spill file lost: the cache drops the entry (release
+            // reverses the accounting).
+            Err(_) => Materialized::Stale,
+        }
+    }
+
+    fn evict_until(
+        &self,
+        map: &mut EntryMap,
+        _reg: &BackendRegistry,
+        bytes: usize,
+        skip: Option<&LKey>,
+    ) -> usize {
+        let mut freed = 0;
+        while freed < bytes {
+            let victim = self
+                .policy
+                .select_victim(map.entries.iter().filter(|(k, e)| {
+                    e.backend == BackendId::Disk && skip.map(|s| *k != s).unwrap_or(true)
+                }));
+            let Some(k) = victim else { break };
+            let e = map.entries.remove(&k).expect("victim exists");
+            if let Some(CachedObject::Disk(path)) = &e.object {
+                self.discard(path, e.size);
+            }
+            freed += e.size;
+        }
+        freed
+    }
+
+    fn used(&self) -> usize {
+        *self.used.lock()
+    }
+
+    fn budget(&self) -> usize {
+        usize::MAX
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        let s = self.stats.snapshot();
+        BackendSnapshot {
+            id: self.id(),
+            used: self.used(),
+            budget: usize::MAX,
+            entries: 0,
+            detail: vec![("hits", s.hits_disk), ("spilled_in", s.local_spills)],
+        }
+    }
+
+    fn release(&self, entry: &CacheEntry) {
+        if let Some(CachedObject::Disk(path)) = &entry.object {
+            self.discard(path, entry.size);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Drop for DiskBackend {
+    fn drop(&mut self) {
+        // The spill directory is cache-unique (see `LineageCache::new`):
+        // safe to remove.
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Spark (distributed RDDs)
+// ----------------------------------------------------------------------
+
+/// Spark tier: RDD handles reused even while unmaterialized, delayed
+/// `persist()`, eq. (1) budget eviction via `unpersist`, asynchronous
+/// `count()` materialization, and lazy GC of dangling references.
+pub struct SparkTier {
+    backend: SparkBackend,
+    policy: EvictionPolicy,
+    materialize_after_misses: u64,
+    est: Mutex<usize>,
+    stats: Arc<ReuseStats>,
+}
+
+impl SparkTier {
+    /// Wraps an attached cluster.
+    pub fn new(backend: SparkBackend, config: &CacheConfig, stats: Arc<ReuseStats>) -> Self {
+        Self {
+            backend,
+            policy: EvictionPolicy::default(),
+            materialize_after_misses: config.materialize_after_misses,
+            est: Mutex::new(0),
+            stats,
+        }
+    }
+
+    /// The wrapped Spark attachment (cluster handle + reuse budget).
+    pub fn spark(&self) -> &SparkBackend {
+        &self.backend
+    }
+
+    /// Evicts the lowest-score stored RDD entry (eq. 1). Returns bytes
+    /// freed, or `None` when none exist.
+    fn evict_worst(&self, map: &mut EntryMap) -> Option<usize> {
+        let victim = self.policy.select_victim(
+            map.entries
+                .iter()
+                .filter(|(_, e)| e.backend == BackendId::Spark),
+        )?;
+        let e = map.entries.remove(&victim).expect("victim exists");
+        {
+            let mut est = self.est.lock();
+            *est = est.saturating_sub(e.size);
+        }
+        if let Some(CachedObject::Rdd { rdd, .. }) = &e.object {
+            self.backend.sc.unpersist(rdd);
+            self.backend.sc.cleanup_shuffle(rdd);
+        }
+        ReuseStats::inc(&self.stats.rdd_unpersists);
+        Some(e.size)
+    }
+
+    /// Lazy garbage collection from a freshly materialized cached RDD.
+    fn run_lazy_gc(&self, map: &EntryMap, root: &memphis_sparksim::RddRef) {
+        // Protected sets: RDDs referenced by any entry; broadcasts
+        // reachable from unmaterialized RDD entries.
+        let mut cached_rdds: HashSet<u64> = HashSet::new();
+        let mut protected_bc: HashSet<u64> = HashSet::new();
+        for e in map.entries.values() {
+            if let Some(CachedObject::Rdd { rdd: r, .. }) = &e.object {
+                cached_rdds.insert(r.id().0);
+                if !self.backend.sc.is_fully_cached(r) {
+                    protected_bc.extend(SparkBackend::reachable_broadcasts(r));
+                }
+            }
+        }
+        self.backend
+            .lazy_gc(root, &cached_rdds, &protected_bc, &self.stats);
+    }
+}
+
+impl CacheBackend for SparkTier {
+    fn id(&self) -> BackendId {
+        BackendId::Spark
+    }
+
+    fn put(
+        &self,
+        map: &mut EntryMap,
+        _reg: &BackendRegistry,
+        _key: &LKey,
+        entry: &mut CacheEntry,
+    ) -> bool {
+        let Some(CachedObject::Rdd { rdd, .. }) = &entry.object else {
+            return false;
+        };
+        // Eq. (1) budget eviction before persisting a new RDD.
+        while *self.est.lock() + entry.size > self.backend.reuse_budget {
+            if self.evict_worst(map).is_none() {
+                break;
+            }
+        }
+        rdd.persist(StorageLevel::MemoryAndDisk);
+        *self.est.lock() += entry.size;
+        true
+    }
+
+    fn materialize(&self, map: &mut EntryMap, _reg: &BackendRegistry, key: &LKey) -> Materialized {
+        let Some(e) = map.entries.get_mut(key) else {
+            return Materialized::Stale;
+        };
+        let Some(CachedObject::Rdd { rdd, rows, cols }) = e.object.clone() else {
+            return Materialized::Stale;
+        };
+        if self.backend.sc.is_fully_cached(&rdd) {
+            e.hits += 1;
+            let gc_pending = !e.gc_done;
+            e.gc_done = true;
+            ReuseStats::inc(&self.stats.hits_rdd);
+            if gc_pending {
+                self.run_lazy_gc(map, &rdd);
+            }
+        } else {
+            // Reuse of an unmaterialized RDD: compute sharing still
+            // applies, but count the miss toward async materialization.
+            e.misses += 1;
+            let trigger = !e.materialize_triggered && e.misses >= self.materialize_after_misses;
+            if trigger {
+                e.materialize_triggered = true;
+            }
+            ReuseStats::inc(&self.stats.hits_rdd);
+            if trigger {
+                self.backend.trigger_materialize(&rdd, &self.stats);
+            }
+        }
+        Materialized::Hit(CachedObject::Rdd { rdd, rows, cols })
+    }
+
+    fn evict_until(
+        &self,
+        map: &mut EntryMap,
+        _reg: &BackendRegistry,
+        bytes: usize,
+        _skip: Option<&LKey>,
+    ) -> usize {
+        let mut freed = 0;
+        while freed < bytes {
+            match self.evict_worst(map) {
+                Some(n) => freed += n,
+                None => break,
+            }
+        }
+        freed
+    }
+
+    fn used(&self) -> usize {
+        *self.est.lock()
+    }
+
+    fn budget(&self) -> usize {
+        self.backend.reuse_budget
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        let s = self.stats.snapshot();
+        let mut detail = vec![
+            ("hits", s.hits_rdd),
+            ("unpersists", s.rdd_unpersists),
+            ("mat_jobs", s.rdd_materialize_jobs),
+            ("gc_rdds", s.gc_rdds_released),
+            ("gc_bcasts", s.gc_broadcasts_destroyed),
+        ];
+        detail.extend(self.backend.sc.stats().pairs());
+        BackendSnapshot {
+            id: self.id(),
+            used: self.used(),
+            budget: self.backend.reuse_budget,
+            entries: 0,
+            detail,
+        }
+    }
+
+    fn release(&self, entry: &CacheEntry) {
+        if let Some(CachedObject::Rdd { rdd, .. }) = &entry.object {
+            self.backend.sc.unpersist(rdd);
+            self.backend.sc.cleanup_shuffle(rdd);
+            let mut est = self.est.lock();
+            *est = est.saturating_sub(entry.size);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ----------------------------------------------------------------------
+// GPU (device pointers)
+// ----------------------------------------------------------------------
+
+/// GPU tier: cached device pointers managed by the unified
+/// [`GpuMemoryManager`] (Live/Free lists, recycling, eq. (2) scoring).
+pub struct GpuTier {
+    mgr: Arc<GpuMemoryManager>,
+    stats: Arc<ReuseStats>,
+}
+
+impl GpuTier {
+    /// Wraps a memory manager.
+    pub fn new(mgr: Arc<GpuMemoryManager>, stats: Arc<ReuseStats>) -> Self {
+        Self { mgr, stats }
+    }
+
+    /// The unified GPU memory manager.
+    pub fn manager(&self) -> &Arc<GpuMemoryManager> {
+        &self.mgr
+    }
+}
+
+impl CacheBackend for GpuTier {
+    fn id(&self) -> BackendId {
+        BackendId::Gpu
+    }
+
+    fn put(
+        &self,
+        _map: &mut EntryMap,
+        _reg: &BackendRegistry,
+        key: &LKey,
+        entry: &mut CacheEntry,
+    ) -> bool {
+        let Some(CachedObject::Gpu { ptr, .. }) = &entry.object else {
+            return false;
+        };
+        self.mgr.mark_cached(*ptr, key.clone());
+        entry.size = ptr.size;
+        true
+    }
+
+    fn materialize(&self, map: &mut EntryMap, _reg: &BackendRegistry, key: &LKey) -> Materialized {
+        let Some(e) = map.entries.get_mut(key) else {
+            return Materialized::Stale;
+        };
+        let Some(CachedObject::Gpu { ptr, rows, cols }) = e.object.clone() else {
+            return Materialized::Stale;
+        };
+        if self.mgr.acquire(ptr) {
+            e.hits += 1;
+            ReuseStats::inc(&self.stats.hits_gpu);
+            Materialized::Hit(CachedObject::Gpu { ptr, rows, cols })
+        } else {
+            // Pointer no longer managed — stale entry.
+            Materialized::Stale
+        }
+    }
+
+    fn evict_until(
+        &self,
+        map: &mut EntryMap,
+        _reg: &BackendRegistry,
+        bytes: usize,
+        _skip: Option<&LKey>,
+    ) -> usize {
+        let (freed, invalidated) = self.mgr.evict_bytes(bytes);
+        for k in &invalidated {
+            // Pointers are already freed: remove without release.
+            map.entries.remove(k);
+        }
+        freed
+    }
+
+    fn used(&self) -> usize {
+        self.mgr.device().mem_used()
+    }
+
+    fn budget(&self) -> usize {
+        self.mgr.device().capacity()
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        let s = self.stats.snapshot();
+        let mut detail = vec![
+            ("hits", s.hits_gpu),
+            ("recycled", s.gpu_recycled),
+            ("reused", s.gpu_reused),
+            ("freed", s.gpu_freed),
+            ("to_host", s.gpu_evicted_to_host),
+        ];
+        detail.extend(self.mgr.device().stats().pairs());
+        BackendSnapshot {
+            id: self.id(),
+            used: self.used(),
+            budget: self.mgr.device().capacity(),
+            entries: 0,
+            detail,
+        }
+    }
+
+    fn release(&self, entry: &CacheEntry) {
+        if let Some(CachedObject::Gpu { ptr, .. }) = &entry.object {
+            self.mgr.unmark_cached(*ptr);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,17 +1,20 @@
 //! Cache entries: backend-local cached objects with reuse metadata.
 
+use crate::backend::{BackendId, EvictionPolicy};
 use crate::lineage::LItem;
 use memphis_gpusim::GpuPtr;
 use memphis_matrix::Matrix;
 use memphis_sparksim::RddRef;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// A backend-local cached object — the wrapper of paper §3.3 around
 /// backend-specific pointers.
 #[derive(Debug, Clone)]
 pub enum CachedObject {
-    /// In-memory matrix on the driver.
-    Matrix(Matrix),
+    /// In-memory matrix on the driver (shared, not deep-copied, between
+    /// the cache and probe hits).
+    Matrix(Arc<Matrix>),
     /// Scalar on the driver.
     Scalar(f64),
     /// Handle to a (possibly unmaterialized) distributed RDD, with its
@@ -38,14 +41,14 @@ pub enum CachedObject {
 }
 
 impl CachedObject {
-    /// Short backend tag for reports.
-    pub fn backend(&self) -> &'static str {
+    /// The tier owning this object.
+    pub fn backend(&self) -> BackendId {
         match self {
-            CachedObject::Matrix(_) => "local",
-            CachedObject::Scalar(_) => "local",
-            CachedObject::Rdd { .. } => "spark",
-            CachedObject::Gpu { .. } => "gpu",
-            CachedObject::Disk(_) => "disk",
+            CachedObject::Matrix(_) => BackendId::Local,
+            CachedObject::Scalar(_) => BackendId::Local,
+            CachedObject::Rdd { .. } => BackendId::Spark,
+            CachedObject::Gpu { .. } => BackendId::Gpu,
+            CachedObject::Disk(_) => BackendId::Disk,
         }
     }
 }
@@ -72,6 +75,9 @@ pub struct CacheEntry {
     pub key: LItem,
     /// The cached object; `None` while the entry is a placeholder.
     pub object: Option<CachedObject>,
+    /// The tier owning the object (admission/eviction dispatch through
+    /// the registry). Placeholders default to the local tier.
+    pub backend: BackendId,
     /// Admission status.
     pub status: EntryStatus,
     /// Analytical compute cost `c(o)` supplied by the compiler.
@@ -97,13 +103,15 @@ pub struct CacheEntry {
 }
 
 impl CacheEntry {
-    /// Creates a stored (CACHED) entry.
+    /// Creates a stored (CACHED) entry owned by the object's tier.
     pub fn cached(key: LItem, object: CachedObject, compute_cost: f64, size: usize) -> Self {
         let height = key.height;
         let is_function = key.opcode.starts_with("func:");
+        let backend = object.backend();
         Self {
             key,
             object: Some(object),
+            backend,
             status: EntryStatus::Cached,
             compute_cost,
             size,
@@ -125,6 +133,7 @@ impl CacheEntry {
         Self {
             key,
             object: None,
+            backend: BackendId::Local,
             status: EntryStatus::ToBeCached { seen: 1, needed },
             compute_cost,
             size,
@@ -140,10 +149,10 @@ impl CacheEntry {
     }
 
     /// Eq. (1) eviction score: `(r_h + r_m + r_j) * c(o) / s(o)` —
-    /// smallest score is evicted first.
+    /// smallest score is evicted first (delegates to the shared
+    /// [`EvictionPolicy`]).
     pub fn cost_size_score(&self) -> f64 {
-        let refs = (self.hits + self.misses + self.jobs) as f64;
-        refs.max(1.0) * self.compute_cost / self.size.max(1) as f64
+        EvictionPolicy::entry_score(self)
     }
 }
 
@@ -154,12 +163,24 @@ mod tests {
 
     #[test]
     fn backend_tags() {
-        assert_eq!(CachedObject::Scalar(1.0).backend(), "local");
+        assert_eq!(CachedObject::Scalar(1.0).backend(), BackendId::Local);
         assert_eq!(
-            CachedObject::Matrix(Matrix::zeros(1, 1)).backend(),
-            "local"
+            CachedObject::Matrix(Arc::new(Matrix::zeros(1, 1))).backend(),
+            BackendId::Local
         );
-        assert_eq!(CachedObject::Disk(PathBuf::from("/tmp/x")).backend(), "disk");
+        assert_eq!(
+            CachedObject::Disk(PathBuf::from("/tmp/x")).backend(),
+            BackendId::Disk
+        );
+        assert_eq!(BackendId::Disk.as_str(), "disk");
+    }
+
+    #[test]
+    fn entries_carry_their_backend() {
+        let e = CacheEntry::cached(LineageItem::leaf("x"), CachedObject::Scalar(0.0), 1.0, 16);
+        assert_eq!(e.backend, BackendId::Local);
+        let p = CacheEntry::placeholder(LineageItem::leaf("y"), 1.0, 16, 2);
+        assert_eq!(p.backend, BackendId::Local);
     }
 
     #[test]

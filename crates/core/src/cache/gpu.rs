@@ -16,6 +16,7 @@
 //! - **Eviction ordering (eq. 2)**: `T_a(o) + 1/h(o) + c(o)` — recycle
 //!   least-recently-used, tall-lineage, cheap intermediates first.
 
+use crate::backend::EvictionPolicy;
 use crate::lineage::LKey;
 use crate::stats::ReuseStats;
 use memphis_gpusim::{GpuDevice, GpuError, GpuPtr};
@@ -46,79 +47,24 @@ struct Inner {
 }
 
 impl Inner {
-    /// Eq. (2) score — smaller is recycled/freed first.
-    fn score(&self, f: &FreePtr) -> f64 {
-        let ta = if self.clock == 0 {
-            0.0
-        } else {
-            f.last_access as f64 / self.clock as f64
-        };
-        let inv_h = 1.0 / f.height.max(1) as f64;
-        let c = if self.max_cost > 0.0 {
-            f.cost / self.max_cost
-        } else {
-            0.0
-        };
-        ta + inv_h + c
+    /// Eq. (2) score — smaller is recycled/freed first. One shared
+    /// scoring function ([`EvictionPolicy::gpu_score`]) parameterized by
+    /// this manager's clock and cost normalizer.
+    fn score_with(clock: u64, max_cost: f64, f: &FreePtr) -> f64 {
+        EvictionPolicy::gpu_score(f.last_access, clock, f.height, f.cost, max_cost)
     }
 
-    /// Removes and returns the min-score pointer from the pool of `size`.
-    fn pop_best(&mut self, size: usize) -> Option<FreePtr> {
+    /// Removes and returns the min-score pointer from the pool of `size`,
+    /// optionally restricted to pointers with no cached key.
+    fn pop_best_filtered(&mut self, size: usize, uncached_only: bool) -> Option<FreePtr> {
+        let (clock, max_cost) = (self.clock, self.max_cost);
         let pool = self.free.get_mut(&size)?;
-        if pool.is_empty() {
-            return None;
-        }
-        let mut best = 0;
-        let mut best_score = f64::INFINITY;
-        // Compute scores without holding a mutable borrow of the pool.
-        let scores: Vec<f64> = pool
-            .iter()
-            .map(|f| {
-                let ta = if self.clock == 0 {
-                    0.0
-                } else {
-                    f.last_access as f64 / self.clock as f64
-                };
-                ta + 1.0 / f.height.max(1) as f64
-                    + if self.max_cost > 0.0 {
-                        f.cost / self.max_cost
-                    } else {
-                        0.0
-                    }
-            })
-            .collect();
-        for (i, s) in scores.iter().enumerate() {
-            if *s < best_score {
-                best_score = *s;
-                best = i;
-            }
-        }
-        let pool = self.free.get_mut(&size)?;
-        let f = pool.swap_remove(best);
-        if pool.is_empty() {
-            self.free.remove(&size);
-        }
-        Some(f)
-    }
-
-    /// Like [`Inner::pop_best`], restricted to pointers with no cached key.
-    fn pop_best_uncached(&mut self, size: usize) -> Option<FreePtr> {
-        let pool = self.free.get_mut(&size)?;
-        let clock = self.clock;
-        let max_cost = self.max_cost;
         let mut best: Option<(usize, f64)> = None;
         for (i, f) in pool.iter().enumerate() {
-            if f.cached_key.is_some() {
+            if uncached_only && f.cached_key.is_some() {
                 continue;
             }
-            let ta = if clock == 0 {
-                0.0
-            } else {
-                f.last_access as f64 / clock as f64
-            };
-            let score = ta
-                + 1.0 / f.height.max(1) as f64
-                + if max_cost > 0.0 { f.cost / max_cost } else { 0.0 };
+            let score = Self::score_with(clock, max_cost, f);
             if best.map(|(_, b)| score < b).unwrap_or(true) {
                 best = Some((i, score));
             }
@@ -129,6 +75,16 @@ impl Inner {
             self.free.remove(&size);
         }
         Some(f)
+    }
+
+    /// Removes and returns the min-score pointer from the pool of `size`.
+    fn pop_best(&mut self, size: usize) -> Option<FreePtr> {
+        self.pop_best_filtered(size, false)
+    }
+
+    /// Like [`Inner::pop_best`], restricted to pointers with no cached key.
+    fn pop_best_uncached(&mut self, size: usize) -> Option<FreePtr> {
+        self.pop_best_filtered(size, true)
     }
 }
 
@@ -430,23 +386,26 @@ impl GpuMemoryManager {
     /// keys whose entries must be dropped.
     pub fn evict_fraction(&self, fraction: f64) -> Vec<LKey> {
         let fraction = fraction.clamp(0.0, 1.0);
-        let mut inner = self.inner.lock();
-        let total: usize = inner
-            .free
-            .values()
-            .flat_map(|p| p.iter())
-            .map(|f| f.ptr.size)
-            .sum();
+        let total = self.free_bytes();
         let target = (total as f64 * fraction) as usize;
+        self.evict_bytes(target).1
+    }
+
+    /// Frees the lowest-score free-list pointers until at least `bytes`
+    /// are released (or the free list runs dry). Returns the bytes
+    /// actually freed and the lineage keys whose entries must be dropped.
+    pub fn evict_bytes(&self, bytes: usize) -> (usize, Vec<LKey>) {
+        let mut inner = self.inner.lock();
+        let (clock, max_cost) = (inner.clock, inner.max_cost);
         let mut freed = 0usize;
         let mut invalidated = Vec::new();
         let mut to_free = Vec::new();
-        while freed < target {
+        while freed < bytes {
             // Global min-score pointer across all pools.
             let mut best: Option<(usize, usize, f64)> = None;
             for (&s, pool) in inner.free.iter() {
                 for (i, f) in pool.iter().enumerate() {
-                    let score = inner.score(f);
+                    let score = Inner::score_with(clock, max_cost, f);
                     if best.map(|(_, _, b)| score < b).unwrap_or(true) {
                         best = Some((s, i, score));
                     }
@@ -469,7 +428,7 @@ impl GpuMemoryManager {
             self.device.free(ptr).ok();
             ReuseStats::inc(&self.stats.gpu_freed);
         }
-        invalidated
+        (freed, invalidated)
     }
 
     /// Pops a cached free pointer for device-to-host eviction (highest
@@ -477,11 +436,12 @@ impl GpuMemoryManager {
     /// rather than discarding). Returns the pointer and its key.
     pub fn pop_cached_for_host_eviction(&self) -> Option<(GpuPtr, LKey)> {
         let mut inner = self.inner.lock();
+        let (clock, max_cost) = (inner.clock, inner.max_cost);
         let mut best: Option<(usize, usize, f64)> = None;
         for (&s, pool) in inner.free.iter() {
             for (i, f) in pool.iter().enumerate() {
                 if f.cached_key.is_some() {
-                    let score = inner.score(f);
+                    let score = Inner::score_with(clock, max_cost, f);
                     if best.map(|(_, _, b)| score < b).unwrap_or(true) {
                         best = Some((s, i, score));
                     }

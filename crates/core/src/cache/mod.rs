@@ -2,45 +2,50 @@
 //!
 //! Probing is unified: one hash map from lineage keys to entries,
 //! regardless of where the cached object lives. Admission, eviction, and
-//! memory management are backend-local:
+//! memory management are backend-local and pluggable: every tier —
+//! including the built-in four — is a [`CacheBackend`] registered in a
+//! [`BackendRegistry`], and the cache itself holds no backend-concrete
+//! state:
 //!
-//! - **Driver (local)**: matrices and scalars against a byte budget, with
-//!   eq. (1) cost&size eviction to disk-backed binaries.
+//! - **Local**: matrices and scalars against a byte budget, with eq. (1)
+//!   cost&size eviction spilling into the disk tier
+//!   ([`backends::LocalBackend`]).
+//! - **Disk**: spilled binaries, read back and optionally promoted on
+//!   hit ([`backends::DiskBackend`]).
 //! - **Spark**: RDD handles reused even while unmaterialized; delayed
 //!   `persist()`; eq. (1) eviction via `unpersist`; lazy garbage
 //!   collection of dangling child RDD/broadcast references; asynchronous
-//!   `count()` materialization after `k` unmaterialized reuses.
+//!   `count()` materialization after `k` unmaterialized reuses
+//!   ([`backends::SparkTier`]).
 //! - **GPU**: pointers managed by the unified [`gpu::GpuMemoryManager`]
 //!   (Live/Free lists, recycling, eq. (2) scoring, eviction injection,
-//!   device-to-host eviction).
+//!   device-to-host eviction) ([`backends::GpuTier`]).
+//!
+//! The probe map and per-backend accounting lock independently: the map
+//! mutex serializes probe/put, while each tier's byte counters sit behind
+//! their own locks so stats reads never contend with probes. Lock order
+//! is always probe map first, backend second.
 
+pub mod backends;
 pub mod config;
 pub mod entry;
 pub mod gpu;
 pub mod spark;
 
+use crate::backend::{
+    BackendId, BackendRegistry, BackendSnapshot, CacheBackend, EntryMap, Materialized,
+};
 use crate::lineage::{LItem, LKey};
 use crate::stats::{ReuseStats, ReuseStatsSnapshot};
+use backends::{DiskBackend, GpuTier, LocalBackend, SparkTier};
 use config::CacheConfig;
 use entry::{CacheEntry, CachedObject, EntryStatus};
 use gpu::{GpuAlloc, GpuMemoryManager};
 use memphis_gpusim::{GpuDevice, GpuError, GpuPtr};
-use memphis_matrix::io as mio;
-use memphis_sparksim::StorageLevel;
 use parking_lot::Mutex;
 use spark::SparkBackend;
-use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-
-struct State {
-    entries: HashMap<LKey, CacheEntry>,
-    clock: u64,
-    /// Bytes of local (driver) matrices currently cached.
-    local_used: usize,
-    /// Estimated worst-case bytes of reuse-persisted RDDs.
-    rdd_est_bytes: usize,
-}
 
 /// A successful probe: the reusable object plus the canonical lineage item
 /// for LineageMap compaction.
@@ -55,60 +60,80 @@ pub struct ProbeHit {
 
 static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(0);
 
-/// The hierarchical lineage cache.
+/// The hierarchical lineage cache: a unified probe map plus a registry of
+/// pluggable tier backends.
 pub struct LineageCache {
-    state: Mutex<State>,
+    map: Mutex<EntryMap>,
+    registry: BackendRegistry,
     config: CacheConfig,
     stats: Arc<ReuseStats>,
-    spark: Option<SparkBackend>,
-    gpu: Option<Arc<GpuMemoryManager>>,
-    spill_counter: AtomicU64,
 }
 
 impl LineageCache {
-    /// Creates a cache with only the local (driver) backend attached.
+    /// Creates a cache with the local (driver) and disk tiers registered.
     ///
     /// Disk-evicted binaries go to a cache-unique subdirectory of the
-    /// configured spill dir, removed when the cache is dropped.
+    /// configured spill dir, removed when the disk tier is dropped.
     pub fn new(mut config: CacheConfig) -> Self {
         config.spill_dir = config.spill_dir.join(format!(
             "c{}_{}",
             std::process::id(),
             NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed)
         ));
+        let stats = Arc::new(ReuseStats::default());
+        let disk = Arc::new(DiskBackend::new(&config, stats.clone()));
+        let local = Arc::new(LocalBackend::new(
+            &config,
+            stats.clone(),
+            Some(disk.clone()),
+        ));
+        let mut registry = BackendRegistry::new();
+        registry.register(local);
+        registry.register(disk);
         Self {
-            state: Mutex::new(State {
-                entries: HashMap::new(),
-                clock: 0,
-                local_used: 0,
-                rdd_est_bytes: 0,
-            }),
+            map: Mutex::new(EntryMap::new()),
+            registry,
             config,
-            stats: Arc::new(ReuseStats::default()),
-            spark: None,
-            gpu: None,
-            spill_counter: AtomicU64::new(0),
+            stats,
         }
     }
 
-    /// Attaches the simulated Spark cluster.
+    /// Attaches the simulated Spark cluster as a registered tier.
     pub fn with_spark(mut self, sc: memphis_sparksim::SparkContext) -> Self {
-        self.spark = Some(SparkBackend::new(sc, self.config.spark_reuse_fraction));
+        let b = SparkBackend::new(sc, self.config.spark_reuse_fraction);
+        self.registry.register(Arc::new(SparkTier::new(
+            b,
+            &self.config,
+            self.stats.clone(),
+        )));
         self
     }
 
-    /// Attaches a Spark backend in deterministic (inline materialization)
+    /// Attaches a Spark tier in deterministic (inline materialization)
     /// mode for tests.
     pub fn with_spark_sync(mut self, sc: memphis_sparksim::SparkContext) -> Self {
         let mut b = SparkBackend::new(sc, self.config.spark_reuse_fraction);
         b.sync_materialize = true;
-        self.spark = Some(b);
+        self.registry.register(Arc::new(SparkTier::new(
+            b,
+            &self.config,
+            self.stats.clone(),
+        )));
         self
     }
 
-    /// Attaches a simulated GPU device.
+    /// Attaches a simulated GPU device as a registered tier.
     pub fn with_gpu(mut self, device: Arc<GpuDevice>) -> Self {
-        self.gpu = Some(Arc::new(GpuMemoryManager::new(device, self.stats.clone())));
+        let mgr = Arc::new(GpuMemoryManager::new(device, self.stats.clone()));
+        self.registry
+            .register(Arc::new(GpuTier::new(mgr, self.stats.clone())));
+        self
+    }
+
+    /// Registers an additional (or replacement) tier — external backends
+    /// plug in here without any change to the cache itself.
+    pub fn with_backend(mut self, backend: Arc<dyn CacheBackend>) -> Self {
+        self.registry.register(backend);
         self
     }
 
@@ -127,19 +152,28 @@ impl LineageCache {
         &self.stats
     }
 
+    /// The registered tier backends.
+    pub fn registry(&self) -> &BackendRegistry {
+        &self.registry
+    }
+
     /// The GPU memory manager, if a device is attached.
     pub fn gpu_manager(&self) -> Option<&Arc<GpuMemoryManager>> {
-        self.gpu.as_ref()
+        self.registry
+            .downcast::<GpuTier>(BackendId::Gpu)
+            .map(|t| t.manager())
     }
 
     /// The Spark backend, if attached.
     pub fn spark_backend(&self) -> Option<&SparkBackend> {
-        self.spark.as_ref()
+        self.registry
+            .downcast::<SparkTier>(BackendId::Spark)
+            .map(|t| t.spark())
     }
 
     /// Number of entries (placeholders included).
     pub fn len(&self) -> usize {
-        self.state.lock().entries.len()
+        self.map.lock().entries.len()
     }
 
     /// True when the cache holds no entries.
@@ -149,39 +183,48 @@ impl LineageCache {
 
     /// Bytes of local matrices currently cached on the driver.
     pub fn local_used(&self) -> usize {
-        self.state.lock().local_used
+        self.registry
+            .get(BackendId::Local)
+            .map(|b| b.used())
+            .unwrap_or(0)
     }
 
     /// Estimated bytes of reuse-persisted RDDs.
     pub fn rdd_est_bytes(&self) -> usize {
-        self.state.lock().rdd_est_bytes
+        self.registry
+            .get(BackendId::Spark)
+            .map(|b| b.used())
+            .unwrap_or(0)
+    }
+
+    /// Per-backend stats reports ([`CacheBackend::snapshot`]), with entry
+    /// counts filled from the probe map.
+    pub fn backend_snapshots(&self) -> Vec<BackendSnapshot> {
+        let mut snaps = self.registry.snapshots();
+        let map = self.map.lock();
+        for s in &mut snaps {
+            s.entries = map.entries.values().filter(|e| e.backend == s.id).count();
+        }
+        snaps
+    }
+
+    /// The unified per-backend stats report, one line per tier.
+    pub fn backend_report(&self) -> String {
+        self.backend_snapshots()
+            .iter()
+            .map(|s| format!("  {s}"))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     /// Drops every entry and resets accounting (used between experiment
-    /// configurations). GPU pointers are unmarked, RDDs unpersisted.
+    /// configurations). GPU pointers are unmarked, RDDs unpersisted,
+    /// spill files removed.
     pub fn clear(&self) {
-        let mut state = self.state.lock();
-        let entries = std::mem::take(&mut state.entries);
-        state.local_used = 0;
-        state.rdd_est_bytes = 0;
-        drop(state);
+        let entries = std::mem::take(&mut self.map.lock().entries);
         for (_, e) in entries {
-            match e.object {
-                Some(CachedObject::Rdd { rdd, .. }) => {
-                    if let Some(sp) = &self.spark {
-                        sp.sc.unpersist(&rdd);
-                        sp.sc.cleanup_shuffle(&rdd);
-                    }
-                }
-                Some(CachedObject::Gpu { ptr, .. }) => {
-                    if let Some(g) = &self.gpu {
-                        g.unmark_cached(ptr);
-                    }
-                }
-                Some(CachedObject::Disk(path)) => {
-                    std::fs::remove_file(path).ok();
-                }
-                _ => {}
+            if let Some(b) = self.registry.get(e.backend) {
+                b.release(&e);
             }
         }
     }
@@ -197,11 +240,10 @@ impl LineageCache {
     pub fn probe(&self, item: &LItem) -> Option<ProbeHit> {
         ReuseStats::inc(&self.stats.probes);
         let key = LKey(item.clone());
-        let mut state = self.state.lock();
-        state.clock += 1;
-        let clock = state.clock;
+        let mut map = self.map.lock();
+        let clock = map.tick();
 
-        let Some(e) = state.entries.get_mut(&key) else {
+        let Some(e) = map.entries.get_mut(&key) else {
             ReuseStats::inc(&self.stats.misses);
             return None;
         };
@@ -213,108 +255,26 @@ impl LineageCache {
         }
         let canonical = e.key.clone();
         let is_function = e.is_function;
-        let object = e.object.clone().expect("checked above");
+        let backend_id = e.backend;
 
-        let hit = match object {
-            CachedObject::Matrix(_) | CachedObject::Scalar(_) => {
-                e.hits += 1;
-                ReuseStats::inc(&self.stats.hits_local);
-                Some(object)
-            }
-            CachedObject::Disk(ref path) => {
-                // Disk-evicted binary: read back; optionally promote.
-                match mio::read_file(path) {
-                    Ok(m) => {
-                        e.hits += 1;
-                        ReuseStats::inc(&self.stats.hits_disk);
-                        if self.config.promote_on_disk_hit {
-                            let size = m.size_bytes();
-                            let path = path.clone();
-                            e.object = Some(CachedObject::Matrix(m.clone()));
-                            e.size = size;
-                            Self::local_make_space_locked(
-                                &mut state,
-                                &self.config,
-                                &self.stats,
-                                &self.spill_counter,
-                                size,
-                                Some(&key),
-                            );
-                            state.local_used += size;
-                            std::fs::remove_file(path).ok();
-                        }
-                        Some(CachedObject::Matrix(m))
-                    }
-                    Err(_) => {
-                        // Spill file lost: drop the entry.
-                        state.entries.remove(&key);
-                        ReuseStats::inc(&self.stats.misses);
-                        return None;
-                    }
-                }
-            }
-            CachedObject::Rdd { ref rdd, rows, cols } => {
-                let rdd = rdd.clone();
-                let (rows, cols) = (rows, cols);
-                let materialized = self
-                    .spark
-                    .as_ref()
-                    .map(|sp| sp.sc.is_fully_cached(&rdd))
-                    .unwrap_or(false);
-                if materialized {
-                    e.hits += 1;
-                    let gc_pending = !e.gc_done;
-                    e.gc_done = true;
-                    ReuseStats::inc(&self.stats.hits_rdd);
-                    if gc_pending {
-                        self.run_lazy_gc(&mut state, &rdd);
-                    }
-                } else {
-                    // Reuse of an unmaterialized RDD: compute sharing still
-                    // applies, but count the miss toward async
-                    // materialization.
-                    e.misses += 1;
-                    let trigger = !e.materialize_triggered
-                        && e.misses >= self.config.materialize_after_misses;
-                    if trigger {
-                        e.materialize_triggered = true;
-                    }
-                    ReuseStats::inc(&self.stats.hits_rdd);
-                    if trigger {
-                        if let Some(sp) = &self.spark {
-                            sp.trigger_materialize(&rdd, &self.stats);
-                        }
-                    }
-                }
-                Some(CachedObject::Rdd { rdd, rows, cols })
-            }
-            CachedObject::Gpu { ptr, rows, cols } => {
-                let acquired = self
-                    .gpu
-                    .as_ref()
-                    .map(|g| g.acquire(ptr))
-                    .unwrap_or(false);
-                if acquired {
-                    e.hits += 1;
-                    ReuseStats::inc(&self.stats.hits_gpu);
-                    Some(CachedObject::Gpu { ptr, rows, cols })
-                } else {
-                    // Pointer no longer managed — stale entry.
-                    state.entries.remove(&key);
-                    None
-                }
-            }
+        let outcome = match self.registry.get(backend_id) {
+            Some(b) => b.materialize(&mut map, &self.registry, &key),
+            None => Materialized::Stale, // tier was unregistered
         };
-
-        match hit {
-            Some(object) => {
+        match outcome {
+            Materialized::Hit(object) => {
                 ReuseStats::inc(&self.stats.hits);
                 if is_function {
                     ReuseStats::inc(&self.stats.hits_func);
                 }
                 Some(ProbeHit { object, canonical })
             }
-            None => {
+            Materialized::Stale => {
+                if let Some(e) = map.entries.remove(&key) {
+                    if let Some(b) = self.registry.get(e.backend) {
+                        b.release(&e);
+                    }
+                }
                 ReuseStats::inc(&self.stats.misses);
                 None
             }
@@ -324,7 +284,7 @@ impl LineageCache {
     /// Updates the `r_j` job counter of an entry (a job consumed it).
     pub fn note_job(&self, item: &LItem) {
         let key = LKey(item.clone());
-        if let Some(e) = self.state.lock().entries.get_mut(&key) {
+        if let Some(e) = self.map.lock().entries.get_mut(&key) {
             e.jobs += 1;
         }
     }
@@ -333,7 +293,8 @@ impl LineageCache {
     // PUT
     // ------------------------------------------------------------------
 
-    /// PUT: offers the result of an executed instruction to the cache.
+    /// PUT: offers the result of an executed instruction to the cache,
+    /// routed to the tier owning the object's representation.
     ///
     /// `cost` is the analytical compute cost, `size_hint` the estimated
     /// worst-case size (used for RDDs before materialization), and `delay`
@@ -347,12 +308,26 @@ impl LineageCache {
         size_hint: usize,
         delay: u32,
     ) -> bool {
-        let key = LKey(item.clone());
-        let mut state = self.state.lock();
-        state.clock += 1;
-        let clock = state.clock;
+        let backend = object.backend();
+        self.put_on(item, object, cost, size_hint, delay, backend)
+    }
 
-        match state.entries.get_mut(&key) {
+    /// PUT onto an explicit tier (external backends receive objects in
+    /// whatever representation they accept).
+    pub fn put_on(
+        &self,
+        item: &LItem,
+        object: CachedObject,
+        cost: f64,
+        size_hint: usize,
+        delay: u32,
+        backend: BackendId,
+    ) -> bool {
+        let key = LKey(item.clone());
+        let mut map = self.map.lock();
+        let clock = map.tick();
+
+        match map.entries.get_mut(&key) {
             Some(e) if e.object.is_some() => {
                 // Already cached (e.g. racing prefetch thread).
                 e.last_access = clock;
@@ -365,22 +340,25 @@ impl LineageCache {
                     EntryStatus::Cached => unreachable!("cached entries have objects"),
                 };
                 if seen >= needed {
-                    e.status = EntryStatus::Cached;
-                    e.last_access = clock;
-                    e.compute_cost = cost;
                     let canonical = e.key.clone();
                     // Carry the placeholder's reuse statistics into the
                     // admitted entry so eq. (1) scoring does not restart
                     // from zero for proven repeaters.
                     let (hits, misses, jobs) = (e.hits, e.misses, e.jobs);
-                    self.admit(&mut state, key.clone(), canonical, object, cost, size_hint);
-                    if let Some(stored) = state.entries.get_mut(&key) {
-                        stored.hits = hits;
-                        stored.misses = misses;
-                        stored.jobs = jobs;
+                    let stored =
+                        self.admit(&mut map, &key, canonical, object, cost, size_hint, backend);
+                    if stored {
+                        let e = map.entries.get_mut(&key).expect("just admitted");
+                        e.hits = hits;
+                        e.misses = misses;
+                        e.jobs = jobs;
+                        ReuseStats::inc(&self.stats.puts);
+                    } else {
+                        // Rejected by the tier (e.g. oversized): drop the
+                        // placeholder so later puts restart cleanly.
+                        map.entries.remove(&key);
                     }
-                    ReuseStats::inc(&self.stats.puts);
-                    true
+                    stored
                 } else {
                     e.status = EntryStatus::ToBeCached { seen, needed };
                     e.last_access = clock;
@@ -390,13 +368,24 @@ impl LineageCache {
             }
             None => {
                 if delay <= 1 {
-                    self.admit(&mut state, key, item.clone(), object, cost, size_hint);
-                    ReuseStats::inc(&self.stats.puts);
-                    true
+                    let stored = self.admit(
+                        &mut map,
+                        &key,
+                        item.clone(),
+                        object,
+                        cost,
+                        size_hint,
+                        backend,
+                    );
+                    if stored {
+                        ReuseStats::inc(&self.stats.puts);
+                    }
+                    stored
                 } else {
                     let mut ph = CacheEntry::placeholder(item.clone(), cost, size_hint, delay);
+                    ph.backend = backend;
                     ph.last_access = clock;
-                    state.entries.insert(key, ph);
+                    map.entries.insert(key, ph);
                     ReuseStats::inc(&self.stats.puts_deferred);
                     false
                 }
@@ -409,147 +398,31 @@ impl LineageCache {
         self.put(item, object, cost, size_hint, self.config.default_delay);
     }
 
-    /// Stores an object, applying backend-specific admission.
+    /// Stores an object through its tier's admission (MAKE_SPACE +
+    /// accounting + side effects). Returns false when the tier rejects it
+    /// or is not registered.
+    #[allow(clippy::too_many_arguments)]
     fn admit(
         &self,
-        state: &mut State,
-        key: LKey,
+        map: &mut EntryMap,
+        key: &LKey,
         canonical: LItem,
         object: CachedObject,
         cost: f64,
         size_hint: usize,
-    ) {
-        let clock = state.clock;
-        let (object, size) = match object {
-            CachedObject::Matrix(m) => {
-                let size = m.size_bytes();
-                if size > self.config.local_budget {
-                    return; // larger than the whole budget: skip caching
-                }
-                Self::local_make_space_locked(
-                    state,
-                    &self.config,
-                    &self.stats,
-                    &self.spill_counter,
-                    size,
-                    None,
-                );
-                state.local_used += size;
-                (CachedObject::Matrix(m), size)
-            }
-            CachedObject::Scalar(v) => (CachedObject::Scalar(v), 16),
-            CachedObject::Rdd { rdd, rows, cols } => {
-                if let Some(sp) = &self.spark {
-                    // Eq. (1) budget eviction before persisting a new RDD.
-                    while state.rdd_est_bytes + size_hint > sp.reuse_budget {
-                        if !self.evict_worst_rdd(state) {
-                            break;
-                        }
-                    }
-                    rdd.persist(StorageLevel::MemoryAndDisk);
-                    state.rdd_est_bytes += size_hint;
-                }
-                (CachedObject::Rdd { rdd, rows, cols }, size_hint)
-            }
-            CachedObject::Gpu { ptr, rows, cols } => {
-                if let Some(g) = &self.gpu {
-                    g.mark_cached(ptr, key.clone());
-                }
-                (CachedObject::Gpu { ptr, rows, cols }, ptr.size)
-            }
-            CachedObject::Disk(p) => (CachedObject::Disk(p), size_hint),
+        backend: BackendId,
+    ) -> bool {
+        let Some(b) = self.registry.get(backend) else {
+            return false;
         };
-        let mut e = CacheEntry::cached(canonical, object, cost, size);
-        e.last_access = clock;
-        state.entries.insert(key, e);
-    }
-
-    /// Candidates examined per eviction: like Spark's sampling-based
-    /// entry selection, scanning a bounded sample keeps eviction O(1)
-    /// amortized instead of O(entries) per insertion.
-    const EVICTION_SAMPLE: usize = 64;
-
-    /// Evicts the lowest-score stored RDD entry (eq. 1). Returns false if
-    /// none exist.
-    fn evict_worst_rdd(&self, state: &mut State) -> bool {
-        let victim = state
-            .entries
-            .iter()
-            .filter(|(_, e)| matches!(e.object, Some(CachedObject::Rdd { .. })))
-            .take(Self::EVICTION_SAMPLE)
-            .min_by(|(_, a), (_, b)| {
-                a.cost_size_score()
-                    .partial_cmp(&b.cost_size_score())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|(k, _)| k.clone());
-        let Some(k) = victim else { return false };
-        let e = state.entries.remove(&k).expect("victim exists");
-        state.rdd_est_bytes = state.rdd_est_bytes.saturating_sub(e.size);
-        if let (Some(sp), Some(CachedObject::Rdd { rdd, .. })) = (&self.spark, &e.object) {
-            sp.sc.unpersist(rdd);
-            sp.sc.cleanup_shuffle(rdd);
+        let mut e = CacheEntry::cached(canonical, object, cost, size_hint);
+        e.backend = backend;
+        e.last_access = map.clock;
+        if !b.put(map, &self.registry, key, &mut e) {
+            return false;
         }
-        ReuseStats::inc(&self.stats.rdd_unpersists);
+        map.entries.insert(key.clone(), e);
         true
-    }
-
-    /// Evicts lowest-score local matrices to disk until `size` extra bytes
-    /// fit the local budget. `skip` protects the entry being promoted.
-    fn local_make_space_locked(
-        state: &mut State,
-        config: &CacheConfig,
-        stats: &Arc<ReuseStats>,
-        spill_counter: &AtomicU64,
-        size: usize,
-        skip: Option<&LKey>,
-    ) {
-        while state.local_used + size > config.local_budget {
-            let victim = state
-                .entries
-                .iter()
-                .filter(|(k, e)| {
-                    matches!(e.object, Some(CachedObject::Matrix(_)))
-                        && skip.map(|s| *k != s).unwrap_or(true)
-                })
-                .take(Self::EVICTION_SAMPLE)
-                .min_by(|(_, a), (_, b)| {
-                    a.cost_size_score()
-                        .partial_cmp(&b.cost_size_score())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .map(|(k, _)| k.clone());
-            let Some(k) = victim else { break };
-            let e = state.entries.get_mut(&k).expect("victim exists");
-            let Some(CachedObject::Matrix(m)) = e.object.clone() else {
-                unreachable!("filtered to matrices")
-            };
-            let msize = m.size_bytes();
-            // Spill only entries with proven reuse (at least one hit) to
-            // disk; unproven entries are dropped — avoiding disk-write
-            // storms when a stream of never-reused intermediates thrashes
-            // the budget (the robustness concern of §6.2).
-            let worth_spilling = config.spill_to_disk && e.hits > 0;
-            if worth_spilling {
-                std::fs::create_dir_all(&config.spill_dir).ok();
-                let path = config.spill_dir.join(format!(
-                    "lcache_{}_{}.bin",
-                    e.key.hash,
-                    spill_counter.fetch_add(1, Ordering::Relaxed)
-                ));
-                if mio::write_file(&m, &path).is_ok() {
-                    e.object = Some(CachedObject::Disk(path));
-                    ReuseStats::inc(&stats.local_spills);
-                } else {
-                    state.entries.remove(&k);
-                    ReuseStats::inc(&stats.local_drops);
-                }
-            } else {
-                state.entries.remove(&k);
-                ReuseStats::inc(&stats.local_drops);
-            }
-            state.local_used = state.local_used.saturating_sub(msize);
-        }
     }
 
     // ------------------------------------------------------------------
@@ -558,12 +431,13 @@ impl LineageCache {
 
     /// Serves a GPU output allocation through the unified memory manager,
     /// dropping any cache entries invalidated by recycling and falling
-    /// back to device-to-host eviction of cached pointers on OOM.
+    /// back to device-to-host eviction of cached pointers on OOM (the
+    /// evicted matrix is re-admitted through the local tier).
     ///
     /// # Panics
     /// Panics if no GPU is attached.
     pub fn gpu_request(&self, size: usize, height: u32, cost: f64) -> Result<GpuAlloc, GpuError> {
-        let g = self.gpu.as_ref().expect("GPU backend attached").clone();
+        let g = self.gpu_manager().expect("GPU backend attached").clone();
         loop {
             match g.request_with(size, height, cost, true) {
                 Ok(alloc) => {
@@ -578,30 +452,21 @@ impl LineageCache {
                             let host = g.device().copy_to_host(ptr).ok();
                             g.device().free(ptr).ok();
                             ReuseStats::inc(&self.stats.gpu_evicted_to_host);
-                            let mut state = self.state.lock();
-                            if let Some(e) = state.entries.get_mut(&key) {
-                                match host {
-                                    Some(m) => {
-                                        let msize = m.size_bytes();
-                                        if msize <= self.config.local_budget {
-                                            e.object = Some(CachedObject::Matrix(m));
-                                            e.size = msize;
-                                            Self::local_make_space_locked(
-                                                &mut state,
-                                                &self.config,
-                                                &self.stats,
-                                                &self.spill_counter,
-                                                msize,
-                                                Some(&key),
-                                            );
-                                            state.local_used += msize;
-                                        } else {
-                                            state.entries.remove(&key);
-                                        }
-                                    }
-                                    None => {
-                                        state.entries.remove(&key);
-                                    }
+                            let mut map = self.map.lock();
+                            if map.entries.contains_key(&key) {
+                                let admitted = match host {
+                                    Some(m) => self
+                                        .registry
+                                        .downcast::<LocalBackend>(BackendId::Local)
+                                        .map(|local| {
+                                            local.admit_existing(&mut map, &key, Arc::new(m))
+                                        })
+                                        .unwrap_or(false),
+                                    None => false,
+                                };
+                                if !admitted {
+                                    // Pointer already freed: plain removal.
+                                    map.entries.remove(&key);
                                 }
                             }
                         }
@@ -618,7 +483,7 @@ impl LineageCache {
 
     /// Releases a live GPU pointer reference (variable went out of scope).
     pub fn gpu_release(&self, ptr: GpuPtr, height: u32, cost: f64) {
-        if let Some(g) = &self.gpu {
+        if let Some(g) = self.gpu_manager() {
             g.release(ptr, height, cost);
         }
     }
@@ -628,71 +493,45 @@ impl LineageCache {
     /// # Panics
     /// Panics if no GPU is attached.
     pub fn gpu_request_no_recycle(&self, size: usize, cost: f64) -> Result<GpuAlloc, GpuError> {
-        let g = self.gpu.as_ref().expect("GPU backend attached");
+        let g = self.gpu_manager().expect("GPU backend attached");
         g.request_no_recycle(size, cost)
     }
 
     /// Release + immediate `cudaFree` (recycling disabled), dropping any
     /// invalidated cache entry.
     pub fn gpu_release_and_free(&self, ptr: GpuPtr) {
-        if let Some(g) = &self.gpu {
-            if let Some(key) = g.release_and_free(ptr) {
-                self.remove_keys(&[key]);
-            }
+        let Some(g) = self.gpu_manager() else { return };
+        if let Some(key) = g.release_and_free(ptr) {
+            self.remove_keys(&[key]);
         }
     }
 
     /// The `evict(p)` instruction: frees `fraction` of the GPU free list
     /// and drops the invalidated entries.
     pub fn evict_gpu_fraction(&self, fraction: f64) {
-        if let Some(g) = &self.gpu {
-            let keys = g.evict_fraction(fraction);
-            self.remove_keys(&keys);
-        }
+        let Some(g) = self.gpu_manager() else { return };
+        let keys = g.evict_fraction(fraction);
+        self.remove_keys(&keys);
     }
 
+    /// Removes entries whose GPU pointers were recycled or freed. The
+    /// pointers themselves are gone, so GPU-owned entries are dropped
+    /// without a release; anything that migrated to another tier in the
+    /// meantime is released there.
     fn remove_keys(&self, keys: &[LKey]) {
         if keys.is_empty() {
             return;
         }
-        let mut state = self.state.lock();
+        let mut map = self.map.lock();
         for k in keys {
-            if let Some(e) = state.entries.remove(k) {
-                if let Some(CachedObject::Matrix(m)) = &e.object {
-                    state.local_used = state.local_used.saturating_sub(m.size_bytes());
+            if let Some(e) = map.entries.remove(k) {
+                if e.backend != BackendId::Gpu {
+                    if let Some(b) = self.registry.get(e.backend) {
+                        b.release(&e);
+                    }
                 }
             }
         }
-    }
-
-    // ------------------------------------------------------------------
-    // Spark lazy GC
-    // ------------------------------------------------------------------
-
-    /// Runs lazy garbage collection from a freshly materialized cached RDD
-    /// (must be called with the state lock held).
-    fn run_lazy_gc(&self, state: &mut State, root: &memphis_sparksim::RddRef) {
-        let Some(sp) = &self.spark else { return };
-        // Protected sets: RDDs referenced by any entry; broadcasts
-        // reachable from unmaterialized RDD entries.
-        let mut cached_rdds: HashSet<u64> = HashSet::new();
-        let mut protected_bc: HashSet<u64> = HashSet::new();
-        for e in state.entries.values() {
-            if let Some(CachedObject::Rdd { rdd: r, .. }) = &e.object {
-                cached_rdds.insert(r.id().0);
-                if !sp.sc.is_fully_cached(r) {
-                    protected_bc.extend(SparkBackend::reachable_broadcasts(r));
-                }
-            }
-        }
-        sp.lazy_gc(root, &cached_rdds, &protected_bc, &self.stats);
-    }
-}
-
-impl Drop for LineageCache {
-    fn drop(&mut self) {
-        // The spill directory is cache-unique (see `new`): safe to remove.
-        std::fs::remove_dir_all(&self.config.spill_dir).ok();
     }
 }
 
@@ -715,13 +554,17 @@ mod tests {
         LineageCache::new(cfg)
     }
 
+    fn mat(m: &Matrix) -> CachedObject {
+        CachedObject::Matrix(StdArc::new(m.clone()))
+    }
+
     #[test]
     fn put_probe_roundtrip_local() {
         let c = cache_kb(64);
         let it = item("a");
         assert!(c.probe(&it).is_none());
         let m = rand_uniform(8, 8, 0.0, 1.0, 1);
-        c.put(&it, CachedObject::Matrix(m.clone()), 10.0, m.size_bytes(), 1);
+        c.put(&it, mat(&m), 10.0, m.size_bytes(), 1);
         let hit = c.probe(&it).expect("hit");
         match hit.object {
             CachedObject::Matrix(got) => assert!(got.approx_eq(&m, 0.0)),
@@ -735,6 +578,27 @@ mod tests {
     }
 
     #[test]
+    fn probe_hits_share_not_copy() {
+        let c = cache_kb(64);
+        let it = item("shared");
+        let m = StdArc::new(rand_uniform(8, 8, 0.0, 1.0, 1));
+        c.put(
+            &it,
+            CachedObject::Matrix(m.clone()),
+            10.0,
+            m.size_bytes(),
+            1,
+        );
+        let hit = c.probe(&it).expect("hit");
+        match hit.object {
+            CachedObject::Matrix(got) => {
+                assert!(StdArc::ptr_eq(&got, &m), "hit shares the cached Arc")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn structurally_equal_items_share_entries() {
         let c = cache_kb(64);
         let a = item("same");
@@ -742,7 +606,10 @@ mod tests {
         assert!(!StdArc::ptr_eq(&a, &b));
         c.put(&a, CachedObject::Scalar(5.0), 1.0, 16, 1);
         let hit = c.probe(&b).expect("structural match");
-        assert!(StdArc::ptr_eq(&hit.canonical, &a), "canonical is first trace");
+        assert!(
+            StdArc::ptr_eq(&hit.canonical, &a),
+            "canonical is first trace"
+        );
     }
 
     #[test]
@@ -778,9 +645,9 @@ mod tests {
         let m2 = rand_uniform(32, 32, 0.0, 1.0, 2);
         let i1 = item("m1");
         let i2 = item("m2");
-        c.put(&i1, CachedObject::Matrix(m1.clone()), 1.0, m1.size_bytes(), 1);
+        c.put(&i1, mat(&m1), 1.0, m1.size_bytes(), 1);
         c.probe(&i1).expect("hit"); // proven reusable → spill, not drop
-        c.put(&i2, CachedObject::Matrix(m2.clone()), 100.0, m2.size_bytes(), 1);
+        c.put(&i2, mat(&m2), 100.0, m2.size_bytes(), 1);
         assert_eq!(c.stats().local_spills, 1, "cheaper m1 spilled");
         // m1 still reusable from disk.
         let hit = c.probe(&i1).expect("disk hit");
@@ -791,10 +658,26 @@ mod tests {
         assert_eq!(c.stats().hits_disk, 1);
         // Unproven entries drop instead of spilling.
         let m3 = rand_uniform(32, 32, 0.0, 1.0, 3);
-        c.put(&item("m3"), CachedObject::Matrix(m3.clone()), 1.0, m3.size_bytes(), 1);
+        c.put(&item("m3"), mat(&m3), 1.0, m3.size_bytes(), 1);
         let m4 = rand_uniform(32, 32, 0.0, 1.0, 4);
-        c.put(&item("m4"), CachedObject::Matrix(m4), 200.0, m3.size_bytes(), 1);
+        c.put(&item("m4"), mat(&m4), 200.0, m3.size_bytes(), 1);
         assert!(c.stats().local_drops >= 1, "never-hit victim dropped");
+    }
+
+    #[test]
+    fn disk_tier_accounts_spilled_bytes() {
+        let c = cache_kb(12);
+        let m1 = rand_uniform(32, 32, 0.0, 1.0, 1); // 8 KB
+        let m2 = rand_uniform(32, 32, 0.0, 1.0, 2);
+        let i1 = item("m1");
+        c.put(&i1, mat(&m1), 1.0, m1.size_bytes(), 1);
+        c.probe(&i1).expect("hit");
+        c.put(&item("m2"), mat(&m2), 100.0, m2.size_bytes(), 1);
+        let disk_used = c.registry().get(BackendId::Disk).unwrap().used();
+        assert_eq!(disk_used, m1.size_bytes(), "spill accounted to disk tier");
+        // Promote-on-hit moves the bytes back to the local tier.
+        c.probe(&i1).expect("disk hit");
+        assert_eq!(c.registry().get(BackendId::Disk).unwrap().used(), 0);
     }
 
     #[test]
@@ -802,7 +685,7 @@ mod tests {
         let c = cache_kb(1);
         let m = rand_uniform(64, 64, 0.0, 1.0, 3); // 32 KB > 1 KB budget
         let it = item("big");
-        c.put(&it, CachedObject::Matrix(m.clone()), 1.0, m.size_bytes(), 1);
+        c.put(&it, mat(&m), 1.0, m.size_bytes(), 1);
         assert!(c.probe(&it).is_none());
         assert_eq!(c.local_used(), 0);
     }
@@ -811,7 +694,13 @@ mod tests {
     fn scalar_entries_are_cheap() {
         let c = cache_kb(1);
         for i in 0..100 {
-            c.put(&item(&format!("s{i}")), CachedObject::Scalar(i as f64), 1.0, 16, 1);
+            c.put(
+                &item(&format!("s{i}")),
+                CachedObject::Scalar(i as f64),
+                1.0,
+                16,
+                1,
+            );
         }
         assert_eq!(c.len(), 100);
     }
@@ -830,7 +719,17 @@ mod tests {
         let src = sc.parallelize_blocked(&b, "X");
         let mapped = sc.map(&src, "id", StdArc::new(|k, m| (*k, m.deep_clone())));
         let it = item("rdd");
-        c.put(&it, CachedObject::Rdd { rdd: mapped.clone(), rows: 16, cols: 4 }, 50.0, m.size_bytes(), 1);
+        c.put(
+            &it,
+            CachedObject::Rdd {
+                rdd: mapped.clone(),
+                rows: 16,
+                cols: 4,
+            },
+            50.0,
+            m.size_bytes(),
+            1,
+        );
         assert!(mapped.persist_level().is_some(), "admission persists");
         // Unmaterialized reuse works (compute sharing).
         for _ in 0..2 {
@@ -864,9 +763,29 @@ mod tests {
         let r1 = mk("r1");
         let r2 = mk("r2");
         // r1 cheap, fills the whole budget; r2 expensive, forces eviction.
-        c.put(&item("r1"), CachedObject::Rdd { rdd: r1.clone(), rows: 16, cols: 4 }, 1.0, budget, 1);
+        c.put(
+            &item("r1"),
+            CachedObject::Rdd {
+                rdd: r1.clone(),
+                rows: 16,
+                cols: 4,
+            },
+            1.0,
+            budget,
+            1,
+        );
         assert_eq!(c.rdd_est_bytes(), budget);
-        c.put(&item("r2"), CachedObject::Rdd { rdd: r2.clone(), rows: 16, cols: 4 }, 100.0, budget / 2, 1);
+        c.put(
+            &item("r2"),
+            CachedObject::Rdd {
+                rdd: r2.clone(),
+                rows: 16,
+                cols: 4,
+            },
+            100.0,
+            budget / 2,
+            1,
+        );
         let s = c.stats();
         assert_eq!(s.rdd_unpersists, 1);
         assert!(c.probe(&item("r1")).is_none(), "r1 evicted");
@@ -898,7 +817,17 @@ mod tests {
             }),
         );
         let it = item("gc");
-        c.put(&it, CachedObject::Rdd { rdd: mapped.clone(), rows: 16, cols: 4 }, 10.0, m.size_bytes(), 1);
+        c.put(
+            &it,
+            CachedObject::Rdd {
+                rdd: mapped.clone(),
+                rows: 16,
+                cols: 4,
+            },
+            10.0,
+            m.size_bytes(),
+            1,
+        );
         sc.count(&mapped); // materialize
         assert!(!bc.is_destroyed());
         c.probe(&it).expect("materialized hit");
@@ -908,12 +837,24 @@ mod tests {
 
     #[test]
     fn gpu_put_probe_acquires_pointer() {
-        let device = StdArc::new(GpuDevice::new(memphis_gpusim::GpuConfig::zero_cost(1 << 20)));
+        let device = StdArc::new(GpuDevice::new(memphis_gpusim::GpuConfig::zero_cost(
+            1 << 20,
+        )));
         let c = cache_kb(64).with_gpu(device);
         let g = c.gpu_manager().unwrap().clone();
         let alloc = c.gpu_request(1024, 2, 5.0).unwrap();
         let it = item("gpu");
-        c.put(&it, CachedObject::Gpu { ptr: alloc.ptr, rows: 1, cols: 128 }, 5.0, 1024, 1);
+        c.put(
+            &it,
+            CachedObject::Gpu {
+                ptr: alloc.ptr,
+                rows: 1,
+                cols: 128,
+            },
+            5.0,
+            1024,
+            1,
+        );
         // Variable releases its reference; pointer goes to the free list
         // but stays reusable.
         c.gpu_release(alloc.ptr, 2, 5.0);
@@ -926,11 +867,23 @@ mod tests {
 
     #[test]
     fn gpu_recycle_invalidates_entry() {
-        let device = StdArc::new(GpuDevice::new(memphis_gpusim::GpuConfig::zero_cost(1 << 20)));
+        let device = StdArc::new(GpuDevice::new(memphis_gpusim::GpuConfig::zero_cost(
+            1 << 20,
+        )));
         let c = cache_kb(64).with_gpu(device);
         let alloc = c.gpu_request(512, 2, 1.0).unwrap();
         let it = item("victim");
-        c.put(&it, CachedObject::Gpu { ptr: alloc.ptr, rows: 1, cols: 128 }, 1.0, 512, 1);
+        c.put(
+            &it,
+            CachedObject::Gpu {
+                ptr: alloc.ptr,
+                rows: 1,
+                cols: 128,
+            },
+            1.0,
+            512,
+            1,
+        );
         c.gpu_release(alloc.ptr, 2, 1.0);
         // Same-size request recycles the pointer, killing the entry.
         let again = c.gpu_request(512, 2, 1.0).unwrap();
@@ -947,7 +900,17 @@ mod tests {
         let a = c.gpu_request(1536, 2, 9.0).unwrap();
         device.copy_to_device(&m, a.ptr).unwrap();
         let it = item("precious");
-        c.put(&it, CachedObject::Gpu { ptr: a.ptr, rows: 1, cols: 64 }, 9.0, 1536, 1);
+        c.put(
+            &it,
+            CachedObject::Gpu {
+                ptr: a.ptr,
+                rows: 1,
+                cols: 64,
+            },
+            9.0,
+            1536,
+            1,
+        );
         c.gpu_release(a.ptr, 2, 9.0);
         // A different-size request that cannot fit alongside it.
         let b = c.gpu_request(1024, 2, 1.0).unwrap();
@@ -959,18 +922,33 @@ mod tests {
             other => panic!("expected host matrix, got {other:?}"),
         }
         assert_eq!(c.stats().gpu_evicted_to_host, 1);
+        assert_eq!(c.local_used(), m.size_bytes(), "re-admitted locally");
     }
 
     #[test]
     fn evict_instruction_drops_fraction() {
-        let device = StdArc::new(GpuDevice::new(memphis_gpusim::GpuConfig::zero_cost(1 << 20)));
+        let device = StdArc::new(GpuDevice::new(memphis_gpusim::GpuConfig::zero_cost(
+            1 << 20,
+        )));
         let c = cache_kb(64).with_gpu(device);
         let g = c.gpu_manager().unwrap().clone();
         // Allocate all four up front so sequential requests cannot recycle
         // each other's pointers.
-        let allocs: Vec<_> = (0..4).map(|i| c.gpu_request(256, 2, i as f64).unwrap()).collect();
+        let allocs: Vec<_> = (0..4)
+            .map(|i| c.gpu_request(256, 2, i as f64).unwrap())
+            .collect();
         for (i, a) in allocs.iter().enumerate() {
-            c.put(&item(&format!("e{i}")), CachedObject::Gpu { ptr: a.ptr, rows: 1, cols: 64 }, i as f64, 256, 1);
+            c.put(
+                &item(&format!("e{i}")),
+                CachedObject::Gpu {
+                    ptr: a.ptr,
+                    rows: 1,
+                    cols: 64,
+                },
+                i as f64,
+                256,
+                1,
+            );
             c.gpu_release(a.ptr, 2, i as f64);
         }
         assert_eq!(g.free_pointers(), 4);
@@ -988,8 +966,18 @@ mod tests {
         let b = BlockedMatrix::from_dense(&m, 4).unwrap();
         let src = sc.parallelize_blocked(&b, "X");
         let mapped = sc.map(&src, "id", StdArc::new(|k, m| (*k, m.deep_clone())));
-        c.put(&item("r"), CachedObject::Rdd { rdd: mapped.clone(), rows: 16, cols: 4 }, 1.0, 1024, 1);
-        c.put(&item("m"), CachedObject::Matrix(m.clone()), 1.0, m.size_bytes(), 1);
+        c.put(
+            &item("r"),
+            CachedObject::Rdd {
+                rdd: mapped.clone(),
+                rows: 16,
+                cols: 4,
+            },
+            1.0,
+            1024,
+            1,
+        );
+        c.put(&item("m"), mat(&m), 1.0, m.size_bytes(), 1);
         assert_eq!(c.len(), 2);
         c.clear();
         assert!(c.is_empty());
@@ -1005,5 +993,21 @@ mod tests {
         c.put(&f, CachedObject::Scalar(0.95), 100.0, 16, 1);
         c.probe(&f).expect("hit");
         assert_eq!(c.stats().hits_func, 1);
+    }
+
+    #[test]
+    fn backend_snapshots_cover_registered_tiers() {
+        let (c, _sc) = spark_cache();
+        let m = rand_uniform(8, 8, 0.0, 1.0, 9);
+        c.put(&item("m"), mat(&m), 1.0, m.size_bytes(), 1);
+        let snaps = c.backend_snapshots();
+        let ids: Vec<_> = snaps.iter().map(|s| s.id).collect();
+        assert!(ids.contains(&BackendId::Local));
+        assert!(ids.contains(&BackendId::Disk));
+        assert!(ids.contains(&BackendId::Spark));
+        let local = snaps.iter().find(|s| s.id == BackendId::Local).unwrap();
+        assert_eq!(local.entries, 1);
+        assert_eq!(local.used, m.size_bytes());
+        assert!(!c.backend_report().is_empty());
     }
 }

@@ -147,7 +147,10 @@ mod tests {
     fn budget_is_fraction_of_storage() {
         let sc = ctx();
         let b = SparkBackend::new(sc.clone(), 0.8);
-        assert_eq!(b.reuse_budget, (sc.storage_capacity() as f64 * 0.8) as usize);
+        assert_eq!(
+            b.reuse_budget,
+            (sc.storage_capacity() as f64 * 0.8) as usize
+        );
     }
 
     #[test]
@@ -179,12 +182,7 @@ mod tests {
         // Ancestor shuffle cleanup requires a disk-backed root (otherwise
         // recomputing lost partitions would need the shuffle files).
         final_rdd.persist(memphis_sparksim::StorageLevel::MemoryAndDisk);
-        let (shf, bcs) = backend.lazy_gc(
-            &final_rdd,
-            &HashSet::new(),
-            &HashSet::new(),
-            &stats,
-        );
+        let (shf, bcs) = backend.lazy_gc(&final_rdd, &HashSet::new(), &HashSet::new(), &stats);
         assert_eq!(shf, 1);
         assert_eq!(bcs, 1);
         assert!(bc.is_destroyed());

@@ -19,14 +19,19 @@
 //! GPU memory manager with its Live/Free lists, recycling, and eq. (2)
 //! eviction scoring.
 
+pub mod backend;
 pub mod cache;
 pub mod lineage;
 pub mod recompute;
 pub mod stats;
 
+pub use backend::{
+    BackendId, BackendRegistry, BackendSnapshot, CacheBackend, EntryMap, EvictionPolicy,
+    Materialized,
+};
 pub use cache::config::CacheConfig;
-pub use cache::entry::{CachedObject, EntryStatus};
+pub use cache::entry::{CacheEntry, CachedObject, EntryStatus};
 pub use cache::gpu::GpuMemoryManager;
 pub use cache::LineageCache;
-pub use lineage::{LKey, LineageItem, LineageMap, LItem};
+pub use lineage::{LItem, LKey, LineageItem, LineageMap};
 pub use stats::{ReuseStats, ReuseStatsSnapshot};

@@ -330,12 +330,8 @@ pub fn deserialize(log: &str) -> Result<LItem, ParseError> {
         let rest = line
             .strip_prefix('(')
             .ok_or(ParseError::Malformed(lineno))?;
-        let (_idx, rest) = rest
-            .split_once(") ")
-            .ok_or(ParseError::Malformed(lineno))?;
-        let (opcode, rest) = rest
-            .split_once(" [")
-            .ok_or(ParseError::Malformed(lineno))?;
+        let (_idx, rest) = rest.split_once(") ").ok_or(ParseError::Malformed(lineno))?;
+        let (opcode, rest) = rest.split_once(" [").ok_or(ParseError::Malformed(lineno))?;
         let (data_str, rest) = rest
             .rsplit_once("] (")
             .ok_or(ParseError::Malformed(lineno))?;
@@ -509,7 +505,11 @@ mod tests {
     fn function_level_items_for_multilevel_reuse() {
         let x = LineageItem::leaf("X");
         let y = LineageItem::leaf("y");
-        let f1 = LineageItem::new("func:linRegDS", vec!["out=0".into()], vec![x.clone(), y.clone()]);
+        let f1 = LineageItem::new(
+            "func:linRegDS",
+            vec!["out=0".into()],
+            vec![x.clone(), y.clone()],
+        );
         let f2 = LineageItem::new("func:linRegDS", vec!["out=0".into()], vec![x, y]);
         assert!(lineage_eq(&f1, &f2));
     }

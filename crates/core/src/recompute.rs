@@ -151,7 +151,10 @@ mod tests {
             CachedObject::Scalar(v) => assert_eq!(v, 16.0),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(exec.calls, 3, "leaf, square, fourth power — no re-execution");
+        assert_eq!(
+            exec.calls, 3,
+            "leaf, square, fourth power — no re-execution"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::config::EngineConfig;
 use crate::cost;
 use crate::ops::AggDir;
 use crate::plan::{Block, BlockHints, Dag, OpKind, Operand, Program, ScalarRef};
+use memphis_core::{BackendId, BackendRegistry};
 use std::collections::HashMap;
 
 /// Backend assignment of a node.
@@ -28,6 +29,45 @@ pub enum Ordering {
     /// Algorithm 2: remote operator chains first, longest first, to
     /// maximize concurrent execution.
     MaxParallelize,
+}
+
+/// Capacity view of the registered cache backends, consulted by operator
+/// placement. Built from the cache's [`BackendRegistry`] so the compiler
+/// asks the tiers what exists (and how much room they have) instead of
+/// hard-coding CPU/Spark/GPU branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlacementCaps {
+    /// A Spark tier is registered: distributed placement is possible.
+    pub spark: bool,
+    /// A GPU tier is registered.
+    pub gpu: bool,
+    /// GPU device capacity in bytes; operands placed there must fit.
+    pub gpu_capacity: usize,
+}
+
+impl PlacementCaps {
+    /// Driver-local execution only — no remote tiers registered.
+    pub fn local_only() -> Self {
+        Self::default()
+    }
+
+    /// Every tier available with an unbounded device (test convenience).
+    pub fn all() -> Self {
+        Self {
+            spark: true,
+            gpu: true,
+            gpu_capacity: usize::MAX,
+        }
+    }
+
+    /// Reads tier availability and capacity out of the registry.
+    pub fn from_registry(reg: &BackendRegistry) -> Self {
+        Self {
+            spark: reg.contains(BackendId::Spark),
+            gpu: reg.contains(BackendId::Gpu),
+            gpu_capacity: reg.get(BackendId::Gpu).map(|b| b.budget()).unwrap_or(0),
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -96,7 +136,7 @@ pub fn place(
     dag: &Dag,
     var_dims: &HashMap<String, (usize, usize)>,
     cfg: &EngineConfig,
-    gpu_available: bool,
+    caps: &PlacementCaps,
 ) -> Vec<Backend> {
     let dims = infer_dims(dag, var_dims);
     let mut backend = vec![Backend::Cp; dag.nodes.len()];
@@ -104,7 +144,7 @@ pub fn place(
         match o {
             Operand::Var(v) => {
                 let (r, c) = var_dims.get(v).copied().unwrap_or((1, 1));
-                cost::dense_bytes(r, c) > cfg.spark_threshold_bytes
+                caps.spark && cost::dense_bytes(r, c) > cfg.spark_threshold_bytes
             }
             // Action-like Spark nodes collect their output to the driver,
             // so consumers see a local value.
@@ -121,9 +161,10 @@ pub fn place(
             // The operator runs on Spark; if action-like, its output is
             // still collected to the driver (handled by input_is_sp).
             Backend::Sp
-        } else if gpu_available
+        } else if caps.gpu
             && cost::is_compute_intensive(opcode)
             && r * c >= cfg.gpu_min_cells
+            && cost::dense_bytes(r, c) <= caps.gpu_capacity
         {
             Backend::Gpu
         } else {
@@ -366,7 +407,7 @@ fn insert_loop_checkpoints_block(block: &mut Block) {
 /// Eviction injection (§5.2): between consecutive loops whose GPU
 /// allocation-size patterns differ, inject an `evict` instruction so the
 /// free lists don't thrash through mismatched recycling.
-pub fn insert_evictions(program: &mut Program, cfg: &EngineConfig, gpu_available: bool) {
+pub fn insert_evictions(program: &mut Program, cfg: &EngineConfig, caps: &PlacementCaps) {
     let mut sizes_prev: Option<Vec<usize>> = None;
     let mut inserts: Vec<usize> = Vec::new();
     for (i, block) in program.blocks.iter().enumerate() {
@@ -375,7 +416,7 @@ pub fn insert_evictions(program: &mut Program, cfg: &EngineConfig, gpu_available
             for b in body {
                 if let Block::Basic { dag, .. } = b {
                     let dims = infer_dims(dag, &program.var_dims);
-                    let backend = place(dag, &program.var_dims, cfg, gpu_available);
+                    let backend = place(dag, &program.var_dims, cfg, caps);
                     for n in &dag.nodes {
                         if backend[n.id] == Backend::Gpu {
                             let (r, c) = dims[n.id];
@@ -431,7 +472,10 @@ fn tune_block(block: &mut Block, exec_estimate: u64, loop_vars: &[String]) {
                 let direct = matches!(
                     &n.kind,
                     OpKind::BinaryScalar { scalar: ScalarRef::Loop(v), .. } if loop_vars.contains(v)
-                ) || n.inputs.iter().any(|o| matches!(o, Operand::Var(v) if loop_vars.contains(v)));
+                ) || n
+                    .inputs
+                    .iter()
+                    .any(|o| matches!(o, Operand::Var(v) if loop_vars.contains(v)));
                 let transitive = n.inputs.iter().any(|o| match o {
                     Operand::Node(id) => dep[*id],
                     _ => false,
@@ -441,10 +485,10 @@ fn tune_block(block: &mut Block, exec_estimate: u64, loop_vars: &[String]) {
             let frac = dep.iter().filter(|&&d| d).count() as f64 / total as f64;
             hints.exec_estimate = exec_estimate;
             hints.loop_dependent_fraction = frac;
-            hints.delay = if exec_estimate <= 1 {
-                1 // executed once: no benefit in delaying, nothing repeats
-            } else if frac <= 0.2 {
-                1 // >80% reusable: cache eagerly
+            // Executed once (nothing repeats) or >80% reusable: cache
+            // eagerly; partially loop-dependent blocks defer.
+            hints.delay = if exec_estimate <= 1 || frac <= 0.2 {
+                1
             } else if frac < 1.0 {
                 2
             } else {
@@ -592,6 +636,15 @@ mod tests {
         c
     }
 
+    /// Spark tier registered, no GPU — the classic hybrid-plan setup.
+    fn sp_caps() -> PlacementCaps {
+        PlacementCaps {
+            spark: true,
+            gpu: false,
+            gpu_capacity: 0,
+        }
+    }
+
     /// The linRegDS core of Example 4.1: G=tsmm(X), b=xty(X,y),
     /// A=G+reg*I (approximated as G+reg), w=solve(A, b).
     fn linreg_dag(reg: ScalarRef) -> Dag {
@@ -637,12 +690,47 @@ mod tests {
         let mut vd = HashMap::new();
         vd.insert("X".into(), (1000, 10)); // 80 KB
         vd.insert("y".into(), (1000, 1));
-        let b = place(&d, &vd, &cfg_sp(1024), false);
+        let b = place(&d, &vd, &cfg_sp(1024), &sp_caps());
         assert_eq!(b[0], Backend::Sp, "tsmm over distributed X");
         assert_eq!(b[1], Backend::Sp, "xty over distributed X");
         assert_eq!(b[3], Backend::Cp, "solve consumes local action results");
-        let b = place(&d, &vd, &cfg_sp(usize::MAX), false);
+        let b = place(&d, &vd, &cfg_sp(usize::MAX), &sp_caps());
         assert!(b.iter().all(|&x| x == Backend::Cp));
+    }
+
+    #[test]
+    fn placement_respects_registered_tiers() {
+        let d = linreg_dag(ScalarRef::Const(0.1));
+        let mut vd = HashMap::new();
+        vd.insert("X".into(), (1000, 10));
+        vd.insert("y".into(), (1000, 1));
+        // No Spark tier registered: everything stays on the driver even
+        // though X exceeds the distribution threshold.
+        let b = place(&d, &vd, &cfg_sp(1024), &PlacementCaps::local_only());
+        assert!(b.iter().all(|&x| x == Backend::Cp));
+    }
+
+    #[test]
+    fn gpu_placement_is_capacity_aware() {
+        let mut d = Dag::new();
+        d.add(OpKind::Tsmm, vec![Operand::Var("X".into())], Some("g"));
+        let mut vd = HashMap::new();
+        vd.insert("X".into(), (256, 64));
+        let mut cfg = EngineConfig::test();
+        cfg.gpu_min_cells = 1;
+        let roomy = PlacementCaps {
+            spark: false,
+            gpu: true,
+            gpu_capacity: usize::MAX,
+        };
+        assert_eq!(place(&d, &vd, &cfg, &roomy)[0], Backend::Gpu);
+        // The 64x64 output (32 KB dense) exceeds a 1 KB device: stay local.
+        let tight = PlacementCaps {
+            spark: false,
+            gpu: true,
+            gpu_capacity: 1 << 10,
+        };
+        assert_eq!(place(&d, &vd, &cfg, &tight)[0], Backend::Cp);
     }
 
     #[test]
@@ -650,7 +738,11 @@ mod tests {
         let mut d = Dag::new();
         let t1 = d.add(OpKind::Tsmm, vec![Operand::Var("X".into())], Some("a"));
         let _t2 = d.add(OpKind::Tsmm, vec![Operand::Var("X".into())], Some("b"));
-        let _u = d.add(OpKind::Unary(UnaryOp::Relu), vec![Operand::Node(t1)], Some("c"));
+        let _u = d.add(
+            OpKind::Unary(UnaryOp::Relu),
+            vec![Operand::Node(t1)],
+            Some("c"),
+        );
         let out = cse(&d);
         assert_eq!(out.nodes.len(), 2);
         assert!(out.nodes[0].outputs.contains(&"a".to_string()));
@@ -663,7 +755,7 @@ mod tests {
         let mut vd = HashMap::new();
         vd.insert("X".into(), (1000, 10));
         vd.insert("y".into(), (1000, 1));
-        let backend = place(&d, &vd, &cfg_sp(1024), false);
+        let backend = place(&d, &vd, &cfg_sp(1024), &sp_caps());
         let out = insert_async(&d, &backend);
         let prefetches = out
             .nodes
@@ -690,7 +782,7 @@ mod tests {
         );
         let mut vd = HashMap::new();
         vd.insert("X".into(), (1000, 10));
-        let backend = place(&d, &vd, &cfg_sp(1024), false);
+        let backend = place(&d, &vd, &cfg_sp(1024), &sp_caps());
         let out = insert_shared_checkpoints(&d, &backend);
         let cps = out
             .nodes
@@ -799,7 +891,7 @@ mod tests {
         let mut vd = HashMap::new();
         vd.insert("X".into(), (1000, 10));
         vd.insert("y".into(), (1000, 1));
-        let backend = place(&d, &vd, &cfg_sp(1024), false);
+        let backend = place(&d, &vd, &cfg_sp(1024), &sp_caps());
         let order = linearize(&d, &backend, Ordering::MaxParallelize);
         let pos = |id: usize| order.iter().position(|&o| o == id).unwrap();
         assert!(pos(t) < pos(x), "longer Spark chain linearized first");
@@ -837,7 +929,7 @@ mod tests {
         p.blocks.push(mk_loop(128));
         let mut cfg = EngineConfig::test();
         cfg.gpu_min_cells = 1;
-        insert_evictions(&mut p, &cfg, true);
+        insert_evictions(&mut p, &cfg, &PlacementCaps::all());
         assert_eq!(p.blocks.len(), 3, "evict block inserted between loops");
         let Block::Basic { dag, .. } = &p.blocks[1] else {
             panic!("evict block expected")

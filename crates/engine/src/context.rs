@@ -287,12 +287,9 @@ impl ExecutionContext {
 
         // Spark placement (before execution): any distributed input makes
         // this a Spark instruction — LIMA hooks only CP instructions.
-        let sp_placed = inputs.iter().any(|v| {
-            matches!(
-                self.vars.get(**&v).map(|b| &b.value),
-                Some(Value::Rdd { .. })
-            )
-        });
+        let sp_placed = inputs
+            .iter()
+            .any(|v| matches!(self.vars.get(*v).map(|b| &b.value), Some(Value::Rdd { .. })));
 
         // execute
         self.current_item = item.clone();
@@ -333,7 +330,8 @@ impl ExecutionContext {
     /// cannot consume.
     fn value_from_cached(&self, obj: &CachedObject) -> Option<Value> {
         match obj {
-            CachedObject::Matrix(m) => Some(Value::Matrix(m.clone())),
+            // The Arc shares the buffer; Matrix itself is a cheap handle.
+            CachedObject::Matrix(m) => Some(Value::Matrix(m.as_ref().clone())),
             CachedObject::Scalar(v) => Some(Value::Scalar(*v)),
             CachedObject::Rdd { rdd, rows, cols } => Some(Value::Rdd {
                 rdd: rdd.clone(),
@@ -355,15 +353,15 @@ impl ExecutionContext {
     fn cacheable_object(&self, value: &Value) -> Option<CachedObject> {
         let mode = self.cfg.reuse;
         match value {
-            Value::Matrix(m) => Some(CachedObject::Matrix(m.clone())),
+            Value::Matrix(m) => Some(CachedObject::Matrix(Arc::new(m.clone()))),
             Value::Scalar(v) => Some(CachedObject::Scalar(*v)),
-            Value::Rdd { rdd, rows, cols, .. } if mode.multibackend() => {
-                Some(CachedObject::Rdd {
-                    rdd: rdd.clone(),
-                    rows: *rows,
-                    cols: *cols,
-                })
-            }
+            Value::Rdd {
+                rdd, rows, cols, ..
+            } if mode.multibackend() => Some(CachedObject::Rdd {
+                rdd: rdd.clone(),
+                rows: *rows,
+                cols: *cols,
+            }),
             Value::Gpu { ptr, rows, cols } if mode.multibackend() => Some(CachedObject::Gpu {
                 ptr: *ptr,
                 rows: *rows,
@@ -476,14 +474,11 @@ impl ExecutionContext {
                                 // item now maps to a local object; keep the
                                 // RDD entry and add nothing if present.
                                 let size = m.size_bytes();
-                                let collected = LineageItem::new(
-                                    "collect",
-                                    vec![],
-                                    vec![item.clone()],
-                                );
+                                let collected =
+                                    LineageItem::new("collect", vec![], vec![item.clone()]);
                                 cache.put(
                                     &collected,
-                                    CachedObject::Matrix(m.clone()),
+                                    CachedObject::Matrix(Arc::new(m.clone())),
                                     cost,
                                     size,
                                     1,
@@ -547,7 +542,10 @@ impl ExecutionContext {
     /// (§5.2). Counts toward the lineage cache's RDD budget accounting.
     pub fn checkpoint(&mut self, var: &str) -> Result<()> {
         let b = self.binding(var)?;
-        if let Value::Rdd { rdd, rows, cols, .. } = &b.value {
+        if let Value::Rdd {
+            rdd, rows, cols, ..
+        } = &b.value
+        {
             rdd.persist(memphis_sparksim::StorageLevel::MemoryAndDisk);
             let _ = (rows, cols);
         }
@@ -664,15 +662,15 @@ impl ExecutionContext {
     /// local results only; MEMPHIS caches any backend.
     fn cacheable_function_object(&self, value: &Value) -> Option<CachedObject> {
         match value {
-            Value::Matrix(m) => Some(CachedObject::Matrix(m.clone())),
+            Value::Matrix(m) => Some(CachedObject::Matrix(Arc::new(m.clone()))),
             Value::Scalar(v) => Some(CachedObject::Scalar(*v)),
-            Value::Rdd { rdd, rows, cols, .. } if self.cfg.reuse.multibackend() => {
-                Some(CachedObject::Rdd {
-                    rdd: rdd.clone(),
-                    rows: *rows,
-                    cols: *cols,
-                })
-            }
+            Value::Rdd {
+                rdd, rows, cols, ..
+            } if self.cfg.reuse.multibackend() => Some(CachedObject::Rdd {
+                rdd: rdd.clone(),
+                rows: *rows,
+                cols: *cols,
+            }),
             Value::Gpu { ptr, rows, cols } if self.cfg.reuse.multibackend() => {
                 Some(CachedObject::Gpu {
                     ptr: *ptr,

@@ -2,7 +2,7 @@
 //! an [`ExecutionContext`], honoring the compiler's linearization order,
 //! per-block delay factors, and inserted cache-management operators.
 
-use crate::compiler::{linearize, place, Ordering};
+use crate::compiler::{linearize, place, Ordering, PlacementCaps};
 use crate::context::{EngineError, ExecutionContext, Result};
 use crate::plan::{Block, Dag, OpKind, Operand, Program, ScalarRef};
 
@@ -83,8 +83,10 @@ fn run_dag(
     dag: &Dag,
     ordering: Ordering,
 ) -> Result<()> {
-    let gpu_available = ctx.gpu_device().is_some();
-    let backend = place(dag, &program.var_dims, ctx.config(), gpu_available);
+    // Registry-driven placement: ask the cache which tiers are registered
+    // (and how big the device is) instead of probing context fields.
+    let caps = PlacementCaps::from_registry(ctx.cache().registry());
+    let backend = place(dag, &program.var_dims, ctx.config(), &caps);
     let order = linearize(dag, &backend, ordering);
 
     let name_of = |id: usize| -> String {
@@ -325,12 +327,8 @@ mod tests {
             run_program(&mut ctx, &p, Ordering::DepthFirst).unwrap();
             let y = ctx.get_matrix("Y").unwrap();
             let x = ctx.get_matrix("X").unwrap();
-            let expected = memphis_matrix::ops::binary::binary_scalar(
-                &x,
-                factor,
-                BinaryOp::Mul,
-                false,
-            );
+            let expected =
+                memphis_matrix::ops::binary::binary_scalar(&x, factor, BinaryOp::Mul, false);
             assert!(y.approx_eq(&expected, 0.0));
         }
     }

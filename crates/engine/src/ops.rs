@@ -14,11 +14,11 @@ use crate::cost;
 use crate::value::Value;
 use memphis_matrix::ops::agg::{self, AggOp};
 use memphis_matrix::ops::binary::{self, BinaryOp};
+use memphis_matrix::ops::matmul as mm;
 use memphis_matrix::ops::nn::{self, Conv2dParams, Pool2dParams};
 use memphis_matrix::ops::reorg;
 use memphis_matrix::ops::solve as msolve;
 use memphis_matrix::ops::unary::{self, UnaryOp};
-use memphis_matrix::ops::matmul as mm;
 use memphis_matrix::rand_gen;
 use memphis_matrix::{BlockId, Matrix};
 use memphis_sparksim::{RddRef, Record};
@@ -82,11 +82,7 @@ impl ExecutionContext {
             .clone();
         let (rows, cols) = m.shape();
         let blen = self.cfg.blen;
-        let rdd = sc.parallelize(
-            row_blocked(&m, blen),
-            sc.config().default_parallelism,
-            name,
-        );
+        let rdd = sc.parallelize(row_blocked(&m, blen), sc.config().default_parallelism, name);
         let item = if self.cfg.reuse.traces() {
             Some(self.lineage.set_leaf(var, name))
         } else {
@@ -168,11 +164,7 @@ impl ExecutionContext {
             .clone();
         let (rows, cols) = m.shape();
         let blen = self.cfg.blen;
-        let rdd = sc.parallelize(
-            row_blocked(&m, blen),
-            sc.config().default_parallelism,
-            name,
-        );
+        let rdd = sc.parallelize(row_blocked(&m, blen), sc.config().default_parallelism, name);
         Ok(Value::Rdd {
             rdd,
             rows,
@@ -180,7 +172,6 @@ impl ExecutionContext {
             blen,
         })
     }
-
 
     /// Runs a job-triggering action either inline or — when asynchronous
     /// operators are enabled (§5.1's prefetch) — on a background thread,
@@ -206,7 +197,9 @@ impl ExecutionContext {
                     let size = m.size_bytes();
                     cache.put(
                         item,
-                        memphis_core::cache::entry::CachedObject::Matrix(m.clone()),
+                        memphis_core::cache::entry::CachedObject::Matrix(std::sync::Arc::new(
+                            m.clone(),
+                        )),
                         op_cost,
                         size,
                         delay,
@@ -350,7 +343,7 @@ impl ExecutionContext {
 
     /// Ensures a variable is device-resident, uploading (H2D) if local,
     /// and returns its pointer. Rebinds the variable for data locality.
-    pub(crate) fn to_gpu(&mut self, var: &str) -> Result<memphis_gpusim::GpuPtr> {
+    pub(crate) fn ensure_on_gpu(&mut self, var: &str) -> Result<memphis_gpusim::GpuPtr> {
         let b = self.binding(var)?.clone();
         match b.value {
             Value::Gpu { ptr, .. } => Ok(ptr),
@@ -399,7 +392,7 @@ impl ExecutionContext {
     ) -> Result<(Value, f64)> {
         let ptrs: Vec<memphis_gpusim::GpuPtr> = inputs
             .iter()
-            .map(|v| self.to_gpu(v))
+            .map(|v| self.ensure_on_gpu(v))
             .collect::<Result<_>>()?;
         let device = self
             .gpu
@@ -440,9 +433,9 @@ impl ExecutionContext {
     pub fn transpose(&mut self, out: &str, x: &str) -> Result<()> {
         self.resolve(x)?;
         let xv = self.binding(x)?.value.clone();
-        let (r, c) = xv.shape().ok_or_else(|| {
-            EngineError::Unsupported("transpose of unresolved future".into())
-        })?;
+        let (r, c) = xv
+            .shape()
+            .ok_or_else(|| EngineError::Unsupported("transpose of unresolved future".into()))?;
         let use_gpu = self.gpu_target("r'", &[&xv], r * c);
         let xn = x.to_string();
         self.exec_instr(out, "r'", vec![], &[x], move |ctx| {
@@ -535,13 +528,13 @@ impl ExecutionContext {
                         "ytX",
                         &bc,
                         Arc::new(move |k, xb, yt| {
-                            let y_slice = reorg::slice_cols(
-                                yt,
-                                k.row * blen,
-                                k.row * blen + xb.rows(),
+                            let y_slice =
+                                reorg::slice_cols(yt, k.row * blen, k.row * blen + xb.rows())
+                                    .expect("in bounds");
+                            (
+                                BlockId { row: 0, col: 0 },
+                                mm::matmul(&y_slice, xb).expect("dims"),
                             )
-                            .expect("in bounds");
-                            (BlockId { row: 0, col: 0 }, mm::matmul(&y_slice, xb).expect("dims"))
                         }),
                     );
                     let result = sc
@@ -637,9 +630,7 @@ impl ExecutionContext {
             match ctx.binding(&xn)?.value.clone() {
                 // Both distributed and co-partitioned: per-block t(Xb) Yb
                 // products combined with a reduce action (no collect of y).
-                Value::Rdd { .. }
-                    if matches!(ctx.binding(&yn)?.value, Value::Rdd { .. }) =>
-                {
+                Value::Rdd { .. } if matches!(ctx.binding(&yn)?.value, Value::Rdd { .. }) => {
                     let (rx, ..) = ctx.rdd_input(&xn)?;
                     let (ry, ..) = ctx.rdd_input(&yn)?;
                     let sc = ctx.spark().expect("rdd implies spark").clone();
@@ -691,8 +682,7 @@ impl ExecutionContext {
                                     .expect("in bounds");
                                     (
                                         BlockId { row: 0, col: 0 },
-                                        mm::matmul(&reorg::transpose(xb), &y_slice)
-                                            .expect("dims"),
+                                        mm::matmul(&reorg::transpose(xb), &y_slice).expect("dims"),
                                     )
                                 }),
                             );
@@ -772,9 +762,7 @@ impl ExecutionContext {
                             sc.map(
                                 &ra,
                                 op.opcode(),
-                                Arc::new(move |k, x| {
-                                    (*k, binary::binary_scalar(x, s, op, false))
-                                }),
+                                Arc::new(move |k, x| (*k, binary::binary_scalar(x, s, op, false))),
                             )
                         }
                         _ => {
@@ -782,21 +770,15 @@ impl ExecutionContext {
                             // rows per block for column vectors and for
                             // full same-shape matrices.
                             let bcv = ctx.bc_input(&bn)?;
-                            let row_sliced = br == rows
-                                && rows > 1
-                                && (bc_ == 1 || bc_ == cols);
+                            let row_sliced = br == rows && rows > 1 && (bc_ == 1 || bc_ == cols);
                             sc.map_with_broadcast(
                                 &ra,
                                 op.opcode(),
                                 &bcv,
                                 Arc::new(move |k, x, w| {
                                     let rhs = if row_sliced {
-                                        reorg::slice_rows(
-                                            w,
-                                            k.row * blen,
-                                            k.row * blen + x.rows(),
-                                        )
-                                        .expect("in bounds")
+                                        reorg::slice_rows(w, k.row * blen, k.row * blen + x.rows())
+                                            .expect("in bounds")
                                     } else {
                                         w.clone()
                                     };
@@ -824,29 +806,22 @@ impl ExecutionContext {
                             sc.map(
                                 &rb,
                                 op.opcode(),
-                                Arc::new(move |k, x| {
-                                    (*k, binary::binary_scalar(x, s, op, true))
-                                }),
+                                Arc::new(move |k, x| (*k, binary::binary_scalar(x, s, op, true))),
                             )
                         }
                         _ => {
                             // Local matrix/vector on the left: broadcast
                             // it, slicing rows per block when shapes align.
                             let bca = ctx.bc_input(&an)?;
-                            let row_sliced =
-                                ar == rows && rows > 1 && (ac == 1 || ac == cols);
+                            let row_sliced = ar == rows && rows > 1 && (ac == 1 || ac == cols);
                             sc.map_with_broadcast(
                                 &rb,
                                 op.opcode(),
                                 &bca,
                                 Arc::new(move |k, x, w| {
                                     let lhs = if row_sliced {
-                                        reorg::slice_rows(
-                                            w,
-                                            k.row * blen,
-                                            k.row * blen + x.rows(),
-                                        )
-                                        .expect("in bounds")
+                                        reorg::slice_rows(w, k.row * blen, k.row * blen + x.rows())
+                                            .expect("in bounds")
                                     } else {
                                         w.clone()
                                     };
@@ -907,9 +882,7 @@ impl ExecutionContext {
                     let mapped = sc.map(
                         &ra,
                         op.opcode(),
-                        Arc::new(move |k, x| {
-                            (*k, binary::binary_scalar(x, c, op, scalar_on_left))
-                        }),
+                        Arc::new(move |k, x| (*k, binary::binary_scalar(x, c, op, scalar_on_left))),
                     );
                     Ok((
                         Value::Rdd {
@@ -1026,15 +999,13 @@ impl ExecutionContext {
         match dir {
             AggDir::Full => {
                 let combine: memphis_sparksim::rdd::CombineFn = match op {
-                    AggOp::Min => Arc::new(|a: Matrix, b: Matrix| {
-                        Matrix::scalar(a.at(0, 0).min(b.at(0, 0)))
-                    }),
-                    AggOp::Max => Arc::new(|a: Matrix, b: Matrix| {
-                        Matrix::scalar(a.at(0, 0).max(b.at(0, 0)))
-                    }),
-                    _ => Arc::new(|a: Matrix, b: Matrix| {
-                        Matrix::scalar(a.at(0, 0) + b.at(0, 0))
-                    }),
+                    AggOp::Min => {
+                        Arc::new(|a: Matrix, b: Matrix| Matrix::scalar(a.at(0, 0).min(b.at(0, 0))))
+                    }
+                    AggOp::Max => {
+                        Arc::new(|a: Matrix, b: Matrix| Matrix::scalar(a.at(0, 0).max(b.at(0, 0))))
+                    }
+                    _ => Arc::new(|a: Matrix, b: Matrix| Matrix::scalar(a.at(0, 0) + b.at(0, 0))),
                 };
                 let part_op = match op {
                     AggOp::Mean => AggOp::Sum,
@@ -1066,8 +1037,12 @@ impl ExecutionContext {
                     other => other,
                 };
                 let combine: memphis_sparksim::rdd::CombineFn = match op {
-                    AggOp::Min => Arc::new(|a, b| binary::binary(&a, &b, BinaryOp::Min).expect("dims")),
-                    AggOp::Max => Arc::new(|a, b| binary::binary(&a, &b, BinaryOp::Max).expect("dims")),
+                    AggOp::Min => {
+                        Arc::new(|a, b| binary::binary(&a, &b, BinaryOp::Min).expect("dims"))
+                    }
+                    AggOp::Max => {
+                        Arc::new(|a, b| binary::binary(&a, &b, BinaryOp::Max).expect("dims"))
+                    }
                     _ => Arc::new(|a, b| binary::binary(&a, &b, BinaryOp::Add).expect("dims")),
                 };
                 let partial = sc.map(
@@ -1115,12 +1090,7 @@ impl ExecutionContext {
         let (an, bn) = (a.to_string(), b.to_string());
         self.resolve(a)?;
         self.resolve(b)?;
-        let n = self
-            .binding(a)?
-            .value
-            .shape()
-            .map(|(r, _)| r)
-            .unwrap_or(1);
+        let n = self.binding(a)?.value.shape().map(|(r, _)| r).unwrap_or(1);
         let op_cost = cost::flops("solve", n, n, n);
         self.exec_instr(out, "solve", vec![], &[a, b], move |ctx| {
             let ma = ctx.local_input(&an)?;

@@ -252,7 +252,11 @@ mod tests {
     fn dag_sinks_and_consumers() {
         let mut d = Dag::new();
         let a = d.add(OpKind::Tsmm, vec![Operand::Var("X".into())], None);
-        let b = d.add(OpKind::Unary(UnaryOp::Relu), vec![Operand::Node(a)], Some("out"));
+        let b = d.add(
+            OpKind::Unary(UnaryOp::Relu),
+            vec![Operand::Node(a)],
+            Some("out"),
+        );
         assert_eq!(d.sinks(), vec![b]);
         assert_eq!(d.consumers()[a], vec![b]);
         assert!(d.consumers()[b].is_empty());

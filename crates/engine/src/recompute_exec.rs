@@ -40,7 +40,7 @@ impl MatrixExecutor {
 
 fn as_matrix(o: &CachedObject) -> Result<Matrix, String> {
     match o {
-        CachedObject::Matrix(m) => Ok(m.clone()),
+        CachedObject::Matrix(m) => Ok(m.as_ref().clone()),
         CachedObject::Scalar(v) => Ok(Matrix::scalar(*v)),
         other => Err(format!("non-local input: {}", other.backend())),
     }
@@ -109,7 +109,7 @@ impl LineageExecutor for MatrixExecutor {
     fn execute(&mut self, item: &LItem, inputs: &[CachedObject]) -> Result<CachedObject, String> {
         let opcode: &str = &item.opcode;
         let m = |i: usize| as_matrix(&inputs[i]);
-        let ok = |m: Matrix| Ok(CachedObject::Matrix(m));
+        let ok = |m: Matrix| Ok(CachedObject::Matrix(std::sync::Arc::new(m)));
         match opcode {
             "leaf" => {
                 let name = &item.data[0];
@@ -119,7 +119,7 @@ impl LineageExecutor for MatrixExecutor {
                 self.inputs
                     .get(name)
                     .cloned()
-                    .map(CachedObject::Matrix)
+                    .map(|m| CachedObject::Matrix(std::sync::Arc::new(m)))
                     .ok_or_else(|| format!("unknown input dataset {name}"))
             }
             "rand" => {
@@ -138,8 +138,9 @@ impl LineageExecutor for MatrixExecutor {
             }
             "ba+*" => ok(mm::matmul(&m(0)?, &m(1)?).map_err(|e| e.to_string())?),
             "tsmm" => ok(mm::tsmm(&m(0)?).map_err(|e| e.to_string())?),
-            "tmm-y" => ok(mm::matmul(&reorg::transpose(&m(0)?), &m(1)?)
-                .map_err(|e| e.to_string())?),
+            "tmm-y" => {
+                ok(mm::matmul(&reorg::transpose(&m(0)?), &m(1)?).map_err(|e| e.to_string())?)
+            }
             "r'" => ok(reorg::transpose(&m(0)?)),
             "solve" => ok(msolve::solve(&m(0)?, &m(1)?).map_err(|e| e.to_string())?),
             "rightIndex" => {
@@ -218,7 +219,8 @@ mod tests {
         let x = rand_uniform(16, 4, -1.0, 1.0, 1);
         ctx.read("X", x.clone(), "X.bin").unwrap();
         ctx.tsmm("G", "X").unwrap();
-        ctx.binary_const("A", "G", 0.1, BinaryOp::Add, false).unwrap();
+        ctx.binary_const("A", "G", 0.1, BinaryOp::Add, false)
+            .unwrap();
         ctx.unary("R", "A", UnaryOp::Sqrt).unwrap();
         let expected = ctx.get_matrix("R").unwrap();
 
@@ -245,7 +247,8 @@ mod tests {
         ctx.rand("X", 8, 8, 0.0, 1.0, 99).unwrap();
         ctx.literal("s", 3.0).unwrap();
         ctx.binary("Y", "X", "s", BinaryOp::Mul).unwrap();
-        ctx.agg("t", "Y", AggOp::Sum, crate::ops::AggDir::Full).unwrap();
+        ctx.agg("t", "Y", AggOp::Sum, crate::ops::AggDir::Full)
+            .unwrap();
         let expected = ctx.get_scalar("t").unwrap();
         let log = serialize(&ctx.lineage_of("t").unwrap());
         let mut exec = MatrixExecutor::default();

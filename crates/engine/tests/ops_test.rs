@@ -22,9 +22,7 @@ fn local_ctx() -> ExecutionContext {
 
 fn spark_ctx(threshold: usize) -> ExecutionContext {
     let sc = SparkContext::new(SparkConfig::local_test());
-    let cache = Arc::new(
-        LineageCache::new(CacheConfig::test()).with_spark_sync(sc.clone()),
-    );
+    let cache = Arc::new(LineageCache::new(CacheConfig::test()).with_spark_sync(sc.clone()));
     let mut cfg = EngineConfig::test();
     cfg.spark_threshold_bytes = threshold;
     ExecutionContext::new(cfg, cache, Some(sc), None)
@@ -69,10 +67,13 @@ fn different_literals_are_not_reused() {
     let mut ctx = local_ctx();
     let a = rand_uniform(4, 4, 0.0, 1.0, 4);
     ctx.read("A", a, "A").unwrap();
-    ctx.binary_const("B", "A", 2.0, BinaryOp::Mul, false).unwrap();
-    ctx.binary_const("C", "A", 3.0, BinaryOp::Mul, false).unwrap();
+    ctx.binary_const("B", "A", 2.0, BinaryOp::Mul, false)
+        .unwrap();
+    ctx.binary_const("C", "A", 3.0, BinaryOp::Mul, false)
+        .unwrap();
     assert_eq!(ctx.stats.reused, 0);
-    ctx.binary_const("D", "A", 2.0, BinaryOp::Mul, false).unwrap();
+    ctx.binary_const("D", "A", 2.0, BinaryOp::Mul, false)
+        .unwrap();
     assert_eq!(ctx.stats.reused, 1);
 }
 
@@ -120,11 +121,7 @@ fn unary_binary_agg_pipeline() {
     ctx.binary("S", "R", "A", BinaryOp::Sub).unwrap();
     ctx.agg("total", "S", AggOp::Sum, AggDir::Full).unwrap();
     let total = ctx.get_scalar("total").unwrap();
-    let manual: f64 = a
-        .values()
-        .iter()
-        .map(|&v| v.max(0.0) - v)
-        .sum();
+    let manual: f64 = a.values().iter().map(|&v| v.max(0.0) - v).sum();
     assert!((total - manual).abs() < 1e-9);
 }
 
@@ -203,7 +200,8 @@ fn distributed_elementwise_stays_distributed() {
     let mut ctx = spark_ctx(0);
     let x = rand_uniform(32, 4, 0.0, 1.0, 15);
     ctx.read("X", x.clone(), "X").unwrap();
-    ctx.binary_const("X2", "X", 2.0, BinaryOp::Mul, false).unwrap();
+    ctx.binary_const("X2", "X", 2.0, BinaryOp::Mul, false)
+        .unwrap();
     assert!(matches!(ctx.value("X2").unwrap(), Value::Rdd { .. }));
     ctx.binary("S", "X2", "X", BinaryOp::Sub).unwrap();
     assert!(matches!(ctx.value("S").unwrap(), Value::Rdd { .. }));
@@ -323,7 +321,10 @@ fn gpu_recycling_in_minibatch_loop() {
         ctx.remove("B");
     }
     let s = ctx.cache().stats();
-    assert!(s.gpu_recycled > 0, "fixed batch sizes must recycle pointers");
+    assert!(
+        s.gpu_recycled > 0,
+        "fixed batch sizes must recycle pointers"
+    );
     // Allocation count stays far below kernel count.
     let d = ctx.gpu_device().unwrap().stats();
     assert!(d.allocs < d.kernels + 5);
@@ -369,10 +370,7 @@ fn function_reuse_skips_body() {
     run_func(&mut ctx, 0.1, "r2");
     assert_eq!(ctx.stats.functions_reused, 1);
     assert_eq!(ctx.stats.instructions, instrs, "body skipped entirely");
-    assert_eq!(
-        ctx.get_scalar("r1").unwrap(),
-        ctx.get_scalar("r2").unwrap()
-    );
+    assert_eq!(ctx.get_scalar("r1").unwrap(), ctx.get_scalar("r2").unwrap());
     // Different reg executes the body but reuses the reg-independent tsmm.
     run_func(&mut ctx, 0.2, "r3");
     assert_eq!(ctx.stats.functions_reused, 1);

@@ -83,6 +83,19 @@ impl GpuStats {
 }
 
 impl GpuStatsSnapshot {
+    /// Uniform key/value view of the headline counters — consumed by the
+    /// cache's per-backend stats aggregation.
+    pub fn pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("allocs", self.allocs),
+            ("frees", self.frees),
+            ("kernels", self.kernels),
+            ("syncs", self.syncs),
+            ("h2d", self.h2d_bytes),
+            ("d2h", self.d2h_bytes),
+        ]
+    }
+
     /// Counter-wise difference `self - earlier`.
     pub fn delta(&self, earlier: &GpuStatsSnapshot) -> GpuStatsSnapshot {
         GpuStatsSnapshot {

@@ -78,6 +78,9 @@ mod tests {
         };
         assert!(e.to_string().contains("out of bounds"));
 
-        assert_eq!(MatrixError::SingularMatrix.to_string(), "matrix is singular");
+        assert_eq!(
+            MatrixError::SingularMatrix.to_string(),
+            "matrix is singular"
+        );
     }
 }

@@ -94,13 +94,7 @@ pub fn col_agg(m: &Matrix, op: AggOp) -> Result<Matrix> {
     }
     let cols = m.cols();
     let out: Vec<f64> = (0..cols)
-        .map(|c| {
-            agg_slice(
-                (0..m.rows()).map(|r| m.at(r, c)),
-                op,
-                m.rows(),
-            )
-        })
+        .map(|c| agg_slice((0..m.rows()).map(|r| m.at(r, c)), op, m.rows()))
         .collect();
     Matrix::from_vec(1, cols, out)
 }

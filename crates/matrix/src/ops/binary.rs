@@ -120,12 +120,7 @@ pub fn binary(lhs: &Matrix, rhs: &Matrix, op: BinaryOp) -> Result<Matrix> {
         let brow = rhs.row(0);
         let mut out = Vec::with_capacity(lhs.len());
         for r in 0..lhs.rows() {
-            out.extend(
-                lhs.row(r)
-                    .iter()
-                    .zip(brow)
-                    .map(|(&a, &b)| op.apply(a, b)),
-            );
+            out.extend(lhs.row(r).iter().zip(brow).map(|(&a, &b)| op.apply(a, b)));
         }
         return Matrix::from_vec(lhs.rows(), lhs.cols(), out);
     }
@@ -133,11 +128,7 @@ pub fn binary(lhs: &Matrix, rhs: &Matrix, op: BinaryOp) -> Result<Matrix> {
         let arow = lhs.row(0);
         let mut out = Vec::with_capacity(rhs.len());
         for r in 0..rhs.rows() {
-            out.extend(
-                arow.iter()
-                    .zip(rhs.row(r))
-                    .map(|(&a, &b)| op.apply(a, b)),
-            );
+            out.extend(arow.iter().zip(rhs.row(r)).map(|(&a, &b)| op.apply(a, b)));
         }
         return Matrix::from_vec(rhs.rows(), rhs.cols(), out);
     }
@@ -229,8 +220,14 @@ mod tests {
     fn min_max_and_div() {
         let a = m(1, 3, &[1.0, -2.0, 3.0]);
         let b = m(1, 3, &[2.0, -1.0, 3.0]);
-        assert_eq!(binary(&a, &b, BinaryOp::Min).unwrap().values(), &[1.0, -2.0, 3.0]);
-        assert_eq!(binary(&a, &b, BinaryOp::Max).unwrap().values(), &[2.0, -1.0, 3.0]);
+        assert_eq!(
+            binary(&a, &b, BinaryOp::Min).unwrap().values(),
+            &[1.0, -2.0, 3.0]
+        );
+        assert_eq!(
+            binary(&a, &b, BinaryOp::Max).unwrap().values(),
+            &[2.0, -1.0, 3.0]
+        );
         assert_eq!(
             binary(&a, &b, BinaryOp::Div).unwrap().values(),
             &[0.5, 2.0, 1.0]

@@ -63,6 +63,7 @@ pub fn matmul_parallel(lhs: &Matrix, rhs: &Matrix, threads: usize) -> Result<Mat
 
 /// Computes rows `[row0, row1)` of the product into `out` (which holds only
 /// those rows).
+#[allow(clippy::too_many_arguments)]
 fn matmul_into(
     a: &[f64],
     b: &[f64],

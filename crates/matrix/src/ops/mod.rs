@@ -14,8 +14,8 @@ pub mod reorg;
 pub mod solve;
 pub mod unary;
 
-pub use agg::{AggOp, aggregate, col_agg, row_agg};
-pub use binary::{BinaryOp, binary, binary_scalar};
+pub use agg::{aggregate, col_agg, row_agg, AggOp};
+pub use binary::{binary, binary_scalar, BinaryOp};
 pub use matmul::{matmul, matmul_parallel, tsmm};
 pub use nn::{conv2d, max_pool2d, Conv2dParams, Pool2dParams};
 pub use reorg::{cbind, rbind, slice_cols, slice_rows, transpose};

@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn permutation_is_a_bijection() {
         let p = rand_permutation(100, 5);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

@@ -2,7 +2,7 @@
 //! partitions, with LRU eviction, disk spilling, and lost-partition
 //! tracking for lineage recomputation.
 
-use crate::rdd::{Record, RddId};
+use crate::rdd::{RddId, Record};
 use crate::stats::SparkStats;
 use memphis_matrix::{io as mio, BlockId};
 use parking_lot::Mutex;
@@ -480,8 +480,18 @@ mod tests {
     #[test]
     fn remove_rdd_frees_memory() {
         let m = bm(1 << 20);
-        m.put(RddId(7), 0, Arc::new(vec![rec(0, 64, 1)]), StorageLevel::Memory);
-        m.put(RddId(7), 1, Arc::new(vec![rec(1, 64, 2)]), StorageLevel::Memory);
+        m.put(
+            RddId(7),
+            0,
+            Arc::new(vec![rec(0, 64, 1)]),
+            StorageLevel::Memory,
+        );
+        m.put(
+            RddId(7),
+            1,
+            Arc::new(vec![rec(1, 64, 2)]),
+            StorageLevel::Memory,
+        );
         assert!(m.mem_used() > 0);
         m.remove_rdd(RddId(7));
         assert_eq!(m.mem_used(), 0);
@@ -511,8 +521,18 @@ mod tests {
     #[test]
     fn storage_info_reports_residence() {
         let m = bm(1 << 20);
-        m.put(RddId(3), 0, Arc::new(vec![rec(0, 64, 1)]), StorageLevel::Memory);
-        m.put(RddId(3), 1, Arc::new(vec![rec(1, 64, 2)]), StorageLevel::Disk);
+        m.put(
+            RddId(3),
+            0,
+            Arc::new(vec![rec(0, 64, 1)]),
+            StorageLevel::Memory,
+        );
+        m.put(
+            RddId(3),
+            1,
+            Arc::new(vec![rec(1, 64, 2)]),
+            StorageLevel::Disk,
+        );
         let info = m.storage_info(RddId(3));
         assert_eq!(info.cached_partitions, 2);
         assert!(info.mem_bytes > 0);
@@ -522,7 +542,12 @@ mod tests {
     #[test]
     fn drop_partition_simulates_loss() {
         let m = bm(1 << 20);
-        m.put(RddId(4), 0, Arc::new(vec![rec(0, 64, 1)]), StorageLevel::Memory);
+        m.put(
+            RddId(4),
+            0,
+            Arc::new(vec![rec(0, 64, 1)]),
+            StorageLevel::Memory,
+        );
         m.drop_partition(RddId(4), 0);
         assert!(m.get(RddId(4), 0).is_none());
         assert!(m.was_evicted(RddId(4), 0));

@@ -45,8 +45,8 @@ impl CostModel {
     pub fn calibrated() -> Self {
         Self {
             task_launch: Duration::from_micros(120),
-            shuffle_ns_per_byte: 0.25,   // ~4 GB/s simulated interconnect
-            collect_ns_per_byte: 0.15,   // ~6.7 GB/s driver link
+            shuffle_ns_per_byte: 0.25, // ~4 GB/s simulated interconnect
+            collect_ns_per_byte: 0.15, // ~6.7 GB/s driver link
             broadcast_ns_per_byte: 0.15,
             broadcast_chunk_overhead: Duration::from_micros(20),
             job_launch: Duration::from_micros(500),

@@ -6,8 +6,8 @@ use crate::block_manager::{BlockManager, RddStorageInfo, StorageLevel};
 use crate::broadcast::BroadcastRef;
 use crate::config::{CostModel, SparkConfig};
 use crate::rdd::{
-    next_rdd_id, next_shuffle_id, partition_of, CombineFn, EmitFn, MapBcFn, MapFn, Record,
-    RddInner, RddKind, RddRef, ZipFn,
+    next_rdd_id, next_shuffle_id, partition_of, CombineFn, EmitFn, MapBcFn, MapFn, RddInner,
+    RddKind, RddRef, Record, ZipFn,
 };
 use crate::scheduler::{fully_cached, ExecutorPool, Runtime};
 use crate::shuffle::ShuffleManager;
@@ -216,9 +216,7 @@ impl SparkContext {
 
     /// Collects all records to the driver, charging the driver-link cost.
     pub fn collect(&self, rdd: &RddRef) -> Vec<Record> {
-        let parts = self
-            .rt
-            .run_job(rdd, |_, records| records.to_vec());
+        let parts = self.rt.run_job(rdd, |_, records| records.to_vec());
         let out: Vec<Record> = parts.into_iter().flatten().collect();
         let bytes = crate::block_manager::bytes_of_partition(&out);
         SparkStats::add(&self.rt.stats.bytes_collected, bytes as u64);
@@ -390,9 +388,12 @@ mod tests {
         let (mb, bb) = blocked(12, 4, 4, 5);
         let ra = sc.parallelize_blocked(&ba, "A");
         let rb = sc.parallelize_blocked(&bb, "B");
-        let sum = sc.zip_join(&ra, &rb, "A+B", Arc::new(|_, a, b| {
-            binary(a, b, BinaryOp::Add).unwrap()
-        }));
+        let sum = sc.zip_join(
+            &ra,
+            &rb,
+            "A+B",
+            Arc::new(|_, a, b| binary(a, b, BinaryOp::Add).unwrap()),
+        );
         let got = sc.collect_blocked(&sum, 12, 4, 4).to_dense().unwrap();
         let expected = binary(&ma, &mb, BinaryOp::Add).unwrap();
         assert!(got.approx_eq(&expected, 0.0));
@@ -405,9 +406,11 @@ mod tests {
         let sc = ctx();
         let (m, b) = blocked(32, 6, 8, 6);
         let rdd = sc.parallelize_blocked(&b, "X");
-        let partial = sc.map(&rdd, "tsmm", Arc::new(|k, m| {
-            (BlockId { row: 0, col: k.col }, tsmm(m).unwrap())
-        }));
+        let partial = sc.map(
+            &rdd,
+            "tsmm",
+            Arc::new(|k, m| (BlockId { row: 0, col: k.col }, tsmm(m).unwrap())),
+        );
         let got = sc
             .reduce(
                 &partial,
@@ -440,7 +443,10 @@ mod tests {
                     k.row * blen + xblk.rows(),
                 )
                 .unwrap();
-                (BlockId { row: 0, col: k.col }, matmul(&yslice, xblk).unwrap())
+                (
+                    BlockId { row: 0, col: k.col },
+                    matmul(&yslice, xblk).unwrap(),
+                )
             }),
         );
         let got = sc
@@ -466,16 +472,23 @@ mod tests {
             Arc::new(|_, m| vec![(BlockId { row: 0, col: 0 }, m.deep_clone())]),
             Arc::new(|a, b| {
                 // Sum of all cells accumulated as 1x1.
-                let sa = memphis_matrix::ops::agg::aggregate(&a, memphis_matrix::ops::agg::AggOp::Sum).unwrap();
-                let sb = memphis_matrix::ops::agg::aggregate(&b, memphis_matrix::ops::agg::AggOp::Sum).unwrap();
+                let sa =
+                    memphis_matrix::ops::agg::aggregate(&a, memphis_matrix::ops::agg::AggOp::Sum)
+                        .unwrap();
+                let sb =
+                    memphis_matrix::ops::agg::aggregate(&b, memphis_matrix::ops::agg::AggOp::Sum)
+                        .unwrap();
                 Matrix::scalar(sa + sb)
             }),
             2,
         );
         let out = sc.collect(&total);
         assert_eq!(out.len(), 1);
-        let got = memphis_matrix::ops::agg::aggregate(&out[0].1, memphis_matrix::ops::agg::AggOp::Sum).unwrap();
-        let expected = memphis_matrix::ops::agg::aggregate(&m, memphis_matrix::ops::agg::AggOp::Sum).unwrap();
+        let got =
+            memphis_matrix::ops::agg::aggregate(&out[0].1, memphis_matrix::ops::agg::AggOp::Sum)
+                .unwrap();
+        let expected =
+            memphis_matrix::ops::agg::aggregate(&m, memphis_matrix::ops::agg::AggOp::Sum).unwrap();
         assert!((got - expected).abs() < 1e-9);
         assert!(sc.stats().shuffle_bytes_written > 0);
         assert_eq!(sc.stats().stages, 2); // map stage + result stage
@@ -601,6 +614,10 @@ mod tests {
         assert_eq!(a, b2);
         // The shuffle map stage ran exactly once across both jobs.
         let s = sc.stats();
-        assert_eq!(s.stages + s.skipped_stages, 4, "2 result + 1 map + 1 skipped");
+        assert_eq!(
+            s.stages + s.skipped_stages,
+            4,
+            "2 result + 1 map + 1 skipped"
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! `num_executors * cores_per_executor` exactly like a real cluster.
 
 use crate::block_manager::StorageLevel;
-use crate::rdd::{partition_of, Record, RddKind, RddRef, ShuffleId};
+use crate::rdd::{partition_of, RddKind, RddRef, Record, ShuffleId};
 use crate::stats::SparkStats;
 use crossbeam::channel::{unbounded, Sender};
 use crossbeam::sync::WaitGroup;
@@ -60,9 +60,7 @@ impl ExecutorPool {
                             // A panicking task must not kill the worker:
                             // the slot stays alive and the driver reports
                             // the failure via the missing result.
-                            let _ = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(task),
-                            );
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
                         }
                     })
                     .expect("spawn executor worker"),
@@ -155,9 +153,8 @@ impl Runtime {
             .iter_mut()
             .enumerate()
             .map(|(p, r)| {
-                r.take().unwrap_or_else(|| {
-                    panic!("task for partition {p} panicked on an executor")
-                })
+                r.take()
+                    .unwrap_or_else(|| panic!("task for partition {p} panicked on an executor"))
             })
             .collect()
     }
@@ -298,8 +295,7 @@ impl Runtime {
         let stage = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.run_tasks(parent.num_partitions(), move |p| {
                 let records = rt.compute_partition(&shuffle_parent, p);
-                let mut buckets: Vec<Vec<Record>> =
-                    (0..num_out).map(|_| Vec::new()).collect();
+                let mut buckets: Vec<Vec<Record>> = (0..num_out).map(|_| Vec::new()).collect();
                 for (k, m) in records.iter() {
                     for (nk, nm) in emit(k, m) {
                         buckets[partition_of(&nk, num_out)].push((nk, nm));

@@ -91,7 +91,12 @@ impl ShuffleManager {
     }
 
     /// Writes one map task's bucketed output.
-    pub fn write_map_output(&self, sid: ShuffleId, map_partition: usize, buckets: Vec<Vec<Record>>) {
+    pub fn write_map_output(
+        &self,
+        sid: ShuffleId,
+        map_partition: usize,
+        buckets: Vec<Vec<Record>>,
+    ) {
         let bytes: usize = buckets.iter().map(|b| bytes_of_partition(b)).sum();
         SparkStats::add(&self.stats.shuffle_bytes_written, bytes as u64);
         let delay = CostModel::transfer_delay(bytes, self.cost.shuffle_ns_per_byte);

@@ -112,6 +112,20 @@ impl SparkStats {
 }
 
 impl StatsSnapshot {
+    /// Uniform key/value view of the headline counters — consumed by the
+    /// cache's per-backend stats aggregation.
+    pub fn pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("jobs", self.jobs),
+            ("stages", self.stages),
+            ("skipped", self.skipped_stages),
+            ("tasks", self.tasks),
+            ("shuffle_w", self.shuffle_bytes_written),
+            ("part_cached", self.partitions_cached),
+            ("part_evicted", self.partitions_evicted),
+        ]
+    }
+
     /// Difference of two snapshots (`self - earlier`), counter-wise.
     pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
@@ -128,8 +142,7 @@ impl StatsSnapshot {
             partitions_read_from_disk: self.partitions_read_from_disk
                 - earlier.partitions_read_from_disk,
             partitions_recomputed: self.partitions_recomputed - earlier.partitions_recomputed,
-            narrow_records_computed: self.narrow_records_computed
-                - earlier.narrow_records_computed,
+            narrow_records_computed: self.narrow_records_computed - earlier.narrow_records_computed,
             broadcast_chunks_sent: self.broadcast_chunks_sent - earlier.broadcast_chunks_sent,
             bytes_collected: self.bytes_collected - earlier.bytes_collected,
         }

@@ -56,11 +56,15 @@ fn broadcast_transfer_charged_once_per_executor() {
     let t0 = Instant::now();
     sc.count(&mapped);
     let first = t0.elapsed();
-    let t1 = Instant::now();
+    // First job ships 4 KB x 10 µs/B = ~41 ms per executor.
+    assert!(
+        first > Duration::from_millis(20),
+        "first job must pay the injected transfer cost, got {first:?}"
+    );
+    let sent_after_first = sc.stats().broadcast_chunks_sent;
     sc.count(&mapped);
-    let second = t1.elapsed();
-    // First job ships 4 KB x 10 µs/B = ~41 ms per executor; the second job
-    // finds the chunks resident.
-    assert!(first > second + Duration::from_millis(20), "first={first:?} second={second:?}");
-    assert_eq!(sc.stats().broadcast_chunks_sent, bc.num_chunks() as u64 * 2);
+    // The second job finds the chunks resident: nothing else is shipped.
+    // (Checked via stats, not wall clock — elapsed time is load-dependent.)
+    assert_eq!(sc.stats().broadcast_chunks_sent, sent_after_first);
+    assert_eq!(sent_after_first, bc.num_chunks() as u64 * 2);
 }

@@ -18,7 +18,13 @@ use memphis_matrix::Matrix;
 /// Direct-solve linear regression (Example 4.1):
 /// `w = solve(t(X)X + reg*I, t(X)y)`. The reg-independent `t(X)X` and
 /// `t(X)y` dominate and are reusable across calls.
-pub fn lin_reg_ds(ctx: &mut ExecutionContext, x: &str, y: &str, reg: &str, out_w: &str) -> Result<()> {
+pub fn lin_reg_ds(
+    ctx: &mut ExecutionContext,
+    x: &str,
+    y: &str,
+    reg: &str,
+    out_w: &str,
+) -> Result<()> {
     ctx.tsmm("__lr_G", x)?;
     ctx.xty("__lr_b", x, y)?;
     // G + reg (scalar shift approximates + reg*I on the normal equations;
@@ -55,11 +61,7 @@ pub fn l2svm_train(
     lr: f64,
     out_w: &str,
 ) -> Result<()> {
-    let d = ctx
-        .value(x)?
-        .shape()
-        .map(|(_, c)| c)
-        .unwrap_or(1);
+    let d = ctx.value(x)?.shape().map(|(_, c)| c).unwrap_or(1);
     ctx.rand(out_w, d, 1, 0.0, 0.0, 7)?; // zero init, deterministic
     for _ in 0..iters {
         ctx.matmul("__svm_p", x, out_w)?;
@@ -119,7 +121,13 @@ pub fn impute_by_mean(ctx: &mut ExecutionContext, x: &str, out: &str) -> Result<
     ctx.agg("__im_sums", "__im_xz", AggOp::Sum, AggDir::Col)?;
     ctx.agg("__im_nan_cnt", "__im_mask", AggOp::Sum, AggDir::Col)?;
     let n = ctx.value(x)?.shape().map(|(r, _)| r).unwrap_or(1);
-    ctx.binary_const("__im_present", "__im_nan_cnt", n as f64, BinaryOp::Sub, true)?;
+    ctx.binary_const(
+        "__im_present",
+        "__im_nan_cnt",
+        n as f64,
+        BinaryOp::Sub,
+        true,
+    )?;
     ctx.binary("__im_means", "__im_sums", "__im_present", BinaryOp::Div)?;
     // X_imputed = Xz + mask * means (row-vector broadcast).
     ctx.binary("__im_fill", "__im_mask", "__im_means", BinaryOp::Mul)?;
@@ -165,7 +173,10 @@ pub fn outlier_by_iqr(ctx: &mut ExecutionContext, x: &str, out: &str) -> Result<
         let (rows, cols) = m.shape();
         let mut out = m.deep_clone();
         for c in 0..cols {
-            let mut col: Vec<f64> = (0..rows).map(|r| m.at(r, c)).filter(|v| !v.is_nan()).collect();
+            let mut col: Vec<f64> = (0..rows)
+                .map(|r| m.at(r, c))
+                .filter(|v| !v.is_nan())
+                .collect();
             if col.is_empty() {
                 continue;
             }
@@ -335,7 +346,12 @@ pub fn pca(ctx: &mut ExecutionContext, x: &str, k: usize, out: &str) -> Result<(
                         *v -= dot * pv;
                     }
                 }
-                let norm: f64 = cols_v[c].iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+                let norm: f64 = cols_v[c]
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f64>()
+                    .sqrt()
+                    .max(1e-12);
                 for v in cols_v[c].iter_mut() {
                     *v /= norm;
                 }
@@ -426,7 +442,12 @@ pub fn autoencoder_step(
     ctx.xty("__ae_dw1", batch, "__ae_dh2")?;
     ctx.agg("__ae_db1", "__ae_dh2", AggOp::Sum, AggDir::Col)?;
     // SGD updates.
-    for (wvar, gvar) in [(w1, "__ae_dw1"), (w2, "__ae_dw2"), (b1, "__ae_db1"), (b2, "__ae_db2")] {
+    for (wvar, gvar) in [
+        (w1, "__ae_dw1"),
+        (w2, "__ae_dw2"),
+        (b1, "__ae_db1"),
+        (b2, "__ae_db2"),
+    ] {
         let step = format!("__ae_step_{wvar}");
         ctx.binary_const(&step, gvar, lr, BinaryOp::Mul, false)?;
         ctx.binary(wvar, wvar, &step, BinaryOp::Sub)?;
@@ -546,7 +567,10 @@ mod tests {
         c.read("X", m, "X").unwrap();
         scale_minmax(&mut c, "X", "Xm").unwrap();
         let xm = c.get_matrix("Xm").unwrap();
-        assert!(xm.values().iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+        assert!(xm
+            .values()
+            .iter()
+            .all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
         scale_standard(&mut c, "X", "Xs").unwrap();
         let xs = c.get_matrix("Xs").unwrap();
         let mu = memphis_matrix::ops::agg::aggregate(&xs, AggOp::Mean).unwrap();
@@ -576,7 +600,7 @@ mod tests {
         c.read("X", x, "X").unwrap();
         bin_features(&mut c, "X", 5, "Xb").unwrap();
         let xb = c.get_matrix("Xb").unwrap();
-        assert!(xb.values().iter().all(|&v| v >= 0.0 && v < 5.0));
+        assert!(xb.values().iter().all(|&v| (0.0..5.0).contains(&v)));
         recode(&mut c, "Xb", "Xr").unwrap();
         one_hot(&mut c, "Xr", "Xo").unwrap();
         let xo = c.get_matrix("Xo").unwrap();

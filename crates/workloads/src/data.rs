@@ -156,7 +156,10 @@ mod tests {
     #[test]
     fn classification_labels_are_signs() {
         let (_, y) = classification(50, 4, 2);
-        assert!(y.values().iter().all(|&v| v == 1.0 || v == -1.0 || v == 0.0));
+        assert!(y
+            .values()
+            .iter()
+            .all(|&v| v == 1.0 || v == -1.0 || v == 0.0));
     }
 
     #[test]
@@ -180,7 +183,7 @@ mod tests {
         for r in 0..500 {
             for c in 3..5 {
                 let v = x.at(r, c);
-                assert!(v >= 0.0 && v < 7.0 && v.fract() == 0.0);
+                assert!((0.0..7.0).contains(&v) && v.fract() == 0.0);
             }
         }
     }

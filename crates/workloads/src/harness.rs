@@ -4,6 +4,7 @@
 use memphis_core::cache::config::CacheConfig;
 use memphis_core::cache::LineageCache;
 use memphis_core::stats::ReuseStatsSnapshot;
+use memphis_core::BackendSnapshot;
 use memphis_engine::context::EngineStats;
 use memphis_engine::{EngineConfig, ExecutionContext};
 use memphis_gpusim::{GpuConfig, GpuDevice};
@@ -91,6 +92,9 @@ pub struct WorkloadOutcome {
     pub engine: EngineStats,
     /// Lineage-cache counters.
     pub reuse: ReuseStatsSnapshot,
+    /// Per-backend usage/budget/entry snapshots from the cache registry,
+    /// in registration order.
+    pub backends: Vec<BackendSnapshot>,
 }
 
 /// Times a workload closure against a context and packages the outcome.
@@ -111,7 +115,18 @@ where
         check,
         engine: ctx.stats,
         reuse: ctx.cache().stats(),
+        backends: ctx.cache().backend_snapshots(),
     })
+}
+
+/// Formats the per-backend snapshot block of an outcome (one indented
+/// line per registered tier, sourced from `CacheBackend::snapshot`).
+pub fn backend_rows(o: &WorkloadOutcome) -> String {
+    o.backends
+        .iter()
+        .map(|s| format!("    {s}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// Formats an outcome row for experiment reports.
@@ -162,5 +177,19 @@ mod tests {
         assert_eq!(o.check, 42.0);
         assert_eq!(o.engine.instructions, 1);
         assert!(!outcome_row(&o).is_empty());
+        // Local + disk tiers always register; snapshots ride along.
+        use memphis_core::BackendId;
+        assert!(o.backends.iter().any(|s| s.id == BackendId::Local));
+        assert!(o.backends.iter().any(|s| s.id == BackendId::Disk));
+        assert!(backend_rows(&o).contains("local"));
+    }
+
+    #[test]
+    fn outcome_snapshots_cover_attached_tiers() {
+        let b = Backends::with_spark(SparkConfig::local_test());
+        let mut ctx = b.make_ctx_sync(EngineConfig::test(), CacheConfig::test());
+        let o = run_timed("sp", &mut ctx, |_| Ok(0.0)).unwrap();
+        use memphis_core::BackendId;
+        assert!(o.backends.iter().any(|s| s.id == BackendId::Spark));
     }
 }

@@ -160,8 +160,7 @@ mod tests {
     fn twelve_pipelines_enumerated() {
         let specs = enumerate_pipelines();
         assert_eq!(specs.len(), 12);
-        let unique: std::collections::HashSet<_> =
-            specs.iter().map(|s| format!("{s:?}")).collect();
+        let unique: std::collections::HashSet<_> = specs.iter().map(|s| format!("{s:?}")).collect();
         assert_eq!(unique.len(), 12);
     }
 

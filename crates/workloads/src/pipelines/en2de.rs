@@ -82,9 +82,7 @@ pub fn run(ctx: &mut ExecutionContext, p: &En2deParams) -> Result<f64> {
         // so repeated tokens yield identical traces.
         ctx.slice_rows("__tok", "EMB", tok, tok + 1)?;
         if p.multilevel {
-            ctx.call_function("translate", &["__tok"], &["__pred"], |c| {
-                forward(c)
-            })?;
+            ctx.call_function("translate", &["__tok"], &["__pred"], forward)?;
         } else {
             forward(ctx)?;
         }
@@ -101,9 +99,10 @@ fn forward(ctx: &mut ExecutionContext) -> Result<()> {
     builtins::fc_softmax(ctx, "__h3", "W4", "b4", "__probs")?;
     ctx.agg("__pred", "__probs", AggOp::ArgMax, AggDir::Row)?;
     // __pred is a 1x1 row-argmax; force scalar binding for the caller.
-    let v = ctx.get_matrix("__pred")?.as_scalar().map_err(
-        memphis_engine::context::EngineError::Matrix,
-    )?;
+    let v = ctx
+        .get_matrix("__pred")?
+        .as_scalar()
+        .map_err(memphis_engine::context::EngineError::Matrix)?;
     let item = ctx.lineage_of("__pred");
     let _ = item;
     ctx.literal("__pred_s", v)?;

@@ -68,13 +68,8 @@ pub fn run(ctx: &mut ExecutionContext, p: &HbandParams) -> Result<f64> {
 
     // Successive halving per algorithm.
     let mut best: Vec<(String, f64)> = Vec::new(); // (weight var, score)
-    for (alg, trainer) in [
-        ("svm", 0usize),
-        ("mlr", 1usize),
-    ] {
-        let mut configs: Vec<f64> = (1..=p.initial_configs)
-            .map(|i| 0.01 * i as f64)
-            .collect();
+    for (alg, trainer) in [("svm", 0usize), ("mlr", 1usize)] {
+        let mut configs: Vec<f64> = (1..=p.initial_configs).map(|i| 0.01 * i as f64).collect();
         let mut iters = p.initial_iters;
         let mut scored: Vec<(f64, f64)> = Vec::new();
         for _bracket in 0..p.brackets {

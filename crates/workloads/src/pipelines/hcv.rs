@@ -95,7 +95,12 @@ pub fn run(ctx: &mut ExecutionContext, p: &HcvParams) -> Result<f64> {
             ctx.matmul("__pred", &format!("Xf{hold}"), "__w")?;
             ctx.binary("__err", "__pred", &format!("yf{hold}"), BinaryOp::Sub)?;
             ctx.binary("__sq", "__err", "__err", BinaryOp::Mul)?;
-            ctx.agg(&format!("mse_{ri}_{hold}"), "__sq", AggOp::Mean, AggDir::Full)?;
+            ctx.agg(
+                &format!("mse_{ri}_{hold}"),
+                "__sq",
+                AggOp::Mean,
+                AggDir::Full,
+            )?;
             total += ctx.get_scalar(&format!("mse_{ri}_{hold}"))?;
         }
     }

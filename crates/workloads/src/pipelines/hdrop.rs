@@ -94,7 +94,15 @@ pub fn run(ctx: &mut ExecutionContext, p: &HdropParams) -> Result<f64> {
                 run_idp(ctx, p, bi)?;
                 let seed = (epoch * batches + bi) as u64;
                 builtins::autoencoder_step(
-                    ctx, "__idp_out", "W1", "b1", "W2", "b2", rate, seed, 0.01,
+                    ctx,
+                    "__idp_out",
+                    "W1",
+                    "b1",
+                    "W2",
+                    "b2",
+                    rate,
+                    seed,
+                    0.01,
                     &format!("__loss_{ri}"),
                 )?;
                 last = ctx.get_scalar(&format!("__loss_{ri}"))?;

@@ -126,7 +126,14 @@ fn extract_and_rank(
             };
             let wname = format!("W_{}_{ci}", model.name);
             if !ctx.has(&wname) {
-                ctx.rand(&wname, out_ch, channels * 9, -0.3, 0.3, 300 + mi as u64 * 10 + ci as u64)?;
+                ctx.rand(
+                    &wname,
+                    out_ch,
+                    channels * 9,
+                    -0.3,
+                    0.3,
+                    300 + mi as u64 * 10 + ci as u64,
+                )?;
             }
             let out = format!("__tl_c{ci}");
             builtins::conv_relu(ctx, &cur, &wname, conv, &out)?;
@@ -152,8 +159,22 @@ fn extract_and_rank(
             let wname = format!("Wfc_{}_{fi}", model.name);
             let bname = format!("bfc_{}_{fi}", model.name);
             if !ctx.has(&wname) {
-                ctx.rand(&wname, width, fc_width, -0.3, 0.3, 400 + mi as u64 * 10 + fi as u64)?;
-                ctx.rand(&bname, 1, fc_width, 0.0, 0.0, 500 + mi as u64 * 10 + fi as u64)?;
+                ctx.rand(
+                    &wname,
+                    width,
+                    fc_width,
+                    -0.3,
+                    0.3,
+                    400 + mi as u64 * 10 + fi as u64,
+                )?;
+                ctx.rand(
+                    &bname,
+                    1,
+                    fc_width,
+                    0.0,
+                    0.0,
+                    500 + mi as u64 * 10 + fi as u64,
+                )?;
             }
             let out = format!("__tl_fc{fi}");
             builtins::fc_relu(ctx, &cur, &wname, &bname, &out)?;
@@ -206,6 +227,9 @@ mod tests {
         let s = run(&mut ctx, &p).unwrap();
         assert!(s.is_finite());
         let r = ctx.cache().stats();
-        assert!(r.gpu_freed + r.gpu_recycled > 0, "evict(1.0) ran between models");
+        assert!(
+            r.gpu_freed + r.gpu_recycled > 0,
+            "evict(1.0) ran between models"
+        );
     }
 }

@@ -9,9 +9,9 @@
 use memphis_core::cache::config::CacheConfig;
 use memphis_engine::{EngineConfig, ReuseMode};
 use memphis_matrix::ops::binary::BinaryOp;
+use memphis_sparksim::SparkConfig;
 use memphis_workloads::data;
 use memphis_workloads::harness::Backends;
-use memphis_sparksim::SparkConfig;
 use std::time::Instant;
 
 fn main() {

@@ -20,7 +20,8 @@ fn main() {
     let x = rand_uniform(64, 8, -1.0, 1.0, 9);
     ctx.read("X", x.clone(), "X.bin").unwrap();
     ctx.tsmm("G", "X").unwrap();
-    ctx.binary_const("A", "G", 0.001, BinaryOp::Add, false).unwrap();
+    ctx.binary_const("A", "G", 0.001, BinaryOp::Add, false)
+        .unwrap();
     ctx.unary("S", "A", UnaryOp::Sqrt).unwrap();
     let original = ctx.get_matrix("S").unwrap();
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/async_stream-3213a67fbdad3399.d: crates/gpusim/tests/async_stream.rs
+
+/root/repo/target/debug/deps/async_stream-3213a67fbdad3399: crates/gpusim/tests/async_stream.rs
+
+crates/gpusim/tests/async_stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/async_stream-f672150a57b4a571.d: crates/gpusim/tests/async_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasync_stream-f672150a57b4a571.rmeta: crates/gpusim/tests/async_stream.rs Cargo.toml
+
+crates/gpusim/tests/async_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backend_registry-7eca88046fb82759.d: tests/tests/backend_registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackend_registry-7eca88046fb82759.rmeta: tests/tests/backend_registry.rs Cargo.toml
+
+tests/tests/backend_registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_registry-906e16dee3b81962.d: tests/tests/backend_registry.rs
+
+/root/repo/target/debug/deps/backend_registry-906e16dee3b81962: tests/tests/backend_registry.rs
+
+tests/tests/backend_registry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cost_model-827d0422b8195580.d: crates/sparksim/tests/cost_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcost_model-827d0422b8195580.rmeta: crates/sparksim/tests/cost_model.rs Cargo.toml
+
+crates/sparksim/tests/cost_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_model-a36890cfaabd35aa.d: crates/sparksim/tests/cost_model.rs
+
+/root/repo/target/debug/deps/cost_model-a36890cfaabd35aa: crates/sparksim/tests/cost_model.rs
+
+crates/sparksim/tests/cost_model.rs:

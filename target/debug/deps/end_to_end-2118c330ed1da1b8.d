@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2118c330ed1da1b8.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2118c330ed1da1b8: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablations-a33c7ea817d84931.d: crates/bench/src/bin/exp_ablations.rs
+
+/root/repo/target/debug/deps/exp_ablations-a33c7ea817d84931: crates/bench/src/bin/exp_ablations.rs
+
+crates/bench/src/bin/exp_ablations.rs:

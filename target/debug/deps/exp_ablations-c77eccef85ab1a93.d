@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablations-c77eccef85ab1a93.d: crates/bench/src/bin/exp_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablations-c77eccef85ab1a93.rmeta: crates/bench/src/bin/exp_ablations.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

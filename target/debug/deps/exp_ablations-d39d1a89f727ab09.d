@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablations-d39d1a89f727ab09.d: crates/bench/src/bin/exp_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablations-d39d1a89f727ab09.rmeta: crates/bench/src/bin/exp_ablations.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

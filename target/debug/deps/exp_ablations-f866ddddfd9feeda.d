@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablations-f866ddddfd9feeda.d: crates/bench/src/bin/exp_ablations.rs
+
+/root/repo/target/debug/deps/exp_ablations-f866ddddfd9feeda: crates/bench/src/bin/exp_ablations.rs
+
+crates/bench/src/bin/exp_ablations.rs:

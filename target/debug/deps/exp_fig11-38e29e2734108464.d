@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig11-38e29e2734108464.d: crates/bench/src/bin/exp_fig11.rs
+
+/root/repo/target/debug/deps/exp_fig11-38e29e2734108464: crates/bench/src/bin/exp_fig11.rs
+
+crates/bench/src/bin/exp_fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig11-8399b726838a92c8.d: crates/bench/src/bin/exp_fig11.rs
+
+/root/repo/target/debug/deps/exp_fig11-8399b726838a92c8: crates/bench/src/bin/exp_fig11.rs
+
+crates/bench/src/bin/exp_fig11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig11-c05065e3b7d8cd82.d: crates/bench/src/bin/exp_fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig11-c05065e3b7d8cd82.rmeta: crates/bench/src/bin/exp_fig11.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

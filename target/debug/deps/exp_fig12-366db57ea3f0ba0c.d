@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12-366db57ea3f0ba0c.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/debug/deps/exp_fig12-366db57ea3f0ba0c: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

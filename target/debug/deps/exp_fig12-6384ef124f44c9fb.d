@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12-6384ef124f44c9fb.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/debug/deps/exp_fig12-6384ef124f44c9fb: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig13-0e375b3ffb9cc158.d: crates/bench/src/bin/exp_fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig13-0e375b3ffb9cc158.rmeta: crates/bench/src/bin/exp_fig13.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13-338a66c9bab8498d.d: crates/bench/src/bin/exp_fig13.rs
+
+/root/repo/target/debug/deps/exp_fig13-338a66c9bab8498d: crates/bench/src/bin/exp_fig13.rs
+
+crates/bench/src/bin/exp_fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13-417788c25a447d9f.d: crates/bench/src/bin/exp_fig13.rs
+
+/root/repo/target/debug/deps/exp_fig13-417788c25a447d9f: crates/bench/src/bin/exp_fig13.rs
+
+crates/bench/src/bin/exp_fig13.rs:

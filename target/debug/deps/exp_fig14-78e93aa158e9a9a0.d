@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig14-78e93aa158e9a9a0.d: crates/bench/src/bin/exp_fig14.rs
+
+/root/repo/target/debug/deps/exp_fig14-78e93aa158e9a9a0: crates/bench/src/bin/exp_fig14.rs
+
+crates/bench/src/bin/exp_fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig14-f4d10d13765d95c0.d: crates/bench/src/bin/exp_fig14.rs
+
+/root/repo/target/debug/deps/exp_fig14-f4d10d13765d95c0: crates/bench/src/bin/exp_fig14.rs
+
+crates/bench/src/bin/exp_fig14.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig2-130d64f5164c6e8d.d: crates/bench/src/bin/exp_fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig2-130d64f5164c6e8d.rmeta: crates/bench/src/bin/exp_fig2.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

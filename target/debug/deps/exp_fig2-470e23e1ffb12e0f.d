@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2-470e23e1ffb12e0f.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/debug/deps/exp_fig2-470e23e1ffb12e0f: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

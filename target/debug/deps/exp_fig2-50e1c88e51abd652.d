@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2-50e1c88e51abd652.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/debug/deps/exp_fig2-50e1c88e51abd652: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

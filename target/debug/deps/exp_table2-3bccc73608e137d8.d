@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table2-3bccc73608e137d8.d: crates/bench/src/bin/exp_table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table2-3bccc73608e137d8.rmeta: crates/bench/src/bin/exp_table2.rs Cargo.toml
+
+crates/bench/src/bin/exp_table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-69c1455565b2bcc8.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-69c1455565b2bcc8: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

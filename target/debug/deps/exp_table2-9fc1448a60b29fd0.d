@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-9fc1448a60b29fd0.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-9fc1448a60b29fd0: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table3-3a682fe0586a94a2.d: crates/bench/src/bin/exp_table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table3-3a682fe0586a94a2.rmeta: crates/bench/src/bin/exp_table3.rs Cargo.toml
+
+crates/bench/src/bin/exp_table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

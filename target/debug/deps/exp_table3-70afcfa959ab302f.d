@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table3-70afcfa959ab302f.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/debug/deps/exp_table3-70afcfa959ab302f: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table3-a2f1891c266b2d61.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/debug/deps/exp_table3-a2f1891c266b2d61: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

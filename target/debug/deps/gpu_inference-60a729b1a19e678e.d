@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_inference-60a729b1a19e678e.d: examples/gpu_inference.rs
+
+/root/repo/target/debug/deps/gpu_inference-60a729b1a19e678e: examples/gpu_inference.rs
+
+examples/gpu_inference.rs:

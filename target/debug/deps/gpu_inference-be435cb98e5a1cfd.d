@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_inference-be435cb98e5a1cfd.d: examples/gpu_inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_inference-be435cb98e5a1cfd.rmeta: examples/gpu_inference.rs Cargo.toml
+
+examples/gpu_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

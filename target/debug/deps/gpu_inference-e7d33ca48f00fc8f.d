@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_inference-e7d33ca48f00fc8f.d: examples/gpu_inference.rs
+
+/root/repo/target/debug/deps/gpu_inference-e7d33ca48f00fc8f: examples/gpu_inference.rs
+
+examples/gpu_inference.rs:

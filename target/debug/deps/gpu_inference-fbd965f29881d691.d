@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_inference-fbd965f29881d691.d: examples/gpu_inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_inference-fbd965f29881d691.rmeta: examples/gpu_inference.rs Cargo.toml
+
+examples/gpu_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

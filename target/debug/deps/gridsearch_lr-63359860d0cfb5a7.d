@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gridsearch_lr-63359860d0cfb5a7.d: examples/gridsearch_lr.rs
+
+/root/repo/target/debug/deps/gridsearch_lr-63359860d0cfb5a7: examples/gridsearch_lr.rs
+
+examples/gridsearch_lr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gridsearch_lr-dae1737a6082ba5c.d: examples/gridsearch_lr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridsearch_lr-dae1737a6082ba5c.rmeta: examples/gridsearch_lr.rs Cargo.toml
+
+examples/gridsearch_lr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gridsearch_lr-e01017a2c9a32ae7.d: examples/gridsearch_lr.rs
+
+/root/repo/target/debug/deps/gridsearch_lr-e01017a2c9a32ae7: examples/gridsearch_lr.rs
+
+examples/gridsearch_lr.rs:

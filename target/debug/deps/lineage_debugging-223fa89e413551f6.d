@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lineage_debugging-223fa89e413551f6.d: examples/lineage_debugging.rs
+
+/root/repo/target/debug/deps/lineage_debugging-223fa89e413551f6: examples/lineage_debugging.rs
+
+examples/lineage_debugging.rs:

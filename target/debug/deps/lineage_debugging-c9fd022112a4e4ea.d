@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lineage_debugging-c9fd022112a4e4ea.d: examples/lineage_debugging.rs
+
+/root/repo/target/debug/deps/lineage_debugging-c9fd022112a4e4ea: examples/lineage_debugging.rs
+
+examples/lineage_debugging.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lineage_debugging-f37c7868055b1154.d: examples/lineage_debugging.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblineage_debugging-f37c7868055b1154.rmeta: examples/lineage_debugging.rs Cargo.toml
+
+examples/lineage_debugging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lineage_debugging-fbf9e3a5dcdb1e83.d: examples/lineage_debugging.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblineage_debugging-fbf9e3a5dcdb1e83.rmeta: examples/lineage_debugging.rs Cargo.toml
+
+examples/lineage_debugging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

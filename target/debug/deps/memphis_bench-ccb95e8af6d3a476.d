@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/memphis_bench-ccb95e8af6d3a476.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmemphis_bench-ccb95e8af6d3a476.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmemphis_bench-ccb95e8af6d3a476.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/memphis_core-5bfb660fc8e1bb6e.d: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/cache/mod.rs crates/core/src/cache/backends.rs crates/core/src/cache/config.rs crates/core/src/cache/entry.rs crates/core/src/cache/gpu.rs crates/core/src/cache/spark.rs crates/core/src/lineage.rs crates/core/src/recompute.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemphis_core-5bfb660fc8e1bb6e.rmeta: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/cache/mod.rs crates/core/src/cache/backends.rs crates/core/src/cache/config.rs crates/core/src/cache/entry.rs crates/core/src/cache/gpu.rs crates/core/src/cache/spark.rs crates/core/src/lineage.rs crates/core/src/recompute.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/backend.rs:
+crates/core/src/cache/mod.rs:
+crates/core/src/cache/backends.rs:
+crates/core/src/cache/config.rs:
+crates/core/src/cache/entry.rs:
+crates/core/src/cache/gpu.rs:
+crates/core/src/cache/spark.rs:
+crates/core/src/lineage.rs:
+crates/core/src/recompute.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

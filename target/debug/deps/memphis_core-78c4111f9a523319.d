@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/memphis_core-78c4111f9a523319.d: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/cache/mod.rs crates/core/src/cache/backends.rs crates/core/src/cache/config.rs crates/core/src/cache/entry.rs crates/core/src/cache/gpu.rs crates/core/src/cache/spark.rs crates/core/src/lineage.rs crates/core/src/recompute.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libmemphis_core-78c4111f9a523319.rlib: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/cache/mod.rs crates/core/src/cache/backends.rs crates/core/src/cache/config.rs crates/core/src/cache/entry.rs crates/core/src/cache/gpu.rs crates/core/src/cache/spark.rs crates/core/src/lineage.rs crates/core/src/recompute.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libmemphis_core-78c4111f9a523319.rmeta: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/cache/mod.rs crates/core/src/cache/backends.rs crates/core/src/cache/config.rs crates/core/src/cache/entry.rs crates/core/src/cache/gpu.rs crates/core/src/cache/spark.rs crates/core/src/lineage.rs crates/core/src/recompute.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backend.rs:
+crates/core/src/cache/mod.rs:
+crates/core/src/cache/backends.rs:
+crates/core/src/cache/config.rs:
+crates/core/src/cache/entry.rs:
+crates/core/src/cache/gpu.rs:
+crates/core/src/cache/spark.rs:
+crates/core/src/lineage.rs:
+crates/core/src/recompute.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/memphis_core-ddad87d39e51201f.d: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/cache/mod.rs crates/core/src/cache/backends.rs crates/core/src/cache/config.rs crates/core/src/cache/entry.rs crates/core/src/cache/gpu.rs crates/core/src/cache/spark.rs crates/core/src/lineage.rs crates/core/src/recompute.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/memphis_core-ddad87d39e51201f: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/cache/mod.rs crates/core/src/cache/backends.rs crates/core/src/cache/config.rs crates/core/src/cache/entry.rs crates/core/src/cache/gpu.rs crates/core/src/cache/spark.rs crates/core/src/lineage.rs crates/core/src/recompute.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backend.rs:
+crates/core/src/cache/mod.rs:
+crates/core/src/cache/backends.rs:
+crates/core/src/cache/config.rs:
+crates/core/src/cache/entry.rs:
+crates/core/src/cache/gpu.rs:
+crates/core/src/cache/spark.rs:
+crates/core/src/lineage.rs:
+crates/core/src/recompute.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/memphis_engine-106f08b40624f286.d: crates/engine/src/lib.rs crates/engine/src/compiler.rs crates/engine/src/config.rs crates/engine/src/context.rs crates/engine/src/cost.rs crates/engine/src/interp.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/recompute_exec.rs crates/engine/src/value.rs
+
+/root/repo/target/debug/deps/memphis_engine-106f08b40624f286: crates/engine/src/lib.rs crates/engine/src/compiler.rs crates/engine/src/config.rs crates/engine/src/context.rs crates/engine/src/cost.rs crates/engine/src/interp.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/recompute_exec.rs crates/engine/src/value.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/compiler.rs:
+crates/engine/src/config.rs:
+crates/engine/src/context.rs:
+crates/engine/src/cost.rs:
+crates/engine/src/interp.rs:
+crates/engine/src/ops.rs:
+crates/engine/src/plan.rs:
+crates/engine/src/recompute_exec.rs:
+crates/engine/src/value.rs:

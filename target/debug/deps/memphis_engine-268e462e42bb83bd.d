@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/memphis_engine-268e462e42bb83bd.d: crates/engine/src/lib.rs crates/engine/src/compiler.rs crates/engine/src/config.rs crates/engine/src/context.rs crates/engine/src/cost.rs crates/engine/src/interp.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/recompute_exec.rs crates/engine/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemphis_engine-268e462e42bb83bd.rmeta: crates/engine/src/lib.rs crates/engine/src/compiler.rs crates/engine/src/config.rs crates/engine/src/context.rs crates/engine/src/cost.rs crates/engine/src/interp.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/recompute_exec.rs crates/engine/src/value.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/compiler.rs:
+crates/engine/src/config.rs:
+crates/engine/src/context.rs:
+crates/engine/src/cost.rs:
+crates/engine/src/interp.rs:
+crates/engine/src/ops.rs:
+crates/engine/src/plan.rs:
+crates/engine/src/recompute_exec.rs:
+crates/engine/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memphis_examples-25feba001fe46c63.d: examples/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemphis_examples-25feba001fe46c63.rmeta: examples/lib.rs Cargo.toml
+
+examples/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

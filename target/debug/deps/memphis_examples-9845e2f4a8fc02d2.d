@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memphis_examples-9845e2f4a8fc02d2.d: examples/lib.rs
+
+/root/repo/target/debug/deps/memphis_examples-9845e2f4a8fc02d2: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memphis_examples-a3991bd3e8b9eabb.d: examples/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemphis_examples-a3991bd3e8b9eabb.rmeta: examples/lib.rs Cargo.toml
+
+examples/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

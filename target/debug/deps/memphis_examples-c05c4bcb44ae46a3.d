@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/memphis_examples-c05c4bcb44ae46a3.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libmemphis_examples-c05c4bcb44ae46a3.rlib: examples/lib.rs
+
+/root/repo/target/debug/deps/libmemphis_examples-c05c4bcb44ae46a3.rmeta: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memphis_gpusim-3e20a074ecf27fef.d: crates/gpusim/src/lib.rs crates/gpusim/src/arena.rs crates/gpusim/src/config.rs crates/gpusim/src/device.rs crates/gpusim/src/stats.rs
+
+/root/repo/target/debug/deps/memphis_gpusim-3e20a074ecf27fef: crates/gpusim/src/lib.rs crates/gpusim/src/arena.rs crates/gpusim/src/config.rs crates/gpusim/src/device.rs crates/gpusim/src/stats.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arena.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/stats.rs:

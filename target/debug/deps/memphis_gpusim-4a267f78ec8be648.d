@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/memphis_gpusim-4a267f78ec8be648.d: crates/gpusim/src/lib.rs crates/gpusim/src/arena.rs crates/gpusim/src/config.rs crates/gpusim/src/device.rs crates/gpusim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemphis_gpusim-4a267f78ec8be648.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/arena.rs crates/gpusim/src/config.rs crates/gpusim/src/device.rs crates/gpusim/src/stats.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arena.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/memphis_gpusim-6c7027d3d19ef5b1.d: crates/gpusim/src/lib.rs crates/gpusim/src/arena.rs crates/gpusim/src/config.rs crates/gpusim/src/device.rs crates/gpusim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemphis_gpusim-6c7027d3d19ef5b1.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/arena.rs crates/gpusim/src/config.rs crates/gpusim/src/device.rs crates/gpusim/src/stats.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arena.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

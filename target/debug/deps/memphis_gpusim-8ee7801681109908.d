@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/memphis_gpusim-8ee7801681109908.d: crates/gpusim/src/lib.rs crates/gpusim/src/arena.rs crates/gpusim/src/config.rs crates/gpusim/src/device.rs crates/gpusim/src/stats.rs
+
+/root/repo/target/debug/deps/libmemphis_gpusim-8ee7801681109908.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/arena.rs crates/gpusim/src/config.rs crates/gpusim/src/device.rs crates/gpusim/src/stats.rs
+
+/root/repo/target/debug/deps/libmemphis_gpusim-8ee7801681109908.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/arena.rs crates/gpusim/src/config.rs crates/gpusim/src/device.rs crates/gpusim/src/stats.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arena.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memphis_integration-7009327420bfead9.d: tests/lib.rs
+
+/root/repo/target/debug/deps/memphis_integration-7009327420bfead9: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memphis_integration-ac72cbcb06a27d2c.d: tests/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemphis_integration-ac72cbcb06a27d2c.rmeta: tests/lib.rs Cargo.toml
+
+tests/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memphis_integration-e079a41c14d8ee10.d: tests/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemphis_integration-e079a41c14d8ee10.rmeta: tests/lib.rs Cargo.toml
+
+tests/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/memphis_integration-edd03149fc8e4569.d: tests/lib.rs
+
+/root/repo/target/debug/deps/libmemphis_integration-edd03149fc8e4569.rlib: tests/lib.rs
+
+/root/repo/target/debug/deps/libmemphis_integration-edd03149fc8e4569.rmeta: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/memphis_matrix-7973d13fbc4aa0cd.d: crates/matrix/src/lib.rs crates/matrix/src/blocked.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops/mod.rs crates/matrix/src/ops/agg.rs crates/matrix/src/ops/binary.rs crates/matrix/src/ops/matmul.rs crates/matrix/src/ops/nn.rs crates/matrix/src/ops/reorg.rs crates/matrix/src/ops/solve.rs crates/matrix/src/ops/unary.rs crates/matrix/src/rand_gen.rs
+
+/root/repo/target/debug/deps/memphis_matrix-7973d13fbc4aa0cd: crates/matrix/src/lib.rs crates/matrix/src/blocked.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops/mod.rs crates/matrix/src/ops/agg.rs crates/matrix/src/ops/binary.rs crates/matrix/src/ops/matmul.rs crates/matrix/src/ops/nn.rs crates/matrix/src/ops/reorg.rs crates/matrix/src/ops/solve.rs crates/matrix/src/ops/unary.rs crates/matrix/src/rand_gen.rs
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/blocked.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/io.rs:
+crates/matrix/src/ops/mod.rs:
+crates/matrix/src/ops/agg.rs:
+crates/matrix/src/ops/binary.rs:
+crates/matrix/src/ops/matmul.rs:
+crates/matrix/src/ops/nn.rs:
+crates/matrix/src/ops/reorg.rs:
+crates/matrix/src/ops/solve.rs:
+crates/matrix/src/ops/unary.rs:
+crates/matrix/src/rand_gen.rs:

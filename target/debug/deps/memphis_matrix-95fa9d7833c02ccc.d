@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/memphis_matrix-95fa9d7833c02ccc.d: crates/matrix/src/lib.rs crates/matrix/src/blocked.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops/mod.rs crates/matrix/src/ops/agg.rs crates/matrix/src/ops/binary.rs crates/matrix/src/ops/matmul.rs crates/matrix/src/ops/nn.rs crates/matrix/src/ops/reorg.rs crates/matrix/src/ops/solve.rs crates/matrix/src/ops/unary.rs crates/matrix/src/rand_gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemphis_matrix-95fa9d7833c02ccc.rmeta: crates/matrix/src/lib.rs crates/matrix/src/blocked.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops/mod.rs crates/matrix/src/ops/agg.rs crates/matrix/src/ops/binary.rs crates/matrix/src/ops/matmul.rs crates/matrix/src/ops/nn.rs crates/matrix/src/ops/reorg.rs crates/matrix/src/ops/solve.rs crates/matrix/src/ops/unary.rs crates/matrix/src/rand_gen.rs Cargo.toml
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/blocked.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/io.rs:
+crates/matrix/src/ops/mod.rs:
+crates/matrix/src/ops/agg.rs:
+crates/matrix/src/ops/binary.rs:
+crates/matrix/src/ops/matmul.rs:
+crates/matrix/src/ops/nn.rs:
+crates/matrix/src/ops/reorg.rs:
+crates/matrix/src/ops/solve.rs:
+crates/matrix/src/ops/unary.rs:
+crates/matrix/src/rand_gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/memphis_workloads-ca0f770a86fd4965.d: crates/workloads/src/lib.rs crates/workloads/src/builtins.rs crates/workloads/src/data.rs crates/workloads/src/harness.rs crates/workloads/src/pipelines/mod.rs crates/workloads/src/pipelines/clean.rs crates/workloads/src/pipelines/en2de.rs crates/workloads/src/pipelines/hband.rs crates/workloads/src/pipelines/hcv.rs crates/workloads/src/pipelines/hdrop.rs crates/workloads/src/pipelines/pnmf.rs crates/workloads/src/pipelines/tlvis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemphis_workloads-ca0f770a86fd4965.rmeta: crates/workloads/src/lib.rs crates/workloads/src/builtins.rs crates/workloads/src/data.rs crates/workloads/src/harness.rs crates/workloads/src/pipelines/mod.rs crates/workloads/src/pipelines/clean.rs crates/workloads/src/pipelines/en2de.rs crates/workloads/src/pipelines/hband.rs crates/workloads/src/pipelines/hcv.rs crates/workloads/src/pipelines/hdrop.rs crates/workloads/src/pipelines/pnmf.rs crates/workloads/src/pipelines/tlvis.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/builtins.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/harness.rs:
+crates/workloads/src/pipelines/mod.rs:
+crates/workloads/src/pipelines/clean.rs:
+crates/workloads/src/pipelines/en2de.rs:
+crates/workloads/src/pipelines/hband.rs:
+crates/workloads/src/pipelines/hcv.rs:
+crates/workloads/src/pipelines/hdrop.rs:
+crates/workloads/src/pipelines/pnmf.rs:
+crates/workloads/src/pipelines/tlvis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/memphis_workloads-f09a1dbd25a21f8e.d: crates/workloads/src/lib.rs crates/workloads/src/builtins.rs crates/workloads/src/data.rs crates/workloads/src/harness.rs crates/workloads/src/pipelines/mod.rs crates/workloads/src/pipelines/clean.rs crates/workloads/src/pipelines/en2de.rs crates/workloads/src/pipelines/hband.rs crates/workloads/src/pipelines/hcv.rs crates/workloads/src/pipelines/hdrop.rs crates/workloads/src/pipelines/pnmf.rs crates/workloads/src/pipelines/tlvis.rs
+
+/root/repo/target/debug/deps/memphis_workloads-f09a1dbd25a21f8e: crates/workloads/src/lib.rs crates/workloads/src/builtins.rs crates/workloads/src/data.rs crates/workloads/src/harness.rs crates/workloads/src/pipelines/mod.rs crates/workloads/src/pipelines/clean.rs crates/workloads/src/pipelines/en2de.rs crates/workloads/src/pipelines/hband.rs crates/workloads/src/pipelines/hcv.rs crates/workloads/src/pipelines/hdrop.rs crates/workloads/src/pipelines/pnmf.rs crates/workloads/src/pipelines/tlvis.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/builtins.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/harness.rs:
+crates/workloads/src/pipelines/mod.rs:
+crates/workloads/src/pipelines/clean.rs:
+crates/workloads/src/pipelines/en2de.rs:
+crates/workloads/src/pipelines/hband.rs:
+crates/workloads/src/pipelines/hcv.rs:
+crates/workloads/src/pipelines/hdrop.rs:
+crates/workloads/src/pipelines/pnmf.rs:
+crates/workloads/src/pipelines/tlvis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ops_test-128a04f2e165911a.d: crates/engine/tests/ops_test.rs Cargo.toml
+
+/root/repo/target/debug/deps/libops_test-128a04f2e165911a.rmeta: crates/engine/tests/ops_test.rs Cargo.toml
+
+crates/engine/tests/ops_test.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

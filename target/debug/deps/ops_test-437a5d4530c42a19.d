@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ops_test-437a5d4530c42a19.d: crates/engine/tests/ops_test.rs
+
+/root/repo/target/debug/deps/ops_test-437a5d4530c42a19: crates/engine/tests/ops_test.rs
+
+crates/engine/tests/ops_test.rs:

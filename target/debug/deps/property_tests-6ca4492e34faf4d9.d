@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_tests-6ca4492e34faf4d9.d: tests/tests/property_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_tests-6ca4492e34faf4d9.rmeta: tests/tests/property_tests.rs Cargo.toml
+
+tests/tests/property_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-d035dce9fe806181.d: tests/tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-d035dce9fe806181: tests/tests/property_tests.rs
+
+tests/tests/property_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-5a8ab8b087f628e2.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-5a8ab8b087f628e2: examples/quickstart.rs
+
+examples/quickstart.rs:

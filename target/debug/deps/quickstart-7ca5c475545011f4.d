@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-7ca5c475545011f4.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-7ca5c475545011f4: examples/quickstart.rs
+
+examples/quickstart.rs:

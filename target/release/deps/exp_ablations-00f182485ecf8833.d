@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablations-00f182485ecf8833.d: crates/bench/src/bin/exp_ablations.rs
+
+/root/repo/target/release/deps/exp_ablations-00f182485ecf8833: crates/bench/src/bin/exp_ablations.rs
+
+crates/bench/src/bin/exp_ablations.rs:

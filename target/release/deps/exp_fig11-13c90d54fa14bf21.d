@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig11-13c90d54fa14bf21.d: crates/bench/src/bin/exp_fig11.rs
+
+/root/repo/target/release/deps/exp_fig11-13c90d54fa14bf21: crates/bench/src/bin/exp_fig11.rs
+
+crates/bench/src/bin/exp_fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12-b9475cee0b81c8b2.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/release/deps/exp_fig12-b9475cee0b81c8b2: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig13-a9fba360bd145442.d: crates/bench/src/bin/exp_fig13.rs
+
+/root/repo/target/release/deps/exp_fig13-a9fba360bd145442: crates/bench/src/bin/exp_fig13.rs
+
+crates/bench/src/bin/exp_fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig14-6b5ff3dcf257d06a.d: crates/bench/src/bin/exp_fig14.rs
+
+/root/repo/target/release/deps/exp_fig14-6b5ff3dcf257d06a: crates/bench/src/bin/exp_fig14.rs
+
+crates/bench/src/bin/exp_fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2-200644a5c94e4728.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/release/deps/exp_fig2-200644a5c94e4728: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

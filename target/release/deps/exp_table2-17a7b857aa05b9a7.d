@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table2-17a7b857aa05b9a7.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/release/deps/exp_table2-17a7b857aa05b9a7: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table3-c80eca4f883642c6.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/release/deps/exp_table3-c80eca4f883642c6: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gpu_inference-8909d75652f3165f.d: examples/gpu_inference.rs
+
+/root/repo/target/release/deps/gpu_inference-8909d75652f3165f: examples/gpu_inference.rs
+
+examples/gpu_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gridsearch_lr-8bede1d5365f689d.d: examples/gridsearch_lr.rs
+
+/root/repo/target/release/deps/gridsearch_lr-8bede1d5365f689d: examples/gridsearch_lr.rs
+
+examples/gridsearch_lr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lineage_debugging-ed2eafe08de186da.d: examples/lineage_debugging.rs
+
+/root/repo/target/release/deps/lineage_debugging-ed2eafe08de186da: examples/lineage_debugging.rs
+
+examples/lineage_debugging.rs:

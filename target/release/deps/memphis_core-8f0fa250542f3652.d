@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/memphis_core-8f0fa250542f3652.d: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/cache/mod.rs crates/core/src/cache/backends.rs crates/core/src/cache/config.rs crates/core/src/cache/entry.rs crates/core/src/cache/gpu.rs crates/core/src/cache/spark.rs crates/core/src/lineage.rs crates/core/src/recompute.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libmemphis_core-8f0fa250542f3652.rlib: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/cache/mod.rs crates/core/src/cache/backends.rs crates/core/src/cache/config.rs crates/core/src/cache/entry.rs crates/core/src/cache/gpu.rs crates/core/src/cache/spark.rs crates/core/src/lineage.rs crates/core/src/recompute.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libmemphis_core-8f0fa250542f3652.rmeta: crates/core/src/lib.rs crates/core/src/backend.rs crates/core/src/cache/mod.rs crates/core/src/cache/backends.rs crates/core/src/cache/config.rs crates/core/src/cache/entry.rs crates/core/src/cache/gpu.rs crates/core/src/cache/spark.rs crates/core/src/lineage.rs crates/core/src/recompute.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backend.rs:
+crates/core/src/cache/mod.rs:
+crates/core/src/cache/backends.rs:
+crates/core/src/cache/config.rs:
+crates/core/src/cache/entry.rs:
+crates/core/src/cache/gpu.rs:
+crates/core/src/cache/spark.rs:
+crates/core/src/lineage.rs:
+crates/core/src/recompute.rs:
+crates/core/src/stats.rs:

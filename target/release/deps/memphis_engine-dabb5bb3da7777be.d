@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/memphis_engine-dabb5bb3da7777be.d: crates/engine/src/lib.rs crates/engine/src/compiler.rs crates/engine/src/config.rs crates/engine/src/context.rs crates/engine/src/cost.rs crates/engine/src/interp.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/recompute_exec.rs crates/engine/src/value.rs
+
+/root/repo/target/release/deps/libmemphis_engine-dabb5bb3da7777be.rlib: crates/engine/src/lib.rs crates/engine/src/compiler.rs crates/engine/src/config.rs crates/engine/src/context.rs crates/engine/src/cost.rs crates/engine/src/interp.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/recompute_exec.rs crates/engine/src/value.rs
+
+/root/repo/target/release/deps/libmemphis_engine-dabb5bb3da7777be.rmeta: crates/engine/src/lib.rs crates/engine/src/compiler.rs crates/engine/src/config.rs crates/engine/src/context.rs crates/engine/src/cost.rs crates/engine/src/interp.rs crates/engine/src/ops.rs crates/engine/src/plan.rs crates/engine/src/recompute_exec.rs crates/engine/src/value.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/compiler.rs:
+crates/engine/src/config.rs:
+crates/engine/src/context.rs:
+crates/engine/src/cost.rs:
+crates/engine/src/interp.rs:
+crates/engine/src/ops.rs:
+crates/engine/src/plan.rs:
+crates/engine/src/recompute_exec.rs:
+crates/engine/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/memphis_examples-1a34286c3d5146c0.d: examples/lib.rs
+
+/root/repo/target/release/deps/libmemphis_examples-1a34286c3d5146c0.rlib: examples/lib.rs
+
+/root/repo/target/release/deps/libmemphis_examples-1a34286c3d5146c0.rmeta: examples/lib.rs
+
+examples/lib.rs:

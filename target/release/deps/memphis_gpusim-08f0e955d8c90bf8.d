@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/memphis_gpusim-08f0e955d8c90bf8.d: crates/gpusim/src/lib.rs crates/gpusim/src/arena.rs crates/gpusim/src/config.rs crates/gpusim/src/device.rs crates/gpusim/src/stats.rs
+
+/root/repo/target/release/deps/libmemphis_gpusim-08f0e955d8c90bf8.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/arena.rs crates/gpusim/src/config.rs crates/gpusim/src/device.rs crates/gpusim/src/stats.rs
+
+/root/repo/target/release/deps/libmemphis_gpusim-08f0e955d8c90bf8.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/arena.rs crates/gpusim/src/config.rs crates/gpusim/src/device.rs crates/gpusim/src/stats.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arena.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/stats.rs:

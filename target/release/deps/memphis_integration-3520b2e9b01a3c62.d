@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/memphis_integration-3520b2e9b01a3c62.d: tests/lib.rs
+
+/root/repo/target/release/deps/libmemphis_integration-3520b2e9b01a3c62.rlib: tests/lib.rs
+
+/root/repo/target/release/deps/libmemphis_integration-3520b2e9b01a3c62.rmeta: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/memphis_matrix-4ff50ef7f7c03993.d: crates/matrix/src/lib.rs crates/matrix/src/blocked.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops/mod.rs crates/matrix/src/ops/agg.rs crates/matrix/src/ops/binary.rs crates/matrix/src/ops/matmul.rs crates/matrix/src/ops/nn.rs crates/matrix/src/ops/reorg.rs crates/matrix/src/ops/solve.rs crates/matrix/src/ops/unary.rs crates/matrix/src/rand_gen.rs
+
+/root/repo/target/release/deps/libmemphis_matrix-4ff50ef7f7c03993.rlib: crates/matrix/src/lib.rs crates/matrix/src/blocked.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops/mod.rs crates/matrix/src/ops/agg.rs crates/matrix/src/ops/binary.rs crates/matrix/src/ops/matmul.rs crates/matrix/src/ops/nn.rs crates/matrix/src/ops/reorg.rs crates/matrix/src/ops/solve.rs crates/matrix/src/ops/unary.rs crates/matrix/src/rand_gen.rs
+
+/root/repo/target/release/deps/libmemphis_matrix-4ff50ef7f7c03993.rmeta: crates/matrix/src/lib.rs crates/matrix/src/blocked.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops/mod.rs crates/matrix/src/ops/agg.rs crates/matrix/src/ops/binary.rs crates/matrix/src/ops/matmul.rs crates/matrix/src/ops/nn.rs crates/matrix/src/ops/reorg.rs crates/matrix/src/ops/solve.rs crates/matrix/src/ops/unary.rs crates/matrix/src/rand_gen.rs
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/blocked.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/io.rs:
+crates/matrix/src/ops/mod.rs:
+crates/matrix/src/ops/agg.rs:
+crates/matrix/src/ops/binary.rs:
+crates/matrix/src/ops/matmul.rs:
+crates/matrix/src/ops/nn.rs:
+crates/matrix/src/ops/reorg.rs:
+crates/matrix/src/ops/solve.rs:
+crates/matrix/src/ops/unary.rs:
+crates/matrix/src/rand_gen.rs:

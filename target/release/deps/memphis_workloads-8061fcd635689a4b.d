@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/memphis_workloads-8061fcd635689a4b.d: crates/workloads/src/lib.rs crates/workloads/src/builtins.rs crates/workloads/src/data.rs crates/workloads/src/harness.rs crates/workloads/src/pipelines/mod.rs crates/workloads/src/pipelines/clean.rs crates/workloads/src/pipelines/en2de.rs crates/workloads/src/pipelines/hband.rs crates/workloads/src/pipelines/hcv.rs crates/workloads/src/pipelines/hdrop.rs crates/workloads/src/pipelines/pnmf.rs crates/workloads/src/pipelines/tlvis.rs
+
+/root/repo/target/release/deps/libmemphis_workloads-8061fcd635689a4b.rlib: crates/workloads/src/lib.rs crates/workloads/src/builtins.rs crates/workloads/src/data.rs crates/workloads/src/harness.rs crates/workloads/src/pipelines/mod.rs crates/workloads/src/pipelines/clean.rs crates/workloads/src/pipelines/en2de.rs crates/workloads/src/pipelines/hband.rs crates/workloads/src/pipelines/hcv.rs crates/workloads/src/pipelines/hdrop.rs crates/workloads/src/pipelines/pnmf.rs crates/workloads/src/pipelines/tlvis.rs
+
+/root/repo/target/release/deps/libmemphis_workloads-8061fcd635689a4b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/builtins.rs crates/workloads/src/data.rs crates/workloads/src/harness.rs crates/workloads/src/pipelines/mod.rs crates/workloads/src/pipelines/clean.rs crates/workloads/src/pipelines/en2de.rs crates/workloads/src/pipelines/hband.rs crates/workloads/src/pipelines/hcv.rs crates/workloads/src/pipelines/hdrop.rs crates/workloads/src/pipelines/pnmf.rs crates/workloads/src/pipelines/tlvis.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/builtins.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/harness.rs:
+crates/workloads/src/pipelines/mod.rs:
+crates/workloads/src/pipelines/clean.rs:
+crates/workloads/src/pipelines/en2de.rs:
+crates/workloads/src/pipelines/hband.rs:
+crates/workloads/src/pipelines/hcv.rs:
+crates/workloads/src/pipelines/hdrop.rs:
+crates/workloads/src/pipelines/pnmf.rs:
+crates/workloads/src/pipelines/tlvis.rs:

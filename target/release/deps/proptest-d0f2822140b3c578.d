@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d0f2822140b3c578.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d0f2822140b3c578.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d0f2822140b3c578.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

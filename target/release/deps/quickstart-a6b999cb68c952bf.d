@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-a6b999cb68c952bf.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-a6b999cb68c952bf: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -129,13 +129,27 @@ fn all_pipelines_run_on_full_backends() {
     // Smoke: every §6.3 pipeline completes on a three-backend context and
     // produces a finite result.
     let (mut ctx, _b) = full_ctx(64 << 10, 4096);
-    assert!(hcv::run(&mut ctx, &hcv::HcvParams::small()).unwrap().is_finite());
-    assert!(pnmf::run(&mut ctx, &pnmf::PnmfParams::small()).unwrap().is_finite());
-    assert!(hband::run(&mut ctx, &hband::HbandParams::small()).unwrap().is_finite());
-    assert!(clean::run(&mut ctx, &clean::CleanParams::small()).unwrap().is_finite());
-    assert!(hdrop::run(&mut ctx, &hdrop::HdropParams::small()).unwrap().is_finite());
-    assert!(en2de::run(&mut ctx, &en2de::En2deParams::small()).unwrap().is_finite());
-    assert!(tlvis::run(&mut ctx, &tlvis::TlvisParams::small()).unwrap().is_finite());
+    assert!(hcv::run(&mut ctx, &hcv::HcvParams::small())
+        .unwrap()
+        .is_finite());
+    assert!(pnmf::run(&mut ctx, &pnmf::PnmfParams::small())
+        .unwrap()
+        .is_finite());
+    assert!(hband::run(&mut ctx, &hband::HbandParams::small())
+        .unwrap()
+        .is_finite());
+    assert!(clean::run(&mut ctx, &clean::CleanParams::small())
+        .unwrap()
+        .is_finite());
+    assert!(hdrop::run(&mut ctx, &hdrop::HdropParams::small())
+        .unwrap()
+        .is_finite());
+    assert!(en2de::run(&mut ctx, &en2de::En2deParams::small())
+        .unwrap()
+        .is_finite());
+    assert!(tlvis::run(&mut ctx, &tlvis::TlvisParams::small())
+        .unwrap()
+        .is_finite());
 }
 
 #[test]

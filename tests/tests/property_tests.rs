@@ -5,7 +5,7 @@
 use memphis_core::cache::config::CacheConfig;
 use memphis_core::cache::entry::CachedObject;
 use memphis_core::cache::LineageCache;
-use memphis_core::lineage::{deserialize, lineage_eq, serialize, LineageItem, LItem};
+use memphis_core::lineage::{deserialize, lineage_eq, serialize, LItem, LineageItem};
 use memphis_gpusim::Arena;
 use memphis_matrix::ops::agg::{aggregate, AggOp};
 use memphis_matrix::ops::binary::{binary, BinaryOp};
@@ -96,7 +96,7 @@ proptest! {
         for (i, s) in sizes.iter().enumerate() {
             let m = Matrix::zeros(*s, 8); // s*64 bytes
             let item = LineageItem::new("op", vec![i.to_string()], vec![]);
-            cache.put(&item, CachedObject::Matrix(m), 1.0, s * 64, 1);
+            cache.put(&item, CachedObject::Matrix(std::sync::Arc::new(m)), 1.0, s * 64, 1);
             prop_assert!(cache.local_used() <= 16 << 10);
         }
     }
