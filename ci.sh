@@ -5,6 +5,16 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+
+# Chaos suite: seeded fault injection must recover deterministically
+# under two fixed seeds, and the whole test suite must also pass
+# single-threaded (shakes out ordering assumptions).
+for seed in 42 1337; do
+    CHAOS_SEED="$seed" cargo test -q -p memphis-sparksim --test chaos
+    CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test chaos_end_to_end
+done
+cargo test -q -- --test-threads=1
+
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 

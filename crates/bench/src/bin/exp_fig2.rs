@@ -7,17 +7,13 @@
 //! (d) On the GPU, per-kernel memory allocation/free and host transfers
 //! dwarf the actual compute of a mini-batch affine+ReLU layer — justifying
 //! pointer recycling and reuse (§2.3).
+//!
+//! The experiment cores live in `memphis_bench::golden` so the golden
+//! smoke tests can run them at tiny scale; this binary runs the full
+//! scale and prints the paper's ratios.
 
-use memphis_bench::{bench_cache, bench_gpu, bench_spark, header};
-use memphis_engine::{EngineConfig, ReuseMode};
-use memphis_matrix::ops::binary::{binary_scalar, BinaryOp};
-use memphis_matrix::ops::unary::UnaryOp;
-use memphis_matrix::rand_gen::rand_uniform;
-use memphis_matrix::BlockedMatrix;
-use memphis_sparksim::{SparkContext, StorageLevel};
-use memphis_workloads::harness::Backends;
-use std::sync::Arc;
-use std::time::Instant;
+use memphis_bench::golden::{run_fig2c, run_fig2d, Fig2cParams, Fig2dParams};
+use memphis_bench::header;
 
 fn main() {
     fig2c();
@@ -31,97 +27,19 @@ fn fig2c() {
         "eager materialization of 12K RDDs (4K reusable) ~10x slower than no \
          caching; MEMPHIS lazy reuse ~2x faster than no caching",
     );
-    let total = 1200usize;
-    let distinct = 400usize; // each derived RDD recurs 3x (4K of 12K in the paper)
-    let m = rand_uniform(512, 16, -1.0, 1.0, 1);
-    let blocked = BlockedMatrix::from_dense(&m, 64).unwrap();
-
-    // No caching: every iteration derives an RDD and aggregates it (one
-    // job per iteration, nothing cached).
-    let t0 = Instant::now();
-    {
-        let sc = SparkContext::new(bench_spark());
-        let src = sc.parallelize_blocked(&blocked, "X");
-        for i in 0..total {
-            let scale = (i % distinct) as f64 / distinct as f64 + 0.5;
-            let rdd = sc.map(
-                &src,
-                "scale",
-                Arc::new(move |k, b| (*k, binary_scalar(b, scale, BinaryOp::Mul, false))),
-            );
-            sc.count(&rdd);
-        }
-    }
-    let no_cache = t0.elapsed();
-
-    // Eager caching: persist + count() after every transformation.
-    let t0 = Instant::now();
-    {
-        let sc = SparkContext::new(bench_spark());
-        let src = sc.parallelize_blocked(&blocked, "X");
-        for i in 0..total {
-            let scale = (i % distinct) as f64 / distinct as f64 + 0.5;
-            let rdd = sc.map(
-                &src,
-                "scale",
-                Arc::new(move |k, b| (*k, binary_scalar(b, scale, BinaryOp::Mul, false))),
-            );
-            rdd.persist(StorageLevel::Memory);
-            sc.count(&rdd); // eager materialization job
-            sc.count(&rdd); // the consuming job
-            sc.unpersist(&rdd);
-        }
-    }
-    let eager = t0.elapsed();
-
-    // MEMPHIS: lazy reuse through the engine (repeated scales hit the
-    // cache; no forced materialization).
-    let t0 = Instant::now();
-    let backend_report;
-    {
-        let b = Backends::with_spark(bench_spark());
-        let mut cfg = EngineConfig::benchmark().with_reuse(ReuseMode::Memphis);
-        cfg.spark_threshold_bytes = 0;
-        cfg.blen = 64;
-        cfg.async_ops = false;
-        // Delayed caching n=2 (the §5.2 auto-tuner's choice for partially
-        // reusable blocks): never-repeating RDDs are not persisted.
-        cfg.delay_factor = 2;
-        let mut cache_cfg = bench_cache(32 << 20);
-        cache_cfg.default_delay = 2;
-        let mut ctx = b.make_ctx(cfg, cache_cfg);
-        ctx.read("X", m.clone(), "fig2c/X").unwrap();
-        for i in 0..total {
-            let scale = (i % distinct) as f64 / distinct as f64 + 0.5;
-            ctx.binary_const("Y", "X", scale, BinaryOp::Mul, false)
-                .unwrap();
-            // Aggregate each derived RDD (the consuming job); repeated
-            // scales reuse the cached action result and skip it entirely.
-            ctx.agg(
-                "s",
-                "Y",
-                memphis_matrix::ops::agg::AggOp::Sum,
-                memphis_engine::ops::AggDir::Full,
-            )
-            .unwrap();
-            ctx.get_scalar("s").unwrap();
-        }
-        backend_report = ctx.cache().backend_report();
-    }
-    let memphis = t0.elapsed();
-
-    println!("NoCache    {:>9.3}s  1.00x", no_cache.as_secs_f64());
+    let out = run_fig2c(&Fig2cParams::full());
+    println!("NoCache    {:>9.3}s  1.00x", out.no_cache.as_secs_f64());
     println!(
         "Eager      {:>9.3}s  {:.2}x slower than NoCache (paper: ~10x)",
-        eager.as_secs_f64(),
-        eager.as_secs_f64() / no_cache.as_secs_f64()
+        out.eager.as_secs_f64(),
+        out.eager.as_secs_f64() / out.no_cache.as_secs_f64()
     );
     println!(
         "MEMPHIS    {:>9.3}s  {:.2}x faster than NoCache (paper: ~2x)",
-        memphis.as_secs_f64(),
-        no_cache.as_secs_f64() / memphis.as_secs_f64()
+        out.memphis.as_secs_f64(),
+        out.no_cache.as_secs_f64() / out.memphis.as_secs_f64()
     );
-    println!("backends (MEMPHIS):\n{backend_report}");
+    println!("backends (MEMPHIS):\n{}", out.backend_report);
 }
 
 /// The paper forces each kernel to allocate its output, copy to host, and
@@ -132,36 +50,8 @@ fn fig2d() {
         "affine+ReLU mini-batches with per-kernel alloc/copy/free: memory \
          alloc+free ~4.6x and copy ~9x of the compute time",
     );
-    // Pageable-memory calibration: the paper measures pageable H2D at
-    // 6.1 GB/s against multi-TFLOP device compute; at simulation scale the
-    // same ratios need slower per-byte costs and heavier alloc overheads.
-    let mut gcfg = bench_gpu(256 << 20);
-    gcfg.alloc_overhead = std::time::Duration::from_micros(40);
-    gcfg.free_overhead = std::time::Duration::from_micros(18);
-    gcfg.h2d_ns_per_byte = 4.7;
-    gcfg.d2h_ns_per_byte = 4.7;
-    let b = Backends::with_gpu(gcfg);
-    let mut cfg = EngineConfig::benchmark().with_reuse(ReuseMode::None);
-    cfg.gpu_min_cells = 1;
-    cfg.gpu_recycling = false; // force cudaMalloc/cudaFree per output
-    let mut ctx = b.make_ctx(cfg, bench_cache(16 << 20));
-    let batches = 200usize;
-    ctx.read("W", rand_uniform(64, 32, -0.3, 0.3, 2), "fig2d/W")
-        .unwrap();
-    ctx.read("bv", rand_uniform(1, 32, 0.0, 0.0, 3), "fig2d/b")
-        .unwrap();
-    for i in 0..batches {
-        let batch = rand_uniform(32, 64, 0.0, 1.0, 100 + i as u64);
-        ctx.read("B", batch, &format!("batch{i}")).unwrap();
-        ctx.affine("H", "B", "W", "bv").unwrap();
-        ctx.unary("A", "H", UnaryOp::Relu).unwrap();
-        // Force the result to the host (the paper's per-kernel D2H).
-        ctx.get_matrix("A").unwrap();
-        ctx.remove("A");
-        ctx.remove("H");
-        ctx.remove("B");
-    }
-    let d = b.gpu.as_ref().unwrap().stats();
+    let out = run_fig2d(&Fig2dParams::full());
+    let d = &out.gpu;
     let compute_s = d.compute_ns as f64 / 1e9;
     let alloc_s = d.alloc_free_wait_ns as f64 / 1e9;
     let copy_s = d.transfer_wait_ns as f64 / 1e9;
@@ -178,5 +68,5 @@ fn fig2d() {
         "({} allocs, {} frees, {} kernels, {} syncs)",
         d.allocs, d.frees, d.kernels, d.syncs
     );
-    println!("backends:\n{}", ctx.cache().backend_report());
+    println!("backends:\n{}", out.backend_report);
 }

@@ -2,14 +2,12 @@
 //! model, memory, and interconnect bandwidths (the paper measures 15 GB/s
 //! Spark-aggregate shuffle and 6.1 GB/s pageable host-to-device; our
 //! simulator is calibrated at a reduced scale with the same ordering).
+//!
+//! The probe logic lives in `memphis_bench::golden` so the golden smoke
+//! tests can run it at tiny scale.
 
-use memphis_bench::{bench_gpu, bench_spark, header};
-use memphis_gpusim::GpuDevice;
-use memphis_matrix::rand_gen::rand_uniform;
-use memphis_matrix::BlockedMatrix;
-use memphis_sparksim::SparkContext;
-use std::sync::Arc;
-use std::time::Instant;
+use memphis_bench::golden::{run_table2, Table2Params};
+use memphis_bench::header;
 
 fn main() {
     header(
@@ -17,56 +15,27 @@ fn main() {
         "Spark: lazy, distributed memory, cache API; GPU: async, small \
          memory, no cache API; CPU: eager",
     );
+    let out = run_table2(&Table2Params::full());
 
-    // Spark shuffle bandwidth: one reduceByKey over ~32 MB.
-    let sc = SparkContext::new(bench_spark());
-    let m = rand_uniform(16_384, 256, -1.0, 1.0, 1); // 32 MB
-    let blocked = BlockedMatrix::from_dense(&m, 1024).unwrap();
-    let rdd = sc.parallelize_blocked(&blocked, "X");
-    let shuffled = sc.reduce_by_key(
-        &rdd,
-        "rekey",
-        Arc::new(|k, m| {
-            vec![(
-                memphis_matrix::BlockId {
-                    row: k.row % 4,
-                    col: 0,
-                },
-                m.deep_clone(),
-            )]
-        }),
-        Arc::new(|a, _| a),
-        4,
-    );
-    let t0 = Instant::now();
-    sc.count(&shuffled);
-    let el = t0.elapsed().as_secs_f64();
-    let stats = sc.stats();
-    let bytes = stats.shuffle_bytes_written + stats.shuffle_bytes_read;
+    let el = out.shuffle_elapsed.as_secs_f64();
+    let bytes = out.shuffle_bytes_written + out.shuffle_bytes_read;
     println!(
         "Spark   exec=lazy   shuffle {:>7.2} MB in {el:.3}s -> {:>6.2} GB/s (sim; paper 15 GB/s cluster)",
         bytes as f64 / 1e6,
         bytes as f64 / el / 1e9
     );
 
-    // GPU H2D bandwidth (pageable).
-    let gpu = GpuDevice::new(bench_gpu(256 << 20));
-    let h = rand_uniform(4096, 512, -1.0, 1.0, 2); // 16 MB
-    let t0 = Instant::now();
-    let ptr = gpu.upload(&h).unwrap();
-    let el = t0.elapsed().as_secs_f64();
+    let el = out.h2d_elapsed.as_secs_f64();
     println!(
         "GPU     exec=async  H2D {:>11.2} MB in {el:.3}s -> {:>6.2} GB/s (sim; paper 6.1 GB/s pageable)",
-        h.size_bytes() as f64 / 1e6,
-        h.size_bytes() as f64 / el / 1e9
+        out.transfer_bytes as f64 / 1e6,
+        out.transfer_bytes as f64 / el / 1e9
     );
-    let t0 = Instant::now();
-    let _ = gpu.copy_to_host(ptr).unwrap();
-    let el = t0.elapsed().as_secs_f64();
+    let el = out.d2h_elapsed.as_secs_f64();
     println!(
         "GPU     exec=async  D2H {:>11.2} MB in {el:.3}s -> {:>6.2} GB/s (sim)",
-        h.size_bytes() as f64 / 1e6,
-        h.size_bytes() as f64 / el / 1e9
+        out.transfer_bytes as f64 / 1e6,
+        out.transfer_bytes as f64 / el / 1e9
     );
     println!("CPU     exec=eager  memory=host heap, no cache API");
 }

@@ -2,6 +2,8 @@
 //! standard MEMPHIS configurations (Base, Base-A, LIMA, HELIX, MPH-NA,
 //! MPH) used by the per-figure experiment binaries.
 
+pub mod golden;
+
 use memphis_core::cache::config::CacheConfig;
 use memphis_engine::{EngineConfig, ReuseMode};
 use memphis_gpusim::GpuConfig;

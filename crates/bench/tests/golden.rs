@@ -1,0 +1,98 @@
+//! Golden smoke tests for the experiment binaries: run the exp_fig2 /
+//! exp_table2 cores at tiny scale and pin down the counters that make the
+//! figures meaningful — reuse hits, evictions, task counts, bytes moved.
+//! Wall-clock ratios are the binaries' business; under CI load they are
+//! noise, so nothing here asserts on elapsed time.
+
+use memphis_bench::golden::{
+    run_fig2c, run_fig2d, run_table2, Fig2cParams, Fig2dParams, Table2Params,
+};
+
+#[test]
+fn fig2c_lazy_reuse_hits_where_eager_recomputes() {
+    let p = Fig2cParams::tiny();
+    let out = run_fig2c(&p);
+
+    // The eager loop runs a materialization job plus a consuming job per
+    // iteration — exactly double the no-caching loop's task count.
+    assert!(out.no_cache_tasks > 0);
+    assert_eq!(
+        out.eager_tasks,
+        2 * out.no_cache_tasks,
+        "eager = materialize + consume per iteration"
+    );
+
+    // MEMPHIS probes the cache once per derived RDD: the first pass over
+    // the distinct scales misses, every recurrence afterwards can hit.
+    let r = &out.reuse;
+    assert!(r.probes > 0, "reuse cache must be consulted: {r:?}");
+    assert!(r.misses >= p.distinct as u64, "first pass misses: {r:?}");
+    assert!(r.hits > 0, "recurring scales must hit: {r:?}");
+    assert!(r.puts > 0, "misses must populate the cache: {r:?}");
+    assert_eq!(r.hits + r.misses, r.probes, "every probe hits or misses");
+}
+
+#[test]
+fn fig2c_tiny_budget_forces_evictions() {
+    // Shrink the cluster storage below the working set: the cache must
+    // evict (spill, drop, or unpersist) instead of growing without bound.
+    let mut p = Fig2cParams::tiny();
+    p.cache_budget = 2 << 10;
+    p.spark_storage = 16 << 10;
+    let out = run_fig2c(&p);
+    let r = &out.reuse;
+    let evictions = r.local_spills + r.local_drops + r.rdd_unpersists;
+    assert!(
+        evictions > 0,
+        "a 2 KB budget cannot hold the working set: {r:?}"
+    );
+    // Eviction costs hits but the loop still recurs enough to land some.
+    assert!(r.probes > 0 && r.puts > 0, "{r:?}");
+}
+
+#[test]
+fn fig2d_counters_show_per_batch_alloc_and_copy() {
+    let p = Fig2dParams::tiny();
+    let out = run_fig2d(&p);
+    let g = &out.gpu;
+
+    // With recycling disabled every batch allocates device outputs and
+    // frees them again; nothing may fail and nothing may leak past the
+    // explicit removes (the weight/bias uploads may stay resident).
+    assert_eq!(g.alloc_failures, 0, "{g:?}");
+    assert!(g.allocs >= p.batches as u64, "per-batch allocs: {g:?}");
+    assert!(g.frees > 0 && g.frees <= g.allocs, "{g:?}");
+    // Affine + ReLU launch at least two kernels per batch.
+    assert!(g.kernels >= 2 * p.batches as u64, "{g:?}");
+    // The D2H readback synchronizes the stream each batch.
+    assert!(g.syncs >= p.batches as u64, "{g:?}");
+
+    // The device counter schedule is deterministic: a second identical
+    // run must land on exactly the same counts.
+    let again = run_fig2d(&p).gpu;
+    assert_eq!(
+        (g.allocs, g.frees, g.kernels, g.syncs),
+        (again.allocs, again.frees, again.kernels, again.syncs),
+        "counters are a pure function of the parameters"
+    );
+}
+
+#[test]
+fn table2_shuffle_moves_every_byte_exactly_once() {
+    let p = Table2Params::tiny();
+    let out = run_table2(&p);
+
+    // 256x16 blocked at 32 → 8 blocks of 32x16 f64s, all reshuffled;
+    // every record ships its BlockId key alongside the payload.
+    let record_bytes = (memphis_matrix::Matrix::zeros(32, 16).size_bytes()
+        + std::mem::size_of::<memphis_matrix::BlockId>()) as u64;
+    assert_eq!(out.shuffle_bytes_written, 8 * record_bytes);
+    assert_eq!(
+        out.shuffle_bytes_read, out.shuffle_bytes_written,
+        "every map output is read exactly once"
+    );
+    // row % 4 keys the 8 row-blocks onto 4 reduce keys.
+    assert_eq!(out.reduced_records, p.reduce_partitions);
+    assert!(out.roundtrip_exact, "H2D/D2H must be lossless");
+    assert_eq!(out.transfer_bytes, p.gpu_rows * p.gpu_cols * 8);
+}

@@ -556,6 +556,7 @@ impl CacheBackend for SparkTier {
             ("mat_jobs", s.rdd_materialize_jobs),
             ("gc_rdds", s.gc_rdds_released),
             ("gc_bcasts", s.gc_broadcasts_destroyed),
+            ("gc_bcast_unpersists", s.gc_broadcasts_unpersisted),
         ];
         detail.extend(self.backend.sc.stats().pairs());
         BackendSnapshot {

@@ -57,7 +57,14 @@ impl SparkBackend {
     /// `protected_broadcasts` are broadcast ids still needed by
     /// unmaterialized entries.
     ///
-    /// Returns `(shuffles_cleaned, broadcasts_destroyed)`.
+    /// When the cluster runs with fault injection enabled, "materialized"
+    /// is never permanent — an executor kill or a cached-block drop can
+    /// force recomputation through any ancestor at any time — so instead
+    /// of `destroy()`ing broadcasts (which would dangle under recompute,
+    /// the failure of §2.2) GC downgrades to `unpersist()`: executor
+    /// copies are released but the driver value stays fetchable.
+    ///
+    /// Returns `(shuffles_cleaned, broadcasts_released)`.
     pub fn lazy_gc(
         &self,
         root: &RddRef,
@@ -67,15 +74,27 @@ impl SparkBackend {
     ) -> (u64, u64) {
         let mut shuffles = 0;
         let mut broadcasts = 0;
-        // The root's own broadcast (e.g. the vector of a broadcast-based
-        // matmul) is releasable too: the materialized partitions no longer
-        // need it.
-        if let Some(bc) = root.broadcast() {
-            if !bc.is_destroyed() && !protected_broadcasts.contains(&bc.id().0) {
+        let recompute_possible = self.sc.config().fault_plan.is_active();
+        let mut release = |bc: &memphis_sparksim::BroadcastRef| {
+            if protected_broadcasts.contains(&bc.id().0) {
+                return;
+            }
+            if recompute_possible {
+                if bc.unpersist() {
+                    broadcasts += 1;
+                    ReuseStats::inc(&stats.gc_broadcasts_unpersisted);
+                }
+            } else if !bc.is_destroyed() {
                 bc.destroy();
                 broadcasts += 1;
                 ReuseStats::inc(&stats.gc_broadcasts_destroyed);
             }
+        };
+        // The root's own broadcast (e.g. the vector of a broadcast-based
+        // matmul) is releasable too: the materialized partitions no longer
+        // need it.
+        if let Some(bc) = root.broadcast() {
+            release(&bc);
         }
         // Ancestor shuffle files may still be needed to recompute lost or
         // evicted partitions of the root: only release them when the root
@@ -102,11 +121,7 @@ impl SparkBackend {
                 ReuseStats::inc(&stats.gc_rdds_released);
             }
             if let Some(bc) = rdd.broadcast() {
-                if !bc.is_destroyed() && !protected_broadcasts.contains(&bc.id().0) {
-                    bc.destroy();
-                    broadcasts += 1;
-                    ReuseStats::inc(&stats.gc_broadcasts_destroyed);
-                }
+                release(&bc);
             }
             stack.extend(rdd.parents());
         }
@@ -215,6 +230,40 @@ mod tests {
         let cached: HashSet<u64> = [mapped.id().0].into_iter().collect();
         backend.lazy_gc(&final_rdd, &cached, &HashSet::new(), &stats);
         assert!(!bc.is_destroyed(), "stopped before reaching the broadcast");
+    }
+
+    #[test]
+    fn lazy_gc_unpersists_instead_of_destroying_under_faults() {
+        // With fault injection active, a "materialized" RDD can lose
+        // cached partitions at any time; GC must keep broadcasts
+        // recomputable (unpersist) rather than destroying them.
+        let mut cfg = SparkConfig::local_test();
+        cfg.fault_plan = memphis_sparksim::FaultPlan::seeded(7).with_executor_kill(u64::MAX, 0, 0); // active plan, never fires
+        let sc = SparkContext::new(cfg);
+        let backend = SparkBackend::new(sc.clone(), 0.8);
+        let stats = StdArc::new(ReuseStats::default());
+        let m = Matrix::filled(16, 4, 1.0);
+        let b = BlockedMatrix::from_dense(&m, 4).unwrap();
+        let src = sc.parallelize_blocked(&b, "X");
+        let bc = sc.broadcast(Matrix::filled(1, 4, 2.0));
+        let mapped = sc.map_with_broadcast(
+            &src,
+            "withB",
+            &bc,
+            StdArc::new(|k, m, _| (*k, m.deep_clone())),
+        );
+        sc.count(&mapped); // executors pull the chunks
+        assert!(bc.delivered_executors() > 0);
+
+        let (_, released) = backend.lazy_gc(&mapped, &HashSet::new(), &HashSet::new(), &stats);
+        assert_eq!(released, 1);
+        assert!(!bc.is_destroyed(), "faulty cluster must not destroy");
+        assert_eq!(bc.delivered_executors(), 0, "executor copies released");
+        assert_eq!(stats.snapshot().gc_broadcasts_unpersisted, 1);
+        assert_eq!(stats.snapshot().gc_broadcasts_destroyed, 0);
+
+        // Recompute through the broadcast still works.
+        assert_eq!(sc.count(&mapped), 4, "one record per block");
     }
 
     #[test]

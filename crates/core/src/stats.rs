@@ -38,6 +38,9 @@ pub struct ReuseStats {
     pub gc_rdds_released: AtomicU64,
     /// Broadcast variables destroyed by lazy garbage collection.
     pub gc_broadcasts_destroyed: AtomicU64,
+    /// Broadcast variables unpersisted (executor copies released, driver
+    /// value kept for recompute) by lazy GC when fault injection is on.
+    pub gc_broadcasts_unpersisted: AtomicU64,
     /// GPU pointers recycled (memory reused without `cudaMalloc`).
     pub gpu_recycled: AtomicU64,
     /// GPU pointers reused (lineage hits on device pointers).
@@ -87,6 +90,8 @@ pub struct ReuseStatsSnapshot {
     pub gc_rdds_released: u64,
     /// See [`ReuseStats::gc_broadcasts_destroyed`].
     pub gc_broadcasts_destroyed: u64,
+    /// See [`ReuseStats::gc_broadcasts_unpersisted`].
+    pub gc_broadcasts_unpersisted: u64,
     /// See [`ReuseStats::gpu_recycled`].
     pub gpu_recycled: u64,
     /// See [`ReuseStats::gpu_reused`].
@@ -127,6 +132,7 @@ impl ReuseStats {
             rdd_materialize_jobs: self.rdd_materialize_jobs.load(Ordering::Relaxed),
             gc_rdds_released: self.gc_rdds_released.load(Ordering::Relaxed),
             gc_broadcasts_destroyed: self.gc_broadcasts_destroyed.load(Ordering::Relaxed),
+            gc_broadcasts_unpersisted: self.gc_broadcasts_unpersisted.load(Ordering::Relaxed),
             gpu_recycled: self.gpu_recycled.load(Ordering::Relaxed),
             gpu_reused: self.gpu_reused.load(Ordering::Relaxed),
             gpu_freed: self.gpu_freed.load(Ordering::Relaxed),

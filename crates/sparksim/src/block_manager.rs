@@ -40,6 +40,9 @@ struct CachedPartition {
     level: StorageLevel,
     size: usize,
     last_access: u64,
+    /// Run-stable fault tag (hash of the owning RDD's name) used by the
+    /// deterministic fault plan to pick drop victims; see [`crate::fault`].
+    tag: u64,
 }
 
 struct Inner {
@@ -144,7 +147,14 @@ impl BlockManager {
     /// Follows Spark semantics: if memory cannot be freed, a `Memory`-level
     /// partition is silently not cached, while `MemoryAndDisk` and `Disk`
     /// partitions go to disk.
-    pub fn put(&self, rdd: RddId, partition: usize, data: Arc<Vec<Record>>, level: StorageLevel) {
+    pub fn put(
+        &self,
+        rdd: RddId,
+        partition: usize,
+        data: Arc<Vec<Record>>,
+        level: StorageLevel,
+        tag: u64,
+    ) {
         let size = bytes_of_partition(&data);
         let key = (rdd, partition);
         if level == StorageLevel::Disk {
@@ -159,6 +169,7 @@ impl BlockManager {
                         level,
                         size,
                         last_access: clock,
+                        tag,
                     },
                 );
                 SparkStats::inc(&self.stats.partitions_cached);
@@ -182,6 +193,7 @@ impl BlockManager {
                     level,
                     size,
                     last_access: clock,
+                    tag,
                 },
             );
             SparkStats::inc(&self.stats.partitions_cached);
@@ -198,6 +210,7 @@ impl BlockManager {
                         level,
                         size,
                         last_access: clock,
+                        tag,
                     },
                 );
                 SparkStats::inc(&self.stats.partitions_cached);
@@ -317,6 +330,37 @@ impl BlockManager {
         }
     }
 
+    /// Fault injection: drops every cached partition (memory *and* disk)
+    /// whose `(tag, partition)` matches `lost`, recording the loss so the
+    /// next access recomputes from lineage. Returns the number dropped.
+    pub fn drop_where(&self, lost: impl Fn(u64, usize) -> bool) -> u64 {
+        let mut spills: Vec<PathBuf> = Vec::new();
+        let dropped = {
+            let mut inner = self.inner.lock();
+            let victims: Vec<(RddId, usize)> = inner
+                .entries
+                .iter()
+                .filter(|((_, p), e)| lost(e.tag, *p))
+                .map(|(k, _)| *k)
+                .collect();
+            for key in &victims {
+                let e = inner.entries.remove(key).expect("victim listed");
+                match e.residence {
+                    Residence::InMemory(_) => {
+                        inner.mem_used = inner.mem_used.saturating_sub(e.size);
+                    }
+                    Residence::OnDisk(p) => spills.push(p),
+                }
+                inner.evicted_ever.insert(*key);
+            }
+            victims.len() as u64
+        };
+        for p in spills {
+            std::fs::remove_file(p).ok();
+        }
+        dropped
+    }
+
     /// Materialization summary for an RDD (`getRDDStorageInfo`).
     pub fn storage_info(&self, rdd: RddId) -> RddStorageInfo {
         let inner = self.inner.lock();
@@ -415,7 +459,7 @@ mod tests {
     fn put_get_roundtrip() {
         let m = bm(1 << 20);
         let data = Arc::new(vec![rec(0, 100, 1)]);
-        m.put(RddId(1), 0, data.clone(), StorageLevel::Memory);
+        m.put(RddId(1), 0, data.clone(), StorageLevel::Memory, 0);
         let got = m.get(RddId(1), 0).unwrap();
         assert_eq!(got.len(), 1);
         assert!(got[0].1.approx_eq(&data[0].1, 0.0));
@@ -433,6 +477,7 @@ mod tests {
                 0,
                 Arc::new(vec![rec(0, 100, p)]),
                 StorageLevel::Memory,
+                0,
             );
         }
         // First partition was LRU → evicted and dropped.
@@ -449,6 +494,7 @@ mod tests {
             0,
             Arc::new(vec![rec(0, 100, 1)]),
             StorageLevel::MemoryAndDisk,
+            0,
         );
         for p in 0..2u64 {
             m.put(
@@ -456,6 +502,7 @@ mod tests {
                 0,
                 Arc::new(vec![rec(0, 100, p)]),
                 StorageLevel::Memory,
+                0,
             );
         }
         // Spilled but still readable.
@@ -472,6 +519,7 @@ mod tests {
             0,
             Arc::new(vec![rec(0, 50, 3)]),
             StorageLevel::Disk,
+            0,
         );
         assert_eq!(m.mem_used(), 0);
         assert!(m.get(RddId(5), 0).is_some());
@@ -485,12 +533,14 @@ mod tests {
             0,
             Arc::new(vec![rec(0, 64, 1)]),
             StorageLevel::Memory,
+            0,
         );
         m.put(
             RddId(7),
             1,
             Arc::new(vec![rec(1, 64, 2)]),
             StorageLevel::Memory,
+            0,
         );
         assert!(m.mem_used() > 0);
         m.remove_rdd(RddId(7));
@@ -506,6 +556,7 @@ mod tests {
             0,
             Arc::new(vec![rec(0, 1000, 1)]),
             StorageLevel::Memory,
+            0,
         );
         assert!(m.get(RddId(9), 0).is_none());
         // MemoryAndDisk still lands on disk.
@@ -514,6 +565,7 @@ mod tests {
             1,
             Arc::new(vec![rec(1, 1000, 2)]),
             StorageLevel::MemoryAndDisk,
+            0,
         );
         assert!(m.get(RddId(9), 1).is_some());
     }
@@ -526,12 +578,14 @@ mod tests {
             0,
             Arc::new(vec![rec(0, 64, 1)]),
             StorageLevel::Memory,
+            0,
         );
         m.put(
             RddId(3),
             1,
             Arc::new(vec![rec(1, 64, 2)]),
             StorageLevel::Disk,
+            0,
         );
         let info = m.storage_info(RddId(3));
         assert_eq!(info.cached_partitions, 2);
@@ -547,6 +601,7 @@ mod tests {
             0,
             Arc::new(vec![rec(0, 64, 1)]),
             StorageLevel::Memory,
+            0,
         );
         m.drop_partition(RddId(4), 0);
         assert!(m.get(RddId(4), 0).is_none());

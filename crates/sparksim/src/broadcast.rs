@@ -99,6 +99,19 @@ impl BroadcastRef {
         Some(value)
     }
 
+    /// Releases the executor-side copies while keeping the driver value —
+    /// Spark's `Broadcast.unpersist()`. The next read on each executor
+    /// pulls the chunks (and pays the transfer cost) again, so unlike
+    /// [`BroadcastRef::destroy`] this is safe when lineage recomputation
+    /// may still reach the broadcast. Returns `true` if any executor
+    /// actually held a copy.
+    pub fn unpersist(&self) -> bool {
+        let mut delivered = self.0.delivered.lock();
+        let had_copies = !delivered.is_empty();
+        delivered.clear();
+        had_copies
+    }
+
     /// Releases the driver-held data and all executor copies — Spark's
     /// `Broadcast.destroy()`. Idempotent.
     pub fn destroy(&self) {
@@ -159,6 +172,22 @@ mod tests {
         assert!(b.fetch(1, &cost, &stats).is_some());
         assert_eq!(stats.snapshot().broadcast_chunks_sent, 2);
         assert_eq!(b.delivered_executors(), 2);
+    }
+
+    #[test]
+    fn unpersist_drops_executor_copies_but_stays_readable() {
+        let b = mk(1024);
+        let cost = CostModel::zero();
+        let stats = SparkStats::default();
+        assert!(b.fetch(0, &cost, &stats).is_some());
+        assert_eq!(b.delivered_executors(), 1);
+        assert!(b.unpersist(), "executor 0 held a copy");
+        assert!(!b.unpersist(), "already released");
+        assert_eq!(b.delivered_executors(), 0);
+        assert!(!b.is_destroyed());
+        // Re-reading works and pays the transfer again.
+        assert!(b.fetch(0, &cost, &stats).is_some());
+        assert_eq!(stats.snapshot().broadcast_chunks_sent, 2);
     }
 
     #[test]

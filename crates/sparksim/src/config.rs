@@ -83,6 +83,15 @@ pub struct SparkConfig {
     pub spill_dir: std::path::PathBuf,
     /// Injected interconnect/scheduler costs.
     pub cost: CostModel,
+    /// Maximum attempts per task before the job is failed (Spark's
+    /// `spark.task.maxFailures`, default 4).
+    pub task_max_failures: u64,
+    /// Maximum attempts per stage (initial run + fetch-failure
+    /// resubmissions) before the job is failed (Spark's
+    /// `spark.stage.maxConsecutiveAttempts`, default 4).
+    pub stage_max_attempts: u64,
+    /// Deterministic fault-injection plan; inert by default.
+    pub fault_plan: crate::fault::FaultPlan,
 }
 
 impl SparkConfig {
@@ -97,6 +106,9 @@ impl SparkConfig {
             default_parallelism: 4,
             spill_dir: std::env::temp_dir().join("memphis_spill"),
             cost: CostModel::zero(),
+            task_max_failures: 4,
+            stage_max_attempts: 4,
+            fault_plan: crate::fault::FaultPlan::none(),
         }
     }
 
@@ -114,6 +126,9 @@ impl SparkConfig {
             default_parallelism: cores.max(4),
             spill_dir: std::env::temp_dir().join("memphis_spill"),
             cost: CostModel::calibrated(),
+            task_max_failures: 4,
+            stage_max_attempts: 4,
+            fault_plan: crate::fault::FaultPlan::none(),
         }
     }
 

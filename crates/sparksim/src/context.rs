@@ -215,8 +215,19 @@ impl SparkContext {
     // ------------------------------------------------------------------
 
     /// Collects all records to the driver, charging the driver-link cost.
+    ///
+    /// # Panics
+    /// Panics if the job fails past its retry bounds; fault-injection
+    /// callers use [`SparkContext::try_collect`].
     pub fn collect(&self, rdd: &RddRef) -> Vec<Record> {
-        let parts = self.rt.run_job(rdd, |_, records| records.to_vec());
+        self.try_collect(rdd).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SparkContext::collect`]: task failures are retried and
+    /// lost shuffle/cache state is recomputed from lineage; only exhausted
+    /// retry budgets surface as an error.
+    pub fn try_collect(&self, rdd: &RddRef) -> Result<Vec<Record>, crate::fault::JobError> {
+        let parts = self.rt.try_run_job(rdd, |_, records| records.to_vec())?;
         let out: Vec<Record> = parts.into_iter().flatten().collect();
         let bytes = crate::block_manager::bytes_of_partition(&out);
         SparkStats::add(&self.rt.stats.bytes_collected, bytes as u64);
@@ -224,7 +235,7 @@ impl SparkContext {
         if !delay.is_zero() {
             std::thread::sleep(delay);
         }
-        out
+        Ok(out)
     }
 
     /// Collects and reassembles a blocked matrix with the given logical
@@ -241,15 +252,41 @@ impl SparkContext {
         BlockedMatrix::from_blocks(rows, cols, blen, blocks)
     }
 
+    /// Fallible [`SparkContext::collect_blocked`].
+    pub fn try_collect_blocked(
+        &self,
+        rdd: &RddRef,
+        rows: usize,
+        cols: usize,
+        blen: usize,
+    ) -> Result<BlockedMatrix, crate::fault::JobError> {
+        let mut blocks = self.try_collect(rdd)?;
+        blocks.sort_by_key(|(k, _)| *k);
+        Ok(BlockedMatrix::from_blocks(rows, cols, blen, blocks))
+    }
+
     /// Folds all record values with `combine` (ignoring keys), combining
     /// per-partition results at the driver. Returns `None` for empty RDDs.
+    ///
+    /// # Panics
+    /// Panics if the job fails past its retry bounds.
     pub fn reduce(&self, rdd: &RddRef, combine: CombineFn) -> Option<Matrix> {
+        self.try_reduce(rdd, combine)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SparkContext::reduce`].
+    pub fn try_reduce(
+        &self,
+        rdd: &RddRef,
+        combine: CombineFn,
+    ) -> Result<Option<Matrix>, crate::fault::JobError> {
         let c = combine.clone();
-        let parts = self.rt.run_job(rdd, move |_, records| {
+        let parts = self.rt.try_run_job(rdd, move |_, records| {
             let mut it = records.iter().map(|(_, m)| m.clone());
             let first = it.next()?;
             Some(it.fold(first, |a, b| c(a, b)))
-        });
+        })?;
         let mut acc: Option<Matrix> = None;
         for part in parts.into_iter().flatten() {
             acc = Some(match acc {
@@ -260,16 +297,25 @@ impl SparkContext {
         if let Some(m) = &acc {
             SparkStats::add(&self.rt.stats.bytes_collected, m.size_bytes() as u64);
         }
-        acc
+        Ok(acc)
     }
 
     /// Counts records (the cheap materialization action MEMPHIS uses for
     /// asynchronous RDD materialization after `k` cache misses).
+    ///
+    /// # Panics
+    /// Panics if the job fails past its retry bounds.
     pub fn count(&self, rdd: &RddRef) -> usize {
-        self.rt
-            .run_job(rdd, |_, records| records.len())
+        self.try_count(rdd).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SparkContext::count`].
+    pub fn try_count(&self, rdd: &RddRef) -> Result<usize, crate::fault::JobError> {
+        Ok(self
+            .rt
+            .try_run_job(rdd, |_, records| records.len())?
             .into_iter()
-            .sum()
+            .sum())
     }
 
     // ------------------------------------------------------------------
@@ -314,6 +360,14 @@ impl SparkContext {
     /// Injects a partition loss (executor failure) for recovery tests.
     pub fn fail_partition(&self, rdd: &RddRef, partition: usize) {
         self.rt.block_manager.drop_partition(rdd.id(), partition);
+    }
+
+    /// Kills executor `executor` immediately: its cached partitions and
+    /// shuffle map outputs are invalidated and later recomputed from
+    /// lineage (a replacement executor is assumed to re-register, so task
+    /// slots are unaffected).
+    pub fn kill_executor(&self, executor: usize) {
+        self.rt.kill_executor_now(executor);
     }
 
     /// Default storage level for persisted RDDs.

@@ -28,6 +28,7 @@ pub mod block_manager;
 pub mod broadcast;
 pub mod config;
 pub mod context;
+pub mod fault;
 pub mod rdd;
 pub mod scheduler;
 pub mod shuffle;
@@ -37,5 +38,6 @@ pub use block_manager::StorageLevel;
 pub use broadcast::BroadcastRef;
 pub use config::{CostModel, SparkConfig};
 pub use context::SparkContext;
+pub use fault::{ExecutorKill, FaultPlan, JobError, TaskError};
 pub use rdd::{RddRef, Record};
 pub use stats::SparkStats;

@@ -6,15 +6,32 @@
 //! the final result stage. Task sets execute on a fixed pool of executor
 //! worker threads, so cluster parallelism is bounded by
 //! `num_executors * cores_per_executor` exactly like a real cluster.
+//!
+//! ## Failure handling
+//!
+//! Task attempts can fail (injected faults from the configured
+//! [`crate::fault::FaultPlan`], or panics in user code) and are retried up
+//! to [`crate::config::SparkConfig::task_max_failures`] times; past that
+//! the job aborts with a clean [`JobError`], releasing its shuffle claims
+//! so concurrent jobs never hang. A reduce task that finds shuffle map
+//! outputs missing (executor loss, dropped shuffle files) raises a fetch
+//! failure: the scheduler resubmits the *missing map partitions only* of
+//! the parent map stage — shuffle output is deterministic, so surviving
+//! outputs are reused — bounded by
+//! [`crate::config::SparkConfig::stage_max_attempts`]. Lost cached
+//! partitions are recomputed from lineage on next access, exactly like an
+//! eviction.
 
 use crate::block_manager::StorageLevel;
+use crate::fault::{self, JobError, TaskError};
 use crate::rdd::{partition_of, RddKind, RddRef, Record, ShuffleId};
 use crate::stats::SparkStats;
 use crossbeam::channel::{unbounded, Sender};
 use crossbeam::sync::WaitGroup;
 use parking_lot::Mutex;
 use std::cell::Cell;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 thread_local! {
@@ -101,6 +118,65 @@ impl Drop for ExecutorPool {
     }
 }
 
+/// Per-job scheduling state: the job sequence number (run-stable fault
+/// coordinate), a deterministic stage-sequence allocator, and an index of
+/// every ancestor shuffle so fetch failures can be mapped back to the map
+/// stage that must be resubmitted.
+struct JobCtx {
+    /// Job sequence number within the context (0-based, in action order).
+    job: u64,
+    /// Next stage sequence number within this job. Allocated for skipped
+    /// stages too, so numbering depends only on the lineage — not on which
+    /// concurrent job won a shuffle-production claim.
+    next_stage: AtomicU64,
+    /// Every shuffle reachable from the job's final RDD, including those
+    /// behind cached RDDs (recovery may need them after a cache drop).
+    shuffles: HashMap<u64, RddRef>,
+}
+
+impl JobCtx {
+    fn new(job: u64, rdd: &RddRef) -> Self {
+        let mut shuffles = HashMap::new();
+        let mut visited = HashSet::new();
+        index_shuffles(rdd, &mut visited, &mut shuffles);
+        Self {
+            job,
+            next_stage: AtomicU64::new(0),
+            shuffles,
+        }
+    }
+
+    fn alloc_stage(&self) -> u64 {
+        self.next_stage.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Full-lineage DFS indexing every wide dependency by shuffle id. Unlike
+/// the planning walk this does *not* stop at cached RDDs: a fault can drop
+/// cached partitions mid-job, and recovery then reaches ancestor shuffles
+/// the plan skipped.
+fn index_shuffles(rdd: &RddRef, visited: &mut HashSet<u64>, out: &mut HashMap<u64, RddRef>) {
+    if !visited.insert(rdd.id().0) {
+        return;
+    }
+    for parent in rdd.parents() {
+        index_shuffles(&parent, visited, out);
+    }
+    if let Some(sid) = rdd.shuffle_id() {
+        out.insert(sid.0, rdd.clone());
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
 /// Shared cluster runtime: configuration, storage, shuffle service, and the
 /// executor pool. [`crate::context::SparkContext`] wraps this in an `Arc`.
 pub struct Runtime {
@@ -117,76 +193,45 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Runs `n` tasks on the executor pool and gathers their results in
-    /// task order. Blocks until all complete.
-    pub fn run_tasks<R, F>(self: &Arc<Self>, n: usize, f: F) -> Vec<R>
-    where
-        R: Send + 'static,
-        F: Fn(usize) -> R + Send + Sync + 'static,
-    {
-        SparkStats::add(&self.stats.tasks, n as u64);
-        let f = Arc::new(f);
-        let results: Arc<Mutex<Vec<Option<R>>>> =
-            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
-        let wg = WaitGroup::new();
-        let launch = self.config.cost.task_launch;
-        for p in 0..n {
-            let f = f.clone();
-            let results = results.clone();
-            let wg = wg.clone();
-            self.pool.submit(Box::new(move || {
-                if !launch.is_zero() {
-                    std::thread::sleep(launch);
-                }
-                let r = f(p);
-                results.lock()[p] = Some(r);
-                // Release captured handles before the barrier so the
-                // driver-side drop order is deterministic.
-                drop(f);
-                drop(results);
-                drop(wg);
-            }));
-        }
-        wg.wait();
-        let mut guard = results.lock();
-        guard
-            .iter_mut()
-            .enumerate()
-            .map(|(p, r)| {
-                r.take()
-                    .unwrap_or_else(|| panic!("task for partition {p} panicked on an executor"))
-            })
-            .collect()
-    }
-
     /// Computes one partition of an RDD, recursively evaluating narrow
     /// parents, reading shuffle files across wide dependencies, and serving
-    /// or populating the block-manager cache for persisted RDDs.
-    pub fn compute_partition(self: &Arc<Self>, rdd: &RddRef, p: usize) -> Arc<Vec<Record>> {
+    /// or populating the block-manager cache for persisted RDDs. Fails with
+    /// [`TaskError::FetchFailed`] when a shuffle read finds map outputs
+    /// missing.
+    pub fn compute_partition(
+        self: &Arc<Self>,
+        rdd: &RddRef,
+        p: usize,
+    ) -> Result<Arc<Vec<Record>>, TaskError> {
         let persist = rdd.persist_level();
         if persist.is_some() {
             if let Some(cached) = self.block_manager.get(rdd.id(), p) {
-                return cached;
+                return Ok(cached);
             }
         }
         let records: Vec<Record> = match &rdd.0.kind {
             RddKind::Parallelize { partitions } => partitions[p].clone(),
             RddKind::Map { parent, f } => {
-                let input = self.compute_partition(parent, p);
+                let input = self.compute_partition(parent, p)?;
                 SparkStats::add(&self.stats.narrow_records_computed, input.len() as u64);
                 input.iter().map(|(k, m)| f(k, m)).collect()
             }
             RddKind::MapWithBroadcast { parent, bc, f } => {
+                // A destroyed broadcast reached from a recompute is the
+                // paper's §2.2 dangling reference: fail the task cleanly
+                // (bounded retry → job error) instead of killing the worker.
                 let value = bc
                     .fetch(current_executor(), &self.config.cost, &self.stats)
-                    .expect("broadcast destroyed before use");
-                let input = self.compute_partition(parent, p);
+                    .ok_or_else(|| {
+                        TaskError::Panic(format!("broadcast {:?} destroyed before use", bc.id()))
+                    })?;
+                let input = self.compute_partition(parent, p)?;
                 SparkStats::add(&self.stats.narrow_records_computed, input.len() as u64);
                 input.iter().map(|(k, m)| f(k, m, &value)).collect()
             }
             RddKind::ZipJoin { left, right, f } => {
-                let l = self.compute_partition(left, p);
-                let r = self.compute_partition(right, p);
+                let l = self.compute_partition(left, p)?;
+                let r = self.compute_partition(right, p)?;
                 SparkStats::add(&self.stats.narrow_records_computed, l.len() as u64);
                 let index: std::collections::HashMap<_, _> =
                     r.iter().map(|(k, m)| (*k, m)).collect();
@@ -197,7 +242,10 @@ impl Runtime {
             RddKind::ReduceByKey {
                 combine, shuffle, ..
             } => {
-                let grouped = self.shuffle.read(*shuffle, p);
+                let grouped = self
+                    .shuffle
+                    .try_read(*shuffle, p)
+                    .map_err(|_| TaskError::FetchFailed { shuffle: *shuffle })?;
                 let mut out: Vec<Record> = grouped
                     .into_iter()
                     .map(|(k, vals)| {
@@ -215,23 +263,298 @@ impl Runtime {
             if self.block_manager.was_evicted(rdd.id(), p) {
                 SparkStats::inc(&self.stats.partitions_recomputed);
             }
-            self.block_manager.put(rdd.id(), p, records.clone(), level);
+            self.block_manager.put(
+                rdd.id(),
+                p,
+                records.clone(),
+                level,
+                fault::name_tag(rdd.name()),
+            );
         }
-        records
+        Ok(records)
+    }
+
+    /// Kills executor `executor` *now*: its cached partitions and shuffle
+    /// map outputs are invalidated (attributed deterministically by
+    /// `partition % num_executors`) and recomputed from lineage on next
+    /// access. Worker threads stay alive — the simulation models the data
+    /// loss, and a replacement executor re-registering, not the process.
+    pub fn kill_executor_now(self: &Arc<Self>, executor: usize) {
+        let ne = self.config.num_executors.max(1);
+        SparkStats::inc(&self.stats.executors_lost);
+        let cached = self
+            .block_manager
+            .drop_where(|_, p| p % ne == executor % ne);
+        SparkStats::add(&self.stats.cached_blocks_lost, cached);
+        let outputs = self
+            .shuffle
+            .drop_outputs_where(|mp| mp % ne == executor % ne);
+        SparkStats::add(&self.stats.shuffle_outputs_lost, outputs);
+    }
+
+    /// Applies the fault plan's job-boundary faults (cached-partition and
+    /// shuffle-output drops) for job `job`.
+    fn apply_prejob_faults(&self, job: u64) {
+        let plan = &self.config.fault_plan;
+        if !plan.is_active() {
+            return;
+        }
+        if plan.cached_drop_rate > 0.0 {
+            let lost = self
+                .block_manager
+                .drop_where(|tag, p| plan.should_drop_cached(job, tag, p));
+            SparkStats::add(&self.stats.cached_blocks_lost, lost);
+        }
+        if plan.shuffle_drop_rate > 0.0 {
+            let lost = self
+                .shuffle
+                .drop_outputs_where(|mp| plan.should_drop_shuffle_output(job, mp));
+            SparkStats::add(&self.stats.shuffle_outputs_lost, lost);
+        }
+    }
+
+    /// Launches one round of task attempts on the executor pool and gathers
+    /// `(partition, attempt, result)` in submission order. Injected faults
+    /// are decided on the driver *at submission* — before any side effect —
+    /// so a failed attempt never half-writes shuffle or cache state.
+    fn exec_attempts<R, F>(
+        self: &Arc<Self>,
+        job: u64,
+        stage: u64,
+        attempts: &[(usize, u64)],
+        f: &Arc<F>,
+    ) -> Vec<(usize, u64, Result<R, TaskError>)>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> Result<R, TaskError> + Send + Sync + 'static,
+    {
+        type Slots<R> = Arc<Mutex<Vec<Option<Result<R, TaskError>>>>>;
+        SparkStats::add(&self.stats.tasks, attempts.len() as u64);
+        let plan = &self.config.fault_plan;
+        let results: Slots<R> = Arc::new(Mutex::new(attempts.iter().map(|_| None).collect()));
+        let wg = WaitGroup::new();
+        let launch = self.config.cost.task_launch;
+        for (i, &(p, attempt)) in attempts.iter().enumerate() {
+            if plan.should_fail_task(job, stage, p, attempt) {
+                results.lock()[i] = Some(Err(TaskError::Injected {
+                    job,
+                    stage,
+                    partition: p,
+                    attempt,
+                }));
+                continue;
+            }
+            let f = f.clone();
+            let results = results.clone();
+            let wg = wg.clone();
+            self.pool.submit(Box::new(move || {
+                if !launch.is_zero() {
+                    std::thread::sleep(launch);
+                }
+                let r = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(p))) {
+                    Ok(r) => r,
+                    Err(payload) => Err(TaskError::Panic(panic_message(payload))),
+                };
+                results.lock()[i] = Some(r);
+                // Release captured handles before the barrier so the
+                // driver-side drop order is deterministic.
+                drop(f);
+                drop(results);
+                drop(wg);
+            }));
+        }
+        wg.wait();
+        let mut guard = results.lock();
+        attempts
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, attempt))| {
+                let r = guard[i]
+                    .take()
+                    .unwrap_or_else(|| Err(TaskError::Panic("executor worker lost".into())));
+                (p, attempt, r)
+            })
+            .collect()
+    }
+
+    /// Runs the task set of one stage over `parts` with bounded retries and
+    /// fetch-failure-driven map-stage resubmission. Returns results sorted
+    /// by partition.
+    fn run_stage<R, F>(
+        self: &Arc<Self>,
+        jctx: &JobCtx,
+        stage: u64,
+        parts: Vec<usize>,
+        f: F,
+    ) -> Result<Vec<(usize, R)>, JobError>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> Result<R, TaskError> + Send + Sync + 'static,
+    {
+        for victim in self.config.fault_plan.kills_at(jctx.job, stage) {
+            self.kill_executor_now(victim);
+        }
+        let f = Arc::new(f);
+        let mut done: Vec<(usize, R)> = Vec::with_capacity(parts.len());
+        let mut pending: Vec<(usize, u64)> = parts.into_iter().map(|p| (p, 0)).collect();
+        let mut stage_attempts = 1u64;
+        while !pending.is_empty() {
+            let round = self.exec_attempts(jctx.job, stage, &pending, &f);
+            pending.clear();
+            let mut lost_shuffles: BTreeSet<u64> = BTreeSet::new();
+            let mut fetch_retry: Vec<(usize, u64)> = Vec::new();
+            for (p, attempt, result) in round {
+                match result {
+                    Ok(r) => done.push((p, r)),
+                    Err(TaskError::FetchFailed { shuffle }) => {
+                        lost_shuffles.insert(shuffle.0);
+                        fetch_retry.push((p, attempt));
+                    }
+                    Err(err) => {
+                        SparkStats::inc(&self.stats.task_failures);
+                        let attempts = attempt + 1;
+                        if attempts >= self.config.task_max_failures {
+                            return Err(JobError::TaskFailed {
+                                stage,
+                                partition: p,
+                                attempts,
+                                last: err.to_string(),
+                            });
+                        }
+                        SparkStats::inc(&self.stats.tasks_retried);
+                        pending.push((p, attempt + 1));
+                    }
+                }
+            }
+            if !lost_shuffles.is_empty() {
+                stage_attempts += 1;
+                if stage_attempts > self.config.stage_max_attempts {
+                    return Err(JobError::StageExhausted {
+                        stage,
+                        attempts: stage_attempts,
+                    });
+                }
+                for sid in &lost_shuffles {
+                    self.recover_shuffle(jctx, ShuffleId(*sid))?;
+                }
+                for (p, attempt) in fetch_retry {
+                    // A fetch failure is the map stage's fault, not the
+                    // task's: re-run with the same attempt number.
+                    SparkStats::inc(&self.stats.tasks_retried);
+                    pending.push((p, attempt));
+                }
+            }
+        }
+        done.sort_by_key(|(p, _)| *p);
+        Ok(done)
+    }
+
+    /// Produces shuffle `sid` (the caller holds the production claim):
+    /// runs map tasks for every *missing* map partition, so a resubmission
+    /// after partial loss recomputes only what was lost. On failure the
+    /// claim is released (`abort`) so waiting jobs can retry.
+    fn produce_shuffle(
+        self: &Arc<Self>,
+        jctx: &JobCtx,
+        node: &RddRef,
+        sid: ShuffleId,
+        resubmit: bool,
+    ) -> Result<(), JobError> {
+        let (parent, emit) = match &node.0.kind {
+            RddKind::ReduceByKey { parent, emit, .. } => (parent.clone(), emit.clone()),
+            _ => unreachable!("map stages only exist for wide dependencies"),
+        };
+        let num_out = node.num_partitions();
+        self.shuffle.begin(sid, parent.num_partitions());
+        let missing = self.shuffle.missing_map_partitions(sid);
+        if missing.is_empty() {
+            self.shuffle.finish(sid);
+            return Ok(());
+        }
+        // A production with surviving outputs is a (partial) resubmission
+        // regardless of how it was reached: mid-stage via a fetch failure,
+        // or proactively when job planning found the shuffle incomplete
+        // after a fault dropped some of its outputs.
+        if resubmit || missing.len() < parent.num_partitions() {
+            SparkStats::inc(&self.stats.stages_resubmitted);
+        } else {
+            SparkStats::inc(&self.stats.stages);
+        }
+        let stage = jctx.alloc_stage();
+        let rt = self.clone();
+        let result = self.run_stage(jctx, stage, missing, move |p| {
+            let records = rt.compute_partition(&parent, p)?;
+            let mut buckets: Vec<Vec<Record>> = (0..num_out).map(|_| Vec::new()).collect();
+            for (k, m) in records.iter() {
+                for (nk, nm) in emit(k, m) {
+                    buckets[partition_of(&nk, num_out)].push((nk, nm));
+                }
+            }
+            rt.shuffle.write_map_output(sid, p, buckets);
+            Ok(())
+        });
+        match result {
+            Ok(_) => {
+                self.shuffle.finish(sid);
+                Ok(())
+            }
+            Err(e) => {
+                // Release the claim so concurrent jobs waiting in
+                // claim_or_wait can retry instead of hanging forever.
+                self.shuffle.abort(sid);
+                Err(e)
+            }
+        }
+    }
+
+    /// Regenerates shuffle `sid` after a fetch failure. If a concurrent job
+    /// already (re)produced it, the wait inside `claim_or_wait` suffices.
+    fn recover_shuffle(self: &Arc<Self>, jctx: &JobCtx, sid: ShuffleId) -> Result<(), JobError> {
+        if !self.shuffle.claim_or_wait(sid) {
+            return Ok(());
+        }
+        let node = jctx
+            .shuffles
+            .get(&sid.0)
+            .cloned()
+            .expect("fetch-failed shuffle is in the job's lineage");
+        self.produce_shuffle(jctx, &node, sid, true)
     }
 
     /// Runs a job triggered by an action on `rdd`: produces all missing
     /// ancestor shuffles, then evaluates `result_task` over every partition
-    /// of `rdd` on the executor pool.
+    /// of `rdd` on the executor pool. Panics on job failure; fallible
+    /// actions use [`Runtime::try_run_job`].
     pub fn run_job<R, F>(self: &Arc<Self>, rdd: &RddRef, result_task: F) -> Vec<R>
     where
         R: Send + 'static,
         F: Fn(usize, &[Record]) -> R + Send + Sync + 'static,
     {
-        SparkStats::inc(&self.stats.jobs);
+        match self.try_run_job(rdd, result_task) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Runtime::run_job`]: task failures are retried up
+    /// to `task_max_failures`, lost shuffle outputs trigger partial map
+    /// stage resubmission, and anything beyond those bounds surfaces as a
+    /// clean [`JobError`] — the cluster stays usable for other jobs.
+    pub fn try_run_job<R, F>(
+        self: &Arc<Self>,
+        rdd: &RddRef,
+        result_task: F,
+    ) -> Result<Vec<R>, JobError>
+    where
+        R: Send + 'static,
+        F: Fn(usize, &[Record]) -> R + Send + Sync + 'static,
+    {
+        let job = self.stats.jobs.fetch_add(1, Ordering::Relaxed);
         if !self.config.cost.job_launch.is_zero() {
             std::thread::sleep(self.config.cost.job_launch);
         }
+        let jctx = JobCtx::new(job, rdd);
+        self.apply_prejob_faults(job);
 
         // Plan: ancestor shuffle stages in topological order (deepest first).
         let mut shuffle_nodes: Vec<RddRef> = Vec::new();
@@ -242,19 +565,29 @@ impl Runtime {
             let sid = node.shuffle_id().expect("shuffle node");
             if !self.shuffle.claim_or_wait(sid) {
                 SparkStats::inc(&self.stats.skipped_stages);
+                // Keep stage numbering structural: a skipped stage still
+                // consumes its sequence number.
+                jctx.alloc_stage();
                 continue;
             }
-            self.run_map_stage(&node, sid);
+            self.produce_shuffle(&jctx, &node, sid, false)?;
         }
 
         // Final result stage.
         SparkStats::inc(&self.stats.stages);
+        let stage = jctx.alloc_stage();
         let rt = self.clone();
         let rdd_for_tasks = rdd.clone();
-        self.run_tasks(rdd.num_partitions(), move |p| {
-            let records = rt.compute_partition(&rdd_for_tasks, p);
-            result_task(p, &records)
-        })
+        let done = self.run_stage(
+            &jctx,
+            stage,
+            (0..rdd.num_partitions()).collect(),
+            move |p| {
+                let records = rt.compute_partition(&rdd_for_tasks, p)?;
+                Ok(result_task(p, &records))
+            },
+        )?;
+        Ok(done.into_iter().map(|(_, r)| r).collect())
     }
 
     /// Post-order DFS gathering wide-dependency nodes (deepest ancestors
@@ -280,37 +613,6 @@ impl Runtime {
         if matches!(rdd.0.kind, RddKind::ReduceByKey { .. }) {
             out.push(rdd.clone());
         }
-    }
-
-    fn run_map_stage(self: &Arc<Self>, node: &RddRef, sid: ShuffleId) {
-        let (parent, emit) = match &node.0.kind {
-            RddKind::ReduceByKey { parent, emit, .. } => (parent.clone(), emit.clone()),
-            _ => unreachable!("map stages only exist for wide dependencies"),
-        };
-        SparkStats::inc(&self.stats.stages);
-        let num_out = node.num_partitions();
-        self.shuffle.begin(sid, parent.num_partitions());
-        let rt = self.clone();
-        let shuffle_parent = parent.clone();
-        let stage = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.run_tasks(parent.num_partitions(), move |p| {
-                let records = rt.compute_partition(&shuffle_parent, p);
-                let mut buckets: Vec<Vec<Record>> = (0..num_out).map(|_| Vec::new()).collect();
-                for (k, m) in records.iter() {
-                    for (nk, nm) in emit(k, m) {
-                        buckets[partition_of(&nk, num_out)].push((nk, nm));
-                    }
-                }
-                rt.shuffle.write_map_output(sid, p, buckets);
-            });
-        }));
-        if let Err(panic) = stage {
-            // Release the claim so concurrent jobs waiting in
-            // claim_or_wait can retry instead of hanging forever.
-            self.shuffle.abort(sid);
-            std::panic::resume_unwind(panic);
-        }
-        self.shuffle.finish(sid);
     }
 }
 

@@ -21,6 +21,11 @@ struct ShuffleState {
     complete: bool,
 }
 
+/// Marker error of [`ShuffleManager::try_read`]: the requested shuffle is
+/// missing, incomplete, or lost map outputs since it was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchFailed;
+
 /// Cluster-wide shuffle-file store.
 pub struct ShuffleManager {
     shuffles: Mutex<HashMap<ShuffleId, ShuffleState>>,
@@ -77,17 +82,33 @@ impl ShuffleManager {
         }
     }
 
-    /// Registers a new shuffle production run.
+    /// Registers a shuffle production run. Map outputs that survived from
+    /// an earlier (partially lost) production are kept: shuffle data is
+    /// deterministic, so only *missing* map partitions need recomputation
+    /// (Spark's partial stage resubmission).
     pub fn begin(&self, sid: ShuffleId, num_map_partitions: usize) {
         let mut shuffles = self.shuffles.lock();
-        shuffles.insert(
-            sid,
-            ShuffleState {
+        shuffles
+            .entry(sid)
+            .or_insert_with(|| ShuffleState {
                 outputs: HashMap::new(),
                 num_map_partitions,
                 complete: false,
-            },
-        );
+            })
+            .num_map_partitions = num_map_partitions;
+    }
+
+    /// Map partitions of `sid` whose outputs are currently missing. Empty
+    /// when the shuffle is fully produced; all partitions when the state
+    /// does not exist (call [`ShuffleManager::begin`] first).
+    pub fn missing_map_partitions(&self, sid: ShuffleId) -> Vec<usize> {
+        let shuffles = self.shuffles.lock();
+        match shuffles.get(&sid) {
+            Some(s) => (0..s.num_map_partitions)
+                .filter(|p| !s.outputs.contains_key(p))
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Writes one map task's bucketed output.
@@ -123,6 +144,27 @@ impl ShuffleManager {
         self.running_cv.notify_all();
     }
 
+    /// Reduce-side read that detects lost map outputs: returns
+    /// `Err(FetchFailed)` when the shuffle is missing, incomplete, or has
+    /// lost outputs — the scheduler then resubmits the map stage.
+    pub fn try_read(
+        &self,
+        sid: ShuffleId,
+        reduce_partition: usize,
+    ) -> Result<HashMap<BlockId, Vec<memphis_matrix::Matrix>>, FetchFailed> {
+        {
+            let shuffles = self.shuffles.lock();
+            match shuffles.get(&sid) {
+                Some(s) if s.complete && s.outputs.len() == s.num_map_partitions => {}
+                _ => {
+                    SparkStats::inc(&self.stats.fetch_failures);
+                    return Err(FetchFailed);
+                }
+            }
+        }
+        Ok(self.read(sid, reduce_partition))
+    }
+
     /// Reduce-side read: gathers bucket `reduce_partition` from every map
     /// output, grouped by key.
     pub fn read(
@@ -137,7 +179,13 @@ impl ShuffleManager {
         };
         let mut grouped: HashMap<BlockId, Vec<memphis_matrix::Matrix>> = HashMap::new();
         let mut bytes = 0usize;
-        for buckets in state.outputs.values() {
+        // Gather in map-partition order so downstream combine folds see a
+        // deterministic value order — floating-point results are then
+        // bit-identical across runs, thread counts, and fault recovery.
+        let mut map_parts: Vec<usize> = state.outputs.keys().copied().collect();
+        map_parts.sort_unstable();
+        for mp in map_parts {
+            let buckets = &state.outputs[&mp];
             if let Some(bucket) = buckets.get(reduce_partition) {
                 bytes += bytes_of_partition(bucket);
                 for (k, m) in bucket {
@@ -157,6 +205,30 @@ impl ShuffleManager {
     /// Drops the shuffle files of `sid` (RDD cleanup).
     pub fn remove(&self, sid: ShuffleId) {
         self.shuffles.lock().remove(&sid);
+    }
+
+    /// Fault injection: drops every retained map output whose map
+    /// partition matches `lost`, marking the affected shuffles incomplete
+    /// so the next read fetch-fails and triggers partial resubmission.
+    /// Shuffles currently mid-production are left alone. Returns the
+    /// number of outputs dropped.
+    pub fn drop_outputs_where(&self, lost: impl Fn(usize) -> bool) -> u64 {
+        // Lock order matches `claim_or_wait`: `running` before `shuffles`.
+        let running = self.running.lock();
+        let mut shuffles = self.shuffles.lock();
+        let mut dropped = 0u64;
+        for (sid, state) in shuffles.iter_mut() {
+            if running.contains(sid) {
+                continue;
+            }
+            let victims: Vec<usize> = state.outputs.keys().copied().filter(|p| lost(*p)).collect();
+            for p in victims {
+                state.outputs.remove(&p);
+                state.complete = false;
+                dropped += 1;
+            }
+        }
+        dropped
     }
 
     /// Abandons a failed production run: removes partial outputs and

@@ -39,6 +39,21 @@ pub struct SparkStats {
     pub broadcast_chunks_sent: AtomicU64,
     /// Bytes collected to the driver by actions.
     pub bytes_collected: AtomicU64,
+    /// Task attempts that failed (injected faults or panics).
+    pub task_failures: AtomicU64,
+    /// Task attempts re-launched after a failure (retry or fetch-failure
+    /// re-run of a result task).
+    pub tasks_retried: AtomicU64,
+    /// Shuffle reads that found map outputs missing.
+    pub fetch_failures: AtomicU64,
+    /// Map stages resubmitted (partially) to regenerate lost map outputs.
+    pub stages_resubmitted: AtomicU64,
+    /// Executors lost (planned kills and manual `kill_executor` calls).
+    pub executors_lost: AtomicU64,
+    /// Cached partitions invalidated by faults (executor loss/block drops).
+    pub cached_blocks_lost: AtomicU64,
+    /// Shuffle map outputs invalidated by faults.
+    pub shuffle_outputs_lost: AtomicU64,
 }
 
 /// A point-in-time copy of all counters.
@@ -74,6 +89,20 @@ pub struct StatsSnapshot {
     pub broadcast_chunks_sent: u64,
     /// See [`SparkStats::bytes_collected`].
     pub bytes_collected: u64,
+    /// See [`SparkStats::task_failures`].
+    pub task_failures: u64,
+    /// See [`SparkStats::tasks_retried`].
+    pub tasks_retried: u64,
+    /// See [`SparkStats::fetch_failures`].
+    pub fetch_failures: u64,
+    /// See [`SparkStats::stages_resubmitted`].
+    pub stages_resubmitted: u64,
+    /// See [`SparkStats::executors_lost`].
+    pub executors_lost: u64,
+    /// See [`SparkStats::cached_blocks_lost`].
+    pub cached_blocks_lost: u64,
+    /// See [`SparkStats::shuffle_outputs_lost`].
+    pub shuffle_outputs_lost: u64,
 }
 
 impl SparkStats {
@@ -107,6 +136,13 @@ impl SparkStats {
             narrow_records_computed: self.narrow_records_computed.load(Ordering::Relaxed),
             broadcast_chunks_sent: self.broadcast_chunks_sent.load(Ordering::Relaxed),
             bytes_collected: self.bytes_collected.load(Ordering::Relaxed),
+            task_failures: self.task_failures.load(Ordering::Relaxed),
+            tasks_retried: self.tasks_retried.load(Ordering::Relaxed),
+            fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
+            stages_resubmitted: self.stages_resubmitted.load(Ordering::Relaxed),
+            executors_lost: self.executors_lost.load(Ordering::Relaxed),
+            cached_blocks_lost: self.cached_blocks_lost.load(Ordering::Relaxed),
+            shuffle_outputs_lost: self.shuffle_outputs_lost.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,6 +159,10 @@ impl StatsSnapshot {
             ("shuffle_w", self.shuffle_bytes_written),
             ("part_cached", self.partitions_cached),
             ("part_evicted", self.partitions_evicted),
+            ("retried", self.tasks_retried),
+            ("resubmitted", self.stages_resubmitted),
+            ("exec_lost", self.executors_lost),
+            ("recomputed", self.partitions_recomputed),
         ]
     }
 
@@ -145,7 +185,31 @@ impl StatsSnapshot {
             narrow_records_computed: self.narrow_records_computed - earlier.narrow_records_computed,
             broadcast_chunks_sent: self.broadcast_chunks_sent - earlier.broadcast_chunks_sent,
             bytes_collected: self.bytes_collected - earlier.bytes_collected,
+            task_failures: self.task_failures - earlier.task_failures,
+            tasks_retried: self.tasks_retried - earlier.tasks_retried,
+            fetch_failures: self.fetch_failures - earlier.fetch_failures,
+            stages_resubmitted: self.stages_resubmitted - earlier.stages_resubmitted,
+            executors_lost: self.executors_lost - earlier.executors_lost,
+            cached_blocks_lost: self.cached_blocks_lost - earlier.cached_blocks_lost,
+            shuffle_outputs_lost: self.shuffle_outputs_lost - earlier.shuffle_outputs_lost,
         }
+    }
+}
+
+impl StatsSnapshot {
+    /// The recovery-relevant subset as key/value pairs — what the chaos
+    /// suite asserts determinism over.
+    pub fn recovery_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("task_failures", self.task_failures),
+            ("tasks_retried", self.tasks_retried),
+            ("fetch_failures", self.fetch_failures),
+            ("stages_resubmitted", self.stages_resubmitted),
+            ("executors_lost", self.executors_lost),
+            ("cached_blocks_lost", self.cached_blocks_lost),
+            ("shuffle_outputs_lost", self.shuffle_outputs_lost),
+            ("partitions_recomputed", self.partitions_recomputed),
+        ]
     }
 }
 

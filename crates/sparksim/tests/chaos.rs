@@ -1,0 +1,379 @@
+//! Chaos suite: seeded fault injection against real workload pipelines.
+//!
+//! Every test runs a pipeline twice — once on a fault-free cluster, once
+//! under a seeded [`FaultPlan`] — and requires *bit-identical* results plus
+//! nonzero recovery counters. The fault schedule is a pure function of the
+//! plan seed and run-stable coordinates, so these tests are deterministic;
+//! `CHAOS_SEED` selects an alternative seed in CI.
+
+use memphis_matrix::ops::binary::{binary, binary_scalar, BinaryOp};
+use memphis_matrix::rand_gen::rand_uniform;
+use memphis_matrix::{BlockId, BlockedMatrix, Matrix};
+use memphis_sparksim::fault::JobError;
+use memphis_sparksim::{FaultPlan, Record, SparkConfig, SparkContext, StorageLevel};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Cluster for chaos runs: ample storage (so LRU eviction — which is
+/// timing-dependent — never fires) and a generous task retry budget (at a
+/// 30% per-attempt failure rate, 4 attempts still lose ~0.8% of tasks).
+fn chaos_config(plan: FaultPlan) -> SparkConfig {
+    SparkConfig {
+        storage_capacity: 256 << 20,
+        task_max_failures: 10,
+        // 8 partitions: wide enough that a 30% per-attempt failure rate
+        // reliably fires on the CI seeds.
+        default_parallelism: 8,
+        fault_plan: plan,
+        ..SparkConfig::local_test()
+    }
+}
+
+fn records_equal(a: &[Record], b: &[Record]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|((ka, ma), (kb, mb))| ka == kb && ma.approx_eq(mb, 0.0))
+}
+
+// ---------------------------------------------------------------------
+// Workload pipelines (each runs two jobs so faults can hit cached /
+// shuffled state produced by the first).
+// ---------------------------------------------------------------------
+
+/// Narrow map chain with a persisted intermediate: count then collect.
+fn pipeline_narrow_cache(sc: &SparkContext) -> (usize, Vec<Record>) {
+    let m = rand_uniform(32, 8, -1.0, 1.0, 77);
+    let b = BlockedMatrix::from_dense(&m, 4).unwrap();
+    let rdd = sc.parallelize_blocked(&b, "A:X");
+    let mapped = sc.map(
+        &rdd,
+        "A:x*2",
+        Arc::new(|k, m| (*k, binary_scalar(m, 2.0, BinaryOp::Mul, false))),
+    );
+    mapped.persist(StorageLevel::Memory);
+    let n = sc.count(&mapped); // job 0
+    let out = sc.collect(&mapped); // job 1
+    (n, out)
+}
+
+/// Wide row-sum aggregation: the second action reuses retained shuffle
+/// files (skipped map stage) — unless a fault dropped them.
+fn pipeline_shuffle_agg(sc: &SparkContext) -> (usize, Vec<Record>) {
+    let m = rand_uniform(32, 8, -1.0, 1.0, 78);
+    let b = BlockedMatrix::from_dense(&m, 4).unwrap();
+    let rdd = sc.parallelize_blocked(&b, "B:X");
+    let shuffled = sc.reduce_by_key(
+        &rdd,
+        "B:rowsum",
+        Arc::new(|k, m| vec![(BlockId { row: k.row, col: 0 }, m.deep_clone())]),
+        Arc::new(|a, b| binary(&a, &b, BinaryOp::Add).unwrap()),
+        2,
+    );
+    let n = sc.count(&shuffled); // job 0: map stage + result stage
+    let out = sc.collect(&shuffled); // job 1: skipped map stage + result stage
+    (n, out)
+}
+
+/// Zip-join of co-partitioned RDDs, broadcast scaling, and a driver-side
+/// reduce.
+fn pipeline_zip_broadcast(sc: &SparkContext) -> Matrix {
+    let ma = rand_uniform(12, 4, -1.0, 1.0, 79);
+    let mb = rand_uniform(12, 4, -1.0, 1.0, 80);
+    let ba = BlockedMatrix::from_dense(&ma, 4).unwrap();
+    let bb = BlockedMatrix::from_dense(&mb, 4).unwrap();
+    let ra = sc.parallelize_blocked(&ba, "C:A");
+    let rb = sc.parallelize_blocked(&bb, "C:B");
+    let sum = sc.zip_join(
+        &ra,
+        &rb,
+        "C:A+B",
+        Arc::new(|_, a, b| binary(a, b, BinaryOp::Add).unwrap()),
+    );
+    let scale = sc.broadcast(rand_uniform(4, 4, 0.5, 1.5, 81));
+    let scaled = sc.map_with_broadcast(
+        &sum,
+        "C:scaled",
+        &scale,
+        Arc::new(|k, m, v| (*k, binary(m, v, BinaryOp::Mul).unwrap())),
+    );
+    sc.reduce(
+        &scaled,
+        Arc::new(|a, b| binary(&a, &b, BinaryOp::Add).unwrap()),
+    )
+    .unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Bit-identical results under chaos
+// ---------------------------------------------------------------------
+
+#[test]
+fn narrow_cache_pipeline_survives_task_failures_and_executor_kill() {
+    let clean = SparkContext::new(chaos_config(FaultPlan::none()));
+    let want = pipeline_narrow_cache(&clean);
+
+    // Kill executor 0 right before job 1's result stage: its cached
+    // partitions (p % num_executors == 0) are lost and must recompute.
+    let plan = FaultPlan::seeded(chaos_seed())
+        .with_task_failure_rate(0.3)
+        .with_executor_kill(1, 0, 0);
+    let sc = SparkContext::new(chaos_config(plan));
+    let (n, out) = pipeline_narrow_cache(&sc);
+
+    assert_eq!(n, want.0);
+    assert!(records_equal(&out, &want.1), "results diverged under chaos");
+    let s = sc.stats();
+    assert!(s.task_failures > 0, "injected failures must fire: {s:?}");
+    assert!(s.tasks_retried > 0);
+    assert_eq!(s.executors_lost, 1);
+    assert_eq!(
+        s.cached_blocks_lost, 4,
+        "even partitions lived on executor 0"
+    );
+    assert!(
+        s.partitions_recomputed >= 4,
+        "lost partitions recompute from lineage"
+    );
+}
+
+#[test]
+fn shuffle_pipeline_survives_task_failures_and_executor_kill() {
+    let clean = SparkContext::new(chaos_config(FaultPlan::none()));
+    let want = pipeline_shuffle_agg(&clean);
+
+    // Kill executor 0 before job 1's result stage (stage 0 of job 1 is the
+    // skipped map stage): its retained shuffle map outputs vanish, reduce
+    // tasks fetch-fail, and the map stage is partially resubmitted.
+    let plan = FaultPlan::seeded(chaos_seed())
+        .with_task_failure_rate(0.3)
+        .with_executor_kill(1, 1, 0);
+    let sc = SparkContext::new(chaos_config(plan));
+    let (n, out) = pipeline_shuffle_agg(&sc);
+
+    assert_eq!(n, want.0);
+    assert!(records_equal(&out, &want.1), "results diverged under chaos");
+    let s = sc.stats();
+    assert!(s.task_failures > 0);
+    assert!(s.tasks_retried > 0);
+    assert_eq!(s.executors_lost, 1);
+    assert_eq!(
+        s.shuffle_outputs_lost, 4,
+        "even map outputs lived on executor 0"
+    );
+    assert!(s.fetch_failures > 0);
+    assert!(s.stages_resubmitted >= 1, "map stage must be resubmitted");
+}
+
+#[test]
+fn zip_broadcast_pipeline_survives_task_failures_and_executor_kill() {
+    let clean = SparkContext::new(chaos_config(FaultPlan::none()));
+    let want = pipeline_zip_broadcast(&clean);
+
+    let plan = FaultPlan::seeded(chaos_seed())
+        .with_task_failure_rate(0.3)
+        .with_executor_kill(0, 0, 1);
+    let sc = SparkContext::new(chaos_config(plan));
+    let got = pipeline_zip_broadcast(&sc);
+
+    assert!(got.approx_eq(&want, 0.0), "results diverged under chaos");
+    let s = sc.stats();
+    assert!(s.task_failures > 0);
+    assert!(s.tasks_retried > 0);
+    assert_eq!(s.executors_lost, 1);
+}
+
+// ---------------------------------------------------------------------
+// Individual fault kinds
+// ---------------------------------------------------------------------
+
+#[test]
+fn cached_partition_drops_recompute_from_lineage() {
+    let clean = SparkContext::new(chaos_config(FaultPlan::none()));
+    let want = pipeline_narrow_cache(&clean);
+
+    let plan = FaultPlan::seeded(chaos_seed()).with_cached_drop_rate(0.5);
+    let sc = SparkContext::new(chaos_config(plan));
+    let (n, out) = pipeline_narrow_cache(&sc);
+
+    assert_eq!(n, want.0);
+    assert!(records_equal(&out, &want.1));
+    let s = sc.stats();
+    assert!(s.cached_blocks_lost > 0, "drop rate 0.5 must hit: {s:?}");
+    assert!(s.partitions_recomputed > 0);
+}
+
+#[test]
+fn shuffle_output_drops_trigger_partial_resubmission() {
+    let clean = SparkContext::new(chaos_config(FaultPlan::none()));
+    let want = pipeline_shuffle_agg(&clean);
+
+    let plan = FaultPlan::seeded(chaos_seed()).with_shuffle_drop_rate(0.5);
+    let sc = SparkContext::new(chaos_config(plan));
+    let (n, out) = pipeline_shuffle_agg(&sc);
+
+    assert_eq!(n, want.0);
+    assert!(records_equal(&out, &want.1));
+    let s = sc.stats();
+    assert!(s.shuffle_outputs_lost > 0, "drop rate 0.5 must hit: {s:?}");
+    // The loss happens at a job boundary, so planning finds the shuffle
+    // incomplete and proactively resubmits the missing map partitions —
+    // no fetch failure is ever observed by a reduce task.
+    assert!(s.stages_resubmitted > 0);
+}
+
+// ---------------------------------------------------------------------
+// Clean failure past the retry budgets
+// ---------------------------------------------------------------------
+
+#[test]
+fn exhausted_task_retries_surface_as_clean_job_error() {
+    let plan = FaultPlan::seeded(chaos_seed()).with_task_failure_rate(0.95);
+    let cfg = SparkConfig {
+        task_max_failures: 2,
+        fault_plan: plan,
+        ..SparkConfig::local_test()
+    };
+    let sc = SparkContext::new(cfg);
+    let b = BlockedMatrix::from_dense(&rand_uniform(16, 4, -1.0, 1.0, 82), 4).unwrap();
+    let rdd = sc.parallelize_blocked(&b, "X");
+
+    let err = sc
+        .try_count(&rdd)
+        .expect_err("95% failure rate, 2 attempts");
+    match err {
+        JobError::TaskFailed { attempts, .. } => assert_eq!(attempts, 2),
+        other => panic!("expected TaskFailed, got {other}"),
+    }
+    // The cluster is not poisoned: the next job fails just as cleanly
+    // (no hang, no panic) instead of aborting the process.
+    assert!(sc.try_count(&rdd).is_err());
+    assert!(sc.stats().task_failures >= 2);
+}
+
+#[test]
+fn stage_exhaustion_fails_one_job_and_spares_the_next() {
+    // One executor kill before job 1's result stage, but zero stage-retry
+    // budget: job 1 aborts with StageExhausted. Job 2 then repairs the
+    // shuffle (fresh production claim) and succeeds.
+    let plan = FaultPlan::seeded(chaos_seed()).with_executor_kill(1, 1, 0);
+    let cfg = SparkConfig {
+        stage_max_attempts: 1,
+        fault_plan: plan,
+        ..SparkConfig::local_test()
+    };
+    let sc = SparkContext::new(cfg);
+    let b = BlockedMatrix::from_dense(&rand_uniform(32, 8, -1.0, 1.0, 83), 4).unwrap();
+    let rdd = sc.parallelize_blocked(&b, "X");
+    let shuffled = sc.reduce_by_key(
+        &rdd,
+        "rowsum",
+        Arc::new(|k, m| vec![(BlockId { row: k.row, col: 0 }, m.deep_clone())]),
+        Arc::new(|a, b| binary(&a, &b, BinaryOp::Add).unwrap()),
+        2,
+    );
+
+    let n = sc.count(&shuffled); // job 0: produces the shuffle
+    let err = sc.try_count(&shuffled).expect_err("no stage retry budget");
+    assert!(matches!(err, JobError::StageExhausted { .. }), "got {err}");
+    // Job 2: the failed job released its claims; recovery runs normally.
+    assert_eq!(sc.try_count(&shuffled).expect("cluster stays usable"), n);
+    let s = sc.stats();
+    assert_eq!(s.executors_lost, 1);
+    assert!(s.shuffle_outputs_lost > 0);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: same seed → same schedule, same counters, same results
+// ---------------------------------------------------------------------
+
+fn full_chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with_task_failure_rate(0.3)
+        .with_cached_drop_rate(0.2)
+        .with_shuffle_drop_rate(0.2)
+        .with_executor_kill(1, 1, 0)
+}
+
+#[test]
+fn same_seed_runs_report_identical_recovery_counters() {
+    let run = || {
+        let sc = SparkContext::new(chaos_config(full_chaos_plan(chaos_seed())));
+        let out = pipeline_shuffle_agg(&sc);
+        (out, sc.stats())
+    };
+    let (out_a, stats_a) = run();
+    let (out_b, stats_b) = run();
+    assert_eq!(out_a.0, out_b.0);
+    assert!(records_equal(&out_a.1, &out_b.1));
+    assert_eq!(
+        stats_a.recovery_pairs(),
+        stats_b.recovery_pairs(),
+        "recovery schedule must be a pure function of the seed"
+    );
+    assert_eq!(stats_a.tasks, stats_b.tasks);
+    assert_eq!(stats_a.stages, stats_b.stages);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Action results and the fault/recovery schedule are invariant across
+    /// executor thread counts (1 vs 4 cores per executor) and across
+    /// repeated runs, with and without faults.
+    #[test]
+    fn results_invariant_across_thread_counts(seed in 0u64..1_000, faulty in any::<bool>()) {
+        let run = |cores: usize| {
+            let plan = if faulty { full_chaos_plan(seed) } else { FaultPlan::none() };
+            let cfg = SparkConfig {
+                cores_per_executor: cores,
+                ..chaos_config(plan)
+            };
+            let sc = SparkContext::new(cfg);
+            let m = rand_uniform(32, 8, -1.0, 1.0, 78);
+            let b = BlockedMatrix::from_dense(&m, 4).unwrap();
+            let rdd = sc.parallelize_blocked(&b, "B:X");
+            let shuffled = sc.reduce_by_key(
+                &rdd,
+                "B:rowsum",
+                Arc::new(|k, m| vec![(BlockId { row: k.row, col: 0 }, m.deep_clone())]),
+                Arc::new(|a, b| binary(&a, &b, BinaryOp::Add).unwrap()),
+                2,
+            );
+            let first = sc.try_count(&shuffled);
+            let second = sc.try_collect(&shuffled);
+            (first.map_err(|e| e.to_string()), second.map_err(|e| e.to_string()), sc.stats())
+        };
+        let (count_1, collect_1, stats_1) = run(1);
+        let (count_1b, collect_1b, stats_1b) = run(1);
+        let (count_4, collect_4, stats_4) = run(4);
+
+        // Repeated run, same thread count: everything identical.
+        prop_assert_eq!(&count_1, &count_1b);
+        prop_assert_eq!(collect_1.is_ok(), collect_1b.is_ok());
+        prop_assert_eq!(stats_1.recovery_pairs(), stats_1b.recovery_pairs());
+        prop_assert_eq!(stats_1.tasks, stats_1b.tasks);
+
+        // Different thread count: same results, same schedule.
+        prop_assert_eq!(&count_1, &count_4);
+        prop_assert_eq!(stats_1.recovery_pairs(), stats_4.recovery_pairs());
+        prop_assert_eq!(stats_1.tasks, stats_4.tasks);
+        match (&collect_1, &collect_4) {
+            (Ok(a), Ok(b)) => prop_assert!(records_equal(a, b), "collect diverged"),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "one thread count failed, the other succeeded"),
+        }
+        match (&collect_1, &collect_1b) {
+            (Ok(a), Ok(b)) => prop_assert!(records_equal(a, b), "collect not reproducible"),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "same-seed runs disagreed on success"),
+        }
+    }
+}

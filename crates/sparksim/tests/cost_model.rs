@@ -22,22 +22,18 @@ fn cfg_with_task_launch(micros: u64) -> SparkConfig {
 fn task_launch_overhead_scales_with_partitions() {
     let m = rand_uniform(64, 4, 0.0, 1.0, 1);
     let blocked = BlockedMatrix::from_dense(&m, 4).unwrap(); // 16 blocks
-    let time_with = |micros: u64| {
-        let sc = SparkContext::new(cfg_with_task_launch(micros));
-        let rdd = sc.parallelize(blocked.blocks().to_vec(), 8, "X");
-        let t0 = Instant::now();
-        for _ in 0..5 {
-            sc.count(&rdd);
-        }
-        t0.elapsed()
-    };
-    let fast = time_with(0);
-    let slow = time_with(3000);
-    // 5 jobs x 8 tasks x 3 ms / 4 parallel slots = ~30 ms minimum extra.
-    assert!(
-        slow > fast + Duration::from_millis(20),
-        "fast={fast:?} slow={slow:?}"
-    );
+    let sc = SparkContext::new(cfg_with_task_launch(3000));
+    let rdd = sc.parallelize(blocked.blocks().to_vec(), 8, "X");
+    let t0 = Instant::now();
+    for _ in 0..5 {
+        sc.count(&rdd);
+    }
+    let slow = t0.elapsed();
+    // 5 jobs x 8 tasks x 3 ms / 4 parallel slots = 30 ms of injected sleep
+    // minimum. A lower bound enforced by the injected delay is load-safe
+    // (comparing against an unthrottled run is not, under CI load).
+    assert!(slow >= Duration::from_millis(25), "slow={slow:?}");
+    assert_eq!(sc.stats().tasks, 40, "5 jobs x 8 tasks pay the overhead");
 }
 
 #[test]
@@ -61,10 +57,17 @@ fn broadcast_transfer_charged_once_per_executor() {
         first > Duration::from_millis(20),
         "first job must pay the injected transfer cost, got {first:?}"
     );
-    let sent_after_first = sc.stats().broadcast_chunks_sent;
     sc.count(&mapped);
-    // The second job finds the chunks resident: nothing else is shipped.
-    // (Checked via stats, not wall clock — elapsed time is load-dependent.)
-    assert_eq!(sc.stats().broadcast_chunks_sent, sent_after_first);
-    assert_eq!(sent_after_first, bc.num_chunks() as u64 * 2);
+    sc.count(&mapped);
+    // Chunks are shipped at most once per executor no matter how many jobs
+    // read the broadcast. Which executors run tasks is scheduling-
+    // dependent, so assert the per-executor cap rather than an exact count:
+    // without caching, three jobs x four tasks would ship up to 12 sets.
+    let sent = sc.stats().broadcast_chunks_sent;
+    let per_executor = bc.num_chunks() as u64;
+    assert!(
+        sent >= per_executor && sent <= per_executor * 2,
+        "sent={sent}, per-executor chunk set={per_executor}"
+    );
+    assert_eq!(sent % per_executor, 0, "whole chunk sets only");
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-0746adb1973acd76.d: crates/sparksim/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-0746adb1973acd76.rmeta: crates/sparksim/tests/chaos.rs Cargo.toml
+
+crates/sparksim/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-bdc71e7260e091db.d: crates/sparksim/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-bdc71e7260e091db: crates/sparksim/tests/chaos.rs
+
+crates/sparksim/tests/chaos.rs:

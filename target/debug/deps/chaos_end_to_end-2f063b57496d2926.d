@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_end_to_end-2f063b57496d2926.d: tests/tests/chaos_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_end_to_end-2f063b57496d2926.rmeta: tests/tests/chaos_end_to_end.rs Cargo.toml
+
+tests/tests/chaos_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_end_to_end-6297ee8902a536f1.d: tests/tests/chaos_end_to_end.rs
+
+/root/repo/target/debug/deps/chaos_end_to_end-6297ee8902a536f1: tests/tests/chaos_end_to_end.rs
+
+tests/tests/chaos_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-179fd6d0cebd7530.d: crates/bench/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-179fd6d0cebd7530.rmeta: crates/bench/tests/golden.rs Cargo.toml
+
+crates/bench/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

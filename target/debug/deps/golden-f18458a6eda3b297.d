@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-f18458a6eda3b297.d: crates/bench/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-f18458a6eda3b297: crates/bench/tests/golden.rs
+
+crates/bench/tests/golden.rs:

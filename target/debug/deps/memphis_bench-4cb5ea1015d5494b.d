@@ -1,5 +1,6 @@
-/root/repo/target/debug/deps/memphis_bench-4cb5ea1015d5494b.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/memphis_bench-4cb5ea1015d5494b.d: crates/bench/src/lib.rs crates/bench/src/golden.rs
 
-/root/repo/target/debug/deps/memphis_bench-4cb5ea1015d5494b: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/memphis_bench-4cb5ea1015d5494b: crates/bench/src/lib.rs crates/bench/src/golden.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/golden.rs:

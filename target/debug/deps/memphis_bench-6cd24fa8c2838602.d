@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/memphis_bench-6cd24fa8c2838602.d: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/memphis_bench-6cd24fa8c2838602.d: crates/bench/src/lib.rs crates/bench/src/golden.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmemphis_bench-6cd24fa8c2838602.rmeta: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libmemphis_bench-6cd24fa8c2838602.rmeta: crates/bench/src/lib.rs crates/bench/src/golden.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/golden.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

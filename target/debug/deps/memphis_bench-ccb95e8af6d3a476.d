@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/memphis_bench-ccb95e8af6d3a476.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/memphis_bench-ccb95e8af6d3a476.d: crates/bench/src/lib.rs crates/bench/src/golden.rs
 
-/root/repo/target/debug/deps/libmemphis_bench-ccb95e8af6d3a476.rlib: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/libmemphis_bench-ccb95e8af6d3a476.rlib: crates/bench/src/lib.rs crates/bench/src/golden.rs
 
-/root/repo/target/debug/deps/libmemphis_bench-ccb95e8af6d3a476.rmeta: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/libmemphis_bench-ccb95e8af6d3a476.rmeta: crates/bench/src/lib.rs crates/bench/src/golden.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/golden.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/memphis_sparksim-4d072779fcc326d1.d: crates/sparksim/src/lib.rs crates/sparksim/src/block_manager.rs crates/sparksim/src/broadcast.rs crates/sparksim/src/config.rs crates/sparksim/src/context.rs crates/sparksim/src/rdd.rs crates/sparksim/src/scheduler.rs crates/sparksim/src/shuffle.rs crates/sparksim/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/memphis_sparksim-4d072779fcc326d1.d: crates/sparksim/src/lib.rs crates/sparksim/src/block_manager.rs crates/sparksim/src/broadcast.rs crates/sparksim/src/config.rs crates/sparksim/src/context.rs crates/sparksim/src/fault.rs crates/sparksim/src/rdd.rs crates/sparksim/src/scheduler.rs crates/sparksim/src/shuffle.rs crates/sparksim/src/stats.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmemphis_sparksim-4d072779fcc326d1.rmeta: crates/sparksim/src/lib.rs crates/sparksim/src/block_manager.rs crates/sparksim/src/broadcast.rs crates/sparksim/src/config.rs crates/sparksim/src/context.rs crates/sparksim/src/rdd.rs crates/sparksim/src/scheduler.rs crates/sparksim/src/shuffle.rs crates/sparksim/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/libmemphis_sparksim-4d072779fcc326d1.rmeta: crates/sparksim/src/lib.rs crates/sparksim/src/block_manager.rs crates/sparksim/src/broadcast.rs crates/sparksim/src/config.rs crates/sparksim/src/context.rs crates/sparksim/src/fault.rs crates/sparksim/src/rdd.rs crates/sparksim/src/scheduler.rs crates/sparksim/src/shuffle.rs crates/sparksim/src/stats.rs Cargo.toml
 
 crates/sparksim/src/lib.rs:
 crates/sparksim/src/block_manager.rs:
 crates/sparksim/src/broadcast.rs:
 crates/sparksim/src/config.rs:
 crates/sparksim/src/context.rs:
+crates/sparksim/src/fault.rs:
 crates/sparksim/src/rdd.rs:
 crates/sparksim/src/scheduler.rs:
 crates/sparksim/src/shuffle.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/release/deps/memphis_bench-7bf3cef85dbf8abb.d: crates/bench/src/lib.rs
+/root/repo/target/release/deps/memphis_bench-7bf3cef85dbf8abb.d: crates/bench/src/lib.rs crates/bench/src/golden.rs
 
-/root/repo/target/release/deps/libmemphis_bench-7bf3cef85dbf8abb.rlib: crates/bench/src/lib.rs
+/root/repo/target/release/deps/libmemphis_bench-7bf3cef85dbf8abb.rlib: crates/bench/src/lib.rs crates/bench/src/golden.rs
 
-/root/repo/target/release/deps/libmemphis_bench-7bf3cef85dbf8abb.rmeta: crates/bench/src/lib.rs
+/root/repo/target/release/deps/libmemphis_bench-7bf3cef85dbf8abb.rmeta: crates/bench/src/lib.rs crates/bench/src/golden.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/golden.rs:

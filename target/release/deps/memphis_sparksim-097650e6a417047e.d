@@ -1,14 +1,15 @@
-/root/repo/target/release/deps/memphis_sparksim-097650e6a417047e.d: crates/sparksim/src/lib.rs crates/sparksim/src/block_manager.rs crates/sparksim/src/broadcast.rs crates/sparksim/src/config.rs crates/sparksim/src/context.rs crates/sparksim/src/rdd.rs crates/sparksim/src/scheduler.rs crates/sparksim/src/shuffle.rs crates/sparksim/src/stats.rs
+/root/repo/target/release/deps/memphis_sparksim-097650e6a417047e.d: crates/sparksim/src/lib.rs crates/sparksim/src/block_manager.rs crates/sparksim/src/broadcast.rs crates/sparksim/src/config.rs crates/sparksim/src/context.rs crates/sparksim/src/fault.rs crates/sparksim/src/rdd.rs crates/sparksim/src/scheduler.rs crates/sparksim/src/shuffle.rs crates/sparksim/src/stats.rs
 
-/root/repo/target/release/deps/libmemphis_sparksim-097650e6a417047e.rlib: crates/sparksim/src/lib.rs crates/sparksim/src/block_manager.rs crates/sparksim/src/broadcast.rs crates/sparksim/src/config.rs crates/sparksim/src/context.rs crates/sparksim/src/rdd.rs crates/sparksim/src/scheduler.rs crates/sparksim/src/shuffle.rs crates/sparksim/src/stats.rs
+/root/repo/target/release/deps/libmemphis_sparksim-097650e6a417047e.rlib: crates/sparksim/src/lib.rs crates/sparksim/src/block_manager.rs crates/sparksim/src/broadcast.rs crates/sparksim/src/config.rs crates/sparksim/src/context.rs crates/sparksim/src/fault.rs crates/sparksim/src/rdd.rs crates/sparksim/src/scheduler.rs crates/sparksim/src/shuffle.rs crates/sparksim/src/stats.rs
 
-/root/repo/target/release/deps/libmemphis_sparksim-097650e6a417047e.rmeta: crates/sparksim/src/lib.rs crates/sparksim/src/block_manager.rs crates/sparksim/src/broadcast.rs crates/sparksim/src/config.rs crates/sparksim/src/context.rs crates/sparksim/src/rdd.rs crates/sparksim/src/scheduler.rs crates/sparksim/src/shuffle.rs crates/sparksim/src/stats.rs
+/root/repo/target/release/deps/libmemphis_sparksim-097650e6a417047e.rmeta: crates/sparksim/src/lib.rs crates/sparksim/src/block_manager.rs crates/sparksim/src/broadcast.rs crates/sparksim/src/config.rs crates/sparksim/src/context.rs crates/sparksim/src/fault.rs crates/sparksim/src/rdd.rs crates/sparksim/src/scheduler.rs crates/sparksim/src/shuffle.rs crates/sparksim/src/stats.rs
 
 crates/sparksim/src/lib.rs:
 crates/sparksim/src/block_manager.rs:
 crates/sparksim/src/broadcast.rs:
 crates/sparksim/src/config.rs:
 crates/sparksim/src/context.rs:
+crates/sparksim/src/fault.rs:
 crates/sparksim/src/rdd.rs:
 crates/sparksim/src/scheduler.rs:
 crates/sparksim/src/shuffle.rs:
