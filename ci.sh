@@ -15,6 +15,16 @@ for seed in 42 1337; do
 done
 cargo test -q -- --test-threads=1
 
+# Observability suite: the golden Chrome-trace schema and the
+# async-prefetch overlap assertions must hold under both chaos seeds
+# (the trace shape is seed-independent), and the disabled-mode
+# zero-cost guarantee must hold in isolation.
+for seed in 42 1337; do
+    CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test obs_tracing \
+        -- --test-threads=1 golden_chrome_trace async_prefetch
+done
+cargo test -q -p memphis-integration --test obs_tracing disabled_mode
+
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 

@@ -3,7 +3,9 @@
 //! between GPU loops with shifting allocation patterns, and (3) the
 //! maxParallelize operator ordering versus plain depth-first.
 
-use memphis_bench::{bench_cache, bench_gpu, bench_spark, header};
+use memphis_bench::{
+    bench_cache, bench_gpu, bench_spark, cache_report, header, obs_absorb, obs_finish, obs_init,
+};
 use memphis_core::cache::config::CacheConfig;
 use memphis_engine::compiler::Ordering;
 use memphis_engine::interp::run_program;
@@ -15,9 +17,11 @@ use memphis_workloads::pipelines::tlvis;
 use std::time::Instant;
 
 fn main() {
+    obs_init();
     delayed_caching_ablation();
     eviction_injection_ablation();
     ordering_ablation();
+    obs_finish();
 }
 
 /// Delay factor n on a stream where only 25% of the RDD-producing
@@ -62,8 +66,8 @@ fn delayed_caching_ablation() {
             r.puts_deferred,
             ctx.stats.reused,
         );
-        let _ = sc_stats;
-        println!("{}", ctx.cache().backend_report());
+        obs_absorb(&sc_stats);
+        println!("{}", cache_report(ctx.cache()));
     }
 }
 
@@ -95,7 +99,8 @@ fn eviction_injection_ablation() {
             r.gpu_recycled,
             r.gpu_evicted_to_host,
         );
-        println!("{}", ctx.cache().backend_report());
+        obs_absorb(&d);
+        println!("{}", cache_report(ctx.cache()));
     }
 }
 

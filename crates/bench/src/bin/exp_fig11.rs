@@ -8,7 +8,7 @@
 //! instructions) but 20% reuse already amortizes it; an unbounded cache
 //! (no eviction) adds nothing over the bounded default.
 
-use memphis_bench::{bench_cache, header};
+use memphis_bench::{bench_cache, cache_report, header, obs_finish, obs_init};
 use memphis_engine::{EngineConfig, ExecutionContext, ReuseMode};
 use memphis_matrix::ops::binary::BinaryOp;
 use memphis_matrix::rand_gen::rand_uniform;
@@ -53,6 +53,7 @@ fn run(mode: ReuseMode, rows: usize, cols: usize, iters: usize, reuse_pct: usize
 }
 
 fn main() {
+    obs_init();
     header(
         "Figure 11(a) tracing/probing overhead vs input size",
         "overheads dominate tiny inputs (Trace 1.3x, Probe 2x); from 8MB \
@@ -99,7 +100,7 @@ fn main() {
         let t0 = Instant::now();
         l2svm_core(&mut ctx, rows, 8, iters, 40);
         let r40inf = t0.elapsed().as_secs_f64();
-        last_report = ctx.cache().backend_report();
+        last_report = cache_report(ctx.cache());
         println!(
             "{:>6} instrs: Base {base:.3}s  Probe +{:.0}%  20% {:.2}x  40% {:.2}x  40%INF {:.2}x",
             iters * 4,
@@ -110,4 +111,5 @@ fn main() {
         );
     }
     println!("backends (40%INF, largest run):\n{last_report}");
+    obs_finish();
 }

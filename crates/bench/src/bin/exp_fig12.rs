@@ -8,7 +8,9 @@
 //! ~8% at tiny batch sizes and reuse yields 1.3x–4x as the duplicate rate
 //! grows, despite heavy pointer recycling.
 
-use memphis_bench::{bench_cache, bench_gpu, header, report, verify_checks};
+use memphis_bench::{
+    bench_cache, bench_gpu, header, obs_backends, obs_finish, obs_init, report, verify_checks,
+};
 use memphis_engine::{EngineConfig, ReuseMode};
 use memphis_matrix::ops::binary::BinaryOp;
 use memphis_matrix::ops::nn::{Conv2dParams, Pool2dParams};
@@ -18,8 +20,10 @@ use memphis_workloads::harness::{run_timed, Backends};
 use std::time::Instant;
 
 fn main() {
+    obs_init();
     fig12a();
     fig12b();
+    obs_finish();
 }
 
 fn fig12a() {
@@ -104,6 +108,7 @@ fn fig12b() {
             let out =
                 run_timed(label, &mut ctx, |c| ensemble_score(c, 256, batch, dup)).expect("fig12b");
             rows.push(out);
+            obs_backends(&b);
         }
         // Checks only comparable at equal duplicate rates.
         verify_checks(&rows[..2], 1e-9);

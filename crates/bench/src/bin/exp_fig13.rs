@@ -2,15 +2,20 @@
 //! HBAND (c). Reproduces the paper's configuration sweeps at reduced
 //! scale and prints measured speedups next to the paper's reported shape.
 
-use memphis_bench::{bench_cache, bench_spark, header, report, verify_checks, ExpConfig};
+use memphis_bench::{
+    bench_cache, bench_spark, header, obs_backends, obs_finish, obs_init, report, verify_checks,
+    ExpConfig,
+};
 use memphis_engine::EngineConfig;
 use memphis_workloads::harness::{run_timed, Backends};
 use memphis_workloads::pipelines::{hband, hcv, pnmf};
 
 fn main() {
+    obs_init();
     hcv_experiment();
     pnmf_experiment();
     hband_experiment();
+    obs_finish();
 }
 
 fn engine_cfg() -> EngineConfig {
@@ -43,6 +48,7 @@ fn hcv_experiment() {
             let mut p = p.clone();
             p.prefetch = matches!(cfg, ExpConfig::BaseAsync | ExpConfig::Mph);
             rows.push(run_timed(cfg.label(), &mut ctx, |c| hcv::run(c, &p)).expect("hcv"));
+            obs_backends(&b);
         }
         verify_checks(&rows, 1e-6);
         report(&rows);
@@ -63,6 +69,7 @@ fn pnmf_experiment() {
             let mut ctx = b.make_ctx(cfg.engine(engine_cfg()), bench_cache(32 << 20));
             let p = pnmf::PnmfParams::benchmark(2048, iterations, matches!(cfg, ExpConfig::Mph));
             rows.push(run_timed(cfg.label(), &mut ctx, |c| pnmf::run(c, &p)).expect("pnmf"));
+            obs_backends(&b);
         }
         verify_checks(&rows, 1e-6);
         report(&rows);
@@ -88,6 +95,7 @@ fn hband_experiment() {
             let b = Backends::with_spark(bench_spark());
             let mut ctx = b.make_ctx(cfg.engine(engine_cfg()), bench_cache(32 << 20));
             out.push(run_timed(cfg.label(), &mut ctx, |c| hband::run(c, &p)).expect("hband"));
+            obs_backends(&b);
         }
         verify_checks(&out, 1e-6);
         report(&out);

@@ -4,16 +4,21 @@
 //! host-side prediction cache, VISTA ≈ cross-pipeline CSE, PyTorch ≈ GPU
 //! recycling allocator without cross-iteration reuse).
 
-use memphis_bench::{bench_cache, bench_gpu, header, report, verify_checks, ExpConfig};
+use memphis_bench::{
+    bench_cache, bench_gpu, header, obs_backends, obs_finish, obs_init, report, verify_checks,
+    ExpConfig,
+};
 use memphis_engine::{EngineConfig, ReuseMode};
 use memphis_workloads::harness::{run_timed, Backends};
 use memphis_workloads::pipelines::{clean, en2de, hdrop, tlvis};
 
 fn main() {
+    obs_init();
     clean_experiment();
     hdrop_experiment();
     en2de_experiment();
     tlvis_experiment();
+    obs_finish();
 }
 
 fn clean_experiment() {
@@ -83,6 +88,7 @@ fn hdrop_experiment() {
         cache_cfg.default_delay = 2;
         let mut ctx = b.make_ctx(cfg, cache_cfg);
         rows.push(run_timed(label, &mut ctx, |c| hdrop::run(c, &p)).expect("hdrop"));
+        obs_backends(&b);
     }
     verify_checks(&rows, 1e-6);
     report(&rows);
@@ -142,6 +148,7 @@ fn en2de_experiment() {
         let mut ctx = b.make_ctx(cfg, bench_cache(64 << 20));
         let p = en2de::En2deParams::benchmark(tokens, true);
         rows.push(run_timed("MPH", &mut ctx, |c| en2de::run(c, &p)).expect("en2de"));
+        obs_backends(&b);
     }
     verify_checks(&rows, 0.0);
     report(&rows);
@@ -170,6 +177,7 @@ fn tlvis_experiment() {
             let mut ctx = b.make_ctx(cfg, bench_cache(64 << 20));
             let p = tlvis::TlvisParams::benchmark(images, side);
             rows.push(run_timed(label, &mut ctx, |c| tlvis::run(c, &p)).expect("tlvis"));
+            obs_backends(&b);
         }
         verify_checks(&rows, 1e-6);
         report(&rows);

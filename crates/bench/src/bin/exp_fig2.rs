@@ -13,11 +13,13 @@
 //! scale and prints the paper's ratios.
 
 use memphis_bench::golden::{run_fig2c, run_fig2d, Fig2cParams, Fig2dParams};
-use memphis_bench::header;
+use memphis_bench::{header, obs_absorb, obs_finish, obs_init};
 
 fn main() {
+    obs_init();
     fig2c();
     fig2d();
+    obs_finish();
 }
 
 /// Scaled from the paper's 12K RDDs (4K reusable) to 1.2K (400 reusable).
@@ -39,6 +41,7 @@ fn fig2c() {
         out.memphis.as_secs_f64(),
         out.no_cache.as_secs_f64() / out.memphis.as_secs_f64()
     );
+    obs_absorb(&out.reuse);
     println!("backends (MEMPHIS):\n{}", out.backend_report);
 }
 
@@ -68,5 +71,6 @@ fn fig2d() {
         "({} allocs, {} frees, {} kernels, {} syncs)",
         d.allocs, d.frees, d.kernels, d.syncs
     );
+    obs_absorb(&out.gpu);
     println!("backends:\n{}", out.backend_report);
 }

@@ -7,9 +7,10 @@
 //! tests can run it at tiny scale.
 
 use memphis_bench::golden::{run_table2, Table2Params};
-use memphis_bench::header;
+use memphis_bench::{header, obs_finish, obs_init, obs_record};
 
 fn main() {
+    obs_init();
     header(
         "Table 2: backend properties",
         "Spark: lazy, distributed memory, cache API; GPU: async, small \
@@ -38,4 +39,15 @@ fn main() {
         out.transfer_bytes as f64 / el / 1e9
     );
     println!("CPU     exec=eager  memory=host heap, no cache API");
+    obs_record(
+        "table2",
+        [
+            ("shuffle_bytes_written", out.shuffle_bytes_written),
+            ("shuffle_bytes_read", out.shuffle_bytes_read),
+            ("reduced_records", out.reduced_records as u64),
+            ("transfer_bytes", out.transfer_bytes as u64),
+            ("roundtrip_exact", u64::from(out.roundtrip_exact)),
+        ],
+    );
+    obs_finish();
 }

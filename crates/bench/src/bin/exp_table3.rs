@@ -1,12 +1,13 @@
 //! Table 3: the ML pipeline inventory with measured workload statistics
 //! from small verification runs of every pipeline.
 
-use memphis_bench::{bench_cache, bench_gpu, bench_spark, header};
+use memphis_bench::{bench_cache, bench_gpu, bench_spark, header, obs_finish, obs_init, tier_rows};
 use memphis_engine::EngineConfig;
-use memphis_workloads::harness::{backend_rows, run_timed, Backends};
+use memphis_workloads::harness::{run_timed, Backends};
 use memphis_workloads::pipelines::{clean, en2de, hband, hcv, hdrop, pnmf, tlvis};
 
 fn main() {
+    obs_init();
     header(
         "Table 3: ML pipeline use cases",
         "seven pipelines spanning grid search, factorization, model search, \
@@ -29,7 +30,7 @@ fn main() {
                 "async OPs, local & RDD reuse",
                 o.elapsed.as_secs_f64(),
                 o.engine.reused,
-                backend_rows(&o),
+                tier_rows(&o),
             )
         },
         {
@@ -43,7 +44,7 @@ fn main() {
                 "checkpoint placement",
                 o.elapsed.as_secs_f64(),
                 o.engine.reused,
-                backend_rows(&o),
+                tier_rows(&o),
             )
         },
         {
@@ -57,7 +58,7 @@ fn main() {
                 "multi-level reuse, delayed caching",
                 o.elapsed.as_secs_f64(),
                 o.engine.reused,
-                backend_rows(&o),
+                tier_rows(&o),
             )
         },
         {
@@ -71,7 +72,7 @@ fn main() {
                 "many intermediates & evictions",
                 o.elapsed.as_secs_f64(),
                 o.engine.reused,
-                backend_rows(&o),
+                tier_rows(&o),
             )
         },
         {
@@ -85,7 +86,7 @@ fn main() {
                 "local and GPU ptr. reuse",
                 o.elapsed.as_secs_f64(),
                 o.engine.reused,
-                backend_rows(&o),
+                tier_rows(&o),
             )
         },
         {
@@ -99,7 +100,7 @@ fn main() {
                 "recycle & reuse GPU ptrs.",
                 o.elapsed.as_secs_f64(),
                 o.engine.reused,
-                backend_rows(&o),
+                tier_rows(&o),
             )
         },
         {
@@ -113,7 +114,7 @@ fn main() {
                 "evictions & mem. management",
                 o.elapsed.as_secs_f64(),
                 o.engine.reused,
-                backend_rows(&o),
+                tier_rows(&o),
             )
         },
     ];
@@ -124,4 +125,5 @@ fn main() {
     for (name, _, _, _, _, report) in &rows {
         println!("  {name}:\n{report}");
     }
+    obs_finish();
 }

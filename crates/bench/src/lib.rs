@@ -7,8 +7,11 @@ pub mod golden;
 use memphis_core::cache::config::CacheConfig;
 use memphis_engine::{EngineConfig, ReuseMode};
 use memphis_gpusim::GpuConfig;
+use memphis_obs::{IntoMetrics, MetricsRegistry};
 use memphis_sparksim::SparkConfig;
-use memphis_workloads::harness::WorkloadOutcome;
+use memphis_workloads::harness::{Backends, WorkloadOutcome};
+use parking_lot::Mutex;
+use std::path::PathBuf;
 
 /// Optional scale divisor read from the `MEMPHIS_SCALE` environment
 /// variable, for harness authors sizing custom sweeps. The bundled
@@ -19,6 +22,146 @@ pub fn scale() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1)
+}
+
+// ----------------------------------------------------------------------
+// Observability session: `--trace <path>` / `--json <path>`
+// ----------------------------------------------------------------------
+
+struct ObsPaths {
+    trace: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+static OBS_PATHS: Mutex<ObsPaths> = Mutex::new(ObsPaths {
+    trace: None,
+    json: None,
+});
+static OBS_REGISTRY: Mutex<MetricsRegistry> = Mutex::new(MetricsRegistry::new());
+
+/// Parses the shared experiment flags (`--trace <path>` captures a
+/// Chrome trace-event timeline, `--json <path>` dumps the unified
+/// metrics registry) and arms the recorder when a trace was requested.
+/// Call once at the top of each `exp_*` main.
+pub fn obs_init() {
+    let mut args = std::env::args().skip(1);
+    let mut paths = OBS_PATHS.lock();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => paths.trace = args.next().map(PathBuf::from),
+            "--json" => paths.json = args.next().map(PathBuf::from),
+            _ => {}
+        }
+    }
+    if paths.trace.is_some() {
+        memphis_obs::enable();
+    }
+}
+
+/// Folds a counter source into the run's unified metrics registry.
+pub fn obs_absorb(m: &dyn IntoMetrics) {
+    OBS_REGISTRY.lock().absorb(m);
+}
+
+/// Folds one outcome (engine + reuse-cache counters and per-tier
+/// usage) into the run's registry. Repeated calls overwrite counters
+/// in place, so the registry reports the most recent configuration.
+pub fn obs_outcome(o: &WorkloadOutcome) {
+    let mut reg = OBS_REGISTRY.lock();
+    reg.absorb(&o.engine);
+    reg.absorb(&o.reuse);
+    absorb_backend_snapshots(&mut reg, o);
+}
+
+/// Folds the attached backends' scheduler/device statistics into the
+/// run's registry.
+pub fn obs_backends(b: &Backends) {
+    let mut reg = OBS_REGISTRY.lock();
+    if let Some(sc) = &b.sc {
+        reg.absorb(&sc.stats());
+    }
+    if let Some(gpu) = &b.gpu {
+        reg.absorb(&gpu.stats());
+    }
+}
+
+/// Records ad-hoc counters under `section` in the session registry
+/// (for measurements that have no snapshot struct).
+pub fn obs_record<N: Into<String>>(section: &str, pairs: impl IntoIterator<Item = (N, u64)>) {
+    OBS_REGISTRY.lock().record_pairs(section, pairs);
+}
+
+/// Registry-rendered per-tier block for one outcome; replaces the
+/// Display-based `backend_rows` and also folds the outcome into the
+/// session registry.
+pub fn tier_rows(o: &WorkloadOutcome) -> String {
+    obs_outcome(o);
+    let mut reg = MetricsRegistry::new();
+    absorb_backend_snapshots(&mut reg, o);
+    reg.text_report()
+}
+
+/// Registry-rendered cache/tier report for a context's lineage cache;
+/// also folds the counters into the session registry for `--json`.
+pub fn cache_report(cache: &memphis_core::cache::LineageCache) -> String {
+    let mut reg = MetricsRegistry::new();
+    reg.absorb(&cache.stats());
+    absorb_snapshots(&mut reg, &cache.backend_snapshots());
+    let mut global = OBS_REGISTRY.lock();
+    global.absorb(&cache.stats());
+    absorb_snapshots(&mut global, &cache.backend_snapshots());
+    reg.text_report()
+}
+
+fn absorb_backend_snapshots(reg: &mut MetricsRegistry, o: &WorkloadOutcome) {
+    absorb_snapshots(reg, &o.backends);
+}
+
+fn absorb_snapshots(reg: &mut MetricsRegistry, snaps: &[memphis_core::BackendSnapshot]) {
+    for s in snaps {
+        let section = format!("tier.{}", s.id.as_str());
+        reg.record_pairs(
+            &section,
+            [
+                ("used_bytes", s.used as u64),
+                (
+                    "budget_bytes",
+                    if s.budget == usize::MAX {
+                        0
+                    } else {
+                        s.budget as u64
+                    },
+                ),
+                ("entries", s.entries as u64),
+            ],
+        );
+        reg.record_pairs(&section, s.detail.iter().copied());
+    }
+}
+
+/// Writes the artifacts requested by `--trace`/`--json`. Call once at
+/// the end of each `exp_*` main.
+pub fn obs_finish() {
+    let paths = OBS_PATHS.lock();
+    let reg = OBS_REGISTRY.lock();
+    if let Some(path) = &paths.trace {
+        let trace = memphis_obs::drain();
+        let metrics = if reg.is_empty() { None } else { Some(&*reg) };
+        match memphis_obs::export::write_chrome_trace(path, &trace, metrics) {
+            Ok(()) => println!(
+                "trace: {} events -> {} (load in Perfetto / chrome://tracing)",
+                trace.events.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("trace: failed to write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &paths.json {
+        match std::fs::write(path, reg.to_json()) {
+            Ok(()) => println!("metrics: registry JSON -> {}", path.display()),
+            Err(e) => eprintln!("metrics: failed to write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// The standard experiment configurations of §6.1.
@@ -113,9 +256,15 @@ pub fn report(rows: &[WorkloadOutcome]) {
         );
     }
     if let Some(last) = rows.last() {
-        if !last.backends.is_empty() {
+        // Fold the final (usually MPH) row into the session registry so
+        // `--json` reports it, and print the per-tier block from a
+        // registry rendering of the same snapshots.
+        obs_outcome(last);
+        let mut reg = MetricsRegistry::new();
+        absorb_backend_snapshots(&mut reg, last);
+        if !reg.is_empty() {
             println!("backends ({}):", last.label);
-            println!("{}", memphis_workloads::harness::backend_rows(last));
+            print!("{}", reg.text_report());
         }
     }
 }

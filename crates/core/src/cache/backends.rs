@@ -92,9 +92,11 @@ impl LocalBackend {
                 .is_some();
         if spilled {
             ReuseStats::inc(&self.stats.local_spills);
+            memphis_obs::instant_val(memphis_obs::cat::CACHE, "spill", "bytes", msize as u64);
         } else {
             map.entries.remove(&victim);
             ReuseStats::inc(&self.stats.local_drops);
+            memphis_obs::instant_val(memphis_obs::cat::CACHE, "drop", "bytes", msize as u64);
         }
         let mut used = self.used.lock();
         *used = used.saturating_sub(msize);
@@ -103,6 +105,11 @@ impl LocalBackend {
 
     /// MAKE_SPACE: evicts until `size` extra bytes fit the budget.
     fn make_space(&self, map: &mut EntryMap, size: usize, skip: Option<&LKey>) {
+        if *self.used.lock() + size <= self.budget {
+            return;
+        }
+        let _span =
+            memphis_obs::span(memphis_obs::cat::CACHE, "make_space").arg("bytes", size as u64);
         while *self.used.lock() + size > self.budget {
             if self.evict_one(map, skip).is_none() {
                 break;
@@ -444,6 +451,12 @@ impl SparkTier {
             self.backend.sc.cleanup_shuffle(rdd);
         }
         ReuseStats::inc(&self.stats.rdd_unpersists);
+        memphis_obs::instant_val(
+            memphis_obs::cat::CACHE,
+            "rdd_unpersist",
+            "bytes",
+            e.size as u64,
+        );
         Some(e.size)
     }
 

@@ -424,6 +424,9 @@ impl GpuMemoryManager {
             to_free.push(f.ptr);
         }
         drop(inner);
+        if !to_free.is_empty() {
+            memphis_obs::instant_val(memphis_obs::cat::CACHE, "gpu_evict", "bytes", freed as u64);
+        }
         for ptr in to_free {
             self.device.free(ptr).ok();
             ReuseStats::inc(&self.stats.gpu_freed);

@@ -238,6 +238,7 @@ impl LineageCache {
     /// `None`, in which case the caller must execute the instruction and
     /// `PUT` its result.
     pub fn probe(&self, item: &LItem) -> Option<ProbeHit> {
+        let _probe_span = memphis_obs::span(memphis_obs::cat::CACHE, "probe");
         ReuseStats::inc(&self.stats.probes);
         let key = LKey(item.clone());
         let mut map = self.map.lock();
@@ -323,6 +324,9 @@ impl LineageCache {
         delay: u32,
         backend: BackendId,
     ) -> bool {
+        let _put_span = memphis_obs::span_with(memphis_obs::cat::CACHE, "put", || {
+            backend.as_str().to_string()
+        });
         let key = LKey(item.clone());
         let mut map = self.map.lock();
         let clock = map.tick();
@@ -452,6 +456,12 @@ impl LineageCache {
                             let host = g.device().copy_to_host(ptr).ok();
                             g.device().free(ptr).ok();
                             ReuseStats::inc(&self.stats.gpu_evicted_to_host);
+                            memphis_obs::instant_val(
+                                memphis_obs::cat::CACHE,
+                                "gpu_evict_to_host",
+                                "bytes",
+                                ptr.size as u64,
+                            );
                             let mut map = self.map.lock();
                             if map.entries.contains_key(&key) {
                                 let admitted = match host {

@@ -56,7 +56,7 @@ pub struct ReuseStats {
 }
 
 /// Point-in-time copy of the counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
 pub struct ReuseStatsSnapshot {
     /// See [`ReuseStats::probes`].
     pub probes: u64,
@@ -140,6 +140,40 @@ impl ReuseStats {
             gpu_defrags: self.gpu_defrags.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl memphis_obs::IntoMetrics for ReuseStatsSnapshot {
+    fn metrics_section(&self) -> &'static str {
+        "reuse"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("probes", self.probes),
+            ("hits", self.hits),
+            ("hits_local", self.hits_local),
+            ("hits_rdd", self.hits_rdd),
+            ("hits_gpu", self.hits_gpu),
+            ("hits_disk", self.hits_disk),
+            ("hits_func", self.hits_func),
+            ("misses", self.misses),
+            ("puts", self.puts),
+            ("puts_deferred", self.puts_deferred),
+            ("local_spills", self.local_spills),
+            ("local_drops", self.local_drops),
+            ("rdd_unpersists", self.rdd_unpersists),
+            ("rdd_materialize_jobs", self.rdd_materialize_jobs),
+            ("gc_rdds_released", self.gc_rdds_released),
+            ("gc_broadcasts_destroyed", self.gc_broadcasts_destroyed),
+            ("gc_broadcasts_unpersisted", self.gc_broadcasts_unpersisted),
+            ("gpu_recycled", self.gpu_recycled),
+            ("gpu_reused", self.gpu_reused),
+            ("gpu_freed", self.gpu_freed),
+            ("gpu_evicted_to_host", self.gpu_evicted_to_host),
+            ("gpu_defrags", self.gpu_defrags),
+            ("compactions", self.compactions),
+        ]
     }
 }
 

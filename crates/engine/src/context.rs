@@ -81,6 +81,23 @@ pub struct EngineStats {
     pub functions_reused: u64,
 }
 
+impl memphis_obs::IntoMetrics for EngineStats {
+    fn metrics_section(&self) -> &'static str {
+        "engine"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("instructions", self.instructions),
+            ("reused", self.reused),
+            ("executed_cp", self.executed_cp),
+            ("executed_sp", self.executed_sp),
+            ("executed_gpu", self.executed_gpu),
+            ("functions_reused", self.functions_reused),
+        ]
+    }
+}
+
 /// The execution context: one per logical script run, sharing the lineage
 /// cache (and therefore reuse state) with other contexts via `Arc`.
 pub struct ExecutionContext {
@@ -254,9 +271,12 @@ impl ExecutionContext {
     {
         self.stats.instructions += 1;
         let mode = self.cfg.reuse;
+        let op: String = opcode.to_string();
+        let _instr_span = memphis_obs::span_with(memphis_obs::cat::INTERP, "instr", move || op);
 
         // TRACE
         let item = if mode.traces() {
+            let _trace_span = memphis_obs::span(memphis_obs::cat::INTERP, "trace");
             Some(self.lineage.trace(out, opcode, data, inputs))
         } else {
             None
@@ -265,8 +285,12 @@ impl ExecutionContext {
         // REUSE
         if mode.probes_ops() && mode != ReuseMode::ProbeOnly {
             if let Some(item) = &item {
-                if let Some(hit) = self.cache.probe(item) {
+                let probe_span = memphis_obs::span(memphis_obs::cat::INTERP, "probe");
+                let hit = self.cache.probe(item);
+                drop(probe_span);
+                if let Some(hit) = hit {
                     if let Some(value) = self.value_from_cached(&hit.object) {
+                        memphis_obs::instant(memphis_obs::cat::REUSE, "hit");
                         let n = self.lineage.compact(item, &hit.canonical);
                         for _ in 0..n {
                             ReuseStats::inc(&self.cache.stats_handle().compactions);
@@ -277,6 +301,7 @@ impl ExecutionContext {
                         return Ok(());
                     }
                 }
+                memphis_obs::instant(memphis_obs::cat::REUSE, "miss");
             }
         } else if mode == ReuseMode::ProbeOnly {
             // Probe for overhead measurement, discard the result.
@@ -293,7 +318,9 @@ impl ExecutionContext {
 
         // execute
         self.current_item = item.clone();
+        let exec_span = memphis_obs::span(memphis_obs::cat::INTERP, "execute");
         let result = compute(self);
+        drop(exec_span);
         self.current_item = None;
         let (value, cost_v) = result?;
         if sp_placed {
@@ -313,6 +340,7 @@ impl ExecutionContext {
         if mode.puts_ops() && !lima_skip && !matches!(value, Value::Future(_)) {
             if let Some(item) = &item {
                 if let Some(obj) = self.cacheable_object(&value) {
+                    let _put_span = memphis_obs::span(memphis_obs::cat::INTERP, "put");
                     let size_hint = value
                         .shape()
                         .map(|(r, c)| cost::dense_bytes(r, c))
@@ -465,6 +493,7 @@ impl ExecutionContext {
                 let cost = b.cost;
                 let puts = self.cfg.reuse.puts_ops();
                 std::thread::spawn(move || {
+                    let _span = memphis_obs::span(memphis_obs::cat::ASYNC, "prefetch_collect");
                     if let Ok(m) = sc.collect_blocked(&rdd, rows, cols, blen).to_dense() {
                         if puts {
                             if let Some(item) = &item {
@@ -499,6 +528,7 @@ impl ExecutionContext {
                     .clone();
                 let fut = future.clone();
                 std::thread::spawn(move || {
+                    let _span = memphis_obs::span(memphis_obs::cat::ASYNC, "prefetch_d2h");
                     if let Ok(m) = gpu.copy_to_host(ptr) {
                         fut.fulfill(Value::Matrix(m));
                     }
@@ -526,6 +556,7 @@ impl ExecutionContext {
             .clone();
         let b = self.binding(var)?.clone();
         if let Value::Matrix(m) = b.value {
+            let _span = memphis_obs::span(memphis_obs::cat::ASYNC, "broadcast");
             let bc = sc.broadcast(m.clone());
             self.bind(var, Value::Broadcast { bc, local: m }, b.lineage, b.cost);
         }

@@ -96,6 +96,7 @@ impl GpuDevice {
                 while let Ok(cmd) = rx.recv() {
                     match cmd {
                         StreamCmd::Kernel(k) => {
+                            let kernel_span = memphis_obs::span(memphis_obs::cat::GPU, "kernel");
                             if !launch.is_zero() {
                                 std::thread::sleep(launch);
                             }
@@ -114,6 +115,7 @@ impl GpuDevice {
                                 let extra = elapsed.mul_f64(1.0 / speedup - 1.0);
                                 std::thread::sleep(extra);
                             }
+                            drop(kernel_span);
                         }
                         StreamCmd::Sync(ack) => {
                             ack.send(()).ok();
@@ -166,6 +168,7 @@ impl GpuDevice {
     /// Drains the kernel stream, blocking the host (a synchronization
     /// barrier). Charged to `sync_wait_ns`.
     pub fn synchronize(&self) {
+        let _sync_span = memphis_obs::span(memphis_obs::cat::GPU, "sync");
         let t0 = Instant::now();
         let (ack_tx, ack_rx) = unbounded();
         if self.stream.send(StreamCmd::Sync(ack_tx)).is_ok() {
@@ -178,6 +181,8 @@ impl GpuDevice {
     /// `cudaMalloc`: synchronizes the stream, charges the allocation
     /// overhead, and carves `size` bytes out of the arena.
     pub fn alloc(&self, size: usize) -> Result<GpuPtr, GpuError> {
+        let _alloc_span =
+            memphis_obs::span(memphis_obs::cat::GPU, "alloc").arg("bytes", size as u64);
         self.synchronize();
         let addr = {
             let mut arena = self.arena.lock();
@@ -204,6 +209,8 @@ impl GpuDevice {
     /// `cudaFree`: synchronizes, releases the allocation, and drops any
     /// resident data.
     pub fn free(&self, ptr: GpuPtr) -> Result<(), GpuError> {
+        let _free_span =
+            memphis_obs::span(memphis_obs::cat::GPU, "free").arg("bytes", ptr.size as u64);
         self.synchronize();
         {
             let mut arena = self.arena.lock();
@@ -224,6 +231,8 @@ impl GpuDevice {
         if self.arena.lock().size_of(ptr.addr) != Some(ptr.size) {
             return Err(GpuError::InvalidPointer);
         }
+        let _h2d_span =
+            memphis_obs::span(memphis_obs::cat::XFER, "h2d").arg("bytes", m.size_bytes() as u64);
         self.synchronize();
         let delay = GpuConfig::transfer_delay(m.size_bytes(), self.cfg.h2d_ns_per_byte);
         if !delay.is_zero() {
@@ -245,6 +254,8 @@ impl GpuDevice {
     /// Device-to-host copy: synchronizes (a barrier, §2.3) and charges the
     /// transfer cost.
     pub fn copy_to_host(&self, ptr: GpuPtr) -> Result<Matrix, GpuError> {
+        let _d2h_span =
+            memphis_obs::span(memphis_obs::cat::XFER, "d2h").arg("bytes", ptr.size as u64);
         self.synchronize();
         let m = self
             .data
@@ -305,6 +316,8 @@ impl GpuDevice {
     /// pointers, in the same order as `live` — MEMPHIS's last-resort path
     /// (paper §4.2, "rare in practice").
     pub fn defragment(&self, live: &[GpuPtr]) -> Vec<GpuPtr> {
+        let _defrag_span =
+            memphis_obs::span(memphis_obs::cat::GPU, "defrag").arg("live", live.len() as u64);
         self.synchronize();
         let mut arena = self.arena.lock();
         let mut data = self.data.lock();

@@ -32,7 +32,7 @@ pub struct GpuStats {
 }
 
 /// Point-in-time copy of device counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
 pub struct GpuStatsSnapshot {
     /// See [`GpuStats::allocs`].
     pub allocs: u64,
@@ -111,6 +111,28 @@ impl GpuStatsSnapshot {
             sync_wait_ns: self.sync_wait_ns - earlier.sync_wait_ns,
             compute_ns: self.compute_ns - earlier.compute_ns,
         }
+    }
+}
+
+impl memphis_obs::IntoMetrics for GpuStatsSnapshot {
+    fn metrics_section(&self) -> &'static str {
+        "gpu"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("allocs", self.allocs),
+            ("frees", self.frees),
+            ("alloc_failures", self.alloc_failures),
+            ("kernels", self.kernels),
+            ("syncs", self.syncs),
+            ("h2d_bytes", self.h2d_bytes),
+            ("d2h_bytes", self.d2h_bytes),
+            ("alloc_free_wait_ns", self.alloc_free_wait_ns),
+            ("transfer_wait_ns", self.transfer_wait_ns),
+            ("sync_wait_ns", self.sync_wait_ns),
+            ("compute_ns", self.compute_ns),
+        ]
     }
 }
 

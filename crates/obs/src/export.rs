@@ -1,0 +1,173 @@
+//! Trace exporters: Chrome trace-event JSON and a plain-text timeline.
+
+use crate::recorder::{EventKind, Trace};
+use crate::MetricsRegistry;
+use serde::json::escape_into;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders a [`Trace`] as Chrome trace-event JSON, loadable in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+///
+/// Layout:
+/// - pid 1 (`memphis`) holds one track per recording thread ("X"
+///   complete events for spans, "i" instants), named from the thread's
+///   name — so scheduler executors, the GPU stream thread, and the
+///   driver/interpreter each get a distinct track. Because the
+///   simulators execute modelled costs as real delays, these wall-clock
+///   tracks are also the simulated-time tracks.
+/// - pid 2 (`metrics`), when a registry is supplied, holds "C" counter
+///   events stamped at the trace end, one per section.
+///
+/// Timestamps are microseconds with nanosecond precision (fractional).
+pub fn chrome_trace(trace: &Trace, registry: Option<&MetricsRegistry>) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+
+    let meta = |out: &mut String, first: &mut bool, json: String| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&json);
+    };
+
+    meta(
+        &mut out,
+        &mut first,
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"memphis\"}}"
+            .to_string(),
+    );
+
+    // One thread_name metadata record per distinct tid.
+    let mut seen: Vec<u64> = Vec::new();
+    for ev in &trace.events {
+        if seen.contains(&ev.tid) {
+            continue;
+        }
+        seen.push(ev.tid);
+        let label = if ev.thread.is_empty() {
+            format!("thread-{}", ev.tid)
+        } else {
+            ev.thread.clone()
+        };
+        let mut rec = format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":",
+            ev.tid
+        );
+        escape_into(&label, &mut rec);
+        rec.push_str("}}");
+        meta(&mut out, &mut first, rec);
+    }
+
+    let mut end_us = 0.0f64;
+    for ev in &trace.events {
+        let ts_us = ev.event.ts_ns as f64 / 1_000.0;
+        let dur_us = ev.event.dur_ns as f64 / 1_000.0;
+        end_us = end_us.max(ts_us + dur_us);
+        let mut rec = String::from("{");
+        match ev.event.kind {
+            EventKind::Span => {
+                let _ = write!(rec, "\"ph\":\"X\",\"ts\":{ts_us:.3},\"dur\":{dur_us:.3}");
+            }
+            EventKind::Instant => {
+                let _ = write!(rec, "\"ph\":\"i\",\"ts\":{ts_us:.3},\"s\":\"t\"");
+            }
+        }
+        let _ = write!(rec, ",\"pid\":1,\"tid\":{}", ev.tid);
+        rec.push_str(",\"cat\":");
+        escape_into(ev.event.cat, &mut rec);
+        rec.push_str(",\"name\":");
+        match &ev.event.detail {
+            // The detail label becomes the visible name; the generic
+            // name stays findable under args.kind.
+            Some(d) => escape_into(&format!("{} {}", ev.event.name, d), &mut rec),
+            None => escape_into(ev.event.name, &mut rec),
+        }
+        rec.push_str(",\"args\":{\"kind\":");
+        escape_into(ev.event.name, &mut rec);
+        if let Some((key, val)) = ev.event.arg {
+            rec.push(',');
+            escape_into(key, &mut rec);
+            let _ = write!(rec, ":{val}");
+        }
+        rec.push_str("}}");
+        meta(&mut out, &mut first, rec);
+    }
+
+    if let Some(reg) = registry {
+        meta(
+            &mut out,
+            &mut first,
+            "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"metrics\"}}"
+                .to_string(),
+        );
+        for (section, name, value) in reg.entries() {
+            if value == 0 {
+                continue;
+            }
+            let mut rec = String::from("{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":");
+            escape_into(&format!("{section}/{name}"), &mut rec);
+            let _ = write!(rec, ",\"ts\":{end_us:.3},\"args\":{{\"value\":{value}}}}}");
+            meta(&mut out, &mut first, rec);
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes [`chrome_trace`] output to `path`.
+pub fn write_chrome_trace(
+    path: impl AsRef<Path>,
+    trace: &Trace,
+    registry: Option<&MetricsRegistry>,
+) -> io::Result<()> {
+    std::fs::write(path, chrome_trace(trace, registry))
+}
+
+/// Renders a [`Trace`] as a human-readable timeline: one line per event
+/// ordered by start time, with per-category busy totals appended.
+pub fn text_timeline(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>12} {:>10}  {:<24} {:<10} event",
+        "start(ms)", "dur(ms)", "thread", "cat"
+    );
+    for ev in &trace.events {
+        let thread = if ev.thread.is_empty() {
+            format!("thread-{}", ev.tid)
+        } else {
+            ev.thread.clone()
+        };
+        let mut label = ev.event.name.to_string();
+        if let Some(d) = &ev.event.detail {
+            let _ = write!(label, " {d}");
+        }
+        if let Some((k, v)) = ev.event.arg {
+            let _ = write!(label, " [{k}={v}]");
+        }
+        let _ = writeln!(
+            out,
+            "{:>12.3} {:>10.3}  {:<24} {:<10} {}",
+            ev.event.ts_ns as f64 / 1e6,
+            ev.event.dur_ns as f64 / 1e6,
+            thread,
+            ev.event.cat,
+            label
+        );
+    }
+    let totals = crate::analysis::phase_totals(trace);
+    if !totals.is_empty() {
+        let _ = writeln!(out, "-- per-category busy time (interval union) --");
+        for (cat, busy_ns) in totals {
+            let _ = writeln!(out, "{:>12.3} ms  {}", busy_ns as f64 / 1e6, cat);
+        }
+    }
+    if trace.dropped > 0 {
+        let _ = writeln!(out, "({} events dropped to ring overwrite)", trace.dropped);
+    }
+    out
+}

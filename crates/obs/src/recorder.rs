@@ -1,0 +1,359 @@
+//! The lock-cheap event recorder: per-thread ring buffers behind one
+//! global registry, gated by an atomic enabled flag.
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-thread ring capacity in events. Oldest events are overwritten
+/// once full (the overwrite count is preserved in [`Trace::dropped`]).
+const RING_CAPACITY: usize = 1 << 16;
+
+/// What an [`Event`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An interval: `ts_ns..ts_ns + dur_ns`.
+    Span,
+    /// A point in time (`dur_ns` is 0).
+    Instant,
+}
+
+/// One recorded event. `name` and `cat` are static so the hot path
+/// never allocates for them; dynamic context (opcode, item key, stage
+/// id) rides in `detail`, built lazily only while tracing is enabled.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub kind: EventKind,
+    /// Category (see [`crate::cat`]); the Chrome-trace `cat` field.
+    pub cat: &'static str,
+    /// Event name, e.g. `"probe"`, `"task"`, `"kernel"`.
+    pub name: &'static str,
+    /// Nanoseconds since the epoch armed by [`enable`].
+    pub ts_ns: u64,
+    /// Span length in nanoseconds; 0 for instants.
+    pub dur_ns: u64,
+    /// Optional dynamic label (opcode, lineage key, stage id).
+    pub detail: Option<String>,
+    /// Optional numeric argument, e.g. `("bytes", 4096)`.
+    pub arg: Option<(&'static str, u64)>,
+}
+
+/// An [`Event`] annotated with the recording thread, as returned by
+/// [`drain`].
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Dense per-thread id assigned at first record (stable per run).
+    pub tid: u64,
+    /// The recording thread's name at registration time, if any.
+    pub thread: String,
+    pub event: Event,
+}
+
+impl TraceEvent {
+    /// Span end timestamp (== `ts_ns` for instants).
+    pub fn end_ns(&self) -> u64 {
+        self.event.ts_ns + self.event.dur_ns
+    }
+}
+
+/// A drained snapshot of every thread's buffer, sorted by start time.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overwrites, summed over all threads.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Spans matching a category and name.
+    pub fn spans(&self, cat: &str, name: &str) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| {
+                e.event.kind == EventKind::Span && e.event.cat == cat && e.event.name == name
+            })
+            .collect()
+    }
+
+    /// All events in a category.
+    pub fn category(&self, cat: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.event.cat == cat).collect()
+    }
+
+    /// Instants matching a category and name.
+    pub fn instants(&self, cat: &str, name: &str) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| {
+                e.event.kind == EventKind::Instant && e.event.cat == cat && e.event.name == name
+            })
+            .collect()
+    }
+}
+
+struct ThreadBuf {
+    tid: u64,
+    name: String,
+    /// Ring storage; once `events.len() == RING_CAPACITY`, `head` is the
+    /// logical start and pushes overwrite the oldest slot.
+    events: Vec<Event>,
+    head: usize,
+    dropped: u64,
+}
+
+impl ThreadBuf {
+    fn push(&mut self, ev: Event) {
+        if self.events.len() < RING_CAPACITY {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % RING_CAPACITY;
+            self.dropped += 1;
+        }
+    }
+}
+
+struct Registry {
+    bufs: Vec<Arc<Mutex<ThreadBuf>>>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Total events ever recorded (all threads). Used by tests to assert the
+/// disabled path bumps no cursor.
+static RECORDED: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry { bufs: Vec::new() });
+static EPOCH: RwLock<Option<Instant>> = RwLock::new(None);
+
+thread_local! {
+    static LOCAL: std::cell::RefCell<Option<Arc<Mutex<ThreadBuf>>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Arms the epoch (if unset) and turns recording on.
+pub fn enable() {
+    let mut epoch = EPOCH.write();
+    if epoch.is_none() {
+        *epoch = Some(Instant::now());
+    }
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns recording off. Buffered events remain drainable.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether recording is on. One relaxed atomic load — this is the entire
+/// cost instrumentation sites pay when tracing is disabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drops all buffered events and re-arms the epoch at now. Threads keep
+/// their registered buffers (and ids); recording state is unchanged.
+pub fn reset() {
+    let registry = REGISTRY.lock();
+    for buf in &registry.bufs {
+        let mut b = buf.lock();
+        b.events.clear();
+        b.head = 0;
+        b.dropped = 0;
+    }
+    drop(registry);
+    *EPOCH.write() = Some(Instant::now());
+}
+
+/// Number of threads that have registered a buffer. Used by tests to
+/// assert the disabled path allocates nothing (a fresh thread recording
+/// while disabled must not register).
+pub fn thread_count() -> usize {
+    REGISTRY.lock().bufs.len()
+}
+
+/// Total events recorded since process start (monotonic; survives
+/// [`reset`]). The disabled-mode test asserts this does not move.
+pub fn total_recorded() -> u64 {
+    RECORDED.load(Ordering::Relaxed)
+}
+
+fn now_ns() -> u64 {
+    let epoch = EPOCH.read();
+    match *epoch {
+        Some(e) => e.elapsed().as_nanos() as u64,
+        None => 0,
+    }
+}
+
+fn record(ev: Event) {
+    RECORDED.fetch_add(1, Ordering::Relaxed);
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let buf = slot.get_or_insert_with(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current().name().unwrap_or("").to_string();
+            let buf = Arc::new(Mutex::new(ThreadBuf {
+                tid,
+                name,
+                events: Vec::new(),
+                head: 0,
+                dropped: 0,
+            }));
+            REGISTRY.lock().bufs.push(buf.clone());
+            buf
+        });
+        buf.lock().push(ev);
+    });
+}
+
+/// Records a point event.
+#[inline]
+pub fn instant(cat: &'static str, name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        kind: EventKind::Instant,
+        cat,
+        name,
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        detail: None,
+        arg: None,
+    });
+}
+
+/// Records a point event with a numeric argument (e.g. bytes).
+#[inline]
+pub fn instant_val(cat: &'static str, name: &'static str, key: &'static str, val: u64) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        kind: EventKind::Instant,
+        cat,
+        name,
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        detail: None,
+        arg: Some((key, val)),
+    });
+}
+
+/// An in-flight span; records a [`EventKind::Span`] event on drop.
+/// Constructed disabled (all-`None`) when tracing is off, in which case
+/// drop is a no-op and construction allocated nothing.
+#[must_use = "the span is recorded when this guard drops"]
+pub struct SpanGuard {
+    start_ns: u64,
+    cat: &'static str,
+    name: &'static str,
+    detail: Option<String>,
+    arg: Option<(&'static str, u64)>,
+    live: bool,
+}
+
+impl SpanGuard {
+    /// Attaches a numeric argument to the span (kept on the latest call).
+    pub fn arg(mut self, key: &'static str, val: u64) -> Self {
+        if self.live {
+            self.arg = Some((key, val));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let ts = self.start_ns;
+        record(Event {
+            kind: EventKind::Span,
+            cat: self.cat,
+            name: self.name,
+            ts_ns: ts,
+            dur_ns: now_ns().saturating_sub(ts),
+            detail: self.detail.take(),
+            arg: self.arg,
+        });
+    }
+}
+
+/// Opens a span on the calling thread; recorded when the guard drops.
+#[inline]
+pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            start_ns: 0,
+            cat,
+            name,
+            detail: None,
+            arg: None,
+            live: false,
+        };
+    }
+    SpanGuard {
+        start_ns: now_ns(),
+        cat,
+        name,
+        detail: None,
+        arg: None,
+        live: true,
+    }
+}
+
+/// Like [`span`], with a dynamic label built *only* if tracing is
+/// enabled (so disabled call sites pay no formatting or allocation).
+#[inline]
+pub fn span_with(
+    cat: &'static str,
+    name: &'static str,
+    detail: impl FnOnce() -> String,
+) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            start_ns: 0,
+            cat,
+            name,
+            detail: None,
+            arg: None,
+            live: false,
+        };
+    }
+    SpanGuard {
+        start_ns: now_ns(),
+        cat,
+        name,
+        detail: Some(detail()),
+        arg: None,
+        live: true,
+    }
+}
+
+/// Snapshots every registered thread buffer into a [`Trace`] sorted by
+/// start timestamp. Buffers are not cleared; use [`reset`] for that.
+pub fn drain() -> Trace {
+    let registry = REGISTRY.lock();
+    let mut out = Trace::default();
+    for buf in &registry.bufs {
+        let b = buf.lock();
+        out.dropped += b.dropped;
+        // Ring order: head..end is oldest when the ring has wrapped.
+        let (older, newer) = b.events.split_at(b.head);
+        for ev in newer.iter().chain(older.iter()) {
+            out.events.push(TraceEvent {
+                tid: b.tid,
+                thread: b.name.clone(),
+                event: ev.clone(),
+            });
+        }
+    }
+    drop(registry);
+    out.events
+        .sort_by_key(|e| (e.event.ts_ns, e.tid, e.event.dur_ns));
+    out
+}

@@ -1,0 +1,201 @@
+//! The unified named-counter report: one registry absorbing every
+//! subsystem's stats snapshot through a single conversion path.
+
+use std::fmt::Write as _;
+
+/// A stats snapshot that can contribute counters to a
+/// [`MetricsRegistry`]. Implemented by `ReuseStatsSnapshot`
+/// (memphis-core), `StatsSnapshot` (memphis-sparksim), and
+/// `GpuStatsSnapshot` (memphis-gpusim) — the one conversion path
+/// replacing the bespoke per-backend printing previously duplicated
+/// across the bench binaries.
+pub trait IntoMetrics {
+    /// Section the counters belong under, e.g. `"reuse"`, `"spark"`.
+    fn metrics_section(&self) -> &'static str;
+    /// `(counter name, value)` pairs in display order.
+    fn metrics(&self) -> Vec<(&'static str, u64)>;
+}
+
+/// An ordered collection of `section / counter → value` entries with
+/// text and JSON renderings. Sections keep insertion order; counters
+/// keep the order their snapshot reports them in.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    sections: Vec<(String, Vec<(String, u64)>)>,
+}
+
+impl MetricsRegistry {
+    pub const fn new() -> Self {
+        Self {
+            sections: Vec::new(),
+        }
+    }
+
+    /// Absorbs a snapshot via the [`IntoMetrics`] conversion path.
+    pub fn absorb(&mut self, snapshot: &dyn IntoMetrics) {
+        self.record_pairs(snapshot.metrics_section(), snapshot.metrics());
+    }
+
+    /// Records counters under `section`, overwriting same-named entries
+    /// (so absorbing a newer snapshot of the same subsystem updates in
+    /// place).
+    pub fn record_pairs<N: Into<String>>(
+        &mut self,
+        section: &str,
+        pairs: impl IntoIterator<Item = (N, u64)>,
+    ) {
+        let sec = match self.sections.iter_mut().find(|(s, _)| s == section) {
+            Some((_, entries)) => entries,
+            None => {
+                self.sections.push((section.to_string(), Vec::new()));
+                &mut self.sections.last_mut().unwrap().1
+            }
+        };
+        for (name, value) in pairs {
+            let name = name.into();
+            match sec.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, v)) => *v = value,
+                None => sec.push((name, value)),
+            }
+        }
+    }
+
+    /// Records one counter.
+    pub fn record(&mut self, section: &str, name: &str, value: u64) {
+        self.record_pairs(section, [(name, value)]);
+    }
+
+    /// Looks up a counter.
+    pub fn get(&self, section: &str, name: &str) -> Option<u64> {
+        self.sections
+            .iter()
+            .find(|(s, _)| s == section)
+            .and_then(|(_, entries)| entries.iter().find(|(n, _)| n == name))
+            .map(|(_, v)| *v)
+    }
+
+    /// Section names in insertion order.
+    pub fn sections(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(s, _)| s.as_str())
+    }
+
+    /// All `(section, name, value)` entries in report order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.sections.iter().flat_map(|(s, entries)| {
+            entries
+                .iter()
+                .map(move |(n, v)| (s.as_str(), n.as_str(), *v))
+        })
+    }
+
+    /// True when no counters have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sections.iter().all(|(_, e)| e.is_empty())
+    }
+
+    /// Plain-text report: one indented block per section, zero-valued
+    /// counters elided (a section whose counters are all zero still
+    /// prints its header, so absence of activity is visible).
+    pub fn text_report(&self) -> String {
+        let mut out = String::new();
+        for (section, entries) in &self.sections {
+            let _ = writeln!(out, "  [{section}]");
+            let mut line = String::new();
+            for (name, value) in entries {
+                if *value == 0 {
+                    continue;
+                }
+                if !line.is_empty() && line.len() + name.len() > 66 {
+                    let _ = writeln!(out, "    {line}");
+                    line.clear();
+                }
+                if !line.is_empty() {
+                    line.push(' ');
+                }
+                let _ = write!(line, "{name}={value}");
+            }
+            if !line.is_empty() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON: `{"section": {"counter": value, ...}, ...}`
+    /// including zero values, preserving report order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        for (i, (section, entries)) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            serde::json::escape_into(section, &mut out);
+            out.push_str(":{");
+            for (j, (name, value)) in entries.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                serde::json::escape_into(name, &mut out);
+                out.push(':');
+                out.push_str(&serde::json::to_string(value));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+    impl IntoMetrics for Fake {
+        fn metrics_section(&self) -> &'static str {
+            "fake"
+        }
+        fn metrics(&self) -> Vec<(&'static str, u64)> {
+            vec![("hits", 3), ("misses", 0)]
+        }
+    }
+
+    #[test]
+    fn absorb_and_lookup() {
+        let mut reg = MetricsRegistry::new();
+        reg.absorb(&Fake);
+        assert_eq!(reg.get("fake", "hits"), Some(3));
+        assert_eq!(reg.get("fake", "misses"), Some(0));
+        assert_eq!(reg.get("fake", "nope"), None);
+    }
+
+    #[test]
+    fn record_overwrites_in_place() {
+        let mut reg = MetricsRegistry::new();
+        reg.record("s", "a", 1);
+        reg.record("s", "b", 2);
+        reg.record("s", "a", 9);
+        assert_eq!(reg.get("s", "a"), Some(9));
+        let order: Vec<_> = reg.entries().map(|(_, n, _)| n.to_string()).collect();
+        assert_eq!(order, ["a", "b"]);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.record_pairs("reuse", [("hits", 5u64), ("misses", 0)]);
+        assert_eq!(reg.to_json(), r#"{"reuse":{"hits":5,"misses":0}}"#);
+    }
+
+    #[test]
+    fn text_elides_zeros_but_keeps_section() {
+        let mut reg = MetricsRegistry::new();
+        reg.record_pairs("idle", [("a", 0u64)]);
+        reg.record_pairs("busy", [("a", 1u64)]);
+        let text = reg.text_report();
+        assert!(text.contains("[idle]"));
+        assert!(!text.contains("a=0"));
+        assert!(text.contains("a=1"));
+    }
+}

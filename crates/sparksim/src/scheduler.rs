@@ -242,10 +242,14 @@ impl Runtime {
             RddKind::ReduceByKey {
                 combine, shuffle, ..
             } => {
+                let fetch_span = memphis_obs::span_with(memphis_obs::cat::SHUFFLE, "fetch", || {
+                    format!("shuffle-{} p{}", shuffle.0, p)
+                });
                 let grouped = self
                     .shuffle
                     .try_read(*shuffle, p)
                     .map_err(|_| TaskError::FetchFailed { shuffle: *shuffle })?;
+                drop(fetch_span);
                 let mut out: Vec<Record> = grouped
                     .into_iter()
                     .map(|(k, vals)| {
@@ -282,6 +286,12 @@ impl Runtime {
     pub fn kill_executor_now(self: &Arc<Self>, executor: usize) {
         let ne = self.config.num_executors.max(1);
         SparkStats::inc(&self.stats.executors_lost);
+        memphis_obs::instant_val(
+            memphis_obs::cat::RECOVERY,
+            "executor_lost",
+            "executor",
+            executor as u64,
+        );
         let cached = self
             .block_manager
             .drop_where(|_, p| p % ne == executor % ne);
@@ -351,10 +361,15 @@ impl Runtime {
                 if !launch.is_zero() {
                     std::thread::sleep(launch);
                 }
+                let task_span = memphis_obs::span_with(memphis_obs::cat::SCHED, "task", || {
+                    format!("job-{job} stage-{stage} p{p} attempt-{attempt}")
+                })
+                .arg("executor", current_executor() as u64);
                 let r = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(p))) {
                     Ok(r) => r,
                     Err(payload) => Err(TaskError::Panic(panic_message(payload))),
                 };
+                drop(task_span);
                 results.lock()[i] = Some(r);
                 // Release captured handles before the barrier so the
                 // driver-side drop order is deterministic.
@@ -391,6 +406,9 @@ impl Runtime {
         R: Send + 'static,
         F: Fn(usize) -> Result<R, TaskError> + Send + Sync + 'static,
     {
+        let _stage_span = memphis_obs::span_with(memphis_obs::cat::SCHED, "stage", || {
+            format!("job-{} stage-{}", jctx.job, stage)
+        });
         for victim in self.config.fault_plan.kills_at(jctx.job, stage) {
             self.kill_executor_now(victim);
         }
@@ -407,6 +425,12 @@ impl Runtime {
                 match result {
                     Ok(r) => done.push((p, r)),
                     Err(TaskError::FetchFailed { shuffle }) => {
+                        memphis_obs::instant_val(
+                            memphis_obs::cat::RECOVERY,
+                            "fetch_failure",
+                            "shuffle",
+                            shuffle.0,
+                        );
                         lost_shuffles.insert(shuffle.0);
                         fetch_retry.push((p, attempt));
                     }
@@ -422,6 +446,7 @@ impl Runtime {
                             });
                         }
                         SparkStats::inc(&self.stats.tasks_retried);
+                        memphis_obs::instant(memphis_obs::cat::RECOVERY, "task_retry");
                         pending.push((p, attempt + 1));
                     }
                 }
@@ -510,6 +535,9 @@ impl Runtime {
     /// Regenerates shuffle `sid` after a fetch failure. If a concurrent job
     /// already (re)produced it, the wait inside `claim_or_wait` suffices.
     fn recover_shuffle(self: &Arc<Self>, jctx: &JobCtx, sid: ShuffleId) -> Result<(), JobError> {
+        let _recover_span = memphis_obs::span_with(memphis_obs::cat::RECOVERY, "recover", || {
+            format!("shuffle-{}", sid.0)
+        });
         if !self.shuffle.claim_or_wait(sid) {
             return Ok(());
         }
@@ -550,6 +578,8 @@ impl Runtime {
         F: Fn(usize, &[Record]) -> R + Send + Sync + 'static,
     {
         let job = self.stats.jobs.fetch_add(1, Ordering::Relaxed);
+        let _job_span =
+            memphis_obs::span_with(memphis_obs::cat::SCHED, "job", || format!("job-{job}"));
         if !self.config.cost.job_launch.is_zero() {
             std::thread::sleep(self.config.cost.job_launch);
         }

@@ -57,7 +57,7 @@ pub struct SparkStats {
 }
 
 /// A point-in-time copy of all counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
 pub struct StatsSnapshot {
     /// See [`SparkStats::jobs`].
     pub jobs: u64,
@@ -193,6 +193,39 @@ impl StatsSnapshot {
             cached_blocks_lost: self.cached_blocks_lost - earlier.cached_blocks_lost,
             shuffle_outputs_lost: self.shuffle_outputs_lost - earlier.shuffle_outputs_lost,
         }
+    }
+}
+
+impl memphis_obs::IntoMetrics for StatsSnapshot {
+    fn metrics_section(&self) -> &'static str {
+        "spark"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("jobs", self.jobs),
+            ("stages", self.stages),
+            ("skipped_stages", self.skipped_stages),
+            ("tasks", self.tasks),
+            ("shuffle_bytes_written", self.shuffle_bytes_written),
+            ("shuffle_bytes_read", self.shuffle_bytes_read),
+            ("cache_hits", self.cache_hits),
+            ("partitions_cached", self.partitions_cached),
+            ("partitions_evicted", self.partitions_evicted),
+            ("partitions_spilled", self.partitions_spilled),
+            ("partitions_read_from_disk", self.partitions_read_from_disk),
+            ("partitions_recomputed", self.partitions_recomputed),
+            ("narrow_records_computed", self.narrow_records_computed),
+            ("broadcast_chunks_sent", self.broadcast_chunks_sent),
+            ("bytes_collected", self.bytes_collected),
+            ("task_failures", self.task_failures),
+            ("tasks_retried", self.tasks_retried),
+            ("fetch_failures", self.fetch_failures),
+            ("stages_resubmitted", self.stages_resubmitted),
+            ("executors_lost", self.executors_lost),
+            ("cached_blocks_lost", self.cached_blocks_lost),
+            ("shuffle_outputs_lost", self.shuffle_outputs_lost),
+        ]
     }
 }
 

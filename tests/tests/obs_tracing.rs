@@ -1,0 +1,248 @@
+//! Integration tests for the memphis-obs tracing subsystem: the golden
+//! schema-checked Chrome trace of a deterministic workload, the
+//! async-prefetch overlap assertions (prefetch runs concurrent with
+//! compute; the synchronous plan serializes), and the disabled-mode
+//! zero-cost guarantee on the interpreter hot path.
+
+use memphis_core::cache::config::CacheConfig;
+use memphis_engine::{EngineConfig, ReuseMode};
+use memphis_matrix::ops::binary::BinaryOp;
+use memphis_matrix::rand_gen::rand_uniform;
+use memphis_obs::{analysis, cat, export};
+use memphis_sparksim::SparkConfig;
+use memphis_workloads::harness::Backends;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The recorder is process-global; tests that enable/reset/drain it must
+/// not interleave.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Minimal JSON well-formedness scan: balanced braces/brackets outside
+/// string literals, ending balanced at depth zero.
+fn json_balanced(s: &str) -> bool {
+    let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+    for c in s.chars() {
+        if in_str {
+            match (esc, c) {
+                (true, _) => esc = false,
+                (false, '\\') => esc = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_str
+}
+
+#[test]
+fn golden_chrome_trace_schema_and_counts() {
+    let _g = lock();
+    memphis_obs::enable();
+    memphis_obs::reset();
+
+    // Deterministic local workload: 8 distinct ops, then the same 8
+    // again — the second round hits the cache.
+    let backends = Backends::local();
+    let mut ctx = backends.make_ctx(
+        EngineConfig::test().with_reuse(ReuseMode::Memphis),
+        CacheConfig::test(),
+    );
+    let x = rand_uniform(16, 8, -1.0, 1.0, 7);
+    ctx.read("X", x, "obs/X").unwrap();
+    for _round in 0..2 {
+        for i in 0..8 {
+            ctx.binary_const("Y", "X", i as f64 + 1.0, BinaryOp::Mul, false)
+                .unwrap();
+        }
+    }
+    let stats = ctx.stats;
+    assert_eq!(stats.instructions, 16, "2 rounds x 8 ops");
+    assert_eq!(stats.reused, 8, "second round fully reused");
+
+    let trace = memphis_obs::drain();
+    memphis_obs::disable();
+
+    // Span counts are a pure function of the script.
+    let instr = trace.spans(cat::INTERP, "instr");
+    let executes = trace.spans(cat::INTERP, "execute");
+    let probes = trace.spans(cat::INTERP, "probe");
+    let hits = trace.instants(cat::REUSE, "hit");
+    let misses = trace.instants(cat::REUSE, "miss");
+    assert_eq!(instr.len() as u64, stats.instructions);
+    assert_eq!(executes.len() as u64, stats.instructions - stats.reused);
+    assert_eq!(hits.len() as u64, stats.reused);
+    assert_eq!(probes.len(), hits.len() + misses.len());
+    // Cache-layer spans ride along under their own category.
+    assert_eq!(
+        trace.spans(cat::CACHE, "probe").len(),
+        probes.len(),
+        "every interpreter probe reaches the cache"
+    );
+    // Every execute nests inside its instruction span.
+    for e in &executes {
+        assert!(instr
+            .iter()
+            .any(|i| i.tid == e.tid && i.event.ts_ns <= e.event.ts_ns && e.end_ns() <= i.end_ns()));
+    }
+
+    // Chrome-trace export: schema envelope, metadata, span/instant
+    // phases, categories, and counter track from a registry.
+    let mut reg = memphis_obs::MetricsRegistry::new();
+    reg.record("reuse", "hits_total", stats.reused);
+    let json = export::chrome_trace(&trace, Some(&reg));
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+    assert!(json.ends_with("\n]}\n"));
+    assert!(json_balanced(&json), "exported trace must be balanced JSON");
+    assert!(json.contains(r#""ph":"M","pid":1,"name":"process_name","args":{"name":"memphis"}"#));
+    assert!(json.contains(r#""name":"thread_name""#));
+    assert!(json.contains(r#""ph":"X""#), "complete events present");
+    assert!(json.contains(r#""ph":"i""#), "instant events present");
+    assert!(json.contains(r#""cat":"interp""#));
+    assert!(json.contains(r#""cat":"cache""#));
+    // The instr span carries its opcode as the visible name suffix.
+    assert!(json.contains(r#""args":{"kind":"instr"}"#));
+    assert!(json.contains(r#""ph":"C""#), "counter track present");
+    assert!(json.contains(r#""name":"reuse/hits_total""#));
+
+    // The plain-text timeline renders every event plus busy totals.
+    let text = export::text_timeline(&trace);
+    assert!(text.contains("interp"));
+    assert!(text.contains("-- per-category busy time"));
+}
+
+/// Builds a context whose Spark jobs take real (simulated) time, runs
+/// the shared prefetch-vs-compute script, and returns the drained trace.
+fn run_prefetch_script(async_ops: bool) -> memphis_obs::Trace {
+    let mut sp = SparkConfig::local_test();
+    // Make the collect job long enough to observe concurrency.
+    sp.cost.task_launch = Duration::from_millis(2);
+    sp.cost.job_launch = Duration::from_millis(1);
+    let backends = Backends::with_spark(sp);
+    let mut cfg = EngineConfig::test().with_reuse(ReuseMode::Memphis);
+    cfg.spark_threshold_bytes = 1024; // 4 KB input → Spark-placed ops
+    cfg.async_ops = async_ops;
+    let mut ctx = backends.make_ctx(cfg, CacheConfig::test());
+
+    let x = rand_uniform(64, 8, -1.0, 1.0, 11);
+    ctx.read("X", x, "obs/prefetch/X").unwrap();
+    // Spark-placed op: the result is a lazy RDD handle (no job yet).
+    ctx.binary_const("XR", "X", 2.0, BinaryOp::Mul, false)
+        .unwrap();
+    // Async: spawns the collect job now. Sync: no-op.
+    ctx.prefetch("XR").unwrap();
+
+    // Driver-local compute for ~20 ms while the collect (if async) runs.
+    let l = rand_uniform(16, 8, -1.0, 1.0, 13);
+    ctx.read("L", l, "obs/prefetch/L").unwrap();
+    let t0 = Instant::now();
+    let mut i = 0u64;
+    while t0.elapsed() < Duration::from_millis(20) {
+        ctx.binary_const("Li", "L", i as f64 + 1.5, BinaryOp::Mul, false)
+            .unwrap();
+        i += 1;
+    }
+
+    // Materialize the distributed result (waits on the future when
+    // async; runs the collect inline when sync).
+    let m = ctx.get_matrix("XR").unwrap();
+    assert!(m.values().iter().all(|v| v.is_finite()));
+    memphis_obs::drain()
+}
+
+#[test]
+fn async_prefetch_overlaps_compute_sync_does_not() {
+    let _g = lock();
+    memphis_obs::enable();
+
+    // Async: the prefetch span must run concurrently with interpreter
+    // compute. This fails if prefetch ever serializes behind compute.
+    memphis_obs::reset();
+    let trace = run_prefetch_script(true);
+    let prefetch = trace.spans(cat::ASYNC, "prefetch_collect");
+    assert_eq!(prefetch.len(), 1, "one async collect span");
+    let compute = trace.spans(cat::INTERP, "execute");
+    assert!(!compute.is_empty());
+    let overlap = analysis::total_overlap_ns(&prefetch, &compute);
+    assert!(
+        overlap > 0,
+        "async prefetch must overlap compute (prefetch busy {} ns, compute busy {} ns)",
+        analysis::busy_ns(&prefetch),
+        analysis::busy_ns(&compute)
+    );
+    // The scheduler's job span also runs concurrent with compute.
+    let jobs = trace.spans(cat::SCHED, "job");
+    assert!(!jobs.is_empty(), "the collect ran as a Spark job");
+    assert!(analysis::total_overlap_ns(&jobs, &compute) > 0);
+
+    // Sync: no prefetch span exists, and the collect's Spark job runs
+    // strictly after the compute loop — zero overlap.
+    memphis_obs::reset();
+    let trace = run_prefetch_script(false);
+    assert!(trace.spans(cat::ASYNC, "prefetch_collect").is_empty());
+    let jobs = trace.spans(cat::SCHED, "job");
+    let compute = trace.spans(cat::INTERP, "execute");
+    assert!(!jobs.is_empty(), "the collect still ran as a Spark job");
+    assert_eq!(
+        analysis::total_overlap_ns(&jobs, &compute),
+        0,
+        "synchronous collect must serialize behind compute"
+    );
+    memphis_obs::disable();
+}
+
+#[test]
+fn disabled_mode_adds_no_allocations_or_events() {
+    let _g = lock();
+    memphis_obs::disable();
+
+    let threads_before = memphis_obs::thread_count();
+    let recorded_before = memphis_obs::total_recorded();
+
+    // Run the interpreter hot path on a fresh thread: with tracing off,
+    // no thread buffer may be registered (no allocation) and no event
+    // cursor may move.
+    std::thread::spawn(|| {
+        let backends = Backends::local();
+        let mut ctx = backends.make_ctx(
+            EngineConfig::test().with_reuse(ReuseMode::Memphis),
+            CacheConfig::test(),
+        );
+        let x = rand_uniform(16, 8, -1.0, 1.0, 17);
+        ctx.read("X", x, "obs/disabled/X").unwrap();
+        for i in 0..32 {
+            ctx.binary_const("Y", "X", i as f64 + 1.0, BinaryOp::Mul, false)
+                .unwrap();
+        }
+        assert_eq!(ctx.stats.instructions, 32);
+    })
+    .join()
+    .unwrap();
+
+    assert_eq!(
+        memphis_obs::thread_count(),
+        threads_before,
+        "disabled tracing must not register (allocate) thread buffers"
+    );
+    assert_eq!(
+        memphis_obs::total_recorded(),
+        recorded_before,
+        "disabled tracing must not record events"
+    );
+}

@@ -2,13 +2,17 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the small slice of `parking_lot` it actually uses: a
-//! non-poisoning [`Mutex`] whose guard derefs to the inner value, and a
-//! [`Condvar`] whose `wait` borrows the guard mutably instead of
-//! consuming it. Semantics match `parking_lot` for every call site in
-//! this repository; fairness/eventual-fairness details are not modeled.
+//! non-poisoning [`Mutex`] whose guard derefs to the inner value, a
+//! non-poisoning [`RwLock`], and a [`Condvar`] whose `wait` borrows the
+//! guard mutably instead of consuming it. Semantics match `parking_lot`
+//! for every call site in this repository; fairness/eventual-fairness
+//! details are not modeled.
 
 use std::fmt;
-use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard, RwLockWriteGuard,
+};
 
 /// A mutual-exclusion primitive. Unlike `std::sync::Mutex`, lock
 /// acquisition never observes poisoning: a panic while holding the lock
@@ -93,6 +97,45 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
 impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         (**self).fmt(f)
+    }
+}
+
+/// A reader-writer lock. Like [`Mutex`], acquisition never observes
+/// poisoning.
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock wrapping `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: StdRwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
     }
 }
 

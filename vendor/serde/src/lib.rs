@@ -1,0 +1,220 @@
+//! Offline drop-in subset of the `serde` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of serde it actually uses: a [`Serialize`] trait
+//! plus `#[derive(Serialize)]`, specialized to JSON output. Instead of
+//! the real crate's generic `Serializer` visitor, [`Serialize`] appends
+//! the value's JSON encoding directly to a `String` — the only data
+//! format this repo emits (Chrome traces and metrics reports). The
+//! companion [`json`] module stands in for `serde_json::to_string`.
+
+pub use serde_derive::Serialize;
+
+/// A type that can append its JSON encoding to an output buffer.
+///
+/// Derivable for structs with named fields via `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(*self as i128).as_str());
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                let mut buf = [0u8; 20];
+                out.push_str(utoa(*self as u64, &mut buf));
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+fn utoa(mut v: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).unwrap()
+}
+
+fn itoa_buf(v: i128) -> String {
+    // i128 covers every smaller signed width without overflow on MIN.
+    let mut s = String::new();
+    let mut buf = [0u8; 20];
+    if v < 0 {
+        s.push('-');
+        s.push_str(utoa(v.unsigned_abs() as u64, &mut buf));
+    } else {
+        s.push_str(utoa(v as u64, &mut buf));
+    }
+    s
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{:?}` round-trips f64 (shortest representation) and always
+            // includes a decimal point or exponent, keeping it JSON-valid.
+            out.push_str(&format!("{:?}", self));
+        } else {
+            // JSON has no NaN/Inf; null is the conventional stand-in.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::escape_into(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::escape_into(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_into(k.as_ref(), out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+/// Stand-in for the `serde_json` entry points this repo uses.
+pub mod json {
+    use super::Serialize;
+
+    /// Serializes `value` to a compact JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        value.serialize_json(&mut out);
+        out
+    }
+
+    /// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+    pub fn escape_into(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(json::to_string(&42u64), "42");
+        assert_eq!(json::to_string(&-7i64), "-7");
+        assert_eq!(json::to_string(&i64::MIN), "-9223372036854775808");
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string(&1.5f64), "1.5");
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        assert_eq!(json::to_string("a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json::to_string(&vec![1u64, 2, 3]), "[1,2,3]");
+        assert_eq!(json::to_string(&Some(1u64)), "1");
+        assert_eq!(json::to_string(&(None as Option<u64>)), "null");
+        assert_eq!(json::to_string(&("k", 9u64)), "[\"k\",9]");
+    }
+}

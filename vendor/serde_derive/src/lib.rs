@@ -1,0 +1,137 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for structs with named fields —
+//! the only shape the workspace derives on (stats snapshots and report
+//! rows). The token stream is parsed by hand (no `syn`/`quote` in the
+//! offline environment): outer/field attributes are skipped, visibility
+//! modifiers are ignored, and field boundaries are found by splitting
+//! on depth-0 commas while tracking `<`/`>` angle-bracket nesting in
+//! field types. Tuple structs, enums, and generic structs produce a
+//! `compile_error!` pointing back here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({:?});", msg).parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+            return Err("vendored #[derive(Serialize)] supports only structs".into());
+        }
+        other => return Err(format!("unexpected token after attributes: {:?}", other)),
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {:?}", other)),
+    };
+
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("vendored #[derive(Serialize)] does not support generics".into());
+        }
+        _ => {
+            return Err("vendored #[derive(Serialize)] supports only named-field structs".into());
+        }
+    };
+
+    let fields = parse_named_fields(body)?;
+
+    let mut code = String::new();
+    code.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut String) {{\n\
+         out.push('{{');\n"
+    ));
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            code.push_str("out.push(',');\n");
+        }
+        code.push_str(&format!(
+            "out.push_str(\"\\\"{field}\\\":\");\n\
+             ::serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    code.push_str("out.push('}');\n}\n}\n");
+    code.parse()
+        .map_err(|e| format!("generated code failed to parse: {e:?}"))
+}
+
+/// Extracts field names from the token stream inside a struct's braces.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {:?}", other)),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {:?}", other)),
+        }
+        fields.push(name);
+        // Consume the field type up to the next depth-0 comma. Generic
+        // arguments (`Vec<(u64, u64)>`) contain commas only inside
+        // `<`/`>` pairs or delimited groups, which arrive as single
+        // token trees; only angle depth needs explicit tracking.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
