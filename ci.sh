@@ -1,31 +1,120 @@
 #!/usr/bin/env bash
-# Repo CI gate: build, tests, lints, formatting. Run from the repo root.
+# Repo CI gate, split into named stages with per-stage wall-clock timing
+# and a summary table. Run from the repo root.
+#
+# Usage: ./ci.sh [--skip-lint] [stage ...]
+#   --skip-lint  omit the lint stage (CI runs it in a separate fast job)
+#   stage ...    run only the named stages (build test chaos obs
+#                concurrency bench_gate lint); default is all of them.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo build --release
-cargo test -q
+STAGE_NAMES=()
+STAGE_TIMES=()
+
+run_stage() {
+    local name="$1"
+    shift
+    echo
+    echo "=== stage: $name ==="
+    local t0
+    t0=$(date +%s)
+    "$@"
+    local dt=$(($(date +%s) - t0))
+    STAGE_NAMES+=("$name")
+    STAGE_TIMES+=("$dt")
+    echo "=== stage: $name done in ${dt}s ==="
+}
+
+stage_build() {
+    cargo build --release
+}
+
+stage_test() {
+    cargo test -q
+    # The whole suite must also pass single-threaded (shakes out
+    # ordering assumptions).
+    cargo test -q -- --test-threads=1
+}
 
 # Chaos suite: seeded fault injection must recover deterministically
-# under two fixed seeds, and the whole test suite must also pass
-# single-threaded (shakes out ordering assumptions).
-for seed in 42 1337; do
-    CHAOS_SEED="$seed" cargo test -q -p memphis-sparksim --test chaos
-    CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test chaos_end_to_end
-done
-cargo test -q -- --test-threads=1
+# under two fixed seeds.
+stage_chaos() {
+    for seed in 42 1337; do
+        CHAOS_SEED="$seed" cargo test -q -p memphis-sparksim --test chaos
+        CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test chaos_end_to_end
+    done
+}
 
 # Observability suite: the golden Chrome-trace schema and the
 # async-prefetch overlap assertions must hold under both chaos seeds
 # (the trace shape is seed-independent), and the disabled-mode
 # zero-cost guarantee must hold in isolation.
-for seed in 42 1337; do
-    CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test obs_tracing \
-        -- --test-threads=1 golden_chrome_trace async_prefetch
+stage_obs() {
+    for seed in 42 1337; do
+        CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test obs_tracing \
+            -- --test-threads=1 golden_chrome_trace async_prefetch
+    done
+    cargo test -q -p memphis-integration --test obs_tracing disabled_mode
+}
+
+# Concurrency stress suite: the sharded-cache coalescing invariants
+# (no duplicate computation of a shared lineage id, no deadlock under
+# eviction pressure, thread-count-invariant counters) under both chaos
+# seeds, parallel and single-threaded.
+stage_concurrency() {
+    for seed in 42 1337; do
+        CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test concurrency
+        CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test concurrency \
+            -- --test-threads=1
+        CHAOS_SEED="$seed" cargo test -q -p memphis-workloads serve
+    done
+}
+
+# Bench smoke gate: deterministic reuse/eviction/coalescing counters
+# must match the committed baseline exactly.
+stage_bench_gate() {
+    ci/bench_gate.sh
+}
+
+stage_lint() {
+    cargo clippy --all-targets -- -D warnings
+    cargo fmt --check
+}
+
+ALL_STAGES=(build test chaos obs concurrency bench_gate lint)
+SKIP_LINT=0
+REQUESTED=()
+for arg in "$@"; do
+    case "$arg" in
+        --skip-lint) SKIP_LINT=1 ;;
+        *) REQUESTED+=("$arg") ;;
+    esac
 done
-cargo test -q -p memphis-integration --test obs_tracing disabled_mode
+if [ "${#REQUESTED[@]}" -eq 0 ]; then
+    REQUESTED=("${ALL_STAGES[@]}")
+fi
 
-cargo clippy --all-targets -- -D warnings
-cargo fmt --check
+for stage in "${REQUESTED[@]}"; do
+    if [ "$stage" = lint ] && [ "$SKIP_LINT" = 1 ]; then
+        continue
+    fi
+    case "$stage" in
+        build|test|chaos|obs|concurrency|bench_gate|lint)
+            run_stage "$stage" "stage_$stage" ;;
+        *)
+            echo "ci: unknown stage '$stage' (known: ${ALL_STAGES[*]})" >&2
+            exit 2 ;;
+    esac
+done
 
+echo
+echo "ci: stage summary"
+printf '  %-12s %8s\n' stage seconds
+total=0
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-12s %8s\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}"
+    total=$((total + STAGE_TIMES[$i]))
+done
+printf '  %-12s %8s\n' total "$total"
 echo "ci: all checks passed"

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Bench smoke gate: run the deterministic concurrency counters and fail
+# when any gated counter diverges from the committed baseline.
+#
+# Usage: ci/bench_gate.sh [out.json]
+#   out.json  report path (default: BENCH_pr4.json in the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr4.json}"
+cargo build --release -q -p memphis-bench --bin bench_gate
+./target/release/bench_gate "$out" ci/BENCH_baseline.json

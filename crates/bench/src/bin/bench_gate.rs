@@ -1,0 +1,108 @@
+//! Bench smoke gate: runs the deterministic concurrency workload from
+//! `memphis_bench::golden::run_concurrency_gate`, writes its counters to
+//! a JSON report, and (optionally) compares them against a committed
+//! baseline, exiting non-zero when any deterministic counter regresses.
+//!
+//! Usage: `bench_gate <out.json> [baseline.json]`
+//!
+//! Wall clock is reported but never gated; the gated counters (reuse
+//! hits, recomputes, evictions, coalesced hits, duplicates) are exact by
+//! construction, so the comparison is equality, not a tolerance band.
+
+use memphis_bench::golden::{run_concurrency_gate, ConcGateParams};
+
+/// The gated counters, in report order.
+const GATED: [&str; 5] = [
+    "hits",
+    "recomputes",
+    "evictions",
+    "coalesced_hits",
+    "duplicates",
+];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let baseline_path = args.next();
+
+    let o = run_concurrency_gate(&ConcGateParams::full());
+    let report = render(&[
+        ("hits", o.hits),
+        ("recomputes", o.recomputes),
+        ("evictions", o.evictions),
+        ("coalesced_hits", o.coalesced_hits),
+        ("duplicates", o.duplicates),
+        ("wall_clock_ms", o.elapsed.as_millis() as u64),
+    ]);
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("bench_gate: wrote {out_path}");
+    print!("{report}");
+
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let current = parse(&report);
+    let expected = parse(&baseline);
+    let mut failed = false;
+    for key in GATED {
+        match (expected.get(key), current.get(key)) {
+            (Some(want), Some(got)) if want == got => {
+                println!("bench_gate: {key:<16} {got} == baseline");
+            }
+            (Some(want), Some(got)) => {
+                eprintln!("bench_gate: {key:<16} {got} != baseline {want}  REGRESSION");
+                failed = true;
+            }
+            _ => {
+                eprintln!("bench_gate: {key:<16} missing from report or baseline");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("bench_gate: deterministic counters diverged from {baseline_path}");
+        std::process::exit(1);
+    }
+    println!("bench_gate: all deterministic counters match {baseline_path}");
+}
+
+/// Renders a flat `{"k": v, ...}` JSON object (the vendored serde is
+/// serialize-only, so both ends are hand-rolled).
+fn render(pairs: &[(&str, u64)]) -> String {
+    let body = pairs
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{{\n{body}\n}}\n")
+}
+
+/// Parses a flat string-to-integer JSON object (whitespace-tolerant;
+/// ignores anything that is not a `"key": <digits>` pair).
+fn parse(s: &str) -> std::collections::HashMap<String, u64> {
+    let mut out = std::collections::HashMap::new();
+    let mut rest = s;
+    while let Some(q0) = rest.find('"') {
+        rest = &rest[q0 + 1..];
+        let Some(q1) = rest.find('"') else { break };
+        let key = rest[..q1].to_string();
+        rest = &rest[q1 + 1..];
+        let Some(c) = rest.find(':') else { break };
+        let after = rest[c + 1..].trim_start();
+        let digits: String = after.chars().take_while(|ch| ch.is_ascii_digit()).collect();
+        if !digits.is_empty() {
+            if let Ok(v) = digits.parse() {
+                out.insert(key, v);
+            }
+        }
+        rest = &rest[c + 1..];
+    }
+    out
+}

@@ -1,0 +1,68 @@
+//! Concurrent multi-session serving experiment: N session threads share
+//! one sharded lineage cache and run the paper's pipeline mix
+//! (hcv / pnmf / hband / tlvis) with deterministic per-session seeds.
+//!
+//! Reports the coalescing and contention counters of the serving run and
+//! asserts the serving invariants: every rendezvous probe but one
+//! coalesces onto the owner's computation, no shared lineage id is ever
+//! computed twice concurrently, and pinned entries survive eviction
+//! pressure. Supports the shared `--trace` / `--json` observability
+//! flags.
+
+use memphis_bench::{header, obs_absorb, obs_finish, obs_init, obs_record};
+use memphis_workloads::serve::{run_serve, ServeParams};
+
+fn main() {
+    obs_init();
+    let sessions = 8;
+    header(
+        "Concurrent serving (sharded cache + in-flight coalescing)",
+        "N sessions over one lineage cache: second probes of an in-flight \
+         item block and consume the owner's result instead of recomputing",
+    );
+    for seed in [42u64, 1337] {
+        let p = ServeParams::benchmark(sessions, seed);
+        let r = run_serve(&p);
+        println!(
+            "seed={seed:<5} sessions={sessions}  {:>7.3}s  coalesced(rendezvous)={}  \
+             coalesced(total)={}  inflight_waits={}  dup_shared_computes={}  \
+             shared_recomputes={}  pinned_survivors={}/{}",
+            r.elapsed.as_secs_f64(),
+            r.rendezvous_coalesced,
+            r.reuse.coalesced_hits,
+            r.reuse.inflight_waits,
+            r.duplicate_shared_computes,
+            r.shared_recomputes,
+            r.pinned_survivors,
+            p.pinned_items,
+        );
+        println!(
+            "            probes={} hits={} misses={} shard_contention={}",
+            r.reuse.probes, r.reuse.hits, r.reuse.misses, r.reuse.shard_contention
+        );
+        for (kind, check) in &r.checks {
+            println!("            session {kind:<6} check={check:.6}");
+        }
+        assert!(
+            r.reuse.coalesced_hits > 0,
+            "8 sessions must coalesce at least once"
+        );
+        assert_eq!(
+            r.duplicate_shared_computes, 0,
+            "shared lineage ids must never be computed twice concurrently"
+        );
+        assert!(r.invariants_hold(&p), "serving invariants failed: {r:?}");
+        obs_absorb(&r.reuse);
+        obs_record(
+            "serve",
+            [
+                ("sessions", sessions as u64),
+                ("rendezvous_coalesced", r.rendezvous_coalesced),
+                ("duplicate_shared_computes", r.duplicate_shared_computes),
+                ("shared_recomputes", r.shared_recomputes),
+                ("pinned_survivors", r.pinned_survivors as u64),
+            ],
+        );
+    }
+    obs_finish();
+}

@@ -372,3 +372,147 @@ pub fn run_table2(p: &Table2Params) -> Table2Outcome {
         roundtrip_exact: back.approx_eq(&h, 0.0),
     }
 }
+
+// ----------------------------------------------------------------------
+// Concurrency smoke gate (PR 4): deterministic serving counters
+// ----------------------------------------------------------------------
+
+/// Scale knobs for the concurrency bench gate.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcGateParams {
+    /// Distinct lineage items in the single-threaded reuse loop.
+    pub items: usize,
+    /// Probe rounds over the item set.
+    pub rounds: usize,
+    /// Eviction-pressure items (each the size of one 32x32 matrix)
+    /// pushed through a budget sized for half of them.
+    pub churn: usize,
+    /// Sessions in the rendezvous stage.
+    pub sessions: usize,
+}
+
+impl ConcGateParams {
+    /// The committed-baseline scale (fast; the counters are what matter).
+    pub fn full() -> Self {
+        Self {
+            items: 64,
+            rounds: 8,
+            churn: 128,
+            sessions: 8,
+        }
+    }
+
+    /// Tiny scale for the golden smoke tests.
+    pub fn tiny() -> Self {
+        Self {
+            items: 8,
+            rounds: 3,
+            churn: 16,
+            sessions: 2,
+        }
+    }
+}
+
+/// Deterministic counters of the concurrency gate. Every field except
+/// `elapsed` must be bit-identical run over run, thread count over
+/// thread count; `ci/bench_gate.sh` fails the build when one regresses
+/// against the committed baseline.
+#[derive(Debug, Clone)]
+pub struct ConcGateOutcome {
+    /// Reuse hits of the single-threaded loop (items * (rounds - 1)).
+    pub hits: u64,
+    /// Recomputations, i.e. misses that led to a compute+complete.
+    pub recomputes: u64,
+    /// Local-tier evictions (spills + drops) under churn.
+    pub evictions: u64,
+    /// Coalesced hits of the rendezvous stage (sessions - 1).
+    pub coalesced_hits: u64,
+    /// Concurrent duplicate computations of a shared id (must be 0).
+    pub duplicates: u64,
+    /// Wall clock (informational; never gated).
+    pub elapsed: Duration,
+}
+
+/// Runs the gate workload: a single-threaded probe/complete reuse loop
+/// with churn-driven eviction, then a multi-session rendezvous whose
+/// coalesced-hit count is exact by construction.
+pub fn run_concurrency_gate(p: &ConcGateParams) -> ConcGateOutcome {
+    use memphis_core::cache::config::CacheConfig;
+    use memphis_core::cache::entry::CachedObject;
+    use memphis_core::cache::{LineageCache, Probed};
+    use memphis_core::lineage::LineageItem;
+    use memphis_matrix::Matrix;
+
+    let t0 = Instant::now();
+
+    // Stage 1: single-threaded reuse loop. Round 0 computes every item;
+    // later rounds hit. A generous budget keeps this stage eviction-free
+    // so the counts are closed-form.
+    let payload = Matrix::zeros(32, 32);
+    let psize = payload.size_bytes();
+    let mut cfg = CacheConfig::test();
+    cfg.spill_to_disk = false;
+    cfg.local_budget = psize * (p.items + 2);
+    let cache = LineageCache::new(cfg);
+    let mut recomputes = 0u64;
+    for _round in 0..p.rounds {
+        for i in 0..p.items {
+            let item = LineageItem::leaf(&format!("gate/item{i}"));
+            match cache.probe_or_begin(&item) {
+                Probed::Hit(_) | Probed::Coalesced(_) => {}
+                Probed::Compute(g) => {
+                    recomputes += 1;
+                    cache.complete(
+                        g,
+                        CachedObject::Matrix(Arc::new(payload.clone())),
+                        10.0,
+                        psize,
+                        1,
+                    );
+                }
+            }
+        }
+    }
+
+    // Stage 2: churn a budget sized for half the churn set, counting
+    // local-tier evictions (all drops: spill is disabled).
+    let mut cfg = CacheConfig::test();
+    cfg.spill_to_disk = false;
+    cfg.local_budget = psize * (p.churn / 2);
+    let churn_cache = LineageCache::new(cfg);
+    for i in 0..p.churn {
+        let item = LineageItem::leaf(&format!("gate/churn{i}"));
+        churn_cache.put(
+            &item,
+            CachedObject::Matrix(Arc::new(payload.clone())),
+            1.0 + i as f64,
+            psize,
+            1,
+        );
+    }
+    let churn_stats = churn_cache.stats();
+    let evictions = churn_stats.local_spills + churn_stats.local_drops;
+
+    // Stage 3: rendezvous. The owner completes only after all other
+    // sessions are parked on the in-flight marker, so the coalesced-hit
+    // count is exactly sessions - 1 regardless of scheduling.
+    let serve = memphis_workloads::serve::run_serve(&memphis_workloads::serve::ServeParams {
+        sessions: p.sessions,
+        seed: 42,
+        shared_items: 4,
+        pinned_items: 1,
+        churn_rounds: 0,
+        local_budget: 1 << 20,
+        shards: 8,
+    });
+
+    let stats = cache.stats();
+    ConcGateOutcome {
+        hits: stats.hits,
+        recomputes,
+        evictions,
+        coalesced_hits: serve.rendezvous_coalesced,
+        duplicates: serve.duplicate_shared_computes,
+        elapsed: t0.elapsed(),
+    }
+}

@@ -13,6 +13,7 @@
 //! tiers and eq. (2) recency/height/cost scoring for GPU free pointers.
 
 use crate::cache::entry::{CacheEntry, CachedObject};
+use crate::cache::sharded::{Inflight, ShardedEntryMap};
 use crate::lineage::LKey;
 use std::any::Any;
 use std::collections::HashMap;
@@ -114,29 +115,23 @@ impl EvictionPolicy {
     }
 }
 
-/// The unified probe map: lineage keys to entries (any backend) plus the
-/// logical clock. Guarded by its own mutex in the cache; backends receive
-/// it `&mut` while the caller holds that lock, and keep their byte
-/// accounting behind their own locks (lock order: probe map, then
-/// backend).
+/// One shard of the unified probe map: lineage keys to entries (any
+/// backend) plus the shard's in-flight computation markers. Shards are
+/// hash-partitioned and independently locked inside
+/// [`ShardedEntryMap`]; the logical clock is global to the sharded map.
 #[derive(Default)]
 pub struct EntryMap {
     /// All entries, placeholders included.
     pub entries: HashMap<LKey, CacheEntry>,
-    /// Logical clock advanced on every probe/put (recency scoring).
-    pub clock: u64,
+    /// In-flight computations keyed by lineage id: a second session
+    /// probing one of these blocks on the marker instead of recomputing.
+    pub inflight: HashMap<LKey, Arc<Inflight>>,
 }
 
 impl EntryMap {
-    /// Creates an empty map.
+    /// Creates an empty shard.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Advances and returns the logical clock.
-    pub fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
     }
 }
 
@@ -192,11 +187,15 @@ impl fmt::Display for BackendSnapshot {
 /// One cache tier: admission, hit-side materialization, eviction, and
 /// accounting for the entries it owns.
 ///
-/// Methods taking `&mut EntryMap` are called with the cache's probe-map
-/// lock held; implementations may take their own accounting locks inside
-/// (never the reverse order). The registry is passed so tiers can
-/// cooperate — e.g. the local tier spills into the disk tier, and the
-/// disk tier promotes hot entries back through the local tier.
+/// Methods receive the *sharded* probe map with **no shard lock held**:
+/// implementations lock the shards they touch (one at a time — see the
+/// lock discipline in [`crate::cache::sharded`]) and may take their own
+/// accounting locks under a shard lock, never the reverse order. The
+/// registry is passed so tiers can cooperate — e.g. the local tier
+/// spills into the disk tier, and the disk tier promotes hot entries
+/// back through the local tier. Pinned and in-flight entries are never
+/// eviction victims: pinned entries are filtered by victim selection,
+/// and in-flight markers live outside the entry map entirely.
 pub trait CacheBackend: Send + Sync {
     /// The tier this backend implements.
     fn id(&self) -> BackendId;
@@ -207,7 +206,7 @@ pub trait CacheBackend: Send + Sync {
     /// `entry.size`. Returns false to reject the object entirely.
     fn put(
         &self,
-        map: &mut EntryMap,
+        map: &ShardedEntryMap,
         reg: &BackendRegistry,
         key: &LKey,
         entry: &mut CacheEntry,
@@ -217,14 +216,15 @@ pub trait CacheBackend: Send + Sync {
     /// disk read (and optional promotion), RDD materialization checks,
     /// GPU pointer acquisition. Updates the entry's reuse counters and
     /// the per-backend hit statistics.
-    fn materialize(&self, map: &mut EntryMap, reg: &BackendRegistry, key: &LKey) -> Materialized;
+    fn materialize(&self, map: &ShardedEntryMap, reg: &BackendRegistry, key: &LKey)
+        -> Materialized;
 
     /// Evicts this tier's victims (eq. (1)/(2) order) until at least
     /// `bytes` are freed or no victims remain. `skip` protects the entry
     /// currently being admitted/promoted. Returns bytes freed.
     fn evict_until(
         &self,
-        map: &mut EntryMap,
+        map: &ShardedEntryMap,
         reg: &BackendRegistry,
         bytes: usize,
         skip: Option<&LKey>,
@@ -364,19 +364,24 @@ mod tests {
             }
             fn put(
                 &self,
-                _: &mut EntryMap,
+                _: &ShardedEntryMap,
                 _: &BackendRegistry,
                 _: &LKey,
                 _: &mut CacheEntry,
             ) -> bool {
                 true
             }
-            fn materialize(&self, _: &mut EntryMap, _: &BackendRegistry, _: &LKey) -> Materialized {
+            fn materialize(
+                &self,
+                _: &ShardedEntryMap,
+                _: &BackendRegistry,
+                _: &LKey,
+            ) -> Materialized {
                 Materialized::Stale
             }
             fn evict_until(
                 &self,
-                _: &mut EntryMap,
+                _: &ShardedEntryMap,
                 _: &BackendRegistry,
                 _: usize,
                 _: Option<&LKey>,

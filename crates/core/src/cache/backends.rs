@@ -1,20 +1,27 @@
 //! The four built-in cache tiers as [`CacheBackend`] implementations:
 //! driver-local memory, driver-local disk spill, Spark, and GPU.
 //!
-//! Each tier owns its byte accounting behind its own lock (the probe map
-//! locks independently) and cooperates with the others through the
-//! registry: the local tier spills cold matrices into the disk tier, the
-//! disk tier promotes hot matrices back through the local tier, and the
-//! GPU's device-to-host eviction re-admits matrices through the local
-//! tier as well.
+//! Each tier owns its byte accounting behind its own lock and cooperates
+//! with the others through the registry: the local tier spills cold
+//! matrices into the disk tier, the disk tier promotes hot matrices back
+//! through the local tier, and the GPU's device-to-host eviction
+//! re-admits matrices through the local tier as well.
+//!
+//! Tiers receive the *sharded* probe map with no shard lock held and
+//! lock the shards they touch themselves (at most one at a time).
+//! Victim selection scans shards sequentially, so every eviction path
+//! re-validates its victim under the victim's shard lock before acting —
+//! a concurrent session may have promoted, migrated, or removed the
+//! entry between selection and eviction. Pinned entries are filtered out
+//! of victim selection entirely.
 
 use crate::backend::{
-    BackendId, BackendRegistry, BackendSnapshot, CacheBackend, EntryMap, EvictionPolicy,
-    Materialized,
+    BackendId, BackendRegistry, BackendSnapshot, CacheBackend, EvictionPolicy, Materialized,
 };
 use crate::cache::config::CacheConfig;
 use crate::cache::entry::{CacheEntry, CachedObject};
 use crate::cache::gpu::GpuMemoryManager;
+use crate::cache::sharded::ShardedEntryMap;
 use crate::cache::spark::SparkBackend;
 use crate::lineage::LKey;
 use crate::stats::ReuseStats;
@@ -62,78 +69,111 @@ impl LocalBackend {
 
     /// Evicts one eq. (1) victim (spill or drop). Returns bytes freed,
     /// or `None` when no victim remains.
-    fn evict_one(&self, map: &mut EntryMap, skip: Option<&LKey>) -> Option<usize> {
-        let victim = self
-            .policy
-            .select_victim(map.entries.iter().filter(|(k, e)| {
+    fn evict_one(&self, map: &ShardedEntryMap, skip: Option<&LKey>) -> Option<usize> {
+        loop {
+            let victim = map.select_victim(&self.policy, |k, e| {
                 e.backend == BackendId::Local
                     && matches!(e.object, Some(CachedObject::Matrix(_)))
-                    && skip.map(|s| *k != s).unwrap_or(true)
-            }))?;
-        let e = map.entries.get_mut(&victim).expect("victim exists");
-        let Some(CachedObject::Matrix(m)) = e.object.clone() else {
-            unreachable!("filtered to matrices")
-        };
-        let msize = m.size_bytes();
-        // Spill only entries with proven reuse (at least one hit) to
-        // disk; unproven entries are dropped — avoiding disk-write
-        // storms when a stream of never-reused intermediates thrashes
-        // the budget (the robustness concern of §6.2).
-        let spilled = self.spill_enabled
-            && e.hits > 0
-            && self
-                .spill
-                .as_ref()
-                .and_then(|d| d.store(&m, e.key.hash))
-                .map(|path| {
-                    e.object = Some(CachedObject::Disk(path));
-                    e.backend = BackendId::Disk;
-                })
-                .is_some();
-        if spilled {
-            ReuseStats::inc(&self.stats.local_spills);
-            memphis_obs::instant_val(memphis_obs::cat::CACHE, "spill", "bytes", msize as u64);
-        } else {
-            map.entries.remove(&victim);
-            ReuseStats::inc(&self.stats.local_drops);
-            memphis_obs::instant_val(memphis_obs::cat::CACHE, "drop", "bytes", msize as u64);
+                    && skip.map(|s| k != s).unwrap_or(true)
+            })?;
+            let mut shard = map.lock_of(&victim);
+            // Re-validate under the shard lock: a concurrent session may
+            // have removed, migrated, or pinned the victim since
+            // selection; if so, select again.
+            let Some(e) = shard.entries.get_mut(&victim) else {
+                continue;
+            };
+            if e.backend != BackendId::Local || e.pinned {
+                continue;
+            }
+            let Some(CachedObject::Matrix(m)) = e.object.clone() else {
+                continue;
+            };
+            let msize = m.size_bytes();
+            // Spill only entries with proven reuse (at least one hit) to
+            // disk; unproven entries are dropped — avoiding disk-write
+            // storms when a stream of never-reused intermediates thrashes
+            // the budget (the robustness concern of §6.2).
+            let spilled = self.spill_enabled
+                && e.hits > 0
+                && self
+                    .spill
+                    .as_ref()
+                    .and_then(|d| d.store(&m, e.key.hash))
+                    .map(|path| {
+                        e.object = Some(CachedObject::Disk(path));
+                        e.backend = BackendId::Disk;
+                    })
+                    .is_some();
+            if spilled {
+                ReuseStats::inc(&self.stats.local_spills);
+                memphis_obs::instant_val(memphis_obs::cat::CACHE, "spill", "bytes", msize as u64);
+            } else {
+                shard.entries.remove(&victim);
+                ReuseStats::inc(&self.stats.local_drops);
+                memphis_obs::instant_val(memphis_obs::cat::CACHE, "drop", "bytes", msize as u64);
+            }
+            let mut used = self.used.lock();
+            *used = used.saturating_sub(msize);
+            return Some(msize);
         }
-        let mut used = self.used.lock();
-        *used = used.saturating_sub(msize);
-        Some(msize)
     }
 
-    /// MAKE_SPACE: evicts until `size` extra bytes fit the budget.
-    fn make_space(&self, map: &mut EntryMap, size: usize, skip: Option<&LKey>) {
-        if *self.used.lock() + size <= self.budget {
-            return;
+    /// MAKE_SPACE + reservation in one step: evicts until `size` extra
+    /// bytes fit, then charges them to the accounting under the same
+    /// lock acquisition that verified the headroom. A check-evict-charge
+    /// sequence split across lock acquisitions would let two concurrent
+    /// admissions each observe enough room and jointly overshoot the
+    /// budget; the combined reserve cannot. Returns false (charging
+    /// nothing) when eviction runs out of victims first.
+    fn try_reserve(&self, map: &ShardedEntryMap, size: usize, skip: Option<&LKey>) -> bool {
+        if size > self.budget {
+            return false;
         }
-        let _span =
-            memphis_obs::span(memphis_obs::cat::CACHE, "make_space").arg("bytes", size as u64);
-        while *self.used.lock() + size > self.budget {
+        let mut evicting = false;
+        loop {
+            {
+                let mut used = self.used.lock();
+                if *used + size <= self.budget {
+                    *used += size;
+                    return true;
+                }
+            }
+            if !evicting {
+                evicting = true;
+                memphis_obs::instant_val(
+                    memphis_obs::cat::CACHE,
+                    "make_space",
+                    "bytes",
+                    size as u64,
+                );
+            }
             if self.evict_one(map, skip).is_none() {
-                break;
+                return false;
             }
         }
     }
 
     /// Admits a matrix into an *existing* entry (disk promotion,
-    /// device-to-host eviction): makes space, rewrites the entry to the
-    /// local tier, updates accounting. Returns false when the matrix
-    /// exceeds the whole budget (entry left untouched).
-    pub fn admit_existing(&self, map: &mut EntryMap, key: &LKey, m: Arc<Matrix>) -> bool {
+    /// device-to-host eviction): reserves space, rewrites the entry to
+    /// the local tier. Returns false (releasing the reservation) when
+    /// the matrix does not fit or the entry vanished meanwhile. Called
+    /// with no shard lock held.
+    pub fn admit_existing(&self, map: &ShardedEntryMap, key: &LKey, m: Arc<Matrix>) -> bool {
         let size = m.size_bytes();
-        if size > self.budget {
+        if !self.try_reserve(map, size, Some(key)) {
             return false;
         }
-        self.make_space(map, size, Some(key));
-        let Some(e) = map.entries.get_mut(key) else {
+        let mut shard = map.lock_of(key);
+        let Some(e) = shard.entries.get_mut(key) else {
+            drop(shard);
+            let mut used = self.used.lock();
+            *used = used.saturating_sub(size);
             return false;
         };
         e.object = Some(CachedObject::Matrix(m));
         e.size = size;
         e.backend = BackendId::Local;
-        *self.used.lock() += size;
         true
     }
 }
@@ -145,7 +185,7 @@ impl CacheBackend for LocalBackend {
 
     fn put(
         &self,
-        map: &mut EntryMap,
+        map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         _key: &LKey,
         entry: &mut CacheEntry,
@@ -153,11 +193,11 @@ impl CacheBackend for LocalBackend {
         match &entry.object {
             Some(CachedObject::Matrix(m)) => {
                 let size = m.size_bytes();
-                if size > self.budget {
-                    return false; // larger than the whole budget: skip caching
+                // Oversized, or eviction cannot free enough (e.g. the
+                // budget is filled by pinned entries): skip caching.
+                if !self.try_reserve(map, size, None) {
+                    return false;
                 }
-                self.make_space(map, size, None);
-                *self.used.lock() += size;
                 entry.size = size;
                 true
             }
@@ -169,21 +209,28 @@ impl CacheBackend for LocalBackend {
         }
     }
 
-    fn materialize(&self, map: &mut EntryMap, _reg: &BackendRegistry, key: &LKey) -> Materialized {
-        let Some(e) = map.entries.get_mut(key) else {
+    fn materialize(
+        &self,
+        map: &ShardedEntryMap,
+        _reg: &BackendRegistry,
+        key: &LKey,
+    ) -> Materialized {
+        let mut shard = map.lock_of(key);
+        let Some(e) = shard.entries.get_mut(key) else {
             return Materialized::Stale;
         };
         let Some(object) = e.object.clone() else {
             return Materialized::Stale;
         };
         e.hits += 1;
+        drop(shard);
         ReuseStats::inc(&self.stats.hits_local);
         Materialized::Hit(object)
     }
 
     fn evict_until(
         &self,
-        map: &mut EntryMap,
+        map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         bytes: usize,
         skip: Option<&LKey>,
@@ -293,7 +340,7 @@ impl CacheBackend for DiskBackend {
 
     fn put(
         &self,
-        _map: &mut EntryMap,
+        _map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         _key: &LKey,
         entry: &mut CacheEntry,
@@ -307,20 +354,30 @@ impl CacheBackend for DiskBackend {
         }
     }
 
-    fn materialize(&self, map: &mut EntryMap, reg: &BackendRegistry, key: &LKey) -> Materialized {
-        let Some(e) = map.entries.get(key) else {
-            return Materialized::Stale;
+    fn materialize(
+        &self,
+        map: &ShardedEntryMap,
+        reg: &BackendRegistry,
+        key: &LKey,
+    ) -> Materialized {
+        let (path, size) = {
+            let shard = map.lock_of(key);
+            let Some(e) = shard.entries.get(key) else {
+                return Materialized::Stale;
+            };
+            let Some(CachedObject::Disk(path)) = e.object.clone() else {
+                return Materialized::Stale;
+            };
+            (path, e.size)
         };
-        let Some(CachedObject::Disk(path)) = e.object.clone() else {
-            return Materialized::Stale;
-        };
-        let size = e.size;
         match mio::read_file(&path) {
             Ok(m) => {
                 let m = Arc::new(m);
-                if let Some(e) = map.entries.get_mut(key) {
-                    e.hits += 1;
-                }
+                map.with_entry(key, |e| {
+                    if let Some(e) = e {
+                        e.hits += 1;
+                    }
+                });
                 ReuseStats::inc(&self.stats.hits_disk);
                 if self.promote_on_hit {
                     let promoted = reg
@@ -341,20 +398,27 @@ impl CacheBackend for DiskBackend {
 
     fn evict_until(
         &self,
-        map: &mut EntryMap,
+        map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         bytes: usize,
         skip: Option<&LKey>,
     ) -> usize {
         let mut freed = 0;
         while freed < bytes {
-            let victim = self
-                .policy
-                .select_victim(map.entries.iter().filter(|(k, e)| {
-                    e.backend == BackendId::Disk && skip.map(|s| *k != s).unwrap_or(true)
-                }));
+            let victim = map.select_victim(&self.policy, |k, e| {
+                e.backend == BackendId::Disk && skip.map(|s| k != s).unwrap_or(true)
+            });
             let Some(k) = victim else { break };
-            let e = map.entries.remove(&k).expect("victim exists");
+            let removed = {
+                let mut shard = map.lock_of(&k);
+                match shard.entries.get(&k) {
+                    Some(e) if e.backend == BackendId::Disk && !e.pinned => {
+                        shard.entries.remove(&k)
+                    }
+                    _ => None, // victim changed hands meanwhile: reselect
+                }
+            };
+            let Some(e) = removed else { continue };
             if let Some(CachedObject::Disk(path)) = &e.object {
                 self.discard(path, e.size);
             }
@@ -405,6 +469,15 @@ impl Drop for DiskBackend {
 // Spark (distributed RDDs)
 // ----------------------------------------------------------------------
 
+/// Follow-up work a Spark materialization schedules for after the shard
+/// lock is released (lazy GC and async `count()` both take cluster
+/// locks, so they must not run under a shard lock).
+enum SparkFollowUp {
+    None,
+    LazyGc(memphis_sparksim::RddRef),
+    Trigger(memphis_sparksim::RddRef),
+}
+
 /// Spark tier: RDD handles reused even while unmaterialized, delayed
 /// `persist()`, eq. (1) budget eviction via `unpersist`, asynchronous
 /// `count()` materialization, and lazy GC of dangling references.
@@ -435,45 +508,53 @@ impl SparkTier {
 
     /// Evicts the lowest-score stored RDD entry (eq. 1). Returns bytes
     /// freed, or `None` when none exist.
-    fn evict_worst(&self, map: &mut EntryMap) -> Option<usize> {
-        let victim = self.policy.select_victim(
-            map.entries
-                .iter()
-                .filter(|(_, e)| e.backend == BackendId::Spark),
-        )?;
-        let e = map.entries.remove(&victim).expect("victim exists");
-        {
-            let mut est = self.est.lock();
-            *est = est.saturating_sub(e.size);
+    fn evict_worst(&self, map: &ShardedEntryMap) -> Option<usize> {
+        loop {
+            let victim = map.select_victim(&self.policy, |_, e| e.backend == BackendId::Spark)?;
+            let e = {
+                let mut shard = map.lock_of(&victim);
+                match shard.entries.get(&victim) {
+                    Some(e) if e.backend == BackendId::Spark && !e.pinned => {
+                        shard.entries.remove(&victim)
+                    }
+                    _ => None, // victim changed hands meanwhile: reselect
+                }
+            };
+            let Some(e) = e else { continue };
+            {
+                let mut est = self.est.lock();
+                *est = est.saturating_sub(e.size);
+            }
+            if let Some(CachedObject::Rdd { rdd, .. }) = &e.object {
+                self.backend.sc.unpersist(rdd);
+                self.backend.sc.cleanup_shuffle(rdd);
+            }
+            ReuseStats::inc(&self.stats.rdd_unpersists);
+            memphis_obs::instant_val(
+                memphis_obs::cat::CACHE,
+                "rdd_unpersist",
+                "bytes",
+                e.size as u64,
+            );
+            return Some(e.size);
         }
-        if let Some(CachedObject::Rdd { rdd, .. }) = &e.object {
-            self.backend.sc.unpersist(rdd);
-            self.backend.sc.cleanup_shuffle(rdd);
-        }
-        ReuseStats::inc(&self.stats.rdd_unpersists);
-        memphis_obs::instant_val(
-            memphis_obs::cat::CACHE,
-            "rdd_unpersist",
-            "bytes",
-            e.size as u64,
-        );
-        Some(e.size)
     }
 
     /// Lazy garbage collection from a freshly materialized cached RDD.
-    fn run_lazy_gc(&self, map: &EntryMap, root: &memphis_sparksim::RddRef) {
+    /// Called with no shard lock held; scans shards one at a time.
+    fn run_lazy_gc(&self, map: &ShardedEntryMap, root: &memphis_sparksim::RddRef) {
         // Protected sets: RDDs referenced by any entry; broadcasts
         // reachable from unmaterialized RDD entries.
         let mut cached_rdds: HashSet<u64> = HashSet::new();
         let mut protected_bc: HashSet<u64> = HashSet::new();
-        for e in map.entries.values() {
+        map.for_each(|_, e| {
             if let Some(CachedObject::Rdd { rdd: r, .. }) = &e.object {
                 cached_rdds.insert(r.id().0);
                 if !self.backend.sc.is_fully_cached(r) {
                     protected_bc.extend(SparkBackend::reachable_broadcasts(r));
                 }
             }
-        }
+        });
         self.backend
             .lazy_gc(root, &cached_rdds, &protected_bc, &self.stats);
     }
@@ -486,7 +567,7 @@ impl CacheBackend for SparkTier {
 
     fn put(
         &self,
-        map: &mut EntryMap,
+        map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         _key: &LKey,
         entry: &mut CacheEntry,
@@ -505,40 +586,56 @@ impl CacheBackend for SparkTier {
         true
     }
 
-    fn materialize(&self, map: &mut EntryMap, _reg: &BackendRegistry, key: &LKey) -> Materialized {
-        let Some(e) = map.entries.get_mut(key) else {
-            return Materialized::Stale;
+    fn materialize(
+        &self,
+        map: &ShardedEntryMap,
+        _reg: &BackendRegistry,
+        key: &LKey,
+    ) -> Materialized {
+        let (object, follow_up) = {
+            let mut shard = map.lock_of(key);
+            let Some(e) = shard.entries.get_mut(key) else {
+                return Materialized::Stale;
+            };
+            let Some(CachedObject::Rdd { rdd, rows, cols }) = e.object.clone() else {
+                return Materialized::Stale;
+            };
+            let follow_up = if self.backend.sc.is_fully_cached(&rdd) {
+                e.hits += 1;
+                let gc_pending = !e.gc_done;
+                e.gc_done = true;
+                if gc_pending {
+                    SparkFollowUp::LazyGc(rdd.clone())
+                } else {
+                    SparkFollowUp::None
+                }
+            } else {
+                // Reuse of an unmaterialized RDD: compute sharing still
+                // applies, but count the miss toward async
+                // materialization.
+                e.misses += 1;
+                let trigger = !e.materialize_triggered && e.misses >= self.materialize_after_misses;
+                if trigger {
+                    e.materialize_triggered = true;
+                    SparkFollowUp::Trigger(rdd.clone())
+                } else {
+                    SparkFollowUp::None
+                }
+            };
+            (CachedObject::Rdd { rdd, rows, cols }, follow_up)
         };
-        let Some(CachedObject::Rdd { rdd, rows, cols }) = e.object.clone() else {
-            return Materialized::Stale;
-        };
-        if self.backend.sc.is_fully_cached(&rdd) {
-            e.hits += 1;
-            let gc_pending = !e.gc_done;
-            e.gc_done = true;
-            ReuseStats::inc(&self.stats.hits_rdd);
-            if gc_pending {
-                self.run_lazy_gc(map, &rdd);
-            }
-        } else {
-            // Reuse of an unmaterialized RDD: compute sharing still
-            // applies, but count the miss toward async materialization.
-            e.misses += 1;
-            let trigger = !e.materialize_triggered && e.misses >= self.materialize_after_misses;
-            if trigger {
-                e.materialize_triggered = true;
-            }
-            ReuseStats::inc(&self.stats.hits_rdd);
-            if trigger {
-                self.backend.trigger_materialize(&rdd, &self.stats);
-            }
+        ReuseStats::inc(&self.stats.hits_rdd);
+        match follow_up {
+            SparkFollowUp::LazyGc(rdd) => self.run_lazy_gc(map, &rdd),
+            SparkFollowUp::Trigger(rdd) => self.backend.trigger_materialize(&rdd, &self.stats),
+            SparkFollowUp::None => {}
         }
-        Materialized::Hit(CachedObject::Rdd { rdd, rows, cols })
+        Materialized::Hit(object)
     }
 
     fn evict_until(
         &self,
-        map: &mut EntryMap,
+        map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         bytes: usize,
         _skip: Option<&LKey>,
@@ -625,7 +722,7 @@ impl CacheBackend for GpuTier {
 
     fn put(
         &self,
-        _map: &mut EntryMap,
+        _map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         key: &LKey,
         entry: &mut CacheEntry,
@@ -638,8 +735,14 @@ impl CacheBackend for GpuTier {
         true
     }
 
-    fn materialize(&self, map: &mut EntryMap, _reg: &BackendRegistry, key: &LKey) -> Materialized {
-        let Some(e) = map.entries.get_mut(key) else {
+    fn materialize(
+        &self,
+        map: &ShardedEntryMap,
+        _reg: &BackendRegistry,
+        key: &LKey,
+    ) -> Materialized {
+        let mut shard = map.lock_of(key);
+        let Some(e) = shard.entries.get_mut(key) else {
             return Materialized::Stale;
         };
         let Some(CachedObject::Gpu { ptr, rows, cols }) = e.object.clone() else {
@@ -647,6 +750,7 @@ impl CacheBackend for GpuTier {
         };
         if self.mgr.acquire(ptr) {
             e.hits += 1;
+            drop(shard);
             ReuseStats::inc(&self.stats.hits_gpu);
             Materialized::Hit(CachedObject::Gpu { ptr, rows, cols })
         } else {
@@ -657,7 +761,7 @@ impl CacheBackend for GpuTier {
 
     fn evict_until(
         &self,
-        map: &mut EntryMap,
+        map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         bytes: usize,
         _skip: Option<&LKey>,
@@ -665,7 +769,7 @@ impl CacheBackend for GpuTier {
         let (freed, invalidated) = self.mgr.evict_bytes(bytes);
         for k in &invalidated {
             // Pointers are already freed: remove without release.
-            map.entries.remove(k);
+            map.remove_entry(k);
         }
         freed
     }

@@ -23,6 +23,10 @@ pub struct CacheConfig {
     /// Spill proven-reusable local entries to disk on eviction (disable to
     /// always drop — recompute-from-lineage replaces disk reads).
     pub spill_to_disk: bool,
+    /// Probe-map shards (rounded up to a power of two). More shards
+    /// reduce lock contention between concurrent sessions; 1 restores a
+    /// single-lock map.
+    pub shards: usize,
 }
 
 impl CacheConfig {
@@ -36,6 +40,7 @@ impl CacheConfig {
             spill_dir: std::env::temp_dir().join("memphis_cache_spill"),
             promote_on_disk_hit: true,
             spill_to_disk: true,
+            shards: 8,
         }
     }
 
@@ -50,6 +55,7 @@ impl CacheConfig {
             spill_dir: std::env::temp_dir().join("memphis_cache_spill"),
             promote_on_disk_hit: true,
             spill_to_disk: true,
+            shards: 16,
         }
     }
 }

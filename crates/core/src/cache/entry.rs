@@ -100,6 +100,9 @@ pub struct CacheEntry {
     pub materialize_triggered: bool,
     /// Set once lazy GC cleaned up the entry's child references.
     pub gc_done: bool,
+    /// Pinned entries are never eviction victims (serving-time protection
+    /// for shared working sets; unpin to make them evictable again).
+    pub pinned: bool,
 }
 
 impl CacheEntry {
@@ -123,6 +126,7 @@ impl CacheEntry {
             is_function,
             materialize_triggered: false,
             gc_done: false,
+            pinned: false,
         }
     }
 
@@ -145,6 +149,7 @@ impl CacheEntry {
             is_function,
             materialize_triggered: false,
             gc_done: false,
+            pinned: false,
         }
     }
 

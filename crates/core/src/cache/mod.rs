@@ -21,20 +21,25 @@
 //!   (Live/Free lists, recycling, eq. (2) scoring, eviction injection,
 //!   device-to-host eviction) ([`backends::GpuTier`]).
 //!
-//! The probe map and per-backend accounting lock independently: the map
-//! mutex serializes probe/put, while each tier's byte counters sit behind
-//! their own locks so stats reads never contend with probes. Lock order
-//! is always probe map first, backend second.
+//! The probe map is sharded ([`sharded::ShardedEntryMap`]) so concurrent
+//! sessions probing disjoint lineage ids never contend, and each shard
+//! carries in-flight computation markers ([`sharded::Inflight`]): a
+//! session that misses claims ownership via [`LineageCache::probe_or_begin`]
+//! and later [`LineageCache::complete`]s; any other session probing the
+//! same lineage id meanwhile blocks on the marker and consumes the
+//! owner's result directly — a *coalesced hit* instead of a duplicate
+//! computation. Lock discipline is documented in [`sharded`] and
+//! DESIGN.md §6: one shard lock at a time, shard before backend
+//! accounting locks, and no condvar wait under a shard lock.
 
 pub mod backends;
 pub mod config;
 pub mod entry;
 pub mod gpu;
+pub mod sharded;
 pub mod spark;
 
-use crate::backend::{
-    BackendId, BackendRegistry, BackendSnapshot, CacheBackend, EntryMap, Materialized,
-};
+use crate::backend::{BackendId, BackendRegistry, BackendSnapshot, CacheBackend, Materialized};
 use crate::lineage::{LItem, LKey};
 use crate::stats::{ReuseStats, ReuseStatsSnapshot};
 use backends::{DiskBackend, GpuTier, LocalBackend, SparkTier};
@@ -42,8 +47,9 @@ use config::CacheConfig;
 use entry::{CacheEntry, CachedObject, EntryStatus};
 use gpu::{GpuAlloc, GpuMemoryManager};
 use memphis_gpusim::{GpuDevice, GpuError, GpuPtr};
-use parking_lot::Mutex;
+use sharded::{Inflight, InflightOutcome, ShardedEntryMap};
 use spark::SparkBackend;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -58,12 +64,74 @@ pub struct ProbeHit {
     pub canonical: LItem,
 }
 
+/// Outcome of [`LineageCache::probe_or_begin`].
+pub enum Probed {
+    /// The object was already cached.
+    Hit(ProbeHit),
+    /// Another session was computing the same lineage item; this probe
+    /// blocked on its in-flight marker and consumed that result.
+    Coalesced(ProbeHit),
+    /// Nothing cached and nothing in flight: this session owns the
+    /// computation. Execute the instruction, then pass the guard to
+    /// [`LineageCache::complete`] (dropping it abandons the flight and
+    /// wakes waiters to retry).
+    Compute(ComputeGuard),
+}
+
+/// Ownership of one in-flight computation, returned by
+/// [`LineageCache::probe_or_begin`]. Dropping the guard without
+/// completing resolves the flight as abandoned so waiters retry instead
+/// of blocking forever (the owner may have hit an error path).
+pub struct ComputeGuard {
+    key: LKey,
+    flight: Arc<Inflight>,
+    stats: Arc<ReuseStats>,
+    armed: bool,
+}
+
+impl ComputeGuard {
+    /// The lineage item this guard owns the computation of.
+    pub fn item(&self) -> &LItem {
+        &self.key.0
+    }
+
+    /// Takes the key and flight out, defusing the drop-abandon.
+    fn disarm(mut self) -> (LKey, Arc<Inflight>) {
+        self.armed = false;
+        (self.key.clone(), self.flight.clone())
+    }
+}
+
+impl Drop for ComputeGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            // Owner errored out (or forgot to complete): wake waiters to
+            // retry. The stale marker in the shard is replaced by the
+            // next prober.
+            ReuseStats::inc(&self.stats.inflight_abandoned);
+            self.flight.resolve(InflightOutcome::Abandoned);
+        }
+    }
+}
+
+/// How an admission attempt ended (see [`LineageCache::admit`]).
+enum Admitted {
+    /// Stored and inserted into the probe map.
+    Stored,
+    /// The owning tier rejected the object (e.g. oversized).
+    Rejected,
+    /// Another session admitted the same lineage item first; this
+    /// attempt backed out its accounting.
+    Raced,
+}
+
 static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(0);
 
-/// The hierarchical lineage cache: a unified probe map plus a registry of
-/// pluggable tier backends.
+/// The hierarchical lineage cache: a unified sharded probe map plus a
+/// registry of pluggable tier backends. One instance serves any number
+/// of concurrent sessions.
 pub struct LineageCache {
-    map: Mutex<EntryMap>,
+    map: ShardedEntryMap,
     registry: BackendRegistry,
     config: CacheConfig,
     stats: Arc<ReuseStats>,
@@ -91,7 +159,7 @@ impl LineageCache {
         registry.register(local);
         registry.register(disk);
         Self {
-            map: Mutex::new(EntryMap::new()),
+            map: ShardedEntryMap::new(config.shards),
             registry,
             config,
             stats,
@@ -142,9 +210,11 @@ impl LineageCache {
         &self.config
     }
 
-    /// Reuse counters.
+    /// Reuse counters, with shard-lock contention filled from the map.
     pub fn stats(&self) -> ReuseStatsSnapshot {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        s.shard_contention = self.map.contended_locks();
+        s
     }
 
     /// Shared handle to the stats (for backend managers and experiments).
@@ -155,6 +225,11 @@ impl LineageCache {
     /// The registered tier backends.
     pub fn registry(&self) -> &BackendRegistry {
         &self.registry
+    }
+
+    /// Number of probe-map shards.
+    pub fn shard_count(&self) -> usize {
+        self.map.shard_count()
     }
 
     /// The GPU memory manager, if a device is attached.
@@ -173,7 +248,7 @@ impl LineageCache {
 
     /// Number of entries (placeholders included).
     pub fn len(&self) -> usize {
-        self.map.lock().entries.len()
+        self.map.len()
     }
 
     /// True when the cache holds no entries.
@@ -201,9 +276,12 @@ impl LineageCache {
     /// counts filled from the probe map.
     pub fn backend_snapshots(&self) -> Vec<BackendSnapshot> {
         let mut snaps = self.registry.snapshots();
-        let map = self.map.lock();
+        let mut counts: HashMap<BackendId, usize> = HashMap::new();
+        self.map.for_each(|_, e| {
+            *counts.entry(e.backend).or_insert(0) += 1;
+        });
         for s in &mut snaps {
-            s.entries = map.entries.values().filter(|e| e.backend == s.id).count();
+            s.entries = counts.get(&s.id).copied().unwrap_or(0);
         }
         snaps
     }
@@ -219,10 +297,10 @@ impl LineageCache {
 
     /// Drops every entry and resets accounting (used between experiment
     /// configurations). GPU pointers are unmarked, RDDs unpersisted,
-    /// spill files removed.
+    /// spill files removed. In-flight markers are left for their owners
+    /// to resolve.
     pub fn clear(&self) {
-        let entries = std::mem::take(&mut self.map.lock().entries);
-        for (_, e) in entries {
+        for (_, e) in self.map.drain_entries() {
             if let Some(b) = self.registry.get(e.backend) {
                 b.release(&e);
             }
@@ -233,33 +311,23 @@ impl LineageCache {
     // REUSE
     // ------------------------------------------------------------------
 
-    /// REUSE: probes the cache for the output identified by `item`.
-    /// Returns the cached object (with backend-specific acquisition) or
-    /// `None`, in which case the caller must execute the instruction and
-    /// `PUT` its result.
-    pub fn probe(&self, item: &LItem) -> Option<ProbeHit> {
-        let _probe_span = memphis_obs::span(memphis_obs::cat::CACHE, "probe");
-        ReuseStats::inc(&self.stats.probes);
-        let key = LKey(item.clone());
-        let mut map = self.map.lock();
-        let clock = map.tick();
-
-        let Some(e) = map.entries.get_mut(&key) else {
-            ReuseStats::inc(&self.stats.misses);
-            return None;
-        };
-        e.last_access = clock;
-        if e.object.is_none() {
+    /// One probe attempt: entry lookup plus backend materialization.
+    /// Does not count probes/misses — callers decide how a `None` is
+    /// accounted (plain miss, or the start of an in-flight computation).
+    fn probe_once(&self, key: &LKey) -> Option<ProbeHit> {
+        let clock = self.map.tick();
+        let (canonical, is_function, backend_id) = {
+            let mut shard = self.map.lock_of(key);
+            let e = shard.entries.get_mut(key)?;
+            e.last_access = clock;
             // TO-BE-CACHED placeholder: not reusable yet.
-            ReuseStats::inc(&self.stats.misses);
-            return None;
-        }
-        let canonical = e.key.clone();
-        let is_function = e.is_function;
-        let backend_id = e.backend;
-
+            e.object.as_ref()?;
+            (e.key.clone(), e.is_function, e.backend)
+        };
+        // Materialize with no shard lock held: tiers lock the shards
+        // (and their own accounting) themselves.
         let outcome = match self.registry.get(backend_id) {
-            Some(b) => b.materialize(&mut map, &self.registry, &key),
+            Some(b) => b.materialize(&self.map, &self.registry, key),
             None => Materialized::Stale, // tier was unregistered
         };
         match outcome {
@@ -271,23 +339,228 @@ impl LineageCache {
                 Some(ProbeHit { object, canonical })
             }
             Materialized::Stale => {
-                if let Some(e) = map.entries.remove(&key) {
+                if let Some(e) = self.map.remove_entry(key) {
                     if let Some(b) = self.registry.get(e.backend) {
                         b.release(&e);
                     }
                 }
-                ReuseStats::inc(&self.stats.misses);
                 None
             }
         }
     }
 
+    /// REUSE: probes the cache for the output identified by `item`.
+    /// Returns the cached object (with backend-specific acquisition) or
+    /// `None`, in which case the caller must execute the instruction and
+    /// `PUT` its result.
+    pub fn probe(&self, item: &LItem) -> Option<ProbeHit> {
+        let _probe_span = memphis_obs::span(memphis_obs::cat::CACHE, "probe");
+        ReuseStats::inc(&self.stats.probes);
+        let key = LKey(item.clone());
+        let hit = self.probe_once(&key);
+        if hit.is_none() {
+            ReuseStats::inc(&self.stats.misses);
+        }
+        hit
+    }
+
+    /// REUSE with computation coalescing: like [`probe`](Self::probe),
+    /// but a miss claims ownership of the computation by parking an
+    /// in-flight marker in the key's shard. A second session probing the
+    /// same lineage item meanwhile blocks on the marker and consumes the
+    /// owner's result directly (a coalesced hit) instead of recomputing.
+    ///
+    /// The owner must pass its [`ComputeGuard`] to
+    /// [`complete`](Self::complete) (or drop it to abandon, waking
+    /// waiters to retry). Never hold a shard lock while calling this.
+    pub fn probe_or_begin(&self, item: &LItem) -> Probed {
+        let _probe_span = memphis_obs::span(memphis_obs::cat::CACHE, "probe");
+        ReuseStats::inc(&self.stats.probes);
+        let key = LKey(item.clone());
+        loop {
+            if let Some(hit) = self.probe_once(&key) {
+                return Probed::Hit(hit);
+            }
+            // Miss: wait on a pending flight, or claim ownership.
+            enum Step {
+                Retry,
+                Wait(Arc<Inflight>),
+                Own(Arc<Inflight>),
+            }
+            let step = {
+                let mut shard = self.map.lock_of(&key);
+                if shard
+                    .entries
+                    .get(&key)
+                    .map(|e| e.object.is_some())
+                    .unwrap_or(false)
+                {
+                    // Entry appeared between the probe and this lock.
+                    Step::Retry
+                } else {
+                    match shard.inflight.get(&key) {
+                        Some(f) if f.is_pending() => Step::Wait(f.clone()),
+                        _ => {
+                            // No marker, or a stale resolved marker left
+                            // by an abandoning owner: install a fresh
+                            // flight and become the owner.
+                            let f = Inflight::new();
+                            shard.inflight.insert(key.clone(), f.clone());
+                            Step::Own(f)
+                        }
+                    }
+                }
+            };
+            match step {
+                Step::Retry => continue,
+                Step::Own(flight) => {
+                    ReuseStats::inc(&self.stats.inflight_begins);
+                    ReuseStats::inc(&self.stats.misses);
+                    return Probed::Compute(ComputeGuard {
+                        key,
+                        flight,
+                        stats: self.stats.clone(),
+                        armed: true,
+                    });
+                }
+                Step::Wait(flight) => {
+                    ReuseStats::inc(&self.stats.inflight_waits);
+                    let outcome = {
+                        let _wait_span =
+                            memphis_obs::span(memphis_obs::cat::CACHE, "inflight_wait");
+                        flight.wait()
+                    };
+                    match outcome {
+                        InflightOutcome::Done { object, canonical } => {
+                            // GPU pointers must be re-acquired per
+                            // consumer; a failure means the pointer was
+                            // recycled before we woke — retry the probe.
+                            if let CachedObject::Gpu { ptr, .. } = &object {
+                                let acquired =
+                                    self.gpu_manager().map(|g| g.acquire(*ptr)).unwrap_or(false);
+                                if !acquired {
+                                    continue;
+                                }
+                            }
+                            self.map.with_entry(&key, |e| {
+                                if let Some(e) = e {
+                                    e.hits += 1;
+                                }
+                            });
+                            ReuseStats::inc(&self.stats.hits);
+                            ReuseStats::inc(&self.stats.coalesced_hits);
+                            return Probed::Coalesced(ProbeHit { object, canonical });
+                        }
+                        InflightOutcome::Abandoned => continue,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Completes an in-flight computation: offers the result to the
+    /// cache (like [`put`](Self::put)) and hands the object to every
+    /// session blocked on the flight. Returns true if the cache stored
+    /// the object (waiters receive it either way).
+    pub fn complete(
+        &self,
+        guard: ComputeGuard,
+        object: CachedObject,
+        cost: f64,
+        size_hint: usize,
+        delay: u32,
+    ) -> bool {
+        self.complete_inner(guard, object, cost, size_hint, delay, false)
+    }
+
+    /// Like [`complete`](Self::complete), but the admitted entry is
+    /// pinned atomically — it can never be selected as an eviction
+    /// victim until [`unpin`](Self::unpin). Pinning after a plain put
+    /// would race with eviction; this cannot. Pinned completion ignores
+    /// delayed caching (the caller wants the entry resident).
+    pub fn complete_pinned(
+        &self,
+        guard: ComputeGuard,
+        object: CachedObject,
+        cost: f64,
+        size_hint: usize,
+    ) -> bool {
+        self.complete_inner(guard, object, cost, size_hint, 1, true)
+    }
+
+    fn complete_inner(
+        &self,
+        guard: ComputeGuard,
+        object: CachedObject,
+        cost: f64,
+        size_hint: usize,
+        delay: u32,
+        pin: bool,
+    ) -> bool {
+        let backend = object.backend();
+        let (key, flight) = guard.disarm();
+        let stored = self.put_inner(&key, object.clone(), cost, size_hint, delay, backend, pin);
+        // Remove our marker (if still ours) and read the canonical item
+        // under the shard lock, then resolve outside it (rule 3).
+        let canonical = {
+            let mut shard = self.map.lock_of(&key);
+            if shard
+                .inflight
+                .get(&key)
+                .map(|f| Arc::ptr_eq(f, &flight))
+                .unwrap_or(false)
+            {
+                shard.inflight.remove(&key);
+            }
+            shard
+                .entries
+                .get(&key)
+                .map(|e| e.key.clone())
+                .unwrap_or_else(|| key.0.clone())
+        };
+        flight.resolve(InflightOutcome::Done { object, canonical });
+        stored
+    }
+
     /// Updates the `r_j` job counter of an entry (a job consumed it).
     pub fn note_job(&self, item: &LItem) {
-        let key = LKey(item.clone());
-        if let Some(e) = self.map.lock().entries.get_mut(&key) {
-            e.jobs += 1;
-        }
+        self.map.with_entry(&LKey(item.clone()), |e| {
+            if let Some(e) = e {
+                e.jobs += 1;
+            }
+        });
+    }
+
+    /// Pins an existing entry (never an eviction victim). Returns false
+    /// when the item is not cached.
+    pub fn pin(&self, item: &LItem) -> bool {
+        self.map.with_entry(&LKey(item.clone()), |e| match e {
+            Some(e) => {
+                e.pinned = true;
+                true
+            }
+            None => false,
+        })
+    }
+
+    /// Unpins an entry, making it evictable again.
+    pub fn unpin(&self, item: &LItem) -> bool {
+        self.map.with_entry(&LKey(item.clone()), |e| match e {
+            Some(e) => {
+                e.pinned = false;
+                true
+            }
+            None => false,
+        })
+    }
+
+    /// Sessions currently blocked on `item`'s in-flight computation
+    /// (0 when nothing is in flight).
+    pub fn inflight_waiters(&self, item: &LItem) -> u64 {
+        self.map
+            .inflight_of(&LKey(item.clone()))
+            .map(|f| f.waiters())
+            .unwrap_or(0)
     }
 
     // ------------------------------------------------------------------
@@ -324,77 +597,8 @@ impl LineageCache {
         delay: u32,
         backend: BackendId,
     ) -> bool {
-        let _put_span = memphis_obs::span_with(memphis_obs::cat::CACHE, "put", || {
-            backend.as_str().to_string()
-        });
         let key = LKey(item.clone());
-        let mut map = self.map.lock();
-        let clock = map.tick();
-
-        match map.entries.get_mut(&key) {
-            Some(e) if e.object.is_some() => {
-                // Already cached (e.g. racing prefetch thread).
-                e.last_access = clock;
-                false
-            }
-            Some(e) => {
-                // Placeholder: advance, store when the delay is reached.
-                let (seen, needed) = match e.status {
-                    EntryStatus::ToBeCached { seen, needed } => (seen + 1, needed),
-                    EntryStatus::Cached => unreachable!("cached entries have objects"),
-                };
-                if seen >= needed {
-                    let canonical = e.key.clone();
-                    // Carry the placeholder's reuse statistics into the
-                    // admitted entry so eq. (1) scoring does not restart
-                    // from zero for proven repeaters.
-                    let (hits, misses, jobs) = (e.hits, e.misses, e.jobs);
-                    let stored =
-                        self.admit(&mut map, &key, canonical, object, cost, size_hint, backend);
-                    if stored {
-                        let e = map.entries.get_mut(&key).expect("just admitted");
-                        e.hits = hits;
-                        e.misses = misses;
-                        e.jobs = jobs;
-                        ReuseStats::inc(&self.stats.puts);
-                    } else {
-                        // Rejected by the tier (e.g. oversized): drop the
-                        // placeholder so later puts restart cleanly.
-                        map.entries.remove(&key);
-                    }
-                    stored
-                } else {
-                    e.status = EntryStatus::ToBeCached { seen, needed };
-                    e.last_access = clock;
-                    ReuseStats::inc(&self.stats.puts_deferred);
-                    false
-                }
-            }
-            None => {
-                if delay <= 1 {
-                    let stored = self.admit(
-                        &mut map,
-                        &key,
-                        item.clone(),
-                        object,
-                        cost,
-                        size_hint,
-                        backend,
-                    );
-                    if stored {
-                        ReuseStats::inc(&self.stats.puts);
-                    }
-                    stored
-                } else {
-                    let mut ph = CacheEntry::placeholder(item.clone(), cost, size_hint, delay);
-                    ph.backend = backend;
-                    ph.last_access = clock;
-                    map.entries.insert(key, ph);
-                    ReuseStats::inc(&self.stats.puts_deferred);
-                    false
-                }
-            }
-        }
+        self.put_inner(&key, object, cost, size_hint, delay, backend, false)
     }
 
     /// PUT with the configured default delay factor.
@@ -402,31 +606,164 @@ impl LineageCache {
         self.put(item, object, cost, size_hint, self.config.default_delay);
     }
 
+    /// The shared PUT path: decides under the key's shard lock whether
+    /// to skip, defer, or store, then admits with no shard lock held.
+    #[allow(clippy::too_many_arguments)]
+    fn put_inner(
+        &self,
+        key: &LKey,
+        object: CachedObject,
+        cost: f64,
+        size_hint: usize,
+        delay: u32,
+        backend: BackendId,
+        pin: bool,
+    ) -> bool {
+        let _put_span = memphis_obs::span_with(memphis_obs::cat::CACHE, "put", || {
+            backend.as_str().to_string()
+        });
+        let clock = self.map.tick();
+        /// What the shard-lock inspection decided.
+        enum Plan {
+            /// Entry already stored (e.g. a racing session): nothing to do.
+            AlreadyCached,
+            /// Placeholder created or advanced; delay not reached yet.
+            Deferred,
+            /// Admit now; `carry` holds a matured placeholder's canonical
+            /// key and reuse counters.
+            Store {
+                carry: Option<(LItem, u64, u64, u64)>,
+            },
+        }
+        let plan = {
+            let mut shard = self.map.lock_of(key);
+            match shard.entries.get_mut(key) {
+                Some(e) if e.object.is_some() => {
+                    e.last_access = clock;
+                    Plan::AlreadyCached
+                }
+                Some(e) => {
+                    // Placeholder: advance, store when the delay is reached.
+                    let (seen, needed) = match e.status {
+                        EntryStatus::ToBeCached { seen, needed } => (seen + 1, needed),
+                        EntryStatus::Cached => unreachable!("cached entries have objects"),
+                    };
+                    if seen >= needed {
+                        // Carry the placeholder's reuse statistics into
+                        // the admitted entry so eq. (1) scoring does not
+                        // restart from zero for proven repeaters.
+                        Plan::Store {
+                            carry: Some((e.key.clone(), e.hits, e.misses, e.jobs)),
+                        }
+                    } else {
+                        e.status = EntryStatus::ToBeCached { seen, needed };
+                        e.last_access = clock;
+                        Plan::Deferred
+                    }
+                }
+                None => {
+                    if delay <= 1 {
+                        Plan::Store { carry: None }
+                    } else {
+                        let mut ph = CacheEntry::placeholder(key.0.clone(), cost, size_hint, delay);
+                        ph.backend = backend;
+                        ph.last_access = clock;
+                        shard.entries.insert(key.clone(), ph);
+                        Plan::Deferred
+                    }
+                }
+            }
+        };
+        match plan {
+            Plan::AlreadyCached => false,
+            Plan::Deferred => {
+                ReuseStats::inc(&self.stats.puts_deferred);
+                false
+            }
+            Plan::Store { carry } => {
+                let canonical = carry
+                    .as_ref()
+                    .map(|(c, _, _, _)| c.clone())
+                    .unwrap_or_else(|| key.0.clone());
+                match self.admit(key, canonical, object, cost, size_hint, backend, clock, pin) {
+                    Admitted::Stored => {
+                        if let Some((_, hits, misses, jobs)) = carry {
+                            self.map.with_entry(key, |e| {
+                                if let Some(e) = e {
+                                    e.hits = hits;
+                                    e.misses = misses;
+                                    e.jobs = jobs;
+                                }
+                            });
+                        }
+                        ReuseStats::inc(&self.stats.puts);
+                        true
+                    }
+                    Admitted::Rejected => {
+                        // Rejected by the tier (e.g. oversized): drop a
+                        // leftover placeholder so later puts restart
+                        // cleanly (but never a racing session's stored
+                        // entry).
+                        let mut shard = self.map.lock_of(key);
+                        if shard
+                            .entries
+                            .get(key)
+                            .map(|e| e.object.is_none())
+                            .unwrap_or(false)
+                        {
+                            shard.entries.remove(key);
+                        }
+                        false
+                    }
+                    Admitted::Raced => false,
+                }
+            }
+        }
+    }
+
     /// Stores an object through its tier's admission (MAKE_SPACE +
-    /// accounting + side effects). Returns false when the tier rejects it
-    /// or is not registered.
+    /// accounting + side effects), then inserts the entry under the shard
+    /// lock. If a racing session inserted the same lineage item
+    /// meanwhile, the tier accounting is backed out via `release`.
     #[allow(clippy::too_many_arguments)]
     fn admit(
         &self,
-        map: &mut EntryMap,
         key: &LKey,
         canonical: LItem,
         object: CachedObject,
         cost: f64,
         size_hint: usize,
         backend: BackendId,
-    ) -> bool {
+        clock: u64,
+        pin: bool,
+    ) -> Admitted {
         let Some(b) = self.registry.get(backend) else {
-            return false;
+            return Admitted::Rejected;
         };
         let mut e = CacheEntry::cached(canonical, object, cost, size_hint);
         e.backend = backend;
-        e.last_access = map.clock;
-        if !b.put(map, &self.registry, key, &mut e) {
-            return false;
+        e.last_access = clock;
+        e.pinned = pin;
+        // Tier admission (MAKE_SPACE, persist, accounting) runs with no
+        // shard lock held — it may evict across shards.
+        if !b.put(&self.map, &self.registry, key, &mut e) {
+            return Admitted::Rejected;
         }
-        map.entries.insert(key.clone(), e);
-        true
+        let mut shard = self.map.lock_of(key);
+        match shard.entries.get(key) {
+            Some(existing) if existing.object.is_some() => {
+                // Lost the admission race: another session stored this
+                // lineage item between our plan and now. Keep theirs and
+                // reverse our tier accounting.
+                drop(shard);
+                b.release(&e);
+                Admitted::Raced
+            }
+            _ => {
+                shard.entries.insert(key.clone(), e);
+                Admitted::Stored
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -462,22 +799,17 @@ impl LineageCache {
                                 "bytes",
                                 ptr.size as u64,
                             );
-                            let mut map = self.map.lock();
-                            if map.entries.contains_key(&key) {
-                                let admitted = match host {
-                                    Some(m) => self
-                                        .registry
-                                        .downcast::<LocalBackend>(BackendId::Local)
-                                        .map(|local| {
-                                            local.admit_existing(&mut map, &key, Arc::new(m))
-                                        })
-                                        .unwrap_or(false),
-                                    None => false,
-                                };
-                                if !admitted {
-                                    // Pointer already freed: plain removal.
-                                    map.entries.remove(&key);
-                                }
+                            let admitted = match host {
+                                Some(m) => self
+                                    .registry
+                                    .downcast::<LocalBackend>(BackendId::Local)
+                                    .map(|local| local.admit_existing(&self.map, &key, Arc::new(m)))
+                                    .unwrap_or(false),
+                                None => false,
+                            };
+                            if !admitted {
+                                // Pointer already freed: plain removal.
+                                self.map.remove_entry(&key);
                             }
                         }
                         None => {
@@ -529,12 +861,8 @@ impl LineageCache {
     /// without a release; anything that migrated to another tier in the
     /// meantime is released there.
     fn remove_keys(&self, keys: &[LKey]) {
-        if keys.is_empty() {
-            return;
-        }
-        let mut map = self.map.lock();
         for k in keys {
-            if let Some(e) = map.entries.remove(k) {
+            if let Some(e) = self.map.remove_entry(k) {
                 if e.backend != BackendId::Gpu {
                     if let Some(b) = self.registry.get(e.backend) {
                         b.release(&e);
@@ -1019,5 +1347,138 @@ mod tests {
         assert_eq!(local.entries, 1);
         assert_eq!(local.used, m.size_bytes());
         assert!(!c.backend_report().is_empty());
+    }
+
+    // --------------------------------------------------------------
+    // Concurrency: in-flight coalescing, pinning
+    // --------------------------------------------------------------
+
+    #[test]
+    fn probe_or_begin_owner_then_hit() {
+        let c = cache_kb(64);
+        let it = item("own");
+        let guard = match c.probe_or_begin(&it) {
+            Probed::Compute(g) => g,
+            _ => panic!("empty cache must yield ownership"),
+        };
+        assert!(c.complete(guard, CachedObject::Scalar(3.0), 1.0, 16, 1));
+        match c.probe_or_begin(&it) {
+            Probed::Hit(h) => assert!(matches!(h.object, CachedObject::Scalar(v) if v == 3.0)),
+            _ => panic!("completed entry must hit"),
+        }
+        let s = c.stats();
+        assert_eq!(s.inflight_begins, 1);
+        assert_eq!(s.probes, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.puts, 1);
+    }
+
+    #[test]
+    fn concurrent_probes_coalesce_on_owner_result() {
+        let c = StdArc::new(cache_kb(64));
+        let it = item("coalesce");
+        let guard = match c.probe_or_begin(&it) {
+            Probed::Compute(g) => g,
+            _ => panic!("owner"),
+        };
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let c = c.clone();
+                let it = it.clone();
+                std::thread::spawn(move || match c.probe_or_begin(&it) {
+                    Probed::Coalesced(h) => {
+                        matches!(h.object, CachedObject::Scalar(v) if v == 42.0)
+                    }
+                    Probed::Hit(_) => true, // raced past completion: also fine
+                    Probed::Compute(_) => false,
+                })
+            })
+            .collect();
+        // Wait until all three block on the flight, then complete.
+        while c.inflight_waiters(&it) < 3 {
+            std::thread::yield_now();
+        }
+        c.complete(guard, CachedObject::Scalar(42.0), 1.0, 16, 1);
+        for w in waiters {
+            assert!(w.join().unwrap(), "waiter saw the owner's result");
+        }
+        let s = c.stats();
+        assert_eq!(s.coalesced_hits, 3);
+        assert_eq!(s.inflight_waits, 3);
+        assert_eq!(s.hits + s.misses, s.probes, "coalesced counts as hit");
+    }
+
+    #[test]
+    fn dropped_guard_abandons_and_waiter_takes_over() {
+        let c = StdArc::new(cache_kb(64));
+        let it = item("abandon");
+        let guard = match c.probe_or_begin(&it) {
+            Probed::Compute(g) => g,
+            _ => panic!("owner"),
+        };
+        let c2 = c.clone();
+        let it2 = it.clone();
+        let waiter = std::thread::spawn(move || match c2.probe_or_begin(&it2) {
+            Probed::Compute(g) => {
+                c2.complete(g, CachedObject::Scalar(7.0), 1.0, 16, 1);
+                true
+            }
+            _ => false,
+        });
+        while c.inflight_waiters(&it) < 1 {
+            std::thread::yield_now();
+        }
+        drop(guard); // owner errors out
+        assert!(waiter.join().unwrap(), "waiter became the new owner");
+        assert!(c.probe(&it).is_some(), "second owner's result cached");
+        let s = c.stats();
+        assert_eq!(s.inflight_abandoned, 1);
+        assert_eq!(s.inflight_begins, 2);
+    }
+
+    #[test]
+    fn complete_pinned_survives_eviction_pressure() {
+        // Budget fits one 8 KB matrix; the pinned one must survive.
+        // Spill is off so eviction means gone (not demoted to disk).
+        let mut cfg = CacheConfig::test();
+        cfg.local_budget = 12 << 10;
+        cfg.spill_to_disk = false;
+        let c = LineageCache::new(cfg);
+        let it = item("pinned");
+        let m = rand_uniform(32, 32, 0.0, 1.0, 1); // 8 KB
+        let guard = match c.probe_or_begin(&it) {
+            Probed::Compute(g) => g,
+            _ => panic!("owner"),
+        };
+        assert!(c.complete_pinned(guard, mat(&m), 1.0, m.size_bytes(),));
+        // An expensive newcomer would evict the cheap entry — but it is
+        // pinned, so the newcomer is rejected for space instead.
+        let m2 = rand_uniform(32, 32, 0.0, 1.0, 2);
+        c.put(&item("intruder"), mat(&m2), 1e9, m2.size_bytes(), 1);
+        assert!(c.probe(&it).is_some(), "pinned entry survived");
+        assert!(c.unpin(&it));
+        let m3 = rand_uniform(32, 32, 0.0, 1.0, 3);
+        c.put(&item("intruder2"), mat(&m3), 1e9, m3.size_bytes(), 1);
+        assert!(c.probe(&it).is_none(), "unpinned entry evictable again");
+    }
+
+    #[test]
+    fn racing_admission_backs_out_cleanly() {
+        // Two "sessions" computing the same item: one completes through
+        // its guard, the other plain-puts. Accounting must stay single.
+        let c = cache_kb(64);
+        let it = item("race");
+        let m = rand_uniform(8, 8, 0.0, 1.0, 1);
+        let guard = match c.probe_or_begin(&it) {
+            Probed::Compute(g) => g,
+            _ => panic!("owner"),
+        };
+        // Racing plain put lands first.
+        assert!(c.put(&it, mat(&m), 1.0, m.size_bytes(), 1));
+        // Owner's completion sees the entry and does not double-account.
+        assert!(!c.complete(guard, mat(&m), 1.0, m.size_bytes(), 1));
+        assert_eq!(c.local_used(), m.size_bytes(), "no double accounting");
+        assert_eq!(c.len(), 1);
     }
 }

@@ -32,6 +32,7 @@ pub use backend::{
 pub use cache::config::CacheConfig;
 pub use cache::entry::{CacheEntry, CachedObject, EntryStatus};
 pub use cache::gpu::GpuMemoryManager;
-pub use cache::LineageCache;
+pub use cache::sharded::{Inflight, InflightOutcome, ShardedEntryMap};
+pub use cache::{ComputeGuard, LineageCache, ProbeHit, Probed};
 pub use lineage::{LItem, LKey, LineageItem, LineageMap};
 pub use stats::{ReuseStats, ReuseStatsSnapshot};

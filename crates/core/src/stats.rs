@@ -26,6 +26,17 @@ pub struct ReuseStats {
     pub puts: AtomicU64,
     /// PUT calls deferred by delayed caching (placeholder created/advanced).
     pub puts_deferred: AtomicU64,
+    /// Probes served by awaiting another session's in-flight computation
+    /// instead of recomputing.
+    pub coalesced_hits: AtomicU64,
+    /// Times a session blocked on an in-flight marker (one wait can end
+    /// in a coalesced hit or an abandoned retry).
+    pub inflight_waits: AtomicU64,
+    /// In-flight computations begun (probe misses that claimed ownership).
+    pub inflight_begins: AtomicU64,
+    /// In-flight computations abandoned (owner errored or dropped its
+    /// guard); waiters retried.
+    pub inflight_abandoned: AtomicU64,
     /// Local entries evicted to disk.
     pub local_spills: AtomicU64,
     /// Local entries dropped entirely.
@@ -78,6 +89,17 @@ pub struct ReuseStatsSnapshot {
     pub puts: u64,
     /// See [`ReuseStats::puts_deferred`].
     pub puts_deferred: u64,
+    /// See [`ReuseStats::coalesced_hits`].
+    pub coalesced_hits: u64,
+    /// See [`ReuseStats::inflight_waits`].
+    pub inflight_waits: u64,
+    /// See [`ReuseStats::inflight_begins`].
+    pub inflight_begins: u64,
+    /// See [`ReuseStats::inflight_abandoned`].
+    pub inflight_abandoned: u64,
+    /// Shard-lock acquisitions that found the lock held (filled by the
+    /// cache from its sharded map, not an atomic of [`ReuseStats`]).
+    pub shard_contention: u64,
     /// See [`ReuseStats::local_spills`].
     pub local_spills: u64,
     /// See [`ReuseStats::local_drops`].
@@ -126,6 +148,11 @@ impl ReuseStats {
             misses: self.misses.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
             puts_deferred: self.puts_deferred.load(Ordering::Relaxed),
+            coalesced_hits: self.coalesced_hits.load(Ordering::Relaxed),
+            inflight_waits: self.inflight_waits.load(Ordering::Relaxed),
+            inflight_begins: self.inflight_begins.load(Ordering::Relaxed),
+            inflight_abandoned: self.inflight_abandoned.load(Ordering::Relaxed),
+            shard_contention: 0,
             local_spills: self.local_spills.load(Ordering::Relaxed),
             local_drops: self.local_drops.load(Ordering::Relaxed),
             rdd_unpersists: self.rdd_unpersists.load(Ordering::Relaxed),
@@ -160,6 +187,11 @@ impl memphis_obs::IntoMetrics for ReuseStatsSnapshot {
             ("misses", self.misses),
             ("puts", self.puts),
             ("puts_deferred", self.puts_deferred),
+            ("coalesced_hits", self.coalesced_hits),
+            ("inflight_waits", self.inflight_waits),
+            ("inflight_begins", self.inflight_begins),
+            ("inflight_abandoned", self.inflight_abandoned),
+            ("shard_contention", self.shard_contention),
             ("local_spills", self.local_spills),
             ("local_drops", self.local_drops),
             ("rdd_unpersists", self.rdd_unpersists),

@@ -6,7 +6,7 @@ use crate::config::{EngineConfig, ReuseMode};
 use crate::cost;
 use crate::value::{Future, Value};
 use memphis_core::cache::entry::CachedObject;
-use memphis_core::cache::LineageCache;
+use memphis_core::cache::{ComputeGuard, LineageCache, Probed};
 use memphis_core::lineage::{LItem, LineageItem, LineageMap};
 use memphis_core::stats::ReuseStats;
 use memphis_gpusim::{GpuDevice, GpuError};
@@ -282,26 +282,40 @@ impl ExecutionContext {
             None
         };
 
-        // REUSE
+        // REUSE. A miss claims the in-flight computation: a concurrent
+        // session probing the same lineage item blocks on the marker and
+        // consumes this session's result (coalesced hit) instead of
+        // recomputing. The guard is completed by PUT below; any early
+        // return or error drops it, abandoning the flight so waiters
+        // retry.
+        let mut guard: Option<ComputeGuard> = None;
         if mode.probes_ops() && mode != ReuseMode::ProbeOnly {
             if let Some(item) = &item {
                 let probe_span = memphis_obs::span(memphis_obs::cat::INTERP, "probe");
-                let hit = self.cache.probe(item);
+                let probed = self.cache.probe_or_begin(item);
                 drop(probe_span);
-                if let Some(hit) = hit {
-                    if let Some(value) = self.value_from_cached(&hit.object) {
-                        memphis_obs::instant(memphis_obs::cat::REUSE, "hit");
-                        let n = self.lineage.compact(item, &hit.canonical);
-                        for _ in 0..n {
-                            ReuseStats::inc(&self.cache.stats_handle().compactions);
+                match probed {
+                    Probed::Hit(hit) | Probed::Coalesced(hit) => {
+                        if let Some(value) = self.value_from_cached(&hit.object) {
+                            memphis_obs::instant(memphis_obs::cat::REUSE, "hit");
+                            let n = self.lineage.compact(item, &hit.canonical);
+                            for _ in 0..n {
+                                ReuseStats::inc(&self.cache.stats_handle().compactions);
+                            }
+                            let cost = 1.0; // reused: cost refreshed below by entry metadata
+                            self.stats.reused += 1;
+                            self.bind(out, value, Some(hit.canonical), cost);
+                            return Ok(());
                         }
-                        let cost = 1.0; // reused: cost refreshed below by entry metadata
-                        self.stats.reused += 1;
-                        self.bind(out, value, Some(hit.canonical), cost);
-                        return Ok(());
+                        // Unconsumable representation: execute without
+                        // owning a flight.
+                        memphis_obs::instant(memphis_obs::cat::REUSE, "miss");
+                    }
+                    Probed::Compute(g) => {
+                        guard = Some(g);
+                        memphis_obs::instant(memphis_obs::cat::REUSE, "miss");
                     }
                 }
-                memphis_obs::instant(memphis_obs::cat::REUSE, "miss");
             }
         } else if mode == ReuseMode::ProbeOnly {
             // Probe for overhead measurement, discard the result.
@@ -345,10 +359,21 @@ impl ExecutionContext {
                         .shape()
                         .map(|(r, c)| cost::dense_bytes(r, c))
                         .unwrap_or(16);
-                    self.cache.put(item, obj, cost_v, size_hint, self.delay);
+                    match guard.take() {
+                        // Owner path: hand the result to every waiter.
+                        Some(g) => {
+                            self.cache.complete(g, obj, cost_v, size_hint, self.delay);
+                        }
+                        None => {
+                            self.cache.put(item, obj, cost_v, size_hint, self.delay);
+                        }
+                    }
                 }
             }
         }
+        // A leftover guard (future result, LIMA skip, uncacheable value)
+        // drops here, abandoning the flight so waiters recompute.
+        drop(guard);
         self.bind(out, value, item, cost_v);
         Ok(())
     }
@@ -494,26 +519,43 @@ impl ExecutionContext {
                 let puts = self.cfg.reuse.puts_ops();
                 std::thread::spawn(move || {
                     let _span = memphis_obs::span(memphis_obs::cat::ASYNC, "prefetch_collect");
-                    if let Ok(m) = sc.collect_blocked(&rdd, rows, cols, blen).to_dense() {
-                        if puts {
-                            if let Some(item) = &item {
-                                cache.note_job(item);
-                                // Cache the *collected* result under a
-                                // prefetch-transpose-free lineage: the same
-                                // item now maps to a local object; keep the
-                                // RDD entry and add nothing if present.
-                                let size = m.size_bytes();
-                                let collected =
-                                    LineageItem::new("collect", vec![], vec![item.clone()]);
-                                cache.put(
-                                    &collected,
-                                    CachedObject::Matrix(Arc::new(m.clone())),
-                                    cost,
-                                    size,
-                                    1,
-                                );
+                    // The collected result is cached under a derived
+                    // "collect" lineage. Probing with an in-flight claim
+                    // first means two racing prefetches of the same
+                    // lineage (or a prefetch racing a synchronous
+                    // collect) run the Spark job once: the loser blocks
+                    // on the winner's marker and reuses its matrix.
+                    if puts {
+                        if let Some(item) = &item {
+                            cache.note_job(item);
+                            let collected = LineageItem::new("collect", vec![], vec![item.clone()]);
+                            match cache.probe_or_begin(&collected) {
+                                Probed::Hit(h) | Probed::Coalesced(h) => {
+                                    if let CachedObject::Matrix(m) = h.object {
+                                        fut.fulfill(Value::Matrix(m.as_ref().clone()));
+                                        return;
+                                    }
+                                }
+                                Probed::Compute(g) => {
+                                    if let Ok(m) =
+                                        sc.collect_blocked(&rdd, rows, cols, blen).to_dense()
+                                    {
+                                        let size = m.size_bytes();
+                                        cache.complete(
+                                            g,
+                                            CachedObject::Matrix(Arc::new(m.clone())),
+                                            cost,
+                                            size,
+                                            1,
+                                        );
+                                        fut.fulfill(Value::Matrix(m));
+                                    }
+                                    return;
+                                }
                             }
                         }
+                    }
+                    if let Ok(m) = sc.collect_blocked(&rdd, rows, cols, blen).to_dense() {
                         fut.fulfill(Value::Matrix(m));
                     }
                 });

@@ -64,4 +64,6 @@ pub mod cat {
     pub const XFER: &str = "xfer";
     /// Asynchronous operators: prefetch/broadcast futures.
     pub const ASYNC: &str = "async";
+    /// Multi-session serving harness: per-session phases and rendezvous.
+    pub const SERVE: &str = "serve";
 }

@@ -578,6 +578,7 @@ impl Runtime {
         F: Fn(usize, &[Record]) -> R + Send + Sync + 'static,
     {
         let job = self.stats.jobs.fetch_add(1, Ordering::Relaxed);
+        let _concurrency = ActiveJobGauge::enter(&self.stats);
         let _job_span =
             memphis_obs::span_with(memphis_obs::cat::SCHED, "job", || format!("job-{job}"));
         if !self.config.cost.job_launch.is_zero() {
@@ -643,6 +644,25 @@ impl Runtime {
         if matches!(rdd.0.kind, RddKind::ReduceByKey { .. }) {
             out.push(rdd.clone());
         }
+    }
+}
+
+/// RAII gauge for the concurrently-running-jobs high-water mark
+/// ([`SparkStats::jobs_peak_concurrent`]): entering counts the job as
+/// active, and the drop decrements on every exit path, including job
+/// errors.
+struct ActiveJobGauge<'a>(&'a SparkStats);
+
+impl<'a> ActiveJobGauge<'a> {
+    fn enter(stats: &'a SparkStats) -> Self {
+        stats.job_started();
+        Self(stats)
+    }
+}
+
+impl Drop for ActiveJobGauge<'_> {
+    fn drop(&mut self) {
+        self.0.job_finished();
     }
 }
 

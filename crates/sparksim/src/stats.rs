@@ -10,6 +10,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct SparkStats {
     /// Jobs launched by actions.
     pub jobs: AtomicU64,
+    /// Jobs currently running (a gauge, not a monotonic counter —
+    /// incremented at job start, decremented at job end).
+    pub jobs_active: AtomicU64,
+    /// High-water mark of concurrently running jobs (how hard
+    /// multi-session serving drives the shared cluster).
+    pub jobs_peak_concurrent: AtomicU64,
     /// Stages executed (excluding skipped).
     pub stages: AtomicU64,
     /// Stages skipped because shuffle outputs were still available.
@@ -61,6 +67,8 @@ pub struct SparkStats {
 pub struct StatsSnapshot {
     /// See [`SparkStats::jobs`].
     pub jobs: u64,
+    /// See [`SparkStats::jobs_peak_concurrent`].
+    pub jobs_peak_concurrent: u64,
     /// See [`SparkStats::stages`].
     pub stages: u64,
     /// See [`SparkStats::skipped_stages`].
@@ -118,10 +126,24 @@ impl SparkStats {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Marks a job as running, updating the concurrency high-water mark.
+    /// Pair with [`job_finished`](Self::job_finished) on every exit path.
+    pub fn job_started(&self) {
+        let active = self.jobs_active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.jobs_peak_concurrent
+            .fetch_max(active, Ordering::Relaxed);
+    }
+
+    /// Marks a running job as finished.
+    pub fn job_finished(&self) {
+        self.jobs_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Copies every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             jobs: self.jobs.load(Ordering::Relaxed),
+            jobs_peak_concurrent: self.jobs_peak_concurrent.load(Ordering::Relaxed),
             stages: self.stages.load(Ordering::Relaxed),
             skipped_stages: self.skipped_stages.load(Ordering::Relaxed),
             tasks: self.tasks.load(Ordering::Relaxed),
@@ -153,6 +175,7 @@ impl StatsSnapshot {
     pub fn pairs(&self) -> Vec<(&'static str, u64)> {
         vec![
             ("jobs", self.jobs),
+            ("jobs_peak", self.jobs_peak_concurrent),
             ("stages", self.stages),
             ("skipped", self.skipped_stages),
             ("tasks", self.tasks),
@@ -170,6 +193,11 @@ impl StatsSnapshot {
     pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             jobs: self.jobs - earlier.jobs,
+            // High-water mark, not monotonic per-interval: report the
+            // later mark (saturating keeps delta of delta safe).
+            jobs_peak_concurrent: self
+                .jobs_peak_concurrent
+                .saturating_sub(earlier.jobs_peak_concurrent),
             stages: self.stages - earlier.stages,
             skipped_stages: self.skipped_stages - earlier.skipped_stages,
             tasks: self.tasks - earlier.tasks,
@@ -204,6 +232,7 @@ impl memphis_obs::IntoMetrics for StatsSnapshot {
     fn metrics(&self) -> Vec<(&'static str, u64)> {
         vec![
             ("jobs", self.jobs),
+            ("jobs_peak_concurrent", self.jobs_peak_concurrent),
             ("stages", self.stages),
             ("skipped_stages", self.skipped_stages),
             ("tasks", self.tasks),

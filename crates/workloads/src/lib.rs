@@ -7,5 +7,7 @@ pub mod builtins;
 pub mod data;
 pub mod harness;
 pub mod pipelines;
+pub mod serve;
 
 pub use harness::{run_timed, Backends, WorkloadOutcome};
+pub use serve::{run_serve, ServeParams, ServeReport};

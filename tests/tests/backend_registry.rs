@@ -8,8 +8,8 @@ use memphis_core::cache::entry::{CacheEntry, CachedObject};
 use memphis_core::cache::LineageCache;
 use memphis_core::lineage::{LKey, LineageItem};
 use memphis_core::{
-    BackendId, BackendRegistry, BackendSnapshot, CacheBackend, EntryMap, EvictionPolicy,
-    Materialized,
+    BackendId, BackendRegistry, BackendSnapshot, CacheBackend, EvictionPolicy, Materialized,
+    ShardedEntryMap,
 };
 use memphis_matrix::Matrix;
 use proptest::prelude::*;
@@ -37,7 +37,7 @@ impl CacheBackend for ShadowBackend {
 
     fn put(
         &self,
-        _map: &mut EntryMap,
+        _map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         _key: &LKey,
         entry: &mut CacheEntry,
@@ -47,16 +47,23 @@ impl CacheBackend for ShadowBackend {
         true
     }
 
-    fn materialize(&self, map: &mut EntryMap, _reg: &BackendRegistry, key: &LKey) -> Materialized {
+    fn materialize(
+        &self,
+        map: &ShardedEntryMap,
+        _reg: &BackendRegistry,
+        key: &LKey,
+    ) -> Materialized {
         self.hits.fetch_add(1, Ordering::Relaxed);
-        let e = map.entries.get_mut(key).expect("probed entries exist");
-        e.hits += 1;
-        Materialized::Hit(e.object.clone().expect("cached entries have objects"))
+        map.with_entry(key, |e| {
+            let e = e.expect("probed entries exist");
+            e.hits += 1;
+            Materialized::Hit(e.object.clone().expect("cached entries have objects"))
+        })
     }
 
     fn evict_until(
         &self,
-        _map: &mut EntryMap,
+        _map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         _bytes: usize,
         _skip: Option<&LKey>,

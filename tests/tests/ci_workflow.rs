@@ -1,0 +1,174 @@
+//! Structural validation of `.github/workflows/ci.yml` (no YAML parser
+//! is vendored, so this checks the structure a broken edit is most
+//! likely to violate: indentation, required jobs/steps, and that every
+//! script the workflow invokes exists and is executable) plus the CI
+//! helper scripts themselves.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // tests/ -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..")
+}
+
+fn workflow() -> String {
+    std::fs::read_to_string(repo_root().join(".github/workflows/ci.yml"))
+        .expect("ci workflow exists")
+}
+
+/// Leading-space count of a line.
+fn indent(line: &str) -> usize {
+    line.len() - line.trim_start_matches(' ').len()
+}
+
+#[test]
+fn workflow_is_structurally_valid_yaml() {
+    let y = workflow();
+    for (i, line) in y.lines().enumerate() {
+        let n = i + 1;
+        assert!(!line.contains('\t'), "ci.yml:{n}: tab in YAML");
+        assert!(
+            line.trim_end() == line,
+            "ci.yml:{n}: trailing whitespace breaks some parsers"
+        );
+        if !line.trim().is_empty() {
+            assert_eq!(indent(line) % 2, 0, "ci.yml:{n}: odd indentation");
+        }
+        // Flow-style `key: value` lines must not leave an unterminated
+        // single/double quote.
+        let quotes = line.matches('"').count();
+        assert_eq!(quotes % 2, 0, "ci.yml:{n}: unbalanced double quote");
+    }
+    // Top-level skeleton.
+    for key in ["name:", "on:", "jobs:"] {
+        assert!(
+            y.lines().any(|l| l.starts_with(key)),
+            "ci.yml: missing top-level `{key}`"
+        );
+    }
+    // Triggers: push to main and pull requests.
+    assert!(y.contains("push:"), "ci.yml: missing push trigger");
+    assert!(y.contains("pull_request:"), "ci.yml: missing PR trigger");
+}
+
+#[test]
+fn workflow_defines_lint_and_test_jobs_with_caching() {
+    let y = workflow();
+    for job in ["  lint:", "  test:"] {
+        assert!(
+            y.lines().any(|l| l == job),
+            "ci.yml: missing job `{}`",
+            job.trim()
+        );
+    }
+    // The lint job fails early and independently.
+    assert!(y.contains("cargo clippy --all-targets -- -D warnings"));
+    assert!(y.contains("cargo fmt --check"));
+    // Both jobs cache the cargo registry and target dir, keyed on the
+    // lockfile.
+    assert_eq!(
+        y.matches("uses: actions/cache@").count(),
+        2,
+        "ci.yml: both jobs must cache cargo artifacts"
+    );
+    assert!(y.contains("hashFiles('Cargo.lock')"));
+    assert!(y.contains("~/.cargo/registry"));
+    assert!(y.contains("target"));
+    // The test job runs the staged pipeline without duplicating lint.
+    assert!(y.contains("./ci.sh --skip-lint"));
+}
+
+#[test]
+fn workflow_uploads_observability_artifacts() {
+    let y = workflow();
+    assert!(
+        y.contains("uses: actions/upload-artifact@"),
+        "ci.yml: missing artifact upload"
+    );
+    assert!(y.contains("exp_concurrent.trace.json"));
+    assert!(y.contains("exp_concurrent.metrics.json"));
+    assert!(
+        y.contains("--trace") && y.contains("--json"),
+        "ci.yml: exp run must request trace + metrics artifacts"
+    );
+}
+
+#[test]
+fn workflow_actions_are_version_pinned() {
+    let y = workflow();
+    for line in y.lines() {
+        let Some(action) = line
+            .trim()
+            .strip_prefix("uses: ")
+            .or_else(|| line.trim().strip_prefix("- uses: "))
+        else {
+            continue;
+        };
+        assert!(
+            action.contains('@') && !action.ends_with("@main") && !action.ends_with("@master"),
+            "ci.yml: action `{action}` must be pinned to a release tag"
+        );
+    }
+}
+
+#[test]
+fn invoked_scripts_exist_and_are_executable() {
+    #[cfg(unix)]
+    use std::os::unix::fs::PermissionsExt;
+    let root = repo_root();
+    for script in ["ci.sh", "ci/bench_gate.sh"] {
+        let path = root.join(script);
+        let meta = std::fs::metadata(&path)
+            .unwrap_or_else(|e| panic!("{script} referenced by CI is missing: {e}"));
+        #[cfg(unix)]
+        assert!(
+            meta.permissions().mode() & 0o111 != 0,
+            "{script} must be executable"
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("#!"), "{script} must start with a shebang");
+        assert!(
+            body.contains("set -euo pipefail"),
+            "{script} must fail fast"
+        );
+    }
+    // The bench gate compares against a committed baseline that must
+    // carry every gated counter.
+    let baseline = std::fs::read_to_string(root.join("ci/BENCH_baseline.json")).unwrap();
+    for key in [
+        "hits",
+        "recomputes",
+        "evictions",
+        "coalesced_hits",
+        "duplicates",
+    ] {
+        assert!(
+            baseline.contains(&format!("\"{key}\"")),
+            "BENCH_baseline.json: missing gated counter `{key}`"
+        );
+    }
+}
+
+#[test]
+fn ci_script_defines_all_stages() {
+    let sh = std::fs::read_to_string(repo_root().join("ci.sh")).unwrap();
+    for stage in [
+        "stage_build",
+        "stage_test",
+        "stage_chaos",
+        "stage_obs",
+        "stage_concurrency",
+        "stage_bench_gate",
+        "stage_lint",
+    ] {
+        assert!(
+            sh.contains(&format!("{stage}()")),
+            "ci.sh: missing stage function {stage}"
+        );
+    }
+    // The concurrency stage runs under both chaos seeds, parallel and
+    // single-threaded.
+    assert!(sh.contains("--test concurrency"));
+    assert!(sh.contains("42 1337"));
+    assert!(sh.contains("--skip-lint"));
+}
