@@ -5,7 +5,8 @@
 # Usage: ./ci.sh [--skip-lint] [stage ...]
 #   --skip-lint  omit the lint stage (CI runs it in a separate fast job)
 #   stage ...    run only the named stages (build test chaos obs
-#                concurrency bench_gate lint); default is all of them.
+#                concurrency serve bench_gate lint); default is all of
+#                them.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -71,6 +72,19 @@ stage_concurrency() {
     done
 }
 
+# Serving suite: the disk-tier spill/promote/fault tests and the
+# serving scheduler's determinism + isolation contract under both chaos
+# seeds, then the full exp_serve experiment (which re-asserts the
+# contract at gate scale across worker counts and a 30% fault storm).
+stage_serve() {
+    for seed in 42 1337; do
+        CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test disk_tier
+        CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test serving
+        CHAOS_SEED="$seed" cargo test -q -p memphis-serve
+    done
+    cargo run -q --release -p memphis-bench --bin exp_serve
+}
+
 # Bench smoke gate: deterministic reuse/eviction/coalescing counters
 # must match the committed baseline exactly.
 stage_bench_gate() {
@@ -82,7 +96,7 @@ stage_lint() {
     cargo fmt --check
 }
 
-ALL_STAGES=(build test chaos obs concurrency bench_gate lint)
+ALL_STAGES=(build test chaos obs concurrency serve bench_gate lint)
 SKIP_LINT=0
 REQUESTED=()
 for arg in "$@"; do
@@ -100,7 +114,7 @@ for stage in "${REQUESTED[@]}"; do
         continue
     fi
     case "$stage" in
-        build|test|chaos|obs|concurrency|bench_gate|lint)
+        build|test|chaos|obs|concurrency|serve|bench_gate|lint)
             run_stage "$stage" "stage_$stage" ;;
         *)
             echo "ci: unknown stage '$stage' (known: ${ALL_STAGES[*]})" >&2

@@ -1,23 +1,30 @@
 //! Bench smoke gate: runs the deterministic concurrency workload from
-//! `memphis_bench::golden::run_concurrency_gate`, writes its counters to
-//! a JSON report, and (optionally) compares them against a committed
-//! baseline, exiting non-zero when any deterministic counter regresses.
+//! `memphis_bench::golden::run_concurrency_gate` and the serving
+//! workload from `run_serve_gate`, writes their counters to a JSON
+//! report, and (optionally) compares them against a committed baseline,
+//! exiting non-zero when any deterministic counter regresses.
 //!
 //! Usage: `bench_gate <out.json> [baseline.json]`
 //!
 //! Wall clock is reported but never gated; the gated counters (reuse
-//! hits, recomputes, evictions, coalesced hits, duplicates) are exact by
+//! hits, recomputes, evictions, coalesced hits, duplicates, and the
+//! serving shed/coalesced/quota-eviction counts) are exact by
 //! construction, so the comparison is equality, not a tolerance band.
 
-use memphis_bench::golden::{run_concurrency_gate, ConcGateParams};
+use memphis_bench::golden::{
+    run_concurrency_gate, run_serve_gate, ConcGateParams, ServeGateParams,
+};
 
 /// The gated counters, in report order.
-const GATED: [&str; 5] = [
+const GATED: [&str; 8] = [
     "hits",
     "recomputes",
     "evictions",
     "coalesced_hits",
     "duplicates",
+    "serve_shed",
+    "serve_coalesced",
+    "serve_quota_evictions",
 ];
 
 fn main() {
@@ -26,12 +33,22 @@ fn main() {
     let baseline_path = args.next();
 
     let o = run_concurrency_gate(&ConcGateParams::full());
+    let s = run_serve_gate(&ServeGateParams::full());
+    assert!(
+        s.invariants_hold(),
+        "serve gate invariants failed: {:?}",
+        s.counters
+    );
     let report = render(&[
         ("hits", o.hits),
         ("recomputes", o.recomputes),
         ("evictions", o.evictions),
         ("coalesced_hits", o.coalesced_hits),
         ("duplicates", o.duplicates),
+        ("serve_shed", s.counters.shed),
+        ("serve_coalesced", s.counters.coalesced),
+        ("serve_quota_evictions", s.counters.quota_evictions),
+        ("serve_completed", s.counters.completed),
         ("wall_clock_ms", o.elapsed.as_millis() as u64),
     ]);
     std::fs::write(&out_path, &report).unwrap_or_else(|e| {

@@ -516,3 +516,90 @@ pub fn run_concurrency_gate(p: &ConcGateParams) -> ConcGateOutcome {
         elapsed: t0.elapsed(),
     }
 }
+
+// ----------------------------------------------------------------------
+// Serving smoke gate (PR 5): deterministic admission/shed/quota counters
+// ----------------------------------------------------------------------
+
+/// Scale knobs for the serving bench gate.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeGateParams {
+    /// Open-loop requests in the trace.
+    pub requests: usize,
+    /// Worker threads for the parallel execute phase (must not affect
+    /// any gated counter).
+    pub workers: usize,
+    /// Trace/fault seed.
+    pub seed: u64,
+    /// Local cache budget (also the pressure monitor's budget).
+    pub local_budget: usize,
+    /// Soft cache quota of the hog tenant.
+    pub hog_quota: usize,
+    /// Transient-fault rate per attempt.
+    pub fault_rate: f64,
+}
+
+impl ServeGateParams {
+    /// The committed-baseline scale.
+    pub fn full() -> Self {
+        Self {
+            requests: 96,
+            workers: 4,
+            seed: 42,
+            local_budget: 24 << 10,
+            hog_quota: 4 << 10,
+            fault_rate: 0.1,
+        }
+    }
+
+    /// Tiny scale for the golden smoke tests.
+    pub fn tiny() -> Self {
+        Self {
+            requests: 24,
+            workers: 2,
+            seed: 42,
+            local_budget: 16 << 10,
+            hog_quota: 4 << 10,
+            fault_rate: 0.1,
+        }
+    }
+}
+
+/// The hog tenant of the gate's stream (private items, 4x memory, under
+/// a soft cache quota).
+pub const SERVE_GATE_HOG: u16 = 3;
+
+/// The stream shape the gate runs (exposed so experiments can map
+/// request ids back to tenants and priorities).
+pub fn serve_gate_spec(p: &ServeGateParams) -> memphis_serve::StreamSpec {
+    memphis_serve::StreamSpec {
+        requests: p.requests,
+        deadline_slack: 3,
+        ..memphis_serve::StreamSpec::test()
+    }
+}
+
+/// Runs the serving gate: a mixed multi-tenant open-loop trace with a
+/// cache-hogging tenant under quota, a budget tight enough to evict and
+/// pressure the monitor, and a transient-fault rate per attempt. Every
+/// counter in the returned report's deterministic slice is exact run
+/// over run and worker count over worker count.
+pub fn run_serve_gate(p: &ServeGateParams) -> memphis_serve::ServeReport {
+    use memphis_core::cache::config::CacheConfig;
+    use memphis_core::cache::LineageCache;
+    use memphis_serve::{open_loop, Scheduler, ServeConfig};
+    use memphis_sparksim::FaultPlan;
+
+    let mut ccfg = CacheConfig::test();
+    ccfg.local_budget = p.local_budget;
+    ccfg.spill_to_disk = false;
+    let cache = Arc::new(LineageCache::new(ccfg));
+
+    let mut cfg = ServeConfig::test();
+    cfg.workers = p.workers;
+    cfg.slots = 2;
+    cfg.tenant_quotas.insert(SERVE_GATE_HOG, p.hog_quota);
+    cfg.faults = FaultPlan::seeded(p.seed).with_task_failure_rate(p.fault_rate);
+
+    Scheduler::new(cache, cfg).run(open_loop(p.seed, &serve_gate_spec(p)))
+}

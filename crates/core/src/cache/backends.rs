@@ -30,7 +30,7 @@ use memphis_matrix::Matrix;
 use memphis_sparksim::StorageLevel;
 use parking_lot::Mutex;
 use std::any::Any;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -39,6 +39,14 @@ use std::sync::Arc;
 // Local (driver memory)
 // ----------------------------------------------------------------------
 
+/// Per-tenant byte accounting for the serving layer: local bytes held by
+/// each tenant's entries plus the soft quotas configured for them.
+#[derive(Debug, Default)]
+struct TenantLedger {
+    used: HashMap<u16, usize>,
+    quotas: HashMap<u16, usize>,
+}
+
 /// Driver-local in-memory tier: matrices and scalars against a byte
 /// budget, eq. (1) eviction with spill into the disk tier.
 pub struct LocalBackend {
@@ -46,6 +54,7 @@ pub struct LocalBackend {
     spill_enabled: bool,
     policy: EvictionPolicy,
     used: Mutex<usize>,
+    tenants: Mutex<TenantLedger>,
     stats: Arc<ReuseStats>,
     spill: Option<Arc<DiskBackend>>,
 }
@@ -62,19 +71,83 @@ impl LocalBackend {
             spill_enabled: config.spill_to_disk,
             policy: EvictionPolicy::default(),
             used: Mutex::new(0),
+            tenants: Mutex::new(TenantLedger::default()),
             stats,
             spill,
         }
     }
 
+    /// Sets a tenant's soft cache quota in bytes. Entries of tenants over
+    /// their quota become preferred eviction victims.
+    pub fn set_quota(&self, tenant: u16, bytes: usize) {
+        self.tenants.lock().quotas.insert(tenant, bytes);
+    }
+
+    /// Local bytes currently charged to `tenant`.
+    pub fn tenant_used(&self, tenant: u16) -> usize {
+        self.tenants.lock().used.get(&tenant).copied().unwrap_or(0)
+    }
+
+    fn charge_tenant(&self, tenant: Option<u16>, bytes: usize) {
+        if let Some(t) = tenant {
+            *self.tenants.lock().used.entry(t).or_insert(0) += bytes;
+        }
+    }
+
+    fn credit_tenant(&self, tenant: Option<u16>, bytes: usize) {
+        if let Some(t) = tenant {
+            if let Some(u) = self.tenants.lock().used.get_mut(&t) {
+                *u = u.saturating_sub(bytes);
+            }
+        }
+    }
+
+    /// Tenants currently above their configured quota.
+    fn over_quota(&self) -> HashSet<u16> {
+        let ledger = self.tenants.lock();
+        ledger
+            .quotas
+            .iter()
+            .filter(|(t, q)| ledger.used.get(t).copied().unwrap_or(0) > **q)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
     /// Evicts one eq. (1) victim (spill or drop). Returns bytes freed,
     /// or `None` when no victim remains.
+    ///
+    /// Tenant quotas fold into the score lexicographically: while any
+    /// tenant is over its soft quota, the victim is the lowest-score
+    /// entry *of an over-quota tenant*; only when none remain does the
+    /// plain eq. (1) pass over all entries run. With no quotas configured
+    /// the first pass is skipped entirely and behavior is unchanged.
     fn evict_one(&self, map: &ShardedEntryMap, skip: Option<&LKey>) -> Option<usize> {
+        let over = self.over_quota();
+        if !over.is_empty() {
+            if let Some(freed) = self.evict_one_matching(map, skip, Some(&over)) {
+                ReuseStats::inc(&self.stats.quota_evictions);
+                return Some(freed);
+            }
+        }
+        self.evict_one_matching(map, skip, None)
+    }
+
+    /// One eviction restricted (when `tenants` is set) to entries owned
+    /// by the given tenants.
+    fn evict_one_matching(
+        &self,
+        map: &ShardedEntryMap,
+        skip: Option<&LKey>,
+        tenants: Option<&HashSet<u16>>,
+    ) -> Option<usize> {
         loop {
             let victim = map.select_victim(&self.policy, |k, e| {
                 e.backend == BackendId::Local
                     && matches!(e.object, Some(CachedObject::Matrix(_)))
                     && skip.map(|s| k != s).unwrap_or(true)
+                    && tenants
+                        .map(|set| e.tenant.map(|t| set.contains(&t)).unwrap_or(false))
+                        .unwrap_or(true)
             })?;
             let mut shard = map.lock_of(&victim);
             // Re-validate under the shard lock: a concurrent session may
@@ -90,6 +163,7 @@ impl LocalBackend {
                 continue;
             };
             let msize = m.size_bytes();
+            let tenant = e.tenant;
             // Spill only entries with proven reuse (at least one hit) to
             // disk; unproven entries are dropped — avoiding disk-write
             // storms when a stream of never-reused intermediates thrashes
@@ -113,8 +187,11 @@ impl LocalBackend {
                 ReuseStats::inc(&self.stats.local_drops);
                 memphis_obs::instant_val(memphis_obs::cat::CACHE, "drop", "bytes", msize as u64);
             }
-            let mut used = self.used.lock();
-            *used = used.saturating_sub(msize);
+            {
+                let mut used = self.used.lock();
+                *used = used.saturating_sub(msize);
+            }
+            self.credit_tenant(tenant, msize);
             return Some(msize);
         }
     }
@@ -174,6 +251,9 @@ impl LocalBackend {
         e.object = Some(CachedObject::Matrix(m));
         e.size = size;
         e.backend = BackendId::Local;
+        let tenant = e.tenant;
+        drop(shard);
+        self.charge_tenant(tenant, size);
         true
     }
 }
@@ -199,6 +279,7 @@ impl CacheBackend for LocalBackend {
                     return false;
                 }
                 entry.size = size;
+                self.charge_tenant(entry.tenant, size);
                 true
             }
             Some(CachedObject::Scalar(_)) => {
@@ -264,14 +345,19 @@ impl CacheBackend for LocalBackend {
                 ("hits", s.hits_local),
                 ("spills", s.local_spills),
                 ("drops", s.local_drops),
+                ("quota_evicts", s.quota_evictions),
             ],
         }
     }
 
     fn release(&self, entry: &CacheEntry) {
         if let Some(CachedObject::Matrix(m)) = &entry.object {
-            let mut used = self.used.lock();
-            *used = used.saturating_sub(m.size_bytes());
+            let size = m.size_bytes();
+            {
+                let mut used = self.used.lock();
+                *used = used.saturating_sub(size);
+            }
+            self.credit_tenant(entry.tenant, size);
         }
     }
 
@@ -310,24 +396,41 @@ impl DiskBackend {
     }
 
     /// Writes a spilled matrix, returning its path (accounted to this
-    /// tier) or `None` on I/O failure.
+    /// tier) or `None` on I/O failure. Failures are counted in
+    /// `disk_io_errors`; the caller degrades to a clean drop, never a
+    /// dangling path.
     pub fn store(&self, m: &Matrix, tag: u64) -> Option<PathBuf> {
-        std::fs::create_dir_all(&self.dir).ok();
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            ReuseStats::inc(&self.stats.disk_io_errors);
+            return None;
+        }
         let path = self.dir.join(format!(
             "lcache_{}_{}.bin",
             tag,
             self.counter.fetch_add(1, Ordering::Relaxed)
         ));
-        if mio::write_file(m, &path).is_ok() {
-            *self.used.lock() += m.size_bytes();
-            Some(path)
-        } else {
-            None
+        match mio::write_file(m, &path) {
+            Ok(()) => {
+                *self.used.lock() += m.size_bytes();
+                Some(path)
+            }
+            Err(_) => {
+                // A failed write may leave a partial file behind.
+                std::fs::remove_file(&path).ok();
+                ReuseStats::inc(&self.stats.disk_io_errors);
+                None
+            }
         }
     }
 
     fn discard(&self, path: &Path, size: usize) {
-        std::fs::remove_file(path).ok();
+        if let Err(e) = std::fs::remove_file(path) {
+            // NotFound is the promote/evict race losing benignly; other
+            // errors (permissions, I/O) are real.
+            if e.kind() != std::io::ErrorKind::NotFound {
+                ReuseStats::inc(&self.stats.disk_io_errors);
+            }
+        }
         let mut used = self.used.lock();
         *used = used.saturating_sub(size);
     }
@@ -345,8 +448,14 @@ impl CacheBackend for DiskBackend {
         _key: &LKey,
         entry: &mut CacheEntry,
     ) -> bool {
-        // Direct admission of an already-written binary.
-        if matches!(entry.object, Some(CachedObject::Disk(_))) {
+        // Direct admission of an already-written binary. Reject paths
+        // that do not exist (a dangling admission would poison every
+        // later probe with a read failure).
+        if let Some(CachedObject::Disk(path)) = &entry.object {
+            if !path.exists() {
+                ReuseStats::inc(&self.stats.disk_io_errors);
+                return false;
+            }
             *self.used.lock() += entry.size;
             true
         } else {
@@ -390,9 +499,13 @@ impl CacheBackend for DiskBackend {
                 }
                 Materialized::Hit(CachedObject::Matrix(m))
             }
-            // Spill file lost: the cache drops the entry (release
-            // reverses the accounting).
-            Err(_) => Materialized::Stale,
+            // Spill file lost or corrupt: the cache drops the entry
+            // cleanly (release reverses the accounting) and the probe
+            // falls through to recompute.
+            Err(_) => {
+                ReuseStats::inc(&self.stats.disk_io_errors);
+                Materialized::Stale
+            }
         }
     }
 
@@ -442,7 +555,11 @@ impl CacheBackend for DiskBackend {
             used: self.used(),
             budget: usize::MAX,
             entries: 0,
-            detail: vec![("hits", s.hits_disk), ("spilled_in", s.local_spills)],
+            detail: vec![
+                ("hits", s.hits_disk),
+                ("spilled_in", s.local_spills),
+                ("io_errors", s.disk_io_errors),
+            ],
         }
     }
 

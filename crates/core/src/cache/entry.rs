@@ -103,6 +103,10 @@ pub struct CacheEntry {
     /// Pinned entries are never eviction victims (serving-time protection
     /// for shared working sets; unpin to make them evictable again).
     pub pinned: bool,
+    /// Tenant that computed the object (serving layer). Entries of
+    /// over-quota tenants are preferred eviction victims; `None` (the
+    /// default for non-serving callers) is never quota-charged.
+    pub tenant: Option<u16>,
 }
 
 impl CacheEntry {
@@ -127,6 +131,7 @@ impl CacheEntry {
             materialize_triggered: false,
             gc_done: false,
             pinned: false,
+            tenant: None,
         }
     }
 
@@ -150,6 +155,7 @@ impl CacheEntry {
             materialize_triggered: false,
             gc_done: false,
             pinned: false,
+            tenant: None,
         }
     }
 

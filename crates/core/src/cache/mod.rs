@@ -87,12 +87,19 @@ pub struct ComputeGuard {
     flight: Arc<Inflight>,
     stats: Arc<ReuseStats>,
     armed: bool,
+    tenant: Option<u16>,
 }
 
 impl ComputeGuard {
     /// The lineage item this guard owns the computation of.
     pub fn item(&self) -> &LItem {
         &self.key.0
+    }
+
+    /// The tenant the completed entry will be charged to (set by
+    /// [`LineageCache::probe_or_begin_as`]).
+    pub fn tenant(&self) -> Option<u16> {
+        self.tenant
     }
 
     /// Takes the key and flight out, defusing the drop-abandon.
@@ -374,6 +381,14 @@ impl LineageCache {
     /// [`complete`](Self::complete) (or drop it to abandon, waking
     /// waiters to retry). Never hold a shard lock while calling this.
     pub fn probe_or_begin(&self, item: &LItem) -> Probed {
+        self.probe_or_begin_as(item, None)
+    }
+
+    /// [`probe_or_begin`](Self::probe_or_begin) on behalf of a serving
+    /// tenant: an entry completed through the returned guard is charged
+    /// to `tenant`'s soft cache quota (see
+    /// [`set_tenant_quota`](Self::set_tenant_quota)).
+    pub fn probe_or_begin_as(&self, item: &LItem, tenant: Option<u16>) -> Probed {
         let _probe_span = memphis_obs::span(memphis_obs::cat::CACHE, "probe");
         ReuseStats::inc(&self.stats.probes);
         let key = LKey(item.clone());
@@ -421,6 +436,7 @@ impl LineageCache {
                         flight,
                         stats: self.stats.clone(),
                         armed: true,
+                        tenant,
                     });
                 }
                 Step::Wait(flight) => {
@@ -498,8 +514,18 @@ impl LineageCache {
         pin: bool,
     ) -> bool {
         let backend = object.backend();
+        let tenant = guard.tenant;
         let (key, flight) = guard.disarm();
-        let stored = self.put_inner(&key, object.clone(), cost, size_hint, delay, backend, pin);
+        let stored = self.put_inner(
+            &key,
+            object.clone(),
+            cost,
+            size_hint,
+            delay,
+            backend,
+            pin,
+            tenant,
+        );
         // Remove our marker (if still ours) and read the canonical item
         // under the shard lock, then resolve outside it (rule 3).
         let canonical = {
@@ -598,7 +624,41 @@ impl LineageCache {
         backend: BackendId,
     ) -> bool {
         let key = LKey(item.clone());
-        self.put_inner(&key, object, cost, size_hint, delay, backend, false)
+        self.put_inner(&key, object, cost, size_hint, delay, backend, false, None)
+    }
+
+    /// PUT on behalf of a serving tenant: like [`put`](Self::put), but
+    /// the stored entry is charged to `tenant`'s soft cache quota.
+    pub fn put_as(
+        &self,
+        item: &LItem,
+        object: CachedObject,
+        cost: f64,
+        size_hint: usize,
+        delay: u32,
+        tenant: Option<u16>,
+    ) -> bool {
+        let backend = object.backend();
+        let key = LKey(item.clone());
+        self.put_inner(&key, object, cost, size_hint, delay, backend, false, tenant)
+    }
+
+    /// Configures a tenant's soft cache quota (bytes of driver-local
+    /// cache). Over-quota tenants' entries become preferred eq. (1)
+    /// eviction victims (counted as `quota_evictions`). No-op without a
+    /// local tier.
+    pub fn set_tenant_quota(&self, tenant: u16, bytes: usize) {
+        if let Some(local) = self.registry.downcast::<LocalBackend>(BackendId::Local) {
+            local.set_quota(tenant, bytes);
+        }
+    }
+
+    /// Driver-local cache bytes currently charged to `tenant`.
+    pub fn tenant_local_used(&self, tenant: u16) -> usize {
+        self.registry
+            .downcast::<LocalBackend>(BackendId::Local)
+            .map(|local| local.tenant_used(tenant))
+            .unwrap_or(0)
     }
 
     /// PUT with the configured default delay factor.
@@ -618,6 +678,7 @@ impl LineageCache {
         delay: u32,
         backend: BackendId,
         pin: bool,
+        tenant: Option<u16>,
     ) -> bool {
         let _put_span = memphis_obs::span_with(memphis_obs::cat::CACHE, "put", || {
             backend.as_str().to_string()
@@ -668,6 +729,7 @@ impl LineageCache {
                         let mut ph = CacheEntry::placeholder(key.0.clone(), cost, size_hint, delay);
                         ph.backend = backend;
                         ph.last_access = clock;
+                        ph.tenant = tenant;
                         shard.entries.insert(key.clone(), ph);
                         Plan::Deferred
                     }
@@ -685,7 +747,10 @@ impl LineageCache {
                     .as_ref()
                     .map(|(c, _, _, _)| c.clone())
                     .unwrap_or_else(|| key.0.clone());
-                match self.admit(key, canonical, object, cost, size_hint, backend, clock, pin) {
+                let admitted = self.admit(
+                    key, canonical, object, cost, size_hint, backend, clock, pin, tenant,
+                );
+                match admitted {
                     Admitted::Stored => {
                         if let Some((_, hits, misses, jobs)) = carry {
                             self.map.with_entry(key, |e| {
@@ -736,6 +801,7 @@ impl LineageCache {
         backend: BackendId,
         clock: u64,
         pin: bool,
+        tenant: Option<u16>,
     ) -> Admitted {
         let Some(b) = self.registry.get(backend) else {
             return Admitted::Rejected;
@@ -744,6 +810,7 @@ impl LineageCache {
         e.backend = backend;
         e.last_access = clock;
         e.pinned = pin;
+        e.tenant = tenant;
         // Tier admission (MAKE_SPACE, persist, accounting) runs with no
         // shard lock held — it may evict across shards.
         if !b.put(&self.map, &self.registry, key, &mut e) {
@@ -1480,5 +1547,119 @@ mod tests {
         assert!(!c.complete(guard, mat(&m), 1.0, m.size_bytes(), 1));
         assert_eq!(c.local_used(), m.size_bytes(), "no double accounting");
         assert_eq!(c.len(), 1);
+    }
+
+    // --------------------------------------------------------------
+    // Tenant quotas (serving layer)
+    // --------------------------------------------------------------
+
+    #[test]
+    fn tenant_bytes_are_accounted_and_released() {
+        let c = cache_kb(64);
+        let m = rand_uniform(8, 8, 0.0, 1.0, 1);
+        assert!(c.put_as(&item("t0"), mat(&m), 1.0, m.size_bytes(), 1, Some(7)));
+        assert_eq!(c.tenant_local_used(7), m.size_bytes());
+        assert_eq!(c.tenant_local_used(8), 0);
+        c.clear();
+        assert_eq!(c.tenant_local_used(7), 0, "clear releases tenant bytes");
+    }
+
+    #[test]
+    fn guard_completion_charges_its_tenant() {
+        let c = cache_kb(64);
+        let it = item("guarded");
+        let m = rand_uniform(8, 8, 0.0, 1.0, 2);
+        let guard = match c.probe_or_begin_as(&it, Some(3)) {
+            Probed::Compute(g) => g,
+            _ => panic!("owner"),
+        };
+        assert_eq!(guard.tenant(), Some(3));
+        assert!(c.complete(guard, mat(&m), 1.0, m.size_bytes(), 1));
+        assert_eq!(c.tenant_local_used(3), m.size_bytes());
+    }
+
+    #[test]
+    fn over_quota_tenant_evicts_first_despite_higher_score() {
+        // Budget fits two 8 KB matrices, not three. Tenant 1 is over its
+        // 4 KB quota, so its entry is the victim even though its eq. (1)
+        // score is far higher than tenant 2's.
+        let mut cfg = CacheConfig::test();
+        cfg.local_budget = 20 << 10;
+        cfg.spill_to_disk = false;
+        let c = LineageCache::new(cfg);
+        c.set_tenant_quota(1, 4 << 10);
+        let m1 = rand_uniform(32, 32, 0.0, 1.0, 1); // 8 KB
+        let m2 = rand_uniform(32, 32, 0.0, 1.0, 2);
+        assert!(c.put_as(&item("hog"), mat(&m1), 1e9, m1.size_bytes(), 1, Some(1)));
+        assert!(c.put_as(&item("meek"), mat(&m2), 1.0, m2.size_bytes(), 1, Some(2)));
+        let m3 = rand_uniform(32, 32, 0.0, 1.0, 3);
+        assert!(c.put(&item("newcomer"), mat(&m3), 5.0, m3.size_bytes(), 1));
+        assert!(c.probe(&item("hog")).is_none(), "over-quota victim first");
+        assert!(c.probe(&item("meek")).is_some(), "in-quota entry survives");
+        let s = c.stats();
+        assert_eq!(s.quota_evictions, 1);
+        assert_eq!(c.tenant_local_used(1), 0);
+    }
+
+    #[test]
+    fn no_quotas_means_plain_eq1_eviction() {
+        let mut cfg = CacheConfig::test();
+        cfg.local_budget = 20 << 10;
+        cfg.spill_to_disk = false;
+        let c = LineageCache::new(cfg);
+        let m1 = rand_uniform(32, 32, 0.0, 1.0, 1);
+        let m2 = rand_uniform(32, 32, 0.0, 1.0, 2);
+        assert!(c.put_as(&item("a"), mat(&m1), 1e9, m1.size_bytes(), 1, Some(1)));
+        assert!(c.put_as(&item("b"), mat(&m2), 1.0, m2.size_bytes(), 1, Some(2)));
+        let m3 = rand_uniform(32, 32, 0.0, 1.0, 3);
+        assert!(c.put(&item("c"), mat(&m3), 5.0, m3.size_bytes(), 1));
+        assert!(c.probe(&item("a")).is_some(), "high score survives");
+        assert!(
+            c.probe(&item("b")).is_none(),
+            "lowest eq. (1) score evicted"
+        );
+        assert_eq!(c.stats().quota_evictions, 0);
+    }
+
+    #[test]
+    fn within_quota_tenants_fall_back_to_score() {
+        // Tenant 1 has a generous quota: no quota pass, normal eviction.
+        let mut cfg = CacheConfig::test();
+        cfg.local_budget = 20 << 10;
+        cfg.spill_to_disk = false;
+        let c = LineageCache::new(cfg);
+        c.set_tenant_quota(1, 1 << 20);
+        let m1 = rand_uniform(32, 32, 0.0, 1.0, 1);
+        let m2 = rand_uniform(32, 32, 0.0, 1.0, 2);
+        assert!(c.put_as(&item("a"), mat(&m1), 1e9, m1.size_bytes(), 1, Some(1)));
+        assert!(c.put_as(&item("b"), mat(&m2), 1.0, m2.size_bytes(), 1, Some(1)));
+        let m3 = rand_uniform(32, 32, 0.0, 1.0, 3);
+        assert!(c.put(&item("c"), mat(&m3), 5.0, m3.size_bytes(), 1));
+        assert!(c.probe(&item("a")).is_some());
+        assert_eq!(c.stats().quota_evictions, 0);
+    }
+
+    #[test]
+    fn quota_eviction_spills_keep_tenant_tag_for_promotion() {
+        // A spilled over-quota entry keeps its tenant; promotion back to
+        // local recharges the tenant's bytes.
+        let mut cfg = CacheConfig::test();
+        cfg.local_budget = 20 << 10;
+        let c = LineageCache::new(cfg);
+        c.set_tenant_quota(1, 4 << 10);
+        let m1 = rand_uniform(32, 32, 0.0, 1.0, 1);
+        let i1 = item("spillme");
+        assert!(c.put_as(&i1, mat(&m1), 1e9, m1.size_bytes(), 1, Some(1)));
+        c.probe(&i1).expect("hit"); // proven → spill, not drop
+        let m2 = rand_uniform(32, 32, 0.0, 1.0, 2);
+        assert!(c.put(&item("b"), mat(&m2), 1.0, m2.size_bytes(), 1));
+        let m3 = rand_uniform(32, 32, 0.0, 1.0, 3);
+        assert!(c.put(&item("c"), mat(&m3), 5.0, m3.size_bytes(), 1));
+        assert_eq!(c.stats().local_spills, 1, "over-quota entry spilled");
+        assert_eq!(c.tenant_local_used(1), 0, "spill released local bytes");
+        // Disk hit promotes it back (evicting someone to make room) and
+        // the tenant is charged again.
+        c.probe(&i1).expect("disk hit");
+        assert_eq!(c.tenant_local_used(1), m1.size_bytes());
     }
 }

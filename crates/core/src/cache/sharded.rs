@@ -239,7 +239,15 @@ impl ShardedEntryMap {
                 .take(policy.sample_limit)
             {
                 let score = EvictionPolicy::entry_score(e);
-                if best.as_ref().map(|(_, b)| score <= *b).unwrap_or(true) {
+                // Score ties break on the content-derived lineage hash,
+                // not map iteration order: victim identity (and with it
+                // every downstream eviction counter) stays identical run
+                // over run.
+                let better = match &best {
+                    None => true,
+                    Some((bk, bs)) => score < *bs || (score == *bs && k.0.hash < bk.0.hash),
+                };
+                if better {
                     best = Some((k.clone(), score));
                 }
             }

@@ -41,6 +41,12 @@ pub struct ReuseStats {
     pub local_spills: AtomicU64,
     /// Local entries dropped entirely.
     pub local_drops: AtomicU64,
+    /// Evictions whose victim was chosen by the tenant-quota pass (the
+    /// owner tenant was over its soft cache quota).
+    pub quota_evictions: AtomicU64,
+    /// Disk-tier I/O failures (spill writes, materialize reads, dangling
+    /// admissions). Each one degrades to a clean drop or miss.
+    pub disk_io_errors: AtomicU64,
     /// RDD entries unpersisted by eq. (1) eviction.
     pub rdd_unpersists: AtomicU64,
     /// Asynchronous `count()` materialization jobs triggered.
@@ -104,6 +110,10 @@ pub struct ReuseStatsSnapshot {
     pub local_spills: u64,
     /// See [`ReuseStats::local_drops`].
     pub local_drops: u64,
+    /// See [`ReuseStats::quota_evictions`].
+    pub quota_evictions: u64,
+    /// See [`ReuseStats::disk_io_errors`].
+    pub disk_io_errors: u64,
     /// See [`ReuseStats::rdd_unpersists`].
     pub rdd_unpersists: u64,
     /// See [`ReuseStats::rdd_materialize_jobs`].
@@ -155,6 +165,8 @@ impl ReuseStats {
             shard_contention: 0,
             local_spills: self.local_spills.load(Ordering::Relaxed),
             local_drops: self.local_drops.load(Ordering::Relaxed),
+            quota_evictions: self.quota_evictions.load(Ordering::Relaxed),
+            disk_io_errors: self.disk_io_errors.load(Ordering::Relaxed),
             rdd_unpersists: self.rdd_unpersists.load(Ordering::Relaxed),
             rdd_materialize_jobs: self.rdd_materialize_jobs.load(Ordering::Relaxed),
             gc_rdds_released: self.gc_rdds_released.load(Ordering::Relaxed),
@@ -194,6 +206,8 @@ impl memphis_obs::IntoMetrics for ReuseStatsSnapshot {
             ("shard_contention", self.shard_contention),
             ("local_spills", self.local_spills),
             ("local_drops", self.local_drops),
+            ("quota_evictions", self.quota_evictions),
+            ("disk_io_errors", self.disk_io_errors),
             ("rdd_unpersists", self.rdd_unpersists),
             ("rdd_materialize_jobs", self.rdd_materialize_jobs),
             ("gc_rdds_released", self.gc_rdds_released),

@@ -1,0 +1,87 @@
+//! The three-level memory-pressure monitor.
+//!
+//! Pressure measures *unevictable demand* on the unified memory budget:
+//! bytes reserved by executing requests plus the estimates of everything
+//! queued behind them. Cached entries are excluded deliberately — the
+//! lineage cache evicts them itself under eq. (1), so a full cache is
+//! the healthy steady state, not an emergency. The budget is read from
+//! the cache's own local-tier accounting, keeping the monitor driven by
+//! the same unified budget the backends share.
+
+/// Pressure level, derived from committed bytes vs. the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureLevel {
+    /// Demand is comfortably under budget.
+    Normal,
+    /// Demand crossed the shed threshold: queued requests past their
+    /// deadline are shed, lowest priority first.
+    Shed,
+    /// Demand crossed the suspend threshold: admission of
+    /// memory-intensive requests is suspended until pressure drops.
+    Suspend,
+}
+
+/// Threshold-based monitor over a fixed byte budget.
+#[derive(Debug, Clone)]
+pub struct PressureMonitor {
+    budget: usize,
+    shed_at: usize,
+    suspend_at: usize,
+    /// Requests with `mem_estimate >= intensive_bytes` count as
+    /// memory-intensive for suspension.
+    pub intensive_bytes: usize,
+}
+
+impl PressureMonitor {
+    /// A monitor over `budget` bytes with `shed_frac`/`suspend_frac`
+    /// thresholds (fractions of the budget) and the given
+    /// memory-intensive bound.
+    pub fn new(budget: usize, shed_frac: f64, suspend_frac: f64, intensive_bytes: usize) -> Self {
+        Self {
+            budget,
+            shed_at: (budget as f64 * shed_frac) as usize,
+            suspend_at: (budget as f64 * suspend_frac) as usize,
+            intensive_bytes,
+        }
+    }
+
+    /// The budget the monitor watches.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The level for `committed` bytes of unevictable demand.
+    pub fn level(&self, committed: usize) -> PressureLevel {
+        if committed >= self.suspend_at {
+            PressureLevel::Suspend
+        } else if committed >= self.shed_at {
+            PressureLevel::Shed
+        } else {
+            PressureLevel::Normal
+        }
+    }
+
+    /// True when a request of `mem_estimate` bytes counts as
+    /// memory-intensive (suspended at [`PressureLevel::Suspend`]).
+    pub fn is_intensive(&self, mem_estimate: usize) -> bool {
+        mem_estimate >= self.intensive_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_follow_thresholds() {
+        let m = PressureMonitor::new(1000, 0.5, 0.8, 100);
+        assert_eq!(m.level(0), PressureLevel::Normal);
+        assert_eq!(m.level(499), PressureLevel::Normal);
+        assert_eq!(m.level(500), PressureLevel::Shed);
+        assert_eq!(m.level(799), PressureLevel::Shed);
+        assert_eq!(m.level(800), PressureLevel::Suspend);
+        assert!(m.is_intensive(100));
+        assert!(!m.is_intensive(99));
+        assert!(PressureLevel::Suspend > PressureLevel::Shed);
+    }
+}

@@ -1,0 +1,167 @@
+//! The bounded priority/deadline queue.
+
+use crate::request::{Priority, Request};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap key: priority first (higher wins), then earlier deadline, then
+/// lower id (FIFO tiebreak — also what makes scheduling deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Queued {
+    priority: Priority,
+    deadline: u64,
+    id: u64,
+}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.deadline.cmp(&self.deadline))
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded priority/deadline queue of admitted request ids. The scheduler
+/// keeps request state in its table; the queue holds only ordering keys.
+#[derive(Debug)]
+pub struct RequestQueue {
+    heap: BinaryHeap<Queued>,
+    capacity: usize,
+    bytes: usize,
+}
+
+impl RequestQueue {
+    /// An empty queue holding at most `capacity` requests.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            capacity,
+            bytes: 0,
+        }
+    }
+
+    /// Queued requests.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True when the queue is at capacity for *new admissions* (retries
+    /// of already-admitted requests are exempt from the bound).
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.capacity
+    }
+
+    /// Sum of `mem_estimate` over queued requests (pressure input).
+    pub fn queued_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Enqueues a request (caller checked the bound for new admissions).
+    pub fn push(&mut self, r: &Request) {
+        self.heap.push(Queued {
+            priority: r.priority,
+            deadline: r.deadline,
+            id: r.id,
+        });
+        self.bytes += r.mem_estimate;
+    }
+
+    /// Pops the best request id, crediting `bytes` via the callback's
+    /// returned estimate.
+    pub fn pop(&mut self, mem_of: impl Fn(u64) -> usize) -> Option<u64> {
+        let q = self.heap.pop()?;
+        self.bytes = self.bytes.saturating_sub(mem_of(q.id));
+        Some(q.id)
+    }
+
+    /// Removes every queued request past its deadline at `now`, returning
+    /// their ids ordered lowest-priority-first (the shed order).
+    pub fn shed_expired(&mut self, now: u64, mem_of: impl Fn(u64) -> usize) -> Vec<u64> {
+        let drained: Vec<Queued> = std::mem::take(&mut self.heap).into_vec();
+        let mut expired = Vec::new();
+        for q in drained {
+            if q.deadline < now {
+                expired.push(q);
+            } else {
+                self.heap.push(q);
+            }
+        }
+        // Lowest priority first; then latest deadline (most hopeless)
+        // first; id tiebreak keeps the order deterministic.
+        expired.sort_by(|a, b| {
+            a.priority
+                .cmp(&b.priority)
+                .then(b.deadline.cmp(&a.deadline))
+                .then(a.id.cmp(&b.id))
+        });
+        for q in &expired {
+            self.bytes = self.bytes.saturating_sub(mem_of(q.id));
+        }
+        expired.into_iter().map(|q| q.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Work;
+
+    fn req(id: u64, priority: Priority, deadline: u64) -> Request {
+        Request {
+            id,
+            tenant: 0,
+            priority,
+            arrival: 0,
+            deadline,
+            mem_estimate: 100,
+            service_ticks: 1,
+            work: Work::SharedItem(0),
+        }
+    }
+
+    #[test]
+    fn pops_priority_then_deadline_then_id() {
+        let mut q = RequestQueue::new(8);
+        q.push(&req(1, Priority::Batch, 5));
+        q.push(&req(2, Priority::Interactive, 9));
+        q.push(&req(3, Priority::Interactive, 4));
+        q.push(&req(4, Priority::Interactive, 4));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop(|_| 100)).collect();
+        assert_eq!(order, vec![3, 4, 2, 1]);
+        assert_eq!(q.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn shed_removes_expired_lowest_priority_first() {
+        let mut q = RequestQueue::new(8);
+        q.push(&req(1, Priority::Interactive, 3));
+        q.push(&req(2, Priority::Batch, 2));
+        q.push(&req(3, Priority::Normal, 1));
+        q.push(&req(4, Priority::Interactive, 10));
+        let shed = q.shed_expired(5, |_| 100);
+        assert_eq!(shed, vec![2, 3, 1]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.queued_bytes(), 100);
+    }
+
+    #[test]
+    fn capacity_bound() {
+        let mut q = RequestQueue::new(2);
+        q.push(&req(1, Priority::Batch, 1));
+        assert!(!q.is_full());
+        q.push(&req(2, Priority::Batch, 1));
+        assert!(q.is_full());
+    }
+}

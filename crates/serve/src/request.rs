@@ -1,0 +1,125 @@
+//! Serving requests: the unit of admission, scheduling, and execution.
+
+/// Tenant identifier (matches the `tenant` tag on lineage-cache entries).
+pub type TenantId = u16;
+
+/// Request priority class. Ordering is scheduling order: `Interactive`
+/// beats `Normal` beats `Batch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Throughput traffic: first shed under pressure.
+    Batch,
+    /// Default traffic.
+    Normal,
+    /// Latency-sensitive traffic: scheduled first, shed last.
+    Interactive,
+}
+
+impl Priority {
+    /// Numeric rank (higher schedules first).
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::Batch => 0,
+            Priority::Normal => 1,
+            Priority::Interactive => 2,
+        }
+    }
+}
+
+/// What a request asks the serving layer to produce.
+#[derive(Debug, Clone)]
+pub enum Work {
+    /// Compute (or reuse) shared lineage item `serve/item{idx}` — the
+    /// cross-tenant reuse unit; concurrent requests for the same index
+    /// coalesce on one computation.
+    SharedItem(usize),
+    /// Run one of the paper pipelines (a
+    /// [`memphis_workloads::pipelines::SESSION_MIX`] kind) end-to-end
+    /// over the shared cache.
+    Pipeline(&'static str),
+}
+
+/// One serving request, tagged with tenant, priority, and deadline.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Unique, dense id (also the scheduling tiebreaker).
+    pub id: u64,
+    /// Issuing tenant.
+    pub tenant: TenantId,
+    /// Priority class.
+    pub priority: Priority,
+    /// Arrival tick (virtual time).
+    pub arrival: u64,
+    /// Start-by deadline tick: a queued request past this tick is shed
+    /// under memory pressure, and a completion that started later is
+    /// counted late.
+    pub deadline: u64,
+    /// Estimated peak memory of executing this request, in bytes. Charged
+    /// against the tenant's hard in-flight cap at admission and reserved
+    /// while queued/executing.
+    pub mem_estimate: usize,
+    /// Service time in virtual ticks (occupies an execution slot).
+    pub service_ticks: u64,
+    /// The work to perform.
+    pub work: Work,
+}
+
+/// Terminal outcome of one request, indexed by request id in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed successfully.
+    Completed {
+        /// Dispatch tick of the successful attempt.
+        started: u64,
+        /// Completion tick.
+        finished: u64,
+        /// Attempts used (1 = no retries).
+        attempts: u32,
+        /// True when the successful attempt started past the deadline.
+        late: bool,
+    },
+    /// Shed from the queue under memory pressure (past deadline).
+    Shed {
+        /// Tick of the shed decision.
+        at: u64,
+    },
+    /// Rejected at admission by the token bucket.
+    RejectedTokens,
+    /// Rejected at admission by the tenant's hard in-flight memory cap.
+    RejectedCap,
+    /// Rejected at admission because the bounded queue was full.
+    RejectedQueueFull,
+    /// Exhausted its retry budget on transient faults.
+    Failed {
+        /// Attempts used.
+        attempts: u32,
+    },
+}
+
+impl Outcome {
+    /// True for outcomes that went through the queue (admitted).
+    pub fn was_admitted(&self) -> bool {
+        !matches!(
+            self,
+            Outcome::RejectedTokens | Outcome::RejectedCap | Outcome::RejectedQueueFull
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_interactive_first() {
+        assert!(Priority::Interactive > Priority::Normal);
+        assert!(Priority::Normal > Priority::Batch);
+        assert_eq!(Priority::Interactive.rank(), 2);
+    }
+
+    #[test]
+    fn admission_classification() {
+        assert!(Outcome::Shed { at: 3 }.was_admitted());
+        assert!(!Outcome::RejectedCap.was_admitted());
+    }
+}

@@ -1,0 +1,135 @@
+//! Serving-layer counters, comparable across runs and worker counts.
+
+/// End-of-run serving counters. `Eq` on purpose: determinism tests
+/// compare whole snapshots across repeated runs and worker-thread
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+pub struct ServeCounters {
+    /// Requests offered to admission.
+    pub arrivals: u64,
+    /// Requests that entered the queue (directly or via the suspended
+    /// list).
+    pub admitted: u64,
+    /// Rejected by the token bucket.
+    pub rejected_tokens: u64,
+    /// Rejected by a tenant's hard in-flight memory cap.
+    pub rejected_cap: u64,
+    /// Rejected because the bounded queue was full.
+    pub rejected_queue_full: u64,
+    /// Memory-intensive arrivals parked while pressure was at suspend.
+    pub suspended: u64,
+    /// Parked requests resumed into the queue.
+    pub resumed: u64,
+    /// Queued past-deadline requests shed under pressure.
+    pub shed: u64,
+    /// Requests dispatched to execution slots (attempts, not requests).
+    pub dispatched: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Completions whose successful attempt started past the deadline.
+    pub completed_late: u64,
+    /// Transient-fault retries (re-enqueues with backoff).
+    pub retries: u64,
+    /// Requests that exhausted their retry budget.
+    pub failed: u64,
+    /// Serve-level probe hits (cache already held the item).
+    pub hits: u64,
+    /// Owner computations begun through the cache.
+    pub computes: u64,
+    /// Same-batch followers riding an owner's computation (serve-level
+    /// coalescing; the cache-level kind is in the reuse counters).
+    pub coalesced: u64,
+    /// Computations of an item computed before in this run (legal
+    /// recompute after eviction).
+    pub recomputes: u64,
+    /// Computations begun while another computation of the same item was
+    /// still in flight. The batch-owner protocol and the cache's
+    /// in-flight markers make this impossible; must be 0.
+    pub duplicates: u64,
+    /// Quota-pass evictions observed in the cache during the run.
+    pub quota_evictions: u64,
+}
+
+impl ServeCounters {
+    /// The counters that are schedule-determined: identical across runs
+    /// and worker counts even when cache victim *identity* varies (the
+    /// eq. (1) score ties are broken by map iteration order, so
+    /// hit/compute splits can differ while everything here cannot).
+    pub fn deterministic_slice(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("arrivals", self.arrivals),
+            ("admitted", self.admitted),
+            ("rejected_tokens", self.rejected_tokens),
+            ("rejected_cap", self.rejected_cap),
+            ("rejected_queue_full", self.rejected_queue_full),
+            ("suspended", self.suspended),
+            ("resumed", self.resumed),
+            ("shed", self.shed),
+            ("dispatched", self.dispatched),
+            ("completed", self.completed),
+            ("completed_late", self.completed_late),
+            ("retries", self.retries),
+            ("failed", self.failed),
+            ("coalesced", self.coalesced),
+            ("duplicates", self.duplicates),
+            ("probes", self.hits + self.computes),
+        ]
+    }
+
+    /// Every admitted request must reach exactly one terminal state.
+    pub fn terminally_complete(&self) -> bool {
+        self.admitted == self.completed + self.shed + self.failed
+    }
+}
+
+impl memphis_obs::IntoMetrics for ServeCounters {
+    fn metrics_section(&self) -> &'static str {
+        "serve"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("arrivals", self.arrivals),
+            ("admitted", self.admitted),
+            ("rejected_tokens", self.rejected_tokens),
+            ("rejected_cap", self.rejected_cap),
+            ("rejected_queue_full", self.rejected_queue_full),
+            ("suspended", self.suspended),
+            ("resumed", self.resumed),
+            ("shed", self.shed),
+            ("dispatched", self.dispatched),
+            ("completed", self.completed),
+            ("completed_late", self.completed_late),
+            ("retries", self.retries),
+            ("failed", self.failed),
+            ("hits", self.hits),
+            ("computes", self.computes),
+            ("coalesced", self.coalesced),
+            ("recomputes", self.recomputes),
+            ("duplicates", self.duplicates),
+            ("quota_evictions", self.quota_evictions),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_completeness() {
+        let c = ServeCounters {
+            admitted: 10,
+            completed: 7,
+            shed: 2,
+            failed: 1,
+            ..Default::default()
+        };
+        assert!(c.terminally_complete());
+        assert!(!ServeCounters {
+            admitted: 1,
+            ..Default::default()
+        }
+        .terminally_complete());
+    }
+}

@@ -8,3 +8,41 @@ pub mod hcv;
 pub mod hdrop;
 pub mod pnmf;
 pub mod tlvis;
+
+use memphis_core::cache::LineageCache;
+use memphis_engine::context::Result;
+use memphis_engine::{EngineConfig, ExecutionContext, ReuseMode};
+use std::sync::Arc;
+
+/// The serving pipeline mix shared by the PR 4 rendezvous harness
+/// ([`crate::serve`]) and the memphis-serve scheduler: session `s` of a
+/// run seeded `seed` gets [`session_kind`]`(seed, s)`.
+pub const SESSION_MIX: [&str; 4] = ["hcv", "pnmf", "hband", "tlvis"];
+
+/// The pipeline kind assigned to session `s` under `seed`.
+pub fn session_kind(seed: u64, s: usize) -> &'static str {
+    SESSION_MIX[((seed as usize) + s) % SESSION_MIX.len()]
+}
+
+/// Builds a session execution context over a shared lineage cache with
+/// MEMPHIS reuse on (the serving-layer configuration).
+pub fn session_context(cache: &Arc<LineageCache>) -> ExecutionContext {
+    ExecutionContext::new(
+        EngineConfig::test().with_reuse(ReuseMode::Memphis),
+        Arc::clone(cache),
+        None,
+        None,
+    )
+}
+
+/// Runs one session pipeline of `kind` (a [`SESSION_MIX`] name) at test
+/// scale, returning its checksum. Unknown kinds fall back to tlvis,
+/// matching the historical serving-harness dispatch.
+pub fn run_session_kind(ctx: &mut ExecutionContext, kind: &str) -> Result<f64> {
+    match kind {
+        "hcv" => hcv::run(ctx, &hcv::HcvParams::small()),
+        "pnmf" => pnmf::run(ctx, &pnmf::PnmfParams::small()),
+        "hband" => hband::run(ctx, &hband::HbandParams::small()),
+        _ => tlvis::run(ctx, &tlvis::TlvisParams::small()),
+    }
+}

@@ -31,7 +31,6 @@ use memphis_core::cache::entry::CachedObject;
 use memphis_core::cache::{LineageCache, Probed};
 use memphis_core::lineage::{LItem, LineageItem};
 use memphis_core::stats::ReuseStatsSnapshot;
-use memphis_engine::{EngineConfig, ExecutionContext, ReuseMode};
 use memphis_matrix::Matrix;
 use memphis_obs::cat;
 use parking_lot::Mutex;
@@ -124,9 +123,6 @@ impl ServeReport {
             && self.reuse.hits + self.reuse.misses == self.reuse.probes
     }
 }
-
-/// The pipeline mix; session `s` runs `MIX[(seed + s) % 4]`.
-const MIX: [&str; 4] = ["hcv", "pnmf", "hband", "tlvis"];
 
 /// Shared-compute bookkeeping: per-id completion counts plus the set of
 /// ids currently being computed (to detect concurrent duplicates).
@@ -282,20 +278,9 @@ fn run_shared_sweep(cache: &LineageCache, p: &ServeParams, s: usize, ledger: &Mu
 /// private puts through the local budget.
 fn run_session_pipeline(cache: &Arc<LineageCache>, p: &ServeParams, s: usize) -> (String, f64) {
     let _span = memphis_obs::span(cat::SERVE, "pipeline");
-    let kind = MIX[((p.seed as usize) + s) % MIX.len()];
-    let mut ctx = ExecutionContext::new(
-        EngineConfig::test().with_reuse(ReuseMode::Memphis),
-        Arc::clone(cache),
-        None,
-        None,
-    );
-    let check = match kind {
-        "hcv" => pipelines::hcv::run(&mut ctx, &pipelines::hcv::HcvParams::small()),
-        "pnmf" => pipelines::pnmf::run(&mut ctx, &pipelines::pnmf::PnmfParams::small()),
-        "hband" => pipelines::hband::run(&mut ctx, &pipelines::hband::HbandParams::small()),
-        _ => pipelines::tlvis::run(&mut ctx, &pipelines::tlvis::TlvisParams::small()),
-    }
-    .expect("serving pipeline failed");
+    let kind = pipelines::session_kind(p.seed, s);
+    let mut ctx = pipelines::session_context(cache);
+    let check = pipelines::run_session_kind(&mut ctx, kind).expect("serving pipeline failed");
 
     let _churn_span = memphis_obs::span(cat::SERVE, "churn");
     for r in 0..p.churn_rounds {

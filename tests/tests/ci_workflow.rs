@@ -87,6 +87,8 @@ fn workflow_uploads_observability_artifacts() {
     );
     assert!(y.contains("exp_concurrent.trace.json"));
     assert!(y.contains("exp_concurrent.metrics.json"));
+    assert!(y.contains("exp_serve.trace.json"));
+    assert!(y.contains("exp_serve.metrics.json"));
     assert!(
         y.contains("--trace") && y.contains("--json"),
         "ci.yml: exp run must request trace + metrics artifacts"
@@ -141,6 +143,9 @@ fn invoked_scripts_exist_and_are_executable() {
         "evictions",
         "coalesced_hits",
         "duplicates",
+        "serve_shed",
+        "serve_coalesced",
+        "serve_quota_evictions",
     ] {
         assert!(
             baseline.contains(&format!("\"{key}\"")),
@@ -158,6 +163,7 @@ fn ci_script_defines_all_stages() {
         "stage_chaos",
         "stage_obs",
         "stage_concurrency",
+        "stage_serve",
         "stage_bench_gate",
         "stage_lint",
     ] {
@@ -171,4 +177,9 @@ fn ci_script_defines_all_stages() {
     assert!(sh.contains("--test concurrency"));
     assert!(sh.contains("42 1337"));
     assert!(sh.contains("--skip-lint"));
+    // The serve stage runs the disk-tier and serving suites plus the
+    // full experiment binary.
+    assert!(sh.contains("--test disk_tier"));
+    assert!(sh.contains("--test serving"));
+    assert!(sh.contains("--bin exp_serve"));
 }

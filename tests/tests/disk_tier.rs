@@ -1,0 +1,184 @@
+//! Disk-tier integration: spill on eviction, disk hit with
+//! promote-on-hit, and injected I/O failure — asserting the counters and
+//! bit-identical round-tripped contents (chaos-seeded like
+//! `concurrency.rs`; run under `CHAOS_SEED` 42 and 1337 by `ci.sh`).
+
+use memphis_core::backend::BackendId;
+use memphis_core::cache::config::CacheConfig;
+use memphis_core::cache::entry::CachedObject;
+use memphis_core::cache::LineageCache;
+use memphis_core::lineage::{LItem, LineageItem};
+use memphis_matrix::rand_gen::rand_uniform;
+use memphis_matrix::Matrix;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn item(name: &str) -> LItem {
+    LineageItem::leaf(name)
+}
+
+fn mat(m: &Matrix) -> CachedObject {
+    CachedObject::Matrix(Arc::new(m.clone()))
+}
+
+/// A per-test spill directory so parallel tests never share files.
+fn spill_dir(test: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "memphis_disk_tier_{test}_{}_{}",
+        chaos_seed(),
+        std::process::id()
+    ))
+}
+
+fn cache(budget_kb: usize, spill_dir: PathBuf) -> LineageCache {
+    let mut cfg = CacheConfig::test();
+    cfg.local_budget = budget_kb << 10;
+    cfg.spill_dir = spill_dir;
+    LineageCache::new(cfg)
+}
+
+/// Spill → disk hit → promote-on-hit: the evicted matrix round-trips
+/// through the disk tier bit-for-bit, the hit promotes it back to
+/// memory, and every counter involved is exact.
+#[test]
+fn spill_then_disk_hit_promotes_bit_identical() {
+    let dir = spill_dir("roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let c = cache(12, dir.clone());
+    let seed = chaos_seed();
+    let m1 = rand_uniform(32, 32, -1.0, 1.0, seed); // 8 KB
+    let m2 = rand_uniform(32, 32, -1.0, 1.0, seed + 1);
+    let i1 = item("disk/m1");
+    let i2 = item("disk/m2");
+
+    c.put(&i1, mat(&m1), 1.0, m1.size_bytes(), 1);
+    c.probe(&i1).expect("warm hit"); // proven reusable → spills, not drops
+    c.put(&i2, mat(&m2), 100.0, m2.size_bytes(), 1);
+
+    let s = c.stats();
+    assert_eq!(s.local_spills, 1, "cheaper proven entry spilled");
+    assert_eq!(s.local_drops, 0);
+    assert_eq!(s.disk_io_errors, 0);
+    let disk = c.registry().get(BackendId::Disk).unwrap();
+    assert_eq!(disk.used(), m1.size_bytes(), "spill accounted to disk tier");
+
+    // Disk hit: contents must be bit-identical (tolerance 0.0), and
+    // promote-on-hit must move the bytes back to the local tier.
+    let hit = c.probe(&i1).expect("disk hit");
+    match hit.object {
+        CachedObject::Matrix(got) => {
+            assert!(got.approx_eq(&m1, 0.0), "disk round-trip must be exact")
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let s = c.stats();
+    assert_eq!(s.hits_disk, 1);
+    assert_eq!(
+        c.registry().get(BackendId::Disk).unwrap().used(),
+        0,
+        "promotion drains the disk tier"
+    );
+
+    // The promoted entry now hits in memory.
+    let before = c.stats().hits_local;
+    c.probe(&i1).expect("promoted hit");
+    assert_eq!(c.stats().hits_local, before + 1);
+    assert_eq!(c.stats().disk_io_errors, 0, "clean run: no I/O errors");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Injected spill-write failure: pointing the spill directory *under an
+/// existing regular file* makes every disk write fail. The eviction must
+/// fall back to a clean drop — no dangling disk entry, a counted
+/// `disk_io_errors`, and the victim is a recomputable miss afterwards.
+#[test]
+fn spill_write_failure_drops_cleanly_and_counts() {
+    let blocker = spill_dir("blocked_parent");
+    let _ = std::fs::remove_dir_all(&blocker);
+    let _ = std::fs::remove_file(&blocker);
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    // `create_dir_all(blocker/spill)` now fails on every store().
+    let c = cache(12, blocker.join("spill"));
+    let seed = chaos_seed();
+    let m1 = rand_uniform(32, 32, -1.0, 1.0, seed);
+    let m2 = rand_uniform(32, 32, -1.0, 1.0, seed + 1);
+    let i1 = item("disk/fail1");
+
+    c.put(&i1, mat(&m1), 1.0, m1.size_bytes(), 1);
+    c.probe(&i1).expect("warm hit"); // proven: would spill if disk worked
+    c.put(&item("disk/fail2"), mat(&m2), 100.0, m2.size_bytes(), 1);
+
+    let s = c.stats();
+    assert!(s.disk_io_errors >= 1, "failed spill write must be counted");
+    assert_eq!(s.local_spills, 0, "failed write is not a spill");
+    assert_eq!(s.local_drops, 1, "victim dropped cleanly instead");
+    assert_eq!(
+        c.registry().get(BackendId::Disk).unwrap().used(),
+        0,
+        "no dangling disk entry may be accounted"
+    );
+    assert!(
+        c.probe(&i1).is_none(),
+        "dropped entry is a miss (recompute from lineage), not a dangling path"
+    );
+
+    // The cache stays fully usable after the failure.
+    c.put(&i1, mat(&m1), 200.0, m1.size_bytes(), 1);
+    match c.probe(&i1).expect("re-put hits in memory").object {
+        CachedObject::Matrix(got) => assert!(got.approx_eq(&m1, 0.0)),
+        other => panic!("unexpected {other:?}"),
+    }
+    let _ = std::fs::remove_file(&blocker);
+}
+
+/// The snapshot plumbing surfaces disk I/O errors: the counter appears
+/// in the metrics dump and in the disk backend's snapshot detail, so a
+/// failing disk is visible in `memphis-obs` output rather than silent.
+#[test]
+fn disk_io_errors_surface_in_metrics_and_snapshots() {
+    use memphis_obs::IntoMetrics;
+
+    let blocker = spill_dir("metrics_parent");
+    let _ = std::fs::remove_dir_all(&blocker);
+    let _ = std::fs::remove_file(&blocker);
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let c = cache(12, blocker.join("spill"));
+    let seed = chaos_seed();
+    let m1 = rand_uniform(32, 32, -1.0, 1.0, seed);
+    let m2 = rand_uniform(32, 32, -1.0, 1.0, seed + 1);
+    let i1 = item("disk/metrics1");
+    c.put(&i1, mat(&m1), 1.0, m1.size_bytes(), 1);
+    c.probe(&i1).expect("warm hit");
+    c.put(&item("disk/metrics2"), mat(&m2), 100.0, m2.size_bytes(), 1);
+
+    let snap = c.stats();
+    assert!(snap.disk_io_errors >= 1);
+    let metrics = snap.metrics();
+    let io = metrics
+        .iter()
+        .find(|(k, _)| *k == "disk_io_errors")
+        .expect("disk_io_errors exported to the metrics registry");
+    assert_eq!(io.1, snap.disk_io_errors);
+
+    let disk_snap = c
+        .backend_snapshots()
+        .into_iter()
+        .find(|s| s.id == BackendId::Disk)
+        .expect("disk backend snapshot");
+    assert!(
+        disk_snap
+            .detail
+            .iter()
+            .any(|(k, v)| *k == "io_errors" && *v >= 1),
+        "disk snapshot detail must carry io_errors: {:?}",
+        disk_snap.detail
+    );
+    let _ = std::fs::remove_file(&blocker);
+}
