@@ -5,8 +5,8 @@
 # Usage: ./ci.sh [--skip-lint] [stage ...]
 #   --skip-lint  omit the lint stage (CI runs it in a separate fast job)
 #   stage ...    run only the named stages (build test chaos obs
-#                concurrency serve bench_gate lint); default is all of
-#                them.
+#                concurrency serve bench_gate perf lint); default is all
+#                of them.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -91,12 +91,21 @@ stage_bench_gate() {
     ci/bench_gate.sh
 }
 
+# Perf stage: the gate workloads at baseline scale (exact-match counter
+# gate) plus a ~10x serving/concurrency stress under virtual time,
+# reporting ops/sec and p50/p99 latency into BENCH_pr6.json. Wall-clock
+# keys are informational; any gated-counter divergence fails the stage.
+stage_perf() {
+    cargo build --release -q -p memphis-bench --bin perf_stress
+    ./target/release/perf_stress BENCH_pr6.json ci/BENCH_baseline.json
+}
+
 stage_lint() {
     cargo clippy --all-targets -- -D warnings
     cargo fmt --check
 }
 
-ALL_STAGES=(build test chaos obs concurrency serve bench_gate lint)
+ALL_STAGES=(build test chaos obs concurrency serve bench_gate perf lint)
 SKIP_LINT=0
 REQUESTED=()
 for arg in "$@"; do
@@ -114,7 +123,7 @@ for stage in "${REQUESTED[@]}"; do
         continue
     fi
     case "$stage" in
-        build|test|chaos|obs|concurrency|serve|bench_gate|lint)
+        build|test|chaos|obs|concurrency|serve|bench_gate|perf|lint)
             run_stage "$stage" "stage_$stage" ;;
         *)
             echo "ci: unknown stage '$stage' (known: ${ALL_STAGES[*]})" >&2

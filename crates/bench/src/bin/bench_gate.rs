@@ -6,26 +6,14 @@
 //!
 //! Usage: `bench_gate <out.json> [baseline.json]`
 //!
-//! Wall clock is reported but never gated; the gated counters (reuse
-//! hits, recomputes, evictions, coalesced hits, duplicates, and the
-//! serving shed/coalesced/quota-eviction counts) are exact by
-//! construction, so the comparison is equality, not a tolerance band.
+//! Wall clock is reported but never gated; the gated counters (see
+//! `memphis_bench::gate::GATED`) are exact by construction, so the
+//! comparison is equality, not a tolerance band.
 
+use memphis_bench::gate::{compare_gated, render};
 use memphis_bench::golden::{
     run_concurrency_gate, run_serve_gate, ConcGateParams, ServeGateParams,
 };
-
-/// The gated counters, in report order.
-const GATED: [&str; 8] = [
-    "hits",
-    "recomputes",
-    "evictions",
-    "coalesced_hits",
-    "duplicates",
-    "serve_shed",
-    "serve_coalesced",
-    "serve_quota_evictions",
-];
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -65,61 +53,19 @@ fn main() {
         eprintln!("bench_gate: cannot read baseline {baseline_path}: {e}");
         std::process::exit(2);
     });
-    let current = parse(&report);
-    let expected = parse(&baseline);
-    let mut failed = false;
-    for key in GATED {
-        match (expected.get(key), current.get(key)) {
-            (Some(want), Some(got)) if want == got => {
-                println!("bench_gate: {key:<16} {got} == baseline");
-            }
-            (Some(want), Some(got)) => {
-                eprintln!("bench_gate: {key:<16} {got} != baseline {want}  REGRESSION");
-                failed = true;
-            }
-            _ => {
-                eprintln!("bench_gate: {key:<16} missing from report or baseline");
-                failed = true;
-            }
-        }
+    let diff = compare_gated(&report, &baseline);
+    for (key, got) in &diff.matches {
+        println!("bench_gate: {key:<16} {got} == baseline");
     }
-    if failed {
+    for (key, got, want) in &diff.regressions {
+        eprintln!("bench_gate: {key:<16} {got} != baseline {want}  REGRESSION");
+    }
+    for key in &diff.missing {
+        eprintln!("bench_gate: {key:<16} missing from report or baseline");
+    }
+    if !diff.passed() {
         eprintln!("bench_gate: deterministic counters diverged from {baseline_path}");
         std::process::exit(1);
     }
     println!("bench_gate: all deterministic counters match {baseline_path}");
-}
-
-/// Renders a flat `{"k": v, ...}` JSON object (the vendored serde is
-/// serialize-only, so both ends are hand-rolled).
-fn render(pairs: &[(&str, u64)]) -> String {
-    let body = pairs
-        .iter()
-        .map(|(k, v)| format!("  \"{k}\": {v}"))
-        .collect::<Vec<_>>()
-        .join(",\n");
-    format!("{{\n{body}\n}}\n")
-}
-
-/// Parses a flat string-to-integer JSON object (whitespace-tolerant;
-/// ignores anything that is not a `"key": <digits>` pair).
-fn parse(s: &str) -> std::collections::HashMap<String, u64> {
-    let mut out = std::collections::HashMap::new();
-    let mut rest = s;
-    while let Some(q0) = rest.find('"') {
-        rest = &rest[q0 + 1..];
-        let Some(q1) = rest.find('"') else { break };
-        let key = rest[..q1].to_string();
-        rest = &rest[q1 + 1..];
-        let Some(c) = rest.find(':') else { break };
-        let after = rest[c + 1..].trim_start();
-        let digits: String = after.chars().take_while(|ch| ch.is_ascii_digit()).collect();
-        if !digits.is_empty() {
-            if let Ok(v) = digits.parse() {
-                out.insert(key, v);
-            }
-        }
-        rest = &rest[c + 1..];
-    }
-    out
 }

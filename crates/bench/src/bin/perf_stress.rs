@@ -1,0 +1,163 @@
+//! Perf stress harness (CI `perf` stage): the gate workloads at their
+//! committed-baseline scale for the exact-match counter gate, plus a
+//! ~10x scaled concurrency/serving stress measured under virtual time.
+//!
+//! Usage: `perf_stress <out.json> [baseline.json]`
+//!
+//! The report separates two kinds of numbers:
+//!
+//! - **Gated counters** (`memphis_bench::gate::GATED`): produced by the
+//!   baseline-scale runs, deterministic by construction, compared for
+//!   equality against `ci/BENCH_baseline.json`. Any divergence fails
+//!   the stage.
+//! - **Perf keys** (`perf_*`): throughput (ops/sec, wall clock) and
+//!   request latency percentiles (p50/p99 in virtual ticks) of the
+//!   scaled stress. Tick-denominated numbers are deterministic;
+//!   wall-clock numbers vary with the host and are informational only —
+//!   never gated.
+//!
+//! Latency is virtual: the serving scheduler runs an open-loop trace in
+//! discrete ticks, so `finished - arrival` of each completed request is
+//! exact run over run and worker count over worker count. The arrival
+//! map is regenerated from the same seeded trace generator the
+//! scheduler consumed.
+
+use memphis_bench::gate::{compare_gated, percentile, render};
+use memphis_bench::golden::{
+    run_concurrency_gate, run_serve_gate, serve_gate_spec, ConcGateParams, ServeGateParams,
+};
+use memphis_serve::{open_loop, Outcome};
+use std::collections::HashMap;
+
+/// The scaled stress: ~10x the baseline serving trace, double the
+/// rendezvous sessions, 10x the churned eviction set.
+fn stress_conc() -> ConcGateParams {
+    ConcGateParams {
+        items: 256,
+        rounds: 32,
+        churn: 1280,
+        sessions: 16,
+    }
+}
+
+fn stress_serve() -> ServeGateParams {
+    ServeGateParams {
+        requests: 960,
+        workers: 8,
+        ..ServeGateParams::full()
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_pr6.json".to_string());
+    let baseline_path = args.next();
+
+    // ---- Gate scale: the exact-match counter slice ----
+    let o = run_concurrency_gate(&ConcGateParams::full());
+    let s = run_serve_gate(&ServeGateParams::full());
+    assert!(
+        s.invariants_hold(),
+        "serve gate invariants failed: {:?}",
+        s.counters
+    );
+
+    // ---- Stress scale: throughput + latency under virtual time ----
+    let cp = stress_conc();
+    let oc = run_concurrency_gate(&cp);
+    // Probe-loop operations: every round probes every item, plus the
+    // churned puts (each a probe-scale cache operation).
+    let conc_ops = (cp.items * cp.rounds + cp.churn) as u64;
+    let conc_secs = oc.elapsed.as_secs_f64().max(1e-9);
+
+    let sp = stress_serve();
+    let arrivals: HashMap<u64, u64> = open_loop(sp.seed, &serve_gate_spec(&sp))
+        .into_iter()
+        .map(|r| (r.id, r.arrival))
+        .collect();
+    let rep = run_serve_gate(&sp);
+    assert!(
+        rep.invariants_hold(),
+        "stress serve invariants failed: {:?}",
+        rep.counters
+    );
+    let latencies: Vec<u64> = rep
+        .outcomes
+        .iter()
+        .filter_map(|(id, o)| match o {
+            Outcome::Completed { finished, .. } => Some(finished.saturating_sub(arrivals[id])),
+            _ => None,
+        })
+        .collect();
+    let serve_secs = rep.elapsed.as_secs_f64().max(1e-9);
+
+    let report = render(&[
+        // Gated counters (baseline scale, compared for equality).
+        ("hits", o.hits),
+        ("recomputes", o.recomputes),
+        ("evictions", o.evictions),
+        ("coalesced_hits", o.coalesced_hits),
+        ("duplicates", o.duplicates),
+        ("serve_shed", s.counters.shed),
+        ("serve_coalesced", s.counters.coalesced),
+        ("serve_quota_evictions", s.counters.quota_evictions),
+        ("serve_completed", s.counters.completed),
+        ("wall_clock_ms", o.elapsed.as_millis() as u64),
+        // Stress perf keys: deterministic in ticks/counters.
+        ("perf_conc_items", cp.items as u64),
+        ("perf_conc_hits", oc.hits),
+        ("perf_conc_duplicates", oc.duplicates),
+        ("perf_stress_requests", sp.requests as u64),
+        ("perf_stress_completed", rep.counters.completed),
+        ("perf_stress_shed", rep.counters.shed),
+        ("perf_stress_ticks", rep.ticks),
+        (
+            "perf_stress_latency_p50_ticks",
+            percentile(&latencies, 50.0),
+        ),
+        (
+            "perf_stress_latency_p99_ticks",
+            percentile(&latencies, 99.0),
+        ),
+        // Wall-clock perf keys: informational only, host-dependent.
+        (
+            "perf_conc_ops_per_sec",
+            (conc_ops as f64 / conc_secs) as u64,
+        ),
+        ("perf_conc_wall_ms", oc.elapsed.as_millis() as u64),
+        (
+            "perf_serve_req_per_sec",
+            (rep.counters.completed as f64 / serve_secs) as u64,
+        ),
+        ("perf_serve_wall_ms", rep.elapsed.as_millis() as u64),
+    ]);
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| {
+        eprintln!("perf_stress: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("perf_stress: wrote {out_path}");
+    print!("{report}");
+
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("perf_stress: cannot read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let diff = compare_gated(&report, &baseline);
+    for (key, got) in &diff.matches {
+        println!("perf_stress: {key:<16} {got} == baseline");
+    }
+    for (key, got, want) in &diff.regressions {
+        eprintln!("perf_stress: {key:<16} {got} != baseline {want}  REGRESSION");
+    }
+    for key in &diff.missing {
+        eprintln!("perf_stress: {key:<16} missing from report or baseline");
+    }
+    if !diff.passed() {
+        eprintln!("perf_stress: deterministic counters diverged from {baseline_path}");
+        std::process::exit(1);
+    }
+    println!("perf_stress: all deterministic counters match {baseline_path}");
+}

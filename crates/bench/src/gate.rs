@@ -1,0 +1,179 @@
+//! Shared gate-report plumbing for the bench binaries (`bench_gate`,
+//! `perf_stress`): flat JSON rendering/parsing and the exact-match
+//! comparison over the gated counter set.
+//!
+//! The vendored serde is serialize-only, so both ends of the report are
+//! hand-rolled: a flat `{"key": integer, ...}` object is all the gate
+//! ever needs. Wall-clock keys ride along in the reports but are never
+//! gated — only the counters in [`GATED`] are compared, and the
+//! comparison is equality, not a tolerance band, because every gated
+//! counter is deterministic by construction.
+
+use std::collections::HashMap;
+
+/// The gated counters, in report order. `ci/bench_gate.sh` and the
+/// `perf` stage fail the build when any of these diverges from the
+/// committed baseline; all other report keys are informational.
+pub const GATED: [&str; 8] = [
+    "hits",
+    "recomputes",
+    "evictions",
+    "coalesced_hits",
+    "duplicates",
+    "serve_shed",
+    "serve_coalesced",
+    "serve_quota_evictions",
+];
+
+/// Renders a flat `{"k": v, ...}` JSON object.
+pub fn render(pairs: &[(&str, u64)]) -> String {
+    let body = pairs
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{{\n{body}\n}}\n")
+}
+
+/// Parses a flat string-to-integer JSON object (whitespace-tolerant;
+/// ignores anything that is not a `"key": <digits>` pair).
+pub fn parse(s: &str) -> HashMap<String, u64> {
+    let mut out = HashMap::new();
+    let mut rest = s;
+    while let Some(q0) = rest.find('"') {
+        rest = &rest[q0 + 1..];
+        let Some(q1) = rest.find('"') else { break };
+        let key = rest[..q1].to_string();
+        rest = &rest[q1 + 1..];
+        let Some(c) = rest.find(':') else { break };
+        let after = rest[c + 1..].trim_start();
+        let digits: String = after.chars().take_while(|ch| ch.is_ascii_digit()).collect();
+        if !digits.is_empty() {
+            if let Ok(v) = digits.parse() {
+                out.insert(key, v);
+            }
+        }
+        rest = &rest[c + 1..];
+    }
+    out
+}
+
+/// Result of one gated comparison.
+#[derive(Debug, Default)]
+pub struct GateDiff {
+    /// `(key, value)` for counters equal to the baseline.
+    pub matches: Vec<(String, u64)>,
+    /// `(key, got, want)` for diverged counters.
+    pub regressions: Vec<(String, u64, u64)>,
+    /// Gated keys absent from the report or the baseline.
+    pub missing: Vec<String>,
+}
+
+impl GateDiff {
+    /// True when every gated counter matched.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Diffs only the [`GATED`] counters of a report against a baseline
+/// (both flat JSON strings). Extra keys on either side are ignored, so
+/// reports may carry informational wall-clock and perf keys beyond the
+/// baseline schema.
+pub fn compare_gated(report: &str, baseline: &str) -> GateDiff {
+    let current = parse(report);
+    let expected = parse(baseline);
+    let mut diff = GateDiff::default();
+    for key in GATED {
+        match (expected.get(key), current.get(key)) {
+            (Some(want), Some(got)) if want == got => {
+                diff.matches.push((key.to_string(), *got));
+            }
+            (Some(want), Some(got)) => {
+                diff.regressions.push((key.to_string(), *got, *want));
+            }
+            _ => diff.missing.push(key.to_string()),
+        }
+    }
+    diff
+}
+
+/// Nearest-rank percentile of an unsorted sample (p in [0, 100]);
+/// 0 for an empty sample.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let report = render(&[("hits", 448), ("wall_clock_ms", 12)]);
+        let parsed = parse(&report);
+        assert_eq!(parsed.get("hits"), Some(&448));
+        assert_eq!(parsed.get("wall_clock_ms"), Some(&12));
+    }
+
+    #[test]
+    fn compare_flags_only_gated_divergence() {
+        let base = render(&[
+            ("hits", 448),
+            ("recomputes", 64),
+            ("evictions", 64),
+            ("coalesced_hits", 7),
+            ("duplicates", 0),
+            ("serve_shed", 6),
+            ("serve_coalesced", 1),
+            ("serve_quota_evictions", 5),
+            ("wall_clock_ms", 3),
+        ]);
+        // Identical gated counters, different wall clock + extra keys.
+        let report = render(&[
+            ("hits", 448),
+            ("recomputes", 64),
+            ("evictions", 64),
+            ("coalesced_hits", 7),
+            ("duplicates", 0),
+            ("serve_shed", 6),
+            ("serve_coalesced", 1),
+            ("serve_quota_evictions", 5),
+            ("wall_clock_ms", 9000),
+            ("perf_stress_latency_p99_ticks", 42),
+        ]);
+        let diff = compare_gated(&report, &base);
+        assert!(diff.passed(), "{:?}", diff.regressions);
+        assert_eq!(diff.matches.len(), GATED.len());
+
+        let bad = report.replace("\"hits\": 448", "\"hits\": 447");
+        let diff = compare_gated(&bad, &base);
+        assert!(!diff.passed());
+        assert_eq!(diff.regressions, vec![("hits".to_string(), 447, 448)]);
+    }
+
+    #[test]
+    fn compare_reports_missing_keys() {
+        let base = render(&[("hits", 1)]);
+        let report = render(&[("hits", 1)]);
+        let diff = compare_gated(&report, &base);
+        assert_eq!(diff.missing.len(), GATED.len() - 1);
+        assert!(!diff.passed());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 50.0), 50);
+        assert_eq!(percentile(&s, 99.0), 99);
+        assert_eq!(percentile(&s, 100.0), 100);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+}

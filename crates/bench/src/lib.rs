@@ -2,6 +2,7 @@
 //! standard MEMPHIS configurations (Base, Base-A, LIMA, HELIX, MPH-NA,
 //! MPH) used by the per-figure experiment binaries.
 
+pub mod gate;
 pub mod golden;
 
 use memphis_core::cache::config::CacheConfig;

@@ -14,7 +14,7 @@
 
 use crate::cache::entry::{CacheEntry, CachedObject};
 use crate::cache::sharded::{Inflight, ShardedEntryMap};
-use crate::lineage::LKey;
+use crate::lineage::LineageId;
 use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
@@ -99,10 +99,11 @@ impl EvictionPolicy {
     }
 
     /// Selects the minimum-score victim among a bounded sample of
-    /// candidates (eq. (1) ordering).
-    pub fn select_victim<'a, I>(&self, candidates: I) -> Option<LKey>
+    /// candidates (eq. (1) ordering). Keys are interned ids, so the
+    /// winner is returned by value — no per-candidate clone.
+    pub fn select_victim<'a, I>(&self, candidates: I) -> Option<LineageId>
     where
-        I: Iterator<Item = (&'a LKey, &'a CacheEntry)>,
+        I: Iterator<Item = (&'a LineageId, &'a CacheEntry)>,
     {
         candidates
             .take(self.sample_limit)
@@ -111,7 +112,7 @@ impl EvictionPolicy {
                     .partial_cmp(&Self::entry_score(b))
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .map(|(k, _)| k.clone())
+            .map(|(k, _)| *k)
     }
 }
 
@@ -122,10 +123,10 @@ impl EvictionPolicy {
 #[derive(Default)]
 pub struct EntryMap {
     /// All entries, placeholders included.
-    pub entries: HashMap<LKey, CacheEntry>,
+    pub entries: HashMap<LineageId, CacheEntry>,
     /// In-flight computations keyed by lineage id: a second session
     /// probing one of these blocks on the marker instead of recomputing.
-    pub inflight: HashMap<LKey, Arc<Inflight>>,
+    pub inflight: HashMap<LineageId, Arc<Inflight>>,
 }
 
 impl EntryMap {
@@ -208,7 +209,7 @@ pub trait CacheBackend: Send + Sync {
         &self,
         map: &ShardedEntryMap,
         reg: &BackendRegistry,
-        key: &LKey,
+        key: LineageId,
         entry: &mut CacheEntry,
     ) -> bool;
 
@@ -216,8 +217,12 @@ pub trait CacheBackend: Send + Sync {
     /// disk read (and optional promotion), RDD materialization checks,
     /// GPU pointer acquisition. Updates the entry's reuse counters and
     /// the per-backend hit statistics.
-    fn materialize(&self, map: &ShardedEntryMap, reg: &BackendRegistry, key: &LKey)
-        -> Materialized;
+    fn materialize(
+        &self,
+        map: &ShardedEntryMap,
+        reg: &BackendRegistry,
+        key: LineageId,
+    ) -> Materialized;
 
     /// Evicts this tier's victims (eq. (1)/(2) order) until at least
     /// `bytes` are freed or no victims remain. `skip` protects the entry
@@ -227,7 +232,7 @@ pub trait CacheBackend: Send + Sync {
         map: &ShardedEntryMap,
         reg: &BackendRegistry,
         bytes: usize,
-        skip: Option<&LKey>,
+        skip: Option<LineageId>,
     ) -> usize;
 
     /// Bytes currently accounted to this tier.
@@ -347,8 +352,8 @@ mod tests {
         let mut map = EntryMap::new();
         for (name, cost) in [("a", 50.0), ("b", 2.0), ("c", 9.0)] {
             let item = LineageItem::leaf(name);
-            let e = CacheEntry::cached(item.clone(), CachedObject::Scalar(0.0), cost, 16);
-            map.entries.insert(LKey(item), e);
+            let e = CacheEntry::cached(&item, CachedObject::Scalar(0.0), cost, 16);
+            map.entries.insert(item.lid, e);
         }
         let victim = policy.select_victim(map.entries.iter()).expect("victim");
         let e = &map.entries[&victim];
@@ -366,7 +371,7 @@ mod tests {
                 &self,
                 _: &ShardedEntryMap,
                 _: &BackendRegistry,
-                _: &LKey,
+                _: LineageId,
                 _: &mut CacheEntry,
             ) -> bool {
                 true
@@ -375,7 +380,7 @@ mod tests {
                 &self,
                 _: &ShardedEntryMap,
                 _: &BackendRegistry,
-                _: &LKey,
+                _: LineageId,
             ) -> Materialized {
                 Materialized::Stale
             }
@@ -384,7 +389,7 @@ mod tests {
                 _: &ShardedEntryMap,
                 _: &BackendRegistry,
                 _: usize,
-                _: Option<&LKey>,
+                _: Option<LineageId>,
             ) -> usize {
                 0
             }

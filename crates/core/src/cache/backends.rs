@@ -23,7 +23,7 @@ use crate::cache::entry::{CacheEntry, CachedObject};
 use crate::cache::gpu::GpuMemoryManager;
 use crate::cache::sharded::ShardedEntryMap;
 use crate::cache::spark::SparkBackend;
-use crate::lineage::LKey;
+use crate::lineage::LineageId;
 use crate::stats::ReuseStats;
 use memphis_matrix::io as mio;
 use memphis_matrix::Matrix;
@@ -121,7 +121,7 @@ impl LocalBackend {
     /// entry *of an over-quota tenant*; only when none remain does the
     /// plain eq. (1) pass over all entries run. With no quotas configured
     /// the first pass is skipped entirely and behavior is unchanged.
-    fn evict_one(&self, map: &ShardedEntryMap, skip: Option<&LKey>) -> Option<usize> {
+    fn evict_one(&self, map: &ShardedEntryMap, skip: Option<LineageId>) -> Option<usize> {
         let over = self.over_quota();
         if !over.is_empty() {
             if let Some(freed) = self.evict_one_matching(map, skip, Some(&over)) {
@@ -137,7 +137,7 @@ impl LocalBackend {
     fn evict_one_matching(
         &self,
         map: &ShardedEntryMap,
-        skip: Option<&LKey>,
+        skip: Option<LineageId>,
         tenants: Option<&HashSet<u16>>,
     ) -> Option<usize> {
         loop {
@@ -149,7 +149,7 @@ impl LocalBackend {
                         .map(|set| e.tenant.map(|t| set.contains(&t)).unwrap_or(false))
                         .unwrap_or(true)
             })?;
-            let mut shard = map.lock_of(&victim);
+            let mut shard = map.lock_of(victim);
             // Re-validate under the shard lock: a concurrent session may
             // have removed, migrated, or pinned the victim since
             // selection; if so, select again.
@@ -173,7 +173,7 @@ impl LocalBackend {
                 && self
                     .spill
                     .as_ref()
-                    .and_then(|d| d.store(&m, e.key.hash))
+                    .and_then(|d| d.store(&m, e.key.content_hash()))
                     .map(|path| {
                         e.object = Some(CachedObject::Disk(path));
                         e.backend = BackendId::Disk;
@@ -203,7 +203,7 @@ impl LocalBackend {
     /// admissions each observe enough room and jointly overshoot the
     /// budget; the combined reserve cannot. Returns false (charging
     /// nothing) when eviction runs out of victims first.
-    fn try_reserve(&self, map: &ShardedEntryMap, size: usize, skip: Option<&LKey>) -> bool {
+    fn try_reserve(&self, map: &ShardedEntryMap, size: usize, skip: Option<LineageId>) -> bool {
         if size > self.budget {
             return false;
         }
@@ -236,13 +236,13 @@ impl LocalBackend {
     /// the local tier. Returns false (releasing the reservation) when
     /// the matrix does not fit or the entry vanished meanwhile. Called
     /// with no shard lock held.
-    pub fn admit_existing(&self, map: &ShardedEntryMap, key: &LKey, m: Arc<Matrix>) -> bool {
+    pub fn admit_existing(&self, map: &ShardedEntryMap, key: LineageId, m: Arc<Matrix>) -> bool {
         let size = m.size_bytes();
         if !self.try_reserve(map, size, Some(key)) {
             return false;
         }
         let mut shard = map.lock_of(key);
-        let Some(e) = shard.entries.get_mut(key) else {
+        let Some(e) = shard.entries.get_mut(&key) else {
             drop(shard);
             let mut used = self.used.lock();
             *used = used.saturating_sub(size);
@@ -267,7 +267,7 @@ impl CacheBackend for LocalBackend {
         &self,
         map: &ShardedEntryMap,
         _reg: &BackendRegistry,
-        _key: &LKey,
+        _key: LineageId,
         entry: &mut CacheEntry,
     ) -> bool {
         match &entry.object {
@@ -294,10 +294,10 @@ impl CacheBackend for LocalBackend {
         &self,
         map: &ShardedEntryMap,
         _reg: &BackendRegistry,
-        key: &LKey,
+        key: LineageId,
     ) -> Materialized {
         let mut shard = map.lock_of(key);
-        let Some(e) = shard.entries.get_mut(key) else {
+        let Some(e) = shard.entries.get_mut(&key) else {
             return Materialized::Stale;
         };
         let Some(object) = e.object.clone() else {
@@ -314,7 +314,7 @@ impl CacheBackend for LocalBackend {
         map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         bytes: usize,
-        skip: Option<&LKey>,
+        skip: Option<LineageId>,
     ) -> usize {
         let mut freed = 0;
         while freed < bytes {
@@ -445,7 +445,7 @@ impl CacheBackend for DiskBackend {
         &self,
         _map: &ShardedEntryMap,
         _reg: &BackendRegistry,
-        _key: &LKey,
+        _key: LineageId,
         entry: &mut CacheEntry,
     ) -> bool {
         // Direct admission of an already-written binary. Reject paths
@@ -467,11 +467,11 @@ impl CacheBackend for DiskBackend {
         &self,
         map: &ShardedEntryMap,
         reg: &BackendRegistry,
-        key: &LKey,
+        key: LineageId,
     ) -> Materialized {
         let (path, size) = {
             let shard = map.lock_of(key);
-            let Some(e) = shard.entries.get(key) else {
+            let Some(e) = shard.entries.get(&key) else {
                 return Materialized::Stale;
             };
             let Some(CachedObject::Disk(path)) = e.object.clone() else {
@@ -514,7 +514,7 @@ impl CacheBackend for DiskBackend {
         map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         bytes: usize,
-        skip: Option<&LKey>,
+        skip: Option<LineageId>,
     ) -> usize {
         let mut freed = 0;
         while freed < bytes {
@@ -523,7 +523,7 @@ impl CacheBackend for DiskBackend {
             });
             let Some(k) = victim else { break };
             let removed = {
-                let mut shard = map.lock_of(&k);
+                let mut shard = map.lock_of(k);
                 match shard.entries.get(&k) {
                     Some(e) if e.backend == BackendId::Disk && !e.pinned => {
                         shard.entries.remove(&k)
@@ -629,7 +629,7 @@ impl SparkTier {
         loop {
             let victim = map.select_victim(&self.policy, |_, e| e.backend == BackendId::Spark)?;
             let e = {
-                let mut shard = map.lock_of(&victim);
+                let mut shard = map.lock_of(victim);
                 match shard.entries.get(&victim) {
                     Some(e) if e.backend == BackendId::Spark && !e.pinned => {
                         shard.entries.remove(&victim)
@@ -686,7 +686,7 @@ impl CacheBackend for SparkTier {
         &self,
         map: &ShardedEntryMap,
         _reg: &BackendRegistry,
-        _key: &LKey,
+        _key: LineageId,
         entry: &mut CacheEntry,
     ) -> bool {
         let Some(CachedObject::Rdd { rdd, .. }) = &entry.object else {
@@ -707,11 +707,11 @@ impl CacheBackend for SparkTier {
         &self,
         map: &ShardedEntryMap,
         _reg: &BackendRegistry,
-        key: &LKey,
+        key: LineageId,
     ) -> Materialized {
         let (object, follow_up) = {
             let mut shard = map.lock_of(key);
-            let Some(e) = shard.entries.get_mut(key) else {
+            let Some(e) = shard.entries.get_mut(&key) else {
                 return Materialized::Stale;
             };
             let Some(CachedObject::Rdd { rdd, rows, cols }) = e.object.clone() else {
@@ -755,7 +755,7 @@ impl CacheBackend for SparkTier {
         map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         bytes: usize,
-        _skip: Option<&LKey>,
+        _skip: Option<LineageId>,
     ) -> usize {
         let mut freed = 0;
         while freed < bytes {
@@ -841,13 +841,13 @@ impl CacheBackend for GpuTier {
         &self,
         _map: &ShardedEntryMap,
         _reg: &BackendRegistry,
-        key: &LKey,
+        key: LineageId,
         entry: &mut CacheEntry,
     ) -> bool {
         let Some(CachedObject::Gpu { ptr, .. }) = &entry.object else {
             return false;
         };
-        self.mgr.mark_cached(*ptr, key.clone());
+        self.mgr.mark_cached(*ptr, key);
         entry.size = ptr.size;
         true
     }
@@ -856,10 +856,10 @@ impl CacheBackend for GpuTier {
         &self,
         map: &ShardedEntryMap,
         _reg: &BackendRegistry,
-        key: &LKey,
+        key: LineageId,
     ) -> Materialized {
         let mut shard = map.lock_of(key);
-        let Some(e) = shard.entries.get_mut(key) else {
+        let Some(e) = shard.entries.get_mut(&key) else {
             return Materialized::Stale;
         };
         let Some(CachedObject::Gpu { ptr, rows, cols }) = e.object.clone() else {
@@ -881,10 +881,10 @@ impl CacheBackend for GpuTier {
         map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         bytes: usize,
-        _skip: Option<&LKey>,
+        _skip: Option<LineageId>,
     ) -> usize {
         let (freed, invalidated) = self.mgr.evict_bytes(bytes);
-        for k in &invalidated {
+        for k in invalidated {
             // Pointers are already freed: remove without release.
             map.remove_entry(k);
         }

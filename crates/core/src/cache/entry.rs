@@ -1,7 +1,7 @@
 //! Cache entries: backend-local cached objects with reuse metadata.
 
 use crate::backend::{BackendId, EvictionPolicy};
-use crate::lineage::LItem;
+use crate::lineage::{LItem, LineageId};
 use memphis_gpusim::GpuPtr;
 use memphis_matrix::Matrix;
 use memphis_sparksim::RddRef;
@@ -71,8 +71,9 @@ pub enum EntryStatus {
 /// One lineage-cache entry.
 #[derive(Debug)]
 pub struct CacheEntry {
-    /// Canonical lineage key of the cached intermediate.
-    pub key: LItem,
+    /// Interned lineage identity of the cached intermediate (the
+    /// canonical trace is recoverable via [`crate::lineage::resolve`]).
+    pub key: LineageId,
     /// The cached object; `None` while the entry is a placeholder.
     pub object: Option<CachedObject>,
     /// The tier owning the object (admission/eviction dispatch through
@@ -111,12 +112,12 @@ pub struct CacheEntry {
 
 impl CacheEntry {
     /// Creates a stored (CACHED) entry owned by the object's tier.
-    pub fn cached(key: LItem, object: CachedObject, compute_cost: f64, size: usize) -> Self {
-        let height = key.height;
-        let is_function = key.opcode.starts_with("func:");
+    pub fn cached(item: &LItem, object: CachedObject, compute_cost: f64, size: usize) -> Self {
+        let height = item.height;
+        let is_function = item.opcode.starts_with("func:");
         let backend = object.backend();
         Self {
-            key,
+            key: item.lid,
             object: Some(object),
             backend,
             status: EntryStatus::Cached,
@@ -136,11 +137,11 @@ impl CacheEntry {
     }
 
     /// Creates a TO-BE-CACHED placeholder with delay factor `needed`.
-    pub fn placeholder(key: LItem, compute_cost: f64, size: usize, needed: u32) -> Self {
-        let height = key.height;
-        let is_function = key.opcode.starts_with("func:");
+    pub fn placeholder(item: &LItem, compute_cost: f64, size: usize, needed: u32) -> Self {
+        let height = item.height;
+        let is_function = item.opcode.starts_with("func:");
         Self {
-            key,
+            key: item.lid,
             object: None,
             backend: BackendId::Local,
             status: EntryStatus::ToBeCached { seen: 1, needed },
@@ -188,19 +189,20 @@ mod tests {
 
     #[test]
     fn entries_carry_their_backend() {
-        let e = CacheEntry::cached(LineageItem::leaf("x"), CachedObject::Scalar(0.0), 1.0, 16);
+        let e = CacheEntry::cached(&LineageItem::leaf("x"), CachedObject::Scalar(0.0), 1.0, 16);
         assert_eq!(e.backend, BackendId::Local);
-        let p = CacheEntry::placeholder(LineageItem::leaf("y"), 1.0, 16, 2);
+        assert_eq!(e.key, LineageItem::leaf("x").lid, "key is the interned id");
+        let p = CacheEntry::placeholder(&LineageItem::leaf("y"), 1.0, 16, 2);
         assert_eq!(p.backend, BackendId::Local);
     }
 
     #[test]
     fn function_entries_detected() {
         let f = LineageItem::new("func:l2svm", vec![], vec![]);
-        let e = CacheEntry::cached(f, CachedObject::Scalar(0.0), 1.0, 8);
+        let e = CacheEntry::cached(&f, CachedObject::Scalar(0.0), 1.0, 8);
         assert!(e.is_function);
         let o = LineageItem::new("ba+*", vec![], vec![]);
-        let e = CacheEntry::cached(o, CachedObject::Scalar(0.0), 1.0, 8);
+        let e = CacheEntry::cached(&o, CachedObject::Scalar(0.0), 1.0, 8);
         assert!(!e.is_function);
     }
 
@@ -208,8 +210,8 @@ mod tests {
     fn cost_size_score_orders_by_value_density() {
         let k = LineageItem::leaf("x");
         // Expensive & small beats cheap & large.
-        let mut precious = CacheEntry::cached(k.clone(), CachedObject::Scalar(0.0), 1e9, 8);
-        let mut bulky = CacheEntry::cached(k, CachedObject::Scalar(0.0), 1.0, 1 << 30);
+        let mut precious = CacheEntry::cached(&k, CachedObject::Scalar(0.0), 1e9, 8);
+        let mut bulky = CacheEntry::cached(&k, CachedObject::Scalar(0.0), 1.0, 1 << 30);
         precious.hits = 5;
         bulky.hits = 5;
         assert!(precious.cost_size_score() > bulky.cost_size_score());
@@ -218,8 +220,8 @@ mod tests {
     #[test]
     fn references_increase_score() {
         let k = LineageItem::leaf("x");
-        let mut a = CacheEntry::cached(k.clone(), CachedObject::Scalar(0.0), 10.0, 100);
-        let mut b = CacheEntry::cached(k, CachedObject::Scalar(0.0), 10.0, 100);
+        let mut a = CacheEntry::cached(&k, CachedObject::Scalar(0.0), 10.0, 100);
+        let mut b = CacheEntry::cached(&k, CachedObject::Scalar(0.0), 10.0, 100);
         a.hits = 10;
         b.hits = 1;
         assert!(a.cost_size_score() > b.cost_size_score());

@@ -17,7 +17,7 @@
 //!   least-recently-used, tall-lineage, cheap intermediates first.
 
 use crate::backend::EvictionPolicy;
-use crate::lineage::LKey;
+use crate::lineage::LineageId;
 use crate::stats::ReuseStats;
 use memphis_gpusim::{GpuDevice, GpuError, GpuPtr};
 use parking_lot::Mutex;
@@ -28,12 +28,12 @@ use std::sync::Arc;
 struct LivePtr {
     ptr: GpuPtr,
     refcount: u32,
-    cached_key: Option<LKey>,
+    cached_key: Option<LineageId>,
 }
 
 struct FreePtr {
     ptr: GpuPtr,
-    cached_key: Option<LKey>,
+    cached_key: Option<LineageId>,
     last_access: u64,
     height: u32,
     cost: f64,
@@ -98,7 +98,7 @@ pub struct GpuAlloc {
     pub recycled: bool,
     /// Lineage entries invalidated because their pointers were recycled or
     /// freed to satisfy this request. The cache must drop these entries.
-    pub invalidated: Vec<LKey>,
+    pub invalidated: Vec<LineageId>,
 }
 
 /// The unified GPU memory manager.
@@ -278,7 +278,7 @@ impl GpuMemoryManager {
     /// Releases a reference and `cudaFree`s the pointer at refcount zero
     /// instead of pooling it (recycling disabled). Returns the invalidated
     /// cache key, if the pointer carried one.
-    pub fn release_and_free(&self, ptr: GpuPtr) -> Option<LKey> {
+    pub fn release_and_free(&self, ptr: GpuPtr) -> Option<LineageId> {
         let mut inner = self.inner.lock();
         let live = inner.live.get_mut(&ptr.addr)?;
         live.refcount = live.refcount.saturating_sub(1);
@@ -354,7 +354,7 @@ impl GpuMemoryManager {
     }
 
     /// Marks a live pointer as holding the cached result for `key`.
-    pub fn mark_cached(&self, ptr: GpuPtr, key: LKey) {
+    pub fn mark_cached(&self, ptr: GpuPtr, key: LineageId) {
         let mut inner = self.inner.lock();
         if let Some(live) = inner.live.get_mut(&ptr.addr) {
             live.cached_key = Some(key);
@@ -384,7 +384,7 @@ impl GpuMemoryManager {
     /// The `evict(p)` instruction (paper §5.2): frees the lowest-score
     /// `fraction` of free-list bytes with `cudaFree`, returning the lineage
     /// keys whose entries must be dropped.
-    pub fn evict_fraction(&self, fraction: f64) -> Vec<LKey> {
+    pub fn evict_fraction(&self, fraction: f64) -> Vec<LineageId> {
         let fraction = fraction.clamp(0.0, 1.0);
         let total = self.free_bytes();
         let target = (total as f64 * fraction) as usize;
@@ -394,7 +394,7 @@ impl GpuMemoryManager {
     /// Frees the lowest-score free-list pointers until at least `bytes`
     /// are released (or the free list runs dry). Returns the bytes
     /// actually freed and the lineage keys whose entries must be dropped.
-    pub fn evict_bytes(&self, bytes: usize) -> (usize, Vec<LKey>) {
+    pub fn evict_bytes(&self, bytes: usize) -> (usize, Vec<LineageId>) {
         let mut inner = self.inner.lock();
         let (clock, max_cost) = (inner.clock, inner.max_cost);
         let mut freed = 0usize;
@@ -437,7 +437,7 @@ impl GpuMemoryManager {
     /// Pops a cached free pointer for device-to-host eviction (highest
     /// value first — we keep precious results by moving them to the host
     /// rather than discarding). Returns the pointer and its key.
-    pub fn pop_cached_for_host_eviction(&self) -> Option<(GpuPtr, LKey)> {
+    pub fn pop_cached_for_host_eviction(&self) -> Option<(GpuPtr, LineageId)> {
         let mut inner = self.inner.lock();
         let (clock, max_cost) = (inner.clock, inner.max_cost);
         let mut best: Option<(usize, usize, f64)> = None;
@@ -495,8 +495,8 @@ mod tests {
         )
     }
 
-    fn key(name: &str) -> LKey {
-        LKey(LineageItem::leaf(name))
+    fn key(name: &str) -> LineageId {
+        LineageItem::leaf(name).lid
     }
 
     #[test]

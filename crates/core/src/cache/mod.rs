@@ -40,7 +40,8 @@ pub mod sharded;
 pub mod spark;
 
 use crate::backend::{BackendId, BackendRegistry, BackendSnapshot, CacheBackend, Materialized};
-use crate::lineage::{LItem, LKey};
+use crate::lineage::{self, LItem, LineageId};
+use crate::pool::Pool;
 use crate::stats::{ReuseStats, ReuseStatsSnapshot};
 use backends::{DiskBackend, GpuTier, LocalBackend, SparkTier};
 use config::CacheConfig;
@@ -83,7 +84,7 @@ pub enum Probed {
 /// completing resolves the flight as abandoned so waiters retry instead
 /// of blocking forever (the owner may have hit an error path).
 pub struct ComputeGuard {
-    key: LKey,
+    item: LItem,
     flight: Arc<Inflight>,
     stats: Arc<ReuseStats>,
     armed: bool,
@@ -93,7 +94,12 @@ pub struct ComputeGuard {
 impl ComputeGuard {
     /// The lineage item this guard owns the computation of.
     pub fn item(&self) -> &LItem {
-        &self.key.0
+        &self.item
+    }
+
+    /// The interned identity this guard owns the computation of.
+    pub fn key(&self) -> LineageId {
+        self.item.lid
     }
 
     /// The tenant the completed entry will be charged to (set by
@@ -102,10 +108,10 @@ impl ComputeGuard {
         self.tenant
     }
 
-    /// Takes the key and flight out, defusing the drop-abandon.
-    fn disarm(mut self) -> (LKey, Arc<Inflight>) {
+    /// Takes the item and flight out, defusing the drop-abandon.
+    fn disarm(mut self) -> (LItem, Arc<Inflight>) {
         self.armed = false;
-        (self.key.clone(), self.flight.clone())
+        (self.item.clone(), self.flight.clone())
     }
 }
 
@@ -116,7 +122,11 @@ impl Drop for ComputeGuard {
             // retry. The stale marker in the shard is replaced by the
             // next prober.
             ReuseStats::inc(&self.stats.inflight_abandoned);
-            self.flight.resolve(InflightOutcome::Abandoned);
+            if self.flight.resolve(InflightOutcome::Abandoned) > 0 {
+                ReuseStats::inc(&self.stats.wakeup_batches);
+            } else {
+                ReuseStats::inc(&self.stats.wakeup_skips);
+            }
         }
     }
 }
@@ -142,6 +152,9 @@ pub struct LineageCache {
     registry: BackendRegistry,
     config: CacheConfig,
     stats: Arc<ReuseStats>,
+    /// Recycled in-flight markers (see [`Pool`]): the steady-state
+    /// miss→own→complete cycle reuses markers instead of allocating.
+    flight_pool: Pool<Arc<Inflight>>,
 }
 
 impl LineageCache {
@@ -170,6 +183,24 @@ impl LineageCache {
             registry,
             config,
             stats,
+            flight_pool: Pool::new(256),
+        }
+    }
+
+    /// A fresh (or recycled) in-flight marker in the pending state.
+    fn take_flight(&self) -> Arc<Inflight> {
+        self.flight_pool.take().unwrap_or_else(Inflight::new)
+    }
+
+    /// Recycles a retired marker if nothing else holds it (waiters still
+    /// reading the outcome keep their clones; uniqueness via
+    /// `Arc::get_mut` guarantees no one can observe the reset).
+    fn recycle_flight(&self, mut flight: Arc<Inflight>) {
+        if let Some(inner) = Arc::get_mut(&mut flight) {
+            inner.reset();
+            if self.flight_pool.put(flight) {
+                ReuseStats::inc(&self.stats.inflight_recycled);
+            }
         }
     }
 
@@ -321,15 +352,19 @@ impl LineageCache {
     /// One probe attempt: entry lookup plus backend materialization.
     /// Does not count probes/misses — callers decide how a `None` is
     /// accounted (plain miss, or the start of an in-flight computation).
-    fn probe_once(&self, key: &LKey) -> Option<ProbeHit> {
+    ///
+    /// The hit path is allocation-free: the key is a `Copy` interned id,
+    /// the shard lookup hashes one `u64`, and the canonical item is an
+    /// `Arc` clone out of the intern table (refcount bump only).
+    fn probe_once(&self, key: LineageId) -> Option<ProbeHit> {
         let clock = self.map.tick();
-        let (canonical, is_function, backend_id) = {
+        let (is_function, backend_id) = {
             let mut shard = self.map.lock_of(key);
-            let e = shard.entries.get_mut(key)?;
+            let e = shard.entries.get_mut(&key)?;
             e.last_access = clock;
             // TO-BE-CACHED placeholder: not reusable yet.
             e.object.as_ref()?;
-            (e.key.clone(), e.is_function, e.backend)
+            (e.is_function, e.backend)
         };
         // Materialize with no shard lock held: tiers lock the shards
         // (and their own accounting) themselves.
@@ -343,7 +378,10 @@ impl LineageCache {
                 if is_function {
                     ReuseStats::inc(&self.stats.hits_func);
                 }
-                Some(ProbeHit { object, canonical })
+                Some(ProbeHit {
+                    object,
+                    canonical: lineage::resolve(key),
+                })
             }
             Materialized::Stale => {
                 if let Some(e) = self.map.remove_entry(key) {
@@ -363,8 +401,7 @@ impl LineageCache {
     pub fn probe(&self, item: &LItem) -> Option<ProbeHit> {
         let _probe_span = memphis_obs::span(memphis_obs::cat::CACHE, "probe");
         ReuseStats::inc(&self.stats.probes);
-        let key = LKey(item.clone());
-        let hit = self.probe_once(&key);
+        let hit = self.probe_once(item.lid);
         if hit.is_none() {
             ReuseStats::inc(&self.stats.misses);
         }
@@ -391,9 +428,9 @@ impl LineageCache {
     pub fn probe_or_begin_as(&self, item: &LItem, tenant: Option<u16>) -> Probed {
         let _probe_span = memphis_obs::span(memphis_obs::cat::CACHE, "probe");
         ReuseStats::inc(&self.stats.probes);
-        let key = LKey(item.clone());
+        let key = item.lid;
         loop {
-            if let Some(hit) = self.probe_once(&key) {
+            if let Some(hit) = self.probe_once(key) {
                 return Probed::Hit(hit);
             }
             // Miss: wait on a pending flight, or claim ownership.
@@ -402,8 +439,12 @@ impl LineageCache {
                 Wait(Arc<Inflight>),
                 Own(Arc<Inflight>),
             }
+            // A stale resolved marker displaced under the shard lock is
+            // recycled after the lock is released (pool is a leaf lock,
+            // but keep the critical section minimal).
+            let mut displaced: Option<Arc<Inflight>> = None;
             let step = {
-                let mut shard = self.map.lock_of(&key);
+                let mut shard = self.map.lock_of(key);
                 if shard
                     .entries
                     .get(&key)
@@ -419,20 +460,23 @@ impl LineageCache {
                             // No marker, or a stale resolved marker left
                             // by an abandoning owner: install a fresh
                             // flight and become the owner.
-                            let f = Inflight::new();
-                            shard.inflight.insert(key.clone(), f.clone());
+                            let f = self.take_flight();
+                            displaced = shard.inflight.insert(key, f.clone());
                             Step::Own(f)
                         }
                     }
                 }
             };
+            if let Some(stale) = displaced {
+                self.recycle_flight(stale);
+            }
             match step {
                 Step::Retry => continue,
                 Step::Own(flight) => {
                     ReuseStats::inc(&self.stats.inflight_begins);
                     ReuseStats::inc(&self.stats.misses);
                     return Probed::Compute(ComputeGuard {
-                        key,
+                        item: item.clone(),
                         flight,
                         stats: self.stats.clone(),
                         armed: true,
@@ -458,7 +502,7 @@ impl LineageCache {
                                     continue;
                                 }
                             }
-                            self.map.with_entry(&key, |e| {
+                            self.map.with_entry(key, |e| {
                                 if let Some(e) = e {
                                     e.hits += 1;
                                 }
@@ -515,9 +559,10 @@ impl LineageCache {
     ) -> bool {
         let backend = object.backend();
         let tenant = guard.tenant;
-        let (key, flight) = guard.disarm();
+        let (item, flight) = guard.disarm();
+        let key = item.lid;
         let stored = self.put_inner(
-            &key,
+            &item,
             object.clone(),
             cost,
             size_hint,
@@ -526,31 +571,40 @@ impl LineageCache {
             pin,
             tenant,
         );
-        // Remove our marker (if still ours) and read the canonical item
-        // under the shard lock, then resolve outside it (rule 3).
-        let canonical = {
-            let mut shard = self.map.lock_of(&key);
+        // Remove our marker (if still ours) under the shard lock; the
+        // canonical item comes from the intern table (no lock needed).
+        let removed = {
+            let mut shard = self.map.lock_of(key);
             if shard
                 .inflight
                 .get(&key)
                 .map(|f| Arc::ptr_eq(f, &flight))
                 .unwrap_or(false)
             {
-                shard.inflight.remove(&key);
+                shard.inflight.remove(&key)
+            } else {
+                None
             }
-            shard
-                .entries
-                .get(&key)
-                .map(|e| e.key.clone())
-                .unwrap_or_else(|| key.0.clone())
         };
-        flight.resolve(InflightOutcome::Done { object, canonical });
+        let canonical = lineage::resolve(key);
+        let woken = flight.resolve(InflightOutcome::Done { object, canonical });
+        if woken > 0 {
+            ReuseStats::inc(&self.stats.wakeup_batches);
+        } else {
+            ReuseStats::inc(&self.stats.wakeup_skips);
+        }
+        // Our clone of the flight must drop before the marker can be
+        // recycled (the pool requires sole ownership).
+        drop(flight);
+        if let Some(marker) = removed {
+            self.recycle_flight(marker);
+        }
         stored
     }
 
     /// Updates the `r_j` job counter of an entry (a job consumed it).
     pub fn note_job(&self, item: &LItem) {
-        self.map.with_entry(&LKey(item.clone()), |e| {
+        self.map.with_entry(item.lid, |e| {
             if let Some(e) = e {
                 e.jobs += 1;
             }
@@ -560,7 +614,7 @@ impl LineageCache {
     /// Pins an existing entry (never an eviction victim). Returns false
     /// when the item is not cached.
     pub fn pin(&self, item: &LItem) -> bool {
-        self.map.with_entry(&LKey(item.clone()), |e| match e {
+        self.map.with_entry(item.lid, |e| match e {
             Some(e) => {
                 e.pinned = true;
                 true
@@ -571,7 +625,7 @@ impl LineageCache {
 
     /// Unpins an entry, making it evictable again.
     pub fn unpin(&self, item: &LItem) -> bool {
-        self.map.with_entry(&LKey(item.clone()), |e| match e {
+        self.map.with_entry(item.lid, |e| match e {
             Some(e) => {
                 e.pinned = false;
                 true
@@ -584,7 +638,7 @@ impl LineageCache {
     /// (0 when nothing is in flight).
     pub fn inflight_waiters(&self, item: &LItem) -> u64 {
         self.map
-            .inflight_of(&LKey(item.clone()))
+            .inflight_of(item.lid)
             .map(|f| f.waiters())
             .unwrap_or(0)
     }
@@ -623,8 +677,7 @@ impl LineageCache {
         delay: u32,
         backend: BackendId,
     ) -> bool {
-        let key = LKey(item.clone());
-        self.put_inner(&key, object, cost, size_hint, delay, backend, false, None)
+        self.put_inner(item, object, cost, size_hint, delay, backend, false, None)
     }
 
     /// PUT on behalf of a serving tenant: like [`put`](Self::put), but
@@ -639,8 +692,7 @@ impl LineageCache {
         tenant: Option<u16>,
     ) -> bool {
         let backend = object.backend();
-        let key = LKey(item.clone());
-        self.put_inner(&key, object, cost, size_hint, delay, backend, false, tenant)
+        self.put_inner(item, object, cost, size_hint, delay, backend, false, tenant)
     }
 
     /// Configures a tenant's soft cache quota (bytes of driver-local
@@ -671,7 +723,7 @@ impl LineageCache {
     #[allow(clippy::too_many_arguments)]
     fn put_inner(
         &self,
-        key: &LKey,
+        item: &LItem,
         object: CachedObject,
         cost: f64,
         size_hint: usize,
@@ -683,6 +735,7 @@ impl LineageCache {
         let _put_span = memphis_obs::span_with(memphis_obs::cat::CACHE, "put", || {
             backend.as_str().to_string()
         });
+        let key = item.lid;
         let clock = self.map.tick();
         /// What the shard-lock inspection decided.
         enum Plan {
@@ -690,15 +743,14 @@ impl LineageCache {
             AlreadyCached,
             /// Placeholder created or advanced; delay not reached yet.
             Deferred,
-            /// Admit now; `carry` holds a matured placeholder's canonical
-            /// key and reuse counters.
-            Store {
-                carry: Option<(LItem, u64, u64, u64)>,
-            },
+            /// Admit now; `carry` holds a matured placeholder's reuse
+            /// counters (the key itself is the interned id — identical
+            /// for every structurally-equal construction).
+            Store { carry: Option<(u64, u64, u64)> },
         }
         let plan = {
             let mut shard = self.map.lock_of(key);
-            match shard.entries.get_mut(key) {
+            match shard.entries.get_mut(&key) {
                 Some(e) if e.object.is_some() => {
                     e.last_access = clock;
                     Plan::AlreadyCached
@@ -714,7 +766,7 @@ impl LineageCache {
                         // the admitted entry so eq. (1) scoring does not
                         // restart from zero for proven repeaters.
                         Plan::Store {
-                            carry: Some((e.key.clone(), e.hits, e.misses, e.jobs)),
+                            carry: Some((e.hits, e.misses, e.jobs)),
                         }
                     } else {
                         e.status = EntryStatus::ToBeCached { seen, needed };
@@ -726,11 +778,11 @@ impl LineageCache {
                     if delay <= 1 {
                         Plan::Store { carry: None }
                     } else {
-                        let mut ph = CacheEntry::placeholder(key.0.clone(), cost, size_hint, delay);
+                        let mut ph = CacheEntry::placeholder(item, cost, size_hint, delay);
                         ph.backend = backend;
                         ph.last_access = clock;
                         ph.tenant = tenant;
-                        shard.entries.insert(key.clone(), ph);
+                        shard.entries.insert(key, ph);
                         Plan::Deferred
                     }
                 }
@@ -743,16 +795,11 @@ impl LineageCache {
                 false
             }
             Plan::Store { carry } => {
-                let canonical = carry
-                    .as_ref()
-                    .map(|(c, _, _, _)| c.clone())
-                    .unwrap_or_else(|| key.0.clone());
-                let admitted = self.admit(
-                    key, canonical, object, cost, size_hint, backend, clock, pin, tenant,
-                );
+                let admitted =
+                    self.admit(item, object, cost, size_hint, backend, clock, pin, tenant);
                 match admitted {
                     Admitted::Stored => {
-                        if let Some((_, hits, misses, jobs)) = carry {
+                        if let Some((hits, misses, jobs)) = carry {
                             self.map.with_entry(key, |e| {
                                 if let Some(e) = e {
                                     e.hits = hits;
@@ -772,11 +819,11 @@ impl LineageCache {
                         let mut shard = self.map.lock_of(key);
                         if shard
                             .entries
-                            .get(key)
+                            .get(&key)
                             .map(|e| e.object.is_none())
                             .unwrap_or(false)
                         {
-                            shard.entries.remove(key);
+                            shard.entries.remove(&key);
                         }
                         false
                     }
@@ -793,8 +840,7 @@ impl LineageCache {
     #[allow(clippy::too_many_arguments)]
     fn admit(
         &self,
-        key: &LKey,
-        canonical: LItem,
+        item: &LItem,
         object: CachedObject,
         cost: f64,
         size_hint: usize,
@@ -806,7 +852,8 @@ impl LineageCache {
         let Some(b) = self.registry.get(backend) else {
             return Admitted::Rejected;
         };
-        let mut e = CacheEntry::cached(canonical, object, cost, size_hint);
+        let key = item.lid;
+        let mut e = CacheEntry::cached(item, object, cost, size_hint);
         e.backend = backend;
         e.last_access = clock;
         e.pinned = pin;
@@ -817,7 +864,7 @@ impl LineageCache {
             return Admitted::Rejected;
         }
         let mut shard = self.map.lock_of(key);
-        match shard.entries.get(key) {
+        match shard.entries.get(&key) {
             Some(existing) if existing.object.is_some() => {
                 // Lost the admission race: another session stored this
                 // lineage item between our plan and now. Keep theirs and
@@ -827,7 +874,7 @@ impl LineageCache {
                 Admitted::Raced
             }
             _ => {
-                shard.entries.insert(key.clone(), e);
+                shard.entries.insert(key, e);
                 Admitted::Stored
             }
         }
@@ -870,13 +917,13 @@ impl LineageCache {
                                 Some(m) => self
                                     .registry
                                     .downcast::<LocalBackend>(BackendId::Local)
-                                    .map(|local| local.admit_existing(&self.map, &key, Arc::new(m)))
+                                    .map(|local| local.admit_existing(&self.map, key, Arc::new(m)))
                                     .unwrap_or(false),
                                 None => false,
                             };
                             if !admitted {
                                 // Pointer already freed: plain removal.
-                                self.map.remove_entry(&key);
+                                self.map.remove_entry(key);
                             }
                         }
                         None => {
@@ -927,9 +974,9 @@ impl LineageCache {
     /// pointers themselves are gone, so GPU-owned entries are dropped
     /// without a release; anything that migrated to another tier in the
     /// meantime is released there.
-    fn remove_keys(&self, keys: &[LKey]) {
+    fn remove_keys(&self, keys: &[LineageId]) {
         for k in keys {
-            if let Some(e) = self.map.remove_entry(k) {
+            if let Some(e) = self.map.remove_entry(*k) {
                 if e.backend != BackendId::Gpu {
                     if let Some(b) = self.registry.get(e.backend) {
                         b.release(&e);

@@ -2,8 +2,8 @@
 //! many sessions share one lineage cache (paper §2, §4: multi-user
 //! serving).
 //!
-//! The map is hash-partitioned by the lineage item's precomputed
-//! deterministic hash, one mutex per shard, so concurrent sessions
+//! The map is hash-partitioned by the interned lineage id's
+//! content-derived hash, one mutex per shard, so concurrent sessions
 //! probing disjoint lineage ids never contend. A global atomic logical
 //! clock preserves the recency ordering that eq. (1)/(2) scoring relies
 //! on across shards.
@@ -26,7 +26,7 @@
 
 use crate::backend::{EntryMap, EvictionPolicy};
 use crate::cache::entry::{CacheEntry, CachedObject};
-use crate::lineage::{LItem, LKey};
+use crate::lineage::{LItem, LineageId};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -99,14 +99,30 @@ impl Inflight {
         }
     }
 
-    /// Resolves the computation and wakes every waiter. Idempotent: the
-    /// first resolution wins.
-    pub(crate) fn resolve(&self, outcome: InflightOutcome) {
+    /// Resolves the computation. Idempotent: the first resolution wins.
+    ///
+    /// Wakeups are batched: the whole waiter set is woken with one
+    /// `notify_all`, and when no session is blocked (the common
+    /// uncontended case) the broadcast is skipped entirely. Returns how
+    /// many waiters were woken so callers can account the batch.
+    pub(crate) fn resolve(&self, outcome: InflightOutcome) -> u64 {
         let mut state = self.state.lock();
-        if matches!(*state, InflightState::Pending { .. }) {
+        if let InflightState::Pending { waiters } = *state {
             *state = InflightState::Resolved(outcome);
-            self.cv.notify_all();
+            if waiters > 0 {
+                self.cv.notify_all();
+            }
+            waiters
+        } else {
+            0
         }
+    }
+
+    /// Returns a recycled marker to its pristine pending state. Only
+    /// callable with exclusive access (the pool holds the sole `Arc`), so
+    /// no waiter can observe the transition.
+    pub(crate) fn reset(&mut self) {
+        *self.state.get_mut() = InflightState::Pending { waiters: 0 };
     }
 }
 
@@ -138,11 +154,12 @@ impl ShardedEntryMap {
         self.shards.len()
     }
 
-    /// The shard a key lives in. The lineage hash is precomputed and
+    /// The shard a key lives in. The id's content hash is precomputed and
     /// deterministic (FNV over the trace), so shard assignment is stable
-    /// across runs, threads, and processes.
-    pub fn shard_index(&self, key: &LKey) -> usize {
-        (key.0.hash & self.mask) as usize
+    /// across runs, threads, and processes — the raw interned index is
+    /// allocation-ordered and never used here.
+    pub fn shard_index(&self, key: LineageId) -> usize {
+        (key.content_hash() & self.mask) as usize
     }
 
     /// Locks one shard by index, counting contended acquisitions.
@@ -157,7 +174,7 @@ impl ShardedEntryMap {
     }
 
     /// Locks the shard owning `key`.
-    pub fn lock_of(&self, key: &LKey) -> MutexGuard<'_, EntryMap> {
+    pub fn lock_of(&self, key: LineageId) -> MutexGuard<'_, EntryMap> {
         self.lock_shard(self.shard_index(key))
     }
 
@@ -190,29 +207,29 @@ impl ShardedEntryMap {
     }
 
     /// Visits every entry, one shard lock at a time.
-    pub fn for_each<F: FnMut(&LKey, &CacheEntry)>(&self, mut f: F) {
+    pub fn for_each<F: FnMut(LineageId, &CacheEntry)>(&self, mut f: F) {
         for i in 0..self.shards.len() {
             let shard = self.lock_shard(i);
             for (k, e) in shard.entries.iter() {
-                f(k, e);
+                f(*k, e);
             }
         }
     }
 
     /// Runs `f` on the (mutable) entry for `key` under its shard lock.
-    pub fn with_entry<R>(&self, key: &LKey, f: impl FnOnce(Option<&mut CacheEntry>) -> R) -> R {
+    pub fn with_entry<R>(&self, key: LineageId, f: impl FnOnce(Option<&mut CacheEntry>) -> R) -> R {
         let mut shard = self.lock_of(key);
-        f(shard.entries.get_mut(key))
+        f(shard.entries.get_mut(&key))
     }
 
     /// Removes and returns the entry for `key`.
-    pub fn remove_entry(&self, key: &LKey) -> Option<CacheEntry> {
-        self.lock_of(key).entries.remove(key)
+    pub fn remove_entry(&self, key: LineageId) -> Option<CacheEntry> {
+        self.lock_of(key).entries.remove(&key)
     }
 
     /// Drains every entry out of the map (in-flight markers are left in
     /// place; their owners resolve them independently).
-    pub fn drain_entries(&self) -> Vec<(LKey, CacheEntry)> {
+    pub fn drain_entries(&self) -> Vec<(LineageId, CacheEntry)> {
         let mut out = Vec::new();
         for i in 0..self.shards.len() {
             out.extend(std::mem::take(&mut self.lock_shard(i).entries));
@@ -224,18 +241,19 @@ impl ShardedEntryMap {
     /// `filter`, sampling up to `policy.sample_limit` candidates per
     /// shard. Shards are scanned sequentially (one lock at a time), so a
     /// concurrent insertion may be missed — callers re-validate the
-    /// victim under its shard lock before acting on it.
-    pub fn select_victim<F>(&self, policy: &EvictionPolicy, filter: F) -> Option<LKey>
+    /// victim under its shard lock before acting on it. The running best
+    /// is a `Copy` id: nothing is cloned during the scan.
+    pub fn select_victim<F>(&self, policy: &EvictionPolicy, filter: F) -> Option<LineageId>
     where
-        F: Fn(&LKey, &CacheEntry) -> bool,
+        F: Fn(LineageId, &CacheEntry) -> bool,
     {
-        let mut best: Option<(LKey, f64)> = None;
+        let mut best: Option<(LineageId, f64)> = None;
         for i in 0..self.shards.len() {
             let shard = self.lock_shard(i);
             for (k, e) in shard
                 .entries
                 .iter()
-                .filter(|(k, e)| !e.pinned && filter(k, e))
+                .filter(|(k, e)| !e.pinned && filter(**k, e))
                 .take(policy.sample_limit)
             {
                 let score = EvictionPolicy::entry_score(e);
@@ -243,12 +261,14 @@ impl ShardedEntryMap {
                 // not map iteration order: victim identity (and with it
                 // every downstream eviction counter) stays identical run
                 // over run.
-                let better = match &best {
+                let better = match best {
                     None => true,
-                    Some((bk, bs)) => score < *bs || (score == *bs && k.0.hash < bk.0.hash),
+                    Some((bk, bs)) => {
+                        score < bs || (score == bs && k.content_hash() < bk.content_hash())
+                    }
                 };
                 if better {
-                    best = Some((k.clone(), score));
+                    best = Some((*k, score));
                 }
             }
         }
@@ -256,8 +276,8 @@ impl ShardedEntryMap {
     }
 
     /// The in-flight marker for `key`, if a computation is pending.
-    pub fn inflight_of(&self, key: &LKey) -> Option<Arc<Inflight>> {
-        self.lock_of(key).inflight.get(key).cloned()
+    pub fn inflight_of(&self, key: LineageId) -> Option<Arc<Inflight>> {
+        self.lock_of(key).inflight.get(&key).cloned()
     }
 }
 
@@ -267,8 +287,8 @@ mod tests {
     use crate::cache::entry::CacheEntry;
     use crate::lineage::LineageItem;
 
-    fn key(name: &str) -> LKey {
-        LKey(LineageItem::leaf(name))
+    fn leaf(name: &str) -> LItem {
+        LineageItem::leaf(name)
     }
 
     #[test]
@@ -282,9 +302,9 @@ mod tests {
     #[test]
     fn shard_assignment_is_deterministic() {
         let m = ShardedEntryMap::new(8);
-        let a = key("x");
-        let b = key("x");
-        assert_eq!(m.shard_index(&a), m.shard_index(&b));
+        let a = leaf("x");
+        let b = leaf("x");
+        assert_eq!(m.shard_index(a.lid), m.shard_index(b.lid));
     }
 
     #[test]
@@ -299,9 +319,9 @@ mod tests {
     fn entries_distribute_and_drain() {
         let m = ShardedEntryMap::new(4);
         for i in 0..32 {
-            let k = key(&format!("e{i}"));
-            let e = CacheEntry::cached(k.0.clone(), CachedObject::Scalar(i as f64), 1.0, 16);
-            m.lock_of(&k).entries.insert(k.clone(), e);
+            let item = leaf(&format!("e{i}"));
+            let e = CacheEntry::cached(&item, CachedObject::Scalar(i as f64), 1.0, 16);
+            m.lock_of(item.lid).entries.insert(item.lid, e);
         }
         assert_eq!(m.len(), 32);
         let mut seen = 0;
@@ -316,13 +336,13 @@ mod tests {
         let m = ShardedEntryMap::new(8);
         let policy = EvictionPolicy::default();
         for (name, cost, pinned) in [("a", 50.0, false), ("b", 2.0, true), ("c", 9.0, false)] {
-            let k = key(name);
-            let mut e = CacheEntry::cached(k.0.clone(), CachedObject::Scalar(0.0), cost, 16);
+            let item = leaf(name);
+            let mut e = CacheEntry::cached(&item, CachedObject::Scalar(0.0), cost, 16);
             e.pinned = pinned;
-            m.lock_of(&k).entries.insert(k, e);
+            m.lock_of(item.lid).entries.insert(item.lid, e);
         }
         let victim = m.select_victim(&policy, |_, _| true).expect("victim");
-        let cost = m.with_entry(&victim, |e| e.unwrap().compute_cost);
+        let cost = m.with_entry(victim, |e| e.unwrap().compute_cost);
         assert_eq!(cost, 9.0, "cheapest unpinned entry wins");
     }
 
@@ -335,10 +355,11 @@ mod tests {
         while f.waiters() == 0 {
             std::thread::yield_now();
         }
-        f.resolve(InflightOutcome::Done {
+        let woken = f.resolve(InflightOutcome::Done {
             object: CachedObject::Scalar(7.0),
             canonical: LineageItem::leaf("x"),
         });
+        assert_eq!(woken, 1, "one blocked waiter in the batch");
         match t.join().unwrap() {
             InflightOutcome::Done { object, .. } => {
                 assert!(matches!(object, CachedObject::Scalar(v) if v == 7.0))
@@ -351,12 +372,30 @@ mod tests {
     #[test]
     fn inflight_resolution_is_idempotent() {
         let f = Inflight::new();
-        f.resolve(InflightOutcome::Abandoned);
-        f.resolve(InflightOutcome::Done {
-            object: CachedObject::Scalar(1.0),
-            canonical: LineageItem::leaf("x"),
-        });
+        assert_eq!(
+            f.resolve(InflightOutcome::Abandoned),
+            0,
+            "no waiters, no wakeup"
+        );
+        assert_eq!(
+            f.resolve(InflightOutcome::Done {
+                object: CachedObject::Scalar(1.0),
+                canonical: LineageItem::leaf("x"),
+            }),
+            0,
+            "second resolution is a no-op"
+        );
         assert!(matches!(f.wait(), InflightOutcome::Abandoned));
+    }
+
+    #[test]
+    fn inflight_reset_restores_pending() {
+        let mut f = Inflight::new();
+        f.resolve(InflightOutcome::Abandoned);
+        assert!(!f.is_pending());
+        Arc::get_mut(&mut f).expect("sole owner").reset();
+        assert!(f.is_pending());
+        assert_eq!(f.waiters(), 0);
     }
 
     #[test]

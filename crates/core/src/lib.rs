@@ -22,6 +22,7 @@
 pub mod backend;
 pub mod cache;
 pub mod lineage;
+pub mod pool;
 pub mod recompute;
 pub mod stats;
 
@@ -34,5 +35,6 @@ pub use cache::entry::{CacheEntry, CachedObject, EntryStatus};
 pub use cache::gpu::GpuMemoryManager;
 pub use cache::sharded::{Inflight, InflightOutcome, ShardedEntryMap};
 pub use cache::{ComputeGuard, LineageCache, ProbeHit, Probed};
-pub use lineage::{LItem, LKey, LineageItem, LineageMap};
+pub use lineage::{resolve, LItem, LineageId, LineageItem, LineageMap};
+pub use pool::{Pool, PoolStats};
 pub use stats::{ReuseStats, ReuseStatsSnapshot};

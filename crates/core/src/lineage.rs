@@ -6,16 +6,81 @@
 //! shared (`Arc`), with precomputed hash and height so that probing the
 //! lineage cache is cheap; full equality uses the paper's non-recursive,
 //! queue-based comparison with sub-DAG memoization and early aborts.
+//!
+//! # Interned identity
+//!
+//! Every structurally-unique DAG is additionally assigned a process-global
+//! [`LineageId`] at construction time by a sharded intern table keyed on
+//! the precomputed FNV hash. The id is a `u32` + the content hash, `Copy`,
+//! and compares as a single integer — it is the key type of the entire
+//! cache (entry map, in-flight markers, eviction scoring, GPU pointer
+//! tags, disk manifest tags), so the steady-state probe→hit path never
+//! walks a DAG and never allocates. Structural twins share the id but keep
+//! their own `Arc` (the first construction is the canonical trace,
+//! retrievable via [`resolve`]); a hash collision between structurally
+//! distinct DAGs aborts the process — with a 64-bit FNV over full DAG
+//! content this is the same abort-on-collision contract the paper's
+//! hash-probing already relied on, now enforced eagerly.
+//!
+//! The intern table deliberately never shrinks: a `LineageId` must stay
+//! resolvable for as long as the process may probe with it. This trades
+//! bounded growth (one canonical `Arc` per unique DAG ever traced) for an
+//! allocation-free, lock-free-on-probe identity — the same trade
+//! SystemDS-style lineage dedup makes.
 
+use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Shared handle to a lineage DAG node.
 pub type LItem = Arc<LineageItem>;
 
 static NEXT_ITEM_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Compact process-global identity of a structurally-unique lineage DAG.
+///
+/// Equality is a single `u32` compare; hashing writes the precomputed
+/// content-derived FNV hash of the DAG (so `HashMap<LineageId, _>`
+/// distributes identically to hashing the DAG itself, and shard
+/// assignment / eviction tie-breaks stay deterministic across runs).
+/// There is deliberately no `Ord`: the raw id is allocation order, which
+/// is racy under concurrent tracing — any ordering must use
+/// [`LineageId::content_hash`] instead.
+#[derive(Debug, Clone, Copy)]
+pub struct LineageId {
+    id: u32,
+    hash: u64,
+}
+
+impl LineageId {
+    /// The raw interned index (diagnostics only; allocation order is not
+    /// deterministic across runs or threads).
+    pub fn raw(self) -> u32 {
+        self.id
+    }
+
+    /// The content-derived FNV hash of the DAG this id identifies. Stable
+    /// across runs; use it for sharding and deterministic tie-breaks.
+    pub fn content_hash(self) -> u64 {
+        self.hash
+    }
+}
+
+impl PartialEq for LineageId {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for LineageId {}
+
+impl std::hash::Hash for LineageId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
 
 /// One node of a lineage trace: an executed operator with its literal
 /// arguments and input lineage.
@@ -23,6 +88,9 @@ static NEXT_ITEM_ID: AtomicU64 = AtomicU64::new(1);
 pub struct LineageItem {
     /// Process-unique id (object identity; not part of equality).
     pub id: u64,
+    /// Interned structural identity: equal for all structurally-equal
+    /// DAGs, distinct otherwise. The cache's key type.
+    pub lid: LineageId,
     /// Operator code, e.g. `"ba+*"` (matmul), `"tsmm"`, `"rand"`, or
     /// `"func:linRegDS"` for multi-level (function) reuse entries.
     pub opcode: Arc<str>,
@@ -44,6 +112,123 @@ fn fnv(h: &mut u64, bytes: &[u8]) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Intern table
+// ---------------------------------------------------------------------
+
+const INTERN_SHARDS: usize = 64;
+
+struct InternTable {
+    /// content hash → (interned id, canonical first trace).
+    shards: [Mutex<HashMap<u64, (u32, LItem)>>; INTERN_SHARDS],
+    next: AtomicU32,
+    reused: AtomicU64,
+}
+
+fn intern_table() -> &'static InternTable {
+    static TABLE: OnceLock<InternTable> = OnceLock::new();
+    TABLE.get_or_init(|| InternTable {
+        shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        next: AtomicU32::new(0),
+        reused: AtomicU64::new(0),
+    })
+}
+
+/// Global intern-table statistics (informational; reported by the perf
+/// harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternStats {
+    /// Structurally-unique DAGs interned so far.
+    pub unique: u64,
+    /// Constructions that reused an existing id (structural twins).
+    pub reused: u64,
+}
+
+/// Snapshot of the process-global intern table counters.
+pub fn intern_stats() -> InternStats {
+    let t = intern_table();
+    InternStats {
+        unique: t.next.load(Ordering::Relaxed) as u64,
+        reused: t.reused.load(Ordering::Relaxed),
+    }
+}
+
+/// Returns the canonical (first-traced) item for an interned id.
+///
+/// Lock + `Arc` clone only — no heap allocation; safe on the probe hot
+/// path. Panics if the id was never minted by interning (impossible for
+/// ids read off a live `LineageItem`).
+pub fn resolve(id: LineageId) -> LItem {
+    let shard = intern_table().shards[(id.hash as usize) & (INTERN_SHARDS - 1)].lock();
+    shard
+        .get(&id.hash)
+        .map(|(_, canonical)| canonical.clone())
+        .expect("LineageId resolves: ids are only minted by the intern table")
+}
+
+/// Interns `(opcode, data, inputs)` under the given precomputed hash.
+///
+/// First construction of a structure becomes the canonical trace and is
+/// returned directly; later structural twins get a **fresh** `Arc`
+/// carrying the same [`LineageId`] (object identity stays distinct, as
+/// the compaction tests require). A hash-equal but structurally-unequal
+/// construction is a silent-corruption hazard and aborts the process.
+fn intern_node(
+    opcode: Arc<str>,
+    data: Vec<String>,
+    inputs: Vec<LItem>,
+    hash: u64,
+    height: u32,
+) -> LItem {
+    let table = intern_table();
+    let mut shard = table.shards[(hash as usize) & (INTERN_SHARDS - 1)].lock();
+    match shard.get(&hash) {
+        Some((id, canonical)) => {
+            // Cheap structural verification against the canonical trace:
+            // input ids compare by interned identity, which is
+            // inductively structural — O(node), not O(DAG).
+            assert!(
+                canonical.opcode == opcode
+                    && canonical.data == data
+                    && canonical.inputs.len() == inputs.len()
+                    && canonical
+                        .inputs
+                        .iter()
+                        .zip(&inputs)
+                        .all(|(a, b)| a.lid == b.lid),
+                "lineage hash collision: structurally distinct DAGs share hash {hash:#018x} \
+                 (opcode `{}` vs `{}`) — aborting to prevent silent cross-reuse",
+                canonical.opcode,
+                opcode,
+            );
+            table.reused.fetch_add(1, Ordering::Relaxed);
+            Arc::new(LineageItem {
+                id: NEXT_ITEM_ID.fetch_add(1, Ordering::Relaxed),
+                lid: LineageId { id: *id, hash },
+                opcode,
+                data,
+                inputs,
+                hash,
+                height,
+            })
+        }
+        None => {
+            let id = table.next.fetch_add(1, Ordering::Relaxed);
+            let item = Arc::new(LineageItem {
+                id: NEXT_ITEM_ID.fetch_add(1, Ordering::Relaxed),
+                lid: LineageId { id, hash },
+                opcode,
+                data,
+                inputs,
+                hash,
+                height,
+            });
+            shard.insert(hash, (id, item.clone()));
+            item
+        }
+    }
+}
+
 impl LineageItem {
     /// Creates an operator node over `inputs`.
     pub fn new(opcode: &str, data: Vec<String>, inputs: Vec<LItem>) -> LItem {
@@ -58,14 +243,7 @@ impl LineageItem {
             fnv(&mut hash, &i.hash.to_le_bytes());
         }
         let height = 1 + inputs.iter().map(|i| i.height).max().unwrap_or(0);
-        Arc::new(LineageItem {
-            id: NEXT_ITEM_ID.fetch_add(1, Ordering::Relaxed),
-            opcode: Arc::from(opcode),
-            data,
-            inputs,
-            hash,
-            height,
-        })
+        intern_node(Arc::from(opcode), data, inputs, hash, height)
     }
 
     /// Creates a leaf node (an input dataset, literal, or seeded random
@@ -89,8 +267,15 @@ impl LineageItem {
 }
 
 /// The paper's queue-based structural equality with memoization and early
-/// aborts (hash mismatch, height mismatch, shared sub-DAG object identity).
+/// aborts (hash mismatch, height mismatch, shared sub-DAG object
+/// identity). With interning, structurally-equal DAGs share a
+/// [`LineageId`], so the common case is a single integer compare; the
+/// queue-based walk remains as the definition the intern table is
+/// verified against.
 pub fn lineage_eq(a: &LItem, b: &LItem) -> bool {
+    if a.lid == b.lid {
+        return true; // interned identity: structural equality by construction
+    }
     let mut queue: VecDeque<(LItem, LItem)> = VecDeque::from([(a.clone(), b.clone())]);
     let mut memo: HashSet<(u64, u64)> = HashSet::new();
     while let Some((x, y)) = queue.pop_front() {
@@ -113,25 +298,6 @@ pub fn lineage_eq(a: &LItem, b: &LItem) -> bool {
         }
     }
     true
-}
-
-/// Hash-map key wrapping a lineage item: `Eq` delegates to [`lineage_eq`],
-/// `Hash` to the precomputed DAG hash.
-#[derive(Debug, Clone)]
-pub struct LKey(pub LItem);
-
-impl PartialEq for LKey {
-    fn eq(&self, other: &Self) -> bool {
-        lineage_eq(&self.0, &other.0)
-    }
-}
-
-impl Eq for LKey {}
-
-impl std::hash::Hash for LKey {
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        state.write_u64(self.0.hash);
-    }
 }
 
 /// Maps live variable names to their lineage DAGs (the `LineageMap` of
@@ -203,16 +369,16 @@ impl LineageMap {
     /// the cached `canonical` key, rebinds every variable currently mapped
     /// to a structurally-equal trace to the canonical item, increasing
     /// object-identity sharing. Returns how many bindings were compacted.
+    ///
+    /// Structural equality is an interned-id compare, so compaction is
+    /// O(bindings), not O(bindings × DAG).
     pub fn compact(&mut self, item: &LItem, canonical: &LItem) -> usize {
         if Arc::ptr_eq(item, canonical) {
             return 0;
         }
         let mut n = 0;
         for bound in self.map.values_mut() {
-            if !Arc::ptr_eq(bound, canonical)
-                && bound.hash == item.hash
-                && lineage_eq(bound, canonical)
-            {
+            if !Arc::ptr_eq(bound, canonical) && bound.lid == canonical.lid {
                 *bound = canonical.clone();
                 n += 1;
             }
@@ -239,6 +405,10 @@ impl LineageMap {
 /// Serializes a lineage DAG to a line-oriented log:
 /// `(<node>) <opcode> [<data>,*] (<input-node>,*)` — topologically ordered,
 /// leaves first. Shared sub-DAGs appear once.
+///
+/// The output string is preallocated from the DAG's node contents and
+/// every field is appended into that one buffer directly — no per-node
+/// intermediate strings or joins.
 pub fn serialize(root: &LItem) -> String {
     let mut order: Vec<LItem> = Vec::new();
     let mut seen: HashSet<u64> = HashSet::new();
@@ -253,21 +423,40 @@ pub fn serialize(root: &LItem) -> String {
     }
     visit(root, &mut seen, &mut order);
     let index: HashMap<u64, usize> = order.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
-    let mut out = String::new();
+    // Per line: "(i) opcode [d1,d2] (i1,i2)\n" — opcode + data bytes +
+    // up to ~8 digits per reference + fixed punctuation. Escapes can
+    // lengthen data slightly; the estimate stays within one growth step.
+    let cap: usize = order
+        .iter()
+        .map(|n| {
+            n.opcode.len()
+                + n.data.iter().map(|d| d.len() + 1).sum::<usize>()
+                + n.inputs.len() * 8
+                + 16
+        })
+        .sum();
+    let mut out = String::with_capacity(cap);
     for (i, node) in order.iter().enumerate() {
-        let data = node
-            .data
-            .iter()
-            .map(|d| d.replace('\\', "\\\\").replace(',', "\\,"))
-            .collect::<Vec<_>>()
-            .join(",");
-        let inputs = node
-            .inputs
-            .iter()
-            .map(|n| index[&n.id].to_string())
-            .collect::<Vec<_>>()
-            .join(",");
-        writeln!(out, "({i}) {} [{data}] ({inputs})", node.opcode).expect("write to string");
+        write!(out, "({i}) {} [", node.opcode).expect("write to string");
+        for (j, d) in node.data.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            for c in d.chars() {
+                if c == '\\' || c == ',' {
+                    out.push('\\');
+                }
+                out.push(c);
+            }
+        }
+        out.push_str("] (");
+        for (j, input) in node.inputs.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write!(out, "{}", index[&input.id]).expect("write to string");
+        }
+        out.push_str(")\n");
     }
     out
 }
@@ -375,7 +564,37 @@ mod tests {
         let b = mm(&x2, &y2);
         assert_eq!(a.hash, b.hash);
         assert!(lineage_eq(&a, &b));
-        assert_eq!(LKey(a), LKey(b));
+        assert_eq!(a.lid, b.lid, "structural twins intern to one id");
+    }
+
+    #[test]
+    fn interned_twins_share_id_but_not_identity() {
+        let a = LineageItem::leaf("intern/unique-twin-leaf");
+        let b = LineageItem::leaf("intern/unique-twin-leaf");
+        assert_eq!(a.lid, b.lid);
+        assert!(!Arc::ptr_eq(&a, &b), "twins keep distinct Arcs");
+        // The canonical trace is the first construction.
+        assert!(Arc::ptr_eq(&resolve(a.lid), &a));
+        assert!(Arc::ptr_eq(&resolve(b.lid), &a));
+    }
+
+    #[test]
+    fn distinct_dags_get_distinct_ids() {
+        let a = LineageItem::leaf("intern/distinct-a");
+        let b = LineageItem::leaf("intern/distinct-b");
+        assert_ne!(a.lid, b.lid);
+        let c = LineageItem::new("r'", vec![], vec![a.clone()]);
+        assert_ne!(a.lid, c.lid);
+        assert_eq!(c.lid.content_hash(), c.hash);
+    }
+
+    #[test]
+    #[should_panic(expected = "lineage hash collision")]
+    fn hash_collision_aborts() {
+        let a = LineageItem::leaf("intern/collision-victim");
+        // Force a structurally different node carrying the same hash:
+        // the intern table must refuse to alias them.
+        let _ = intern_node(Arc::from("not-a-leaf"), vec![], vec![], a.hash, 1);
     }
 
     #[test]
@@ -480,6 +699,20 @@ mod tests {
     }
 
     #[test]
+    fn serialize_preallocates_enough() {
+        // The capacity estimate must cover the final length (no repeated
+        // growth on long logs); correctness of the format is covered by
+        // the roundtrip tests.
+        let mut item = LineageItem::leaf("prealloc/leaf-with-a-long-name");
+        for i in 0..64 {
+            item = LineageItem::new("op", vec![format!("step={i}"), "x,y".into()], vec![item]);
+        }
+        let log = serialize(&item);
+        assert!(log.capacity() >= log.len());
+        assert!(deserialize(&log).is_ok());
+    }
+
+    #[test]
     fn deserialize_rejects_garbage() {
         assert!(matches!(deserialize(""), Err(ParseError::Empty)));
         assert!(matches!(
@@ -512,5 +745,6 @@ mod tests {
         );
         let f2 = LineageItem::new("func:linRegDS", vec!["out=0".into()], vec![x, y]);
         assert!(lineage_eq(&f1, &f2));
+        assert_eq!(f1.lid, f2.lid);
     }
 }

@@ -1,0 +1,157 @@
+//! Bounded free-list object pool — the gpusim arena's recycle-first
+//! idiom generalized to heap objects on the cache hot path.
+//!
+//! The GPU memory manager (`crates/gpusim/src/arena.rs` and the eq. (2)
+//! free lists) never returns device memory to the allocator while a
+//! same-shaped request may recycle it. [`Pool`] applies the same policy
+//! to short-lived heap objects: in-flight coalescing markers are taken
+//! from the pool on a miss and returned when the computation completes,
+//! so the steady-state miss→own→complete cycle stops allocating once the
+//! pool warms up. The pool is bounded — beyond `cap` objects are dropped
+//! to the allocator rather than hoarded.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Point-in-time pool counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// `take` calls served from the free list.
+    pub reuses: u64,
+    /// `take` calls that found the pool empty (caller allocates).
+    pub misses: u64,
+    /// Objects returned to the free list.
+    pub returns: u64,
+    /// Returns dropped because the pool was at capacity.
+    pub overflow: u64,
+}
+
+/// A thread-safe bounded free list of recyclable objects.
+///
+/// The pool never constructs or resets objects itself — callers construct
+/// on a `take` miss and must return objects in a reusable state.
+pub struct Pool<T> {
+    free: Mutex<Vec<T>>,
+    cap: usize,
+    reuses: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    overflow: AtomicU64,
+}
+
+impl<T> Pool<T> {
+    /// Creates a pool retaining at most `cap` idle objects.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+            cap,
+            reuses: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            returns: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes a recycled object, or `None` when the pool is empty.
+    pub fn take(&self) -> Option<T> {
+        let taken = self.free.lock().pop();
+        match taken {
+            Some(_) => self.reuses.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        taken
+    }
+
+    /// Returns an object to the free list. Returns false (dropping the
+    /// object) when the pool is at capacity.
+    pub fn put(&self, obj: T) -> bool {
+        let mut free = self.free.lock();
+        if free.len() >= self.cap {
+            drop(free);
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+            false
+        } else {
+            free.push(obj);
+            drop(free);
+            self.returns.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+    }
+
+    /// Idle objects currently retained.
+    pub fn len(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// True when no idle object is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum idle objects retained.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Copies the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            reuses: self.reuses.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            returns: self.returns.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_roundtrip() {
+        let p: Pool<Box<u64>> = Pool::new(4);
+        assert!(p.take().is_none(), "empty pool misses");
+        assert!(p.put(Box::new(7)));
+        assert_eq!(p.len(), 1);
+        assert_eq!(*p.take().expect("recycled"), 7);
+        assert!(p.is_empty());
+        let s = p.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.returns, 1);
+        assert_eq!(s.reuses, 1);
+    }
+
+    #[test]
+    fn capacity_bounds_retention() {
+        let p: Pool<u8> = Pool::new(2);
+        assert!(p.put(1));
+        assert!(p.put(2));
+        assert!(!p.put(3), "at capacity: dropped");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.stats().overflow, 1);
+        assert_eq!(p.cap(), 2);
+    }
+
+    #[test]
+    fn concurrent_take_put_is_consistent() {
+        let p = std::sync::Arc::new(Pool::<u64>::new(64));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for i in 0..200 {
+                        if let Some(v) = p.take() {
+                            p.put(v);
+                        } else {
+                            p.put(t * 1000 + i);
+                        }
+                    }
+                });
+            }
+        });
+        let s = p.stats();
+        assert_eq!(s.reuses + s.misses, 8 * 200);
+        assert!(p.len() <= 64);
+    }
+}

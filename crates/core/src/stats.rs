@@ -37,6 +37,15 @@ pub struct ReuseStats {
     /// In-flight computations abandoned (owner errored or dropped its
     /// guard); waiters retried.
     pub inflight_abandoned: AtomicU64,
+    /// In-flight resolutions that woke a non-empty waiter set with one
+    /// batched `notify_all` broadcast.
+    pub wakeup_batches: AtomicU64,
+    /// In-flight resolutions with no blocked waiter: the condvar
+    /// broadcast was skipped entirely.
+    pub wakeup_skips: AtomicU64,
+    /// In-flight markers recycled through the marker pool instead of
+    /// freed (and later reused without an allocation).
+    pub inflight_recycled: AtomicU64,
     /// Local entries evicted to disk.
     pub local_spills: AtomicU64,
     /// Local entries dropped entirely.
@@ -103,6 +112,12 @@ pub struct ReuseStatsSnapshot {
     pub inflight_begins: u64,
     /// See [`ReuseStats::inflight_abandoned`].
     pub inflight_abandoned: u64,
+    /// See [`ReuseStats::wakeup_batches`].
+    pub wakeup_batches: u64,
+    /// See [`ReuseStats::wakeup_skips`].
+    pub wakeup_skips: u64,
+    /// See [`ReuseStats::inflight_recycled`].
+    pub inflight_recycled: u64,
     /// Shard-lock acquisitions that found the lock held (filled by the
     /// cache from its sharded map, not an atomic of [`ReuseStats`]).
     pub shard_contention: u64,
@@ -162,6 +177,9 @@ impl ReuseStats {
             inflight_waits: self.inflight_waits.load(Ordering::Relaxed),
             inflight_begins: self.inflight_begins.load(Ordering::Relaxed),
             inflight_abandoned: self.inflight_abandoned.load(Ordering::Relaxed),
+            wakeup_batches: self.wakeup_batches.load(Ordering::Relaxed),
+            wakeup_skips: self.wakeup_skips.load(Ordering::Relaxed),
+            inflight_recycled: self.inflight_recycled.load(Ordering::Relaxed),
             shard_contention: 0,
             local_spills: self.local_spills.load(Ordering::Relaxed),
             local_drops: self.local_drops.load(Ordering::Relaxed),
@@ -203,6 +221,9 @@ impl memphis_obs::IntoMetrics for ReuseStatsSnapshot {
             ("inflight_waits", self.inflight_waits),
             ("inflight_begins", self.inflight_begins),
             ("inflight_abandoned", self.inflight_abandoned),
+            ("wakeup_batches", self.wakeup_batches),
+            ("wakeup_skips", self.wakeup_skips),
+            ("inflight_recycled", self.inflight_recycled),
             ("shard_contention", self.shard_contention),
             ("local_spills", self.local_spills),
             ("local_drops", self.local_drops),

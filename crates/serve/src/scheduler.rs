@@ -40,7 +40,7 @@ use crate::rng::{decide, salt};
 use crate::stats::ServeCounters;
 use memphis_core::cache::entry::CachedObject;
 use memphis_core::cache::{ComputeGuard, LineageCache, Probed};
-use memphis_core::lineage::{LItem, LineageItem};
+use memphis_core::lineage::{LItem, LineageId, LineageItem};
 use memphis_core::stats::ReuseStatsSnapshot;
 use memphis_matrix::Matrix;
 use memphis_obs::cat;
@@ -288,8 +288,11 @@ impl Scheduler {
         let mut completions: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
         let mut retries: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
         let mut counters = ServeCounters::default();
-        let mut computed_before: HashSet<usize> = HashSet::new();
-        let mut in_progress: HashSet<usize> = HashSet::new();
+        // Keyed on the interned lineage identity: membership checks are
+        // integer compares, and the ledger speaks the same key type as the
+        // cache it audits.
+        let mut computed_before: HashSet<LineageId> = HashSet::new();
+        let mut in_progress: HashSet<LineageId> = HashSet::new();
         let mut checks: Vec<(String, f64)> = Vec::new();
         let mut slots_free = self.cfg.slots.max(1);
         let mut inflight_bytes = 0usize;
@@ -564,8 +567,8 @@ impl Scheduler {
         by_id: &HashMap<u64, usize>,
         batch: &[u64],
         counters: &mut ServeCounters,
-        computed_before: &mut HashSet<usize>,
-        in_progress: &mut HashSet<usize>,
+        computed_before: &mut HashSet<LineageId>,
+        in_progress: &mut HashSet<LineageId>,
         checks: &mut Vec<(String, f64)>,
     ) {
         let _exec_span =
@@ -573,7 +576,7 @@ impl Scheduler {
 
         // Phase 1: classify sequentially on the dispatcher.
         let mut jobs: Vec<Job> = Vec::new();
-        let mut guards: Vec<(usize, ComputeGuard, usize)> = Vec::new(); // (item, guard, job)
+        let mut guards: Vec<(LineageId, ComputeGuard, usize)> = Vec::new(); // (key, guard, job)
         let mut pipes: Vec<(usize, usize, &'static str)> = Vec::new(); // (table idx, job, kind)
         let mut batch_items: HashSet<usize> = HashSet::new();
         for &id in batch {
@@ -604,16 +607,17 @@ impl Scheduler {
                     {
                         Probed::Hit(_) | Probed::Coalesced(_) => counters.hits += 1,
                         Probed::Compute(g) => {
+                            let key = g.key();
                             counters.computes += 1;
-                            if in_progress.contains(&idx) {
+                            if in_progress.contains(&key) {
                                 counters.duplicates += 1;
                             }
-                            if computed_before.contains(&idx) {
+                            if computed_before.contains(&key) {
                                 counters.recomputes += 1;
                             }
-                            in_progress.insert(idx);
+                            in_progress.insert(key);
                             jobs.push(Job::Payload { item: idx });
-                            guards.push((idx, g, jobs.len() - 1));
+                            guards.push((key, g, jobs.len() - 1));
                         }
                     }
                 }
@@ -661,7 +665,7 @@ impl Scheduler {
 
         // Phase 3: commit sequentially on the dispatcher, in dispatch
         // order — cache admissions and evictions are fully ordered.
-        for (item, guard, j) in guards {
+        for (key, guard, j) in guards {
             let Some(JobOut::Matrix(m)) = results[j].take() else {
                 unreachable!("payload job produced a matrix");
             };
@@ -669,8 +673,8 @@ impl Scheduler {
             let size = m.size_bytes();
             self.cache
                 .complete(guard, CachedObject::Matrix(m), ITEM_COST, size, 1);
-            in_progress.remove(&item);
-            computed_before.insert(item);
+            in_progress.remove(&key);
+            computed_before.insert(key);
         }
         for (i, j, kind) in pipes {
             match results[j].take() {

@@ -6,7 +6,7 @@
 use memphis_core::cache::config::CacheConfig;
 use memphis_core::cache::entry::{CacheEntry, CachedObject};
 use memphis_core::cache::LineageCache;
-use memphis_core::lineage::{LKey, LineageItem};
+use memphis_core::lineage::{LineageId, LineageItem};
 use memphis_core::{
     BackendId, BackendRegistry, BackendSnapshot, CacheBackend, EvictionPolicy, Materialized,
     ShardedEntryMap,
@@ -39,7 +39,7 @@ impl CacheBackend for ShadowBackend {
         &self,
         _map: &ShardedEntryMap,
         _reg: &BackendRegistry,
-        _key: &LKey,
+        _key: LineageId,
         entry: &mut CacheEntry,
     ) -> bool {
         *self.used.lock().unwrap() += entry.size;
@@ -51,7 +51,7 @@ impl CacheBackend for ShadowBackend {
         &self,
         map: &ShardedEntryMap,
         _reg: &BackendRegistry,
-        key: &LKey,
+        key: LineageId,
     ) -> Materialized {
         self.hits.fetch_add(1, Ordering::Relaxed);
         map.with_entry(key, |e| {
@@ -66,7 +66,7 @@ impl CacheBackend for ShadowBackend {
         _map: &ShardedEntryMap,
         _reg: &BackendRegistry,
         _bytes: usize,
-        _skip: Option<&LKey>,
+        _skip: Option<LineageId>,
     ) -> usize {
         0
     }

@@ -165,6 +165,7 @@ fn ci_script_defines_all_stages() {
         "stage_concurrency",
         "stage_serve",
         "stage_bench_gate",
+        "stage_perf",
         "stage_lint",
     ] {
         assert!(
@@ -172,6 +173,11 @@ fn ci_script_defines_all_stages() {
             "ci.sh: missing stage function {stage}"
         );
     }
+    // The perf stage writes the committed perf report and gates the
+    // deterministic counter slice against the same baseline as the
+    // bench gate.
+    assert!(sh.contains("--bin perf_stress"));
+    assert!(sh.contains("BENCH_pr6.json ci/BENCH_baseline.json"));
     // The concurrency stage runs under both chaos seeds, parallel and
     // single-threaded.
     assert!(sh.contains("--test concurrency"));

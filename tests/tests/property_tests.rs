@@ -63,6 +63,41 @@ proptest! {
         let b = LineageItem::leaf(&format!("{name}!"));
         prop_assert!(!lineage_eq(&a, &b));
     }
+
+    #[test]
+    fn interning_is_structural(
+        recipe in proptest::collection::vec((0u8..4, 0u8..16, 0u8..16), 1..12)
+    ) {
+        // Same recipe → same interned identity, both at the root and
+        // for every node rebuilt independently.
+        let a = build_dag(&recipe);
+        let b = build_dag(&recipe);
+        prop_assert_eq!(a.lid, b.lid);
+        prop_assert_eq!(a.lid.content_hash(), a.hash);
+        // A structurally different DAG (one extra node) gets a
+        // different id — never a silent collision.
+        let c = LineageItem::new("+", vec![], vec![a.clone(), LineageItem::leaf("X")]);
+        prop_assert_ne!(c.lid, a.lid);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees_across_threads(
+        recipe in proptest::collection::vec((0u8..4, 0u8..16, 0u8..16), 1..8),
+        nthreads in 8usize..33,
+    ) {
+        // 8–32 threads racing to construct the same DAG all observe one
+        // LineageId, and resolving it yields a structurally equal item.
+        let ids: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|_| s.spawn(|| build_dag(&recipe).lid))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+        let first = ids[0];
+        prop_assert!(ids.iter().all(|&id| id == first), "threads must agree on the id");
+        let canonical = memphis_core::resolve(first);
+        prop_assert!(lineage_eq(&canonical, &build_dag(&recipe)));
+    }
 }
 
 // ----------------------------------------------------------------------
