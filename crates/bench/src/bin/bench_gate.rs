@@ -10,9 +10,10 @@
 //! `memphis_bench::gate::GATED`) are exact by construction, so the
 //! comparison is equality, not a tolerance band.
 
-use memphis_bench::gate::{compare_gated, render};
+use memphis_bench::gate::{compare_keys, render, GATED, GATED_RECOVERY};
 use memphis_bench::golden::{
-    run_concurrency_gate, run_serve_gate, ConcGateParams, ServeGateParams,
+    run_concurrency_gate, run_recovery_gate, run_serve_gate, ConcGateParams, RecoveryGateParams,
+    ServeGateParams,
 };
 
 fn main() {
@@ -22,6 +23,7 @@ fn main() {
 
     let o = run_concurrency_gate(&ConcGateParams::full());
     let s = run_serve_gate(&ServeGateParams::full());
+    let r = run_recovery_gate(&RecoveryGateParams::full());
     assert!(
         s.invariants_hold(),
         "serve gate invariants failed: {:?}",
@@ -37,6 +39,11 @@ fn main() {
         ("serve_coalesced", s.counters.coalesced),
         ("serve_quota_evictions", s.counters.quota_evictions),
         ("serve_completed", s.counters.completed),
+        ("segments_recovered", r.segments_recovered),
+        ("entries_recovered", r.entries_recovered),
+        ("entries_rehydrated", r.entries_rehydrated),
+        ("checksum_rejects", r.checksum_rejects),
+        ("manifest_swaps", r.manifest_swaps),
         ("wall_clock_ms", o.elapsed.as_millis() as u64),
     ]);
     std::fs::write(&out_path, &report).unwrap_or_else(|e| {
@@ -53,7 +60,8 @@ fn main() {
         eprintln!("bench_gate: cannot read baseline {baseline_path}: {e}");
         std::process::exit(2);
     });
-    let diff = compare_gated(&report, &baseline);
+    let keys: Vec<&str> = GATED.iter().chain(GATED_RECOVERY.iter()).copied().collect();
+    let diff = compare_keys(&report, &baseline, &keys);
     for (key, got) in &diff.matches {
         println!("bench_gate: {key:<16} {got} == baseline");
     }

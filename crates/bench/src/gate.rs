@@ -25,6 +25,18 @@ pub const GATED: [&str; 8] = [
     "serve_quota_evictions",
 ];
 
+/// The durable disk tier's recovery counters, gated by `bench_gate`
+/// only (the perf stage keeps gating [`GATED`] alone, so its reports
+/// stay schema-compatible with older baselines). Every one of these is
+/// deterministic: the recovery gate's fault plan is seeded and its
+/// store traffic is single-threaded.
+pub const GATED_RECOVERY: [&str; 4] = [
+    "segments_recovered",
+    "entries_rehydrated",
+    "checksum_rejects",
+    "manifest_swaps",
+];
+
 /// Renders a flat `{"k": v, ...}` JSON object.
 pub fn render(pairs: &[(&str, u64)]) -> String {
     let body = pairs
@@ -81,10 +93,17 @@ impl GateDiff {
 /// reports may carry informational wall-clock and perf keys beyond the
 /// baseline schema.
 pub fn compare_gated(report: &str, baseline: &str) -> GateDiff {
+    compare_keys(report, baseline, &GATED)
+}
+
+/// Diffs an explicit gated key set of a report against a baseline —
+/// `bench_gate` passes [`GATED`] plus [`GATED_RECOVERY`], the perf
+/// stage only [`GATED`].
+pub fn compare_keys(report: &str, baseline: &str, keys: &[&str]) -> GateDiff {
     let current = parse(report);
     let expected = parse(baseline);
     let mut diff = GateDiff::default();
-    for key in GATED {
+    for &key in keys {
         match (expected.get(key), current.get(key)) {
             (Some(want), Some(got)) if want == got => {
                 diff.matches.push((key.to_string(), *got));
@@ -165,6 +184,26 @@ mod tests {
         let diff = compare_gated(&report, &base);
         assert_eq!(diff.missing.len(), GATED.len() - 1);
         assert!(!diff.passed());
+    }
+
+    #[test]
+    fn compare_keys_gates_the_recovery_slice() {
+        let base = render(&[
+            ("segments_recovered", 2),
+            ("entries_rehydrated", 3),
+            ("checksum_rejects", 1),
+            ("manifest_swaps", 1),
+        ]);
+        let diff = compare_keys(&base, &base, &GATED_RECOVERY);
+        assert!(diff.passed());
+        assert_eq!(diff.matches.len(), GATED_RECOVERY.len());
+
+        let bad = base.replace("\"checksum_rejects\": 1", "\"checksum_rejects\": 4");
+        let diff = compare_keys(&bad, &base, &GATED_RECOVERY);
+        assert_eq!(
+            diff.regressions,
+            vec![("checksum_rejects".to_string(), 4, 1)]
+        );
     }
 
     #[test]

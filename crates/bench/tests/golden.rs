@@ -5,7 +5,8 @@
 //! noise, so nothing here asserts on elapsed time.
 
 use memphis_bench::golden::{
-    run_fig2c, run_fig2d, run_table2, Fig2cParams, Fig2dParams, Table2Params,
+    run_fig2c, run_fig2d, run_recovery_gate, run_table2, Fig2cParams, Fig2dParams,
+    RecoveryGateParams, Table2Params,
 };
 
 #[test]
@@ -74,6 +75,49 @@ fn fig2d_counters_show_per_batch_alloc_and_copy() {
         (g.allocs, g.frees, g.kernels, g.syncs),
         (again.allocs, again.frees, again.kernels, again.syncs),
         "counters are a pure function of the parameters"
+    );
+}
+
+#[test]
+fn recovery_gate_counters_are_deterministic() {
+    let p = RecoveryGateParams::tiny();
+    let out = run_recovery_gate(&p);
+
+    // Every surviving record is found again: the stream minus the
+    // tombstoned prefix minus the seeded-corruption rejects.
+    assert_eq!(
+        out.entries_recovered + out.checksum_rejects,
+        (p.entries - p.dels) as u64,
+        "{out:?}"
+    );
+    assert!(out.segments_recovered >= 1, "{out:?}");
+    assert!(
+        out.entries_rehydrated >= 1,
+        "rehydration budget used: {out:?}"
+    );
+    assert_eq!(out.manifest_swaps, 1, "one compaction pass: {out:?}");
+    assert!(
+        out.checksum_rejects >= 1,
+        "a 25% corruption rate over 12 writes must reject something: {out:?}"
+    );
+
+    // The counter schedule is a pure function of the parameters.
+    let again = run_recovery_gate(&p);
+    assert_eq!(
+        (
+            out.segments_recovered,
+            out.entries_recovered,
+            out.entries_rehydrated,
+            out.checksum_rejects,
+            out.manifest_swaps
+        ),
+        (
+            again.segments_recovered,
+            again.entries_recovered,
+            again.entries_rehydrated,
+            again.checksum_rejects,
+            again.manifest_swaps
+        )
     );
 }
 

@@ -19,11 +19,12 @@ use crate::backend::{
     BackendId, BackendRegistry, BackendSnapshot, CacheBackend, EvictionPolicy, Materialized,
 };
 use crate::cache::config::CacheConfig;
+use crate::cache::durable::{DurableRecord, RecoveredMeta, SegmentStore};
 use crate::cache::entry::{CacheEntry, CachedObject};
 use crate::cache::gpu::GpuMemoryManager;
 use crate::cache::sharded::ShardedEntryMap;
 use crate::cache::spark::SparkBackend;
-use crate::lineage::LineageId;
+use crate::lineage::{self, LineageId};
 use crate::stats::ReuseStats;
 use memphis_matrix::io as mio;
 use memphis_matrix::Matrix;
@@ -31,8 +32,6 @@ use memphis_sparksim::StorageLevel;
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 // ----------------------------------------------------------------------
@@ -173,13 +172,11 @@ impl LocalBackend {
                 && self
                     .spill
                     .as_ref()
-                    .and_then(|d| d.store(&m, e.key.content_hash()))
-                    .map(|path| {
-                        e.object = Some(CachedObject::Disk(path));
-                        e.backend = BackendId::Disk;
-                    })
-                    .is_some();
+                    .map(|d| d.store(&m, e.key, e.compute_cost, e.hits))
+                    .unwrap_or(false);
             if spilled {
+                e.object = Some(CachedObject::Disk(e.key.content_hash()));
+                e.backend = BackendId::Disk;
                 ReuseStats::inc(&self.stats.local_spills);
                 memphis_obs::instant_val(memphis_obs::cat::CACHE, "spill", "bytes", msize as u64);
             } else {
@@ -367,70 +364,97 @@ impl CacheBackend for LocalBackend {
 }
 
 // ----------------------------------------------------------------------
-// Disk (driver-local spill files)
+// Disk (durable log-structured segment store)
 // ----------------------------------------------------------------------
 
-/// Driver-local disk tier: binaries spilled from the local tier, read
-/// back on hit and optionally promoted to memory again.
+/// Driver-local disk tier over the crash-safe
+/// [`SegmentStore`](crate::cache::durable::SegmentStore): spilled
+/// matrices become CRC-checksummed records keyed by lineage
+/// `content_hash` (with their serialized lineage embedded for
+/// re-interning), committed through an append-only manifest, read back
+/// on hit and optionally promoted to memory again. With a persistent
+/// directory the tier survives restarts: construction recovers the
+/// manifest and hands verified entry metadata to the cache.
 pub struct DiskBackend {
-    dir: PathBuf,
+    store: SegmentStore,
     promote_on_hit: bool,
     policy: EvictionPolicy,
-    counter: AtomicU64,
+    /// Persistent stores keep their directory on drop; classic
+    /// cache-unique spill directories are removed.
+    persistent: bool,
     used: Mutex<usize>,
+    recovered: Mutex<Vec<RecoveredMeta>>,
     stats: Arc<ReuseStats>,
 }
 
 impl DiskBackend {
-    /// Creates the tier writing into the cache-unique `dir` (removed on
-    /// drop).
+    /// Opens the tier over `config.spill_dir`, recovering any committed
+    /// durable state found there. The directory is removed on drop
+    /// unless `config.persist_dir` marked it persistent.
     pub fn new(config: &CacheConfig, stats: Arc<ReuseStats>) -> Self {
+        let (store, recovered) = SegmentStore::open(
+            config.spill_dir.clone(),
+            config.segment_max_bytes,
+            config.compact_min_dead_bytes,
+            config.disk_faults.clone(),
+            stats.clone(),
+        );
+        let used = recovered.iter().map(|r| r.matrix_len).sum();
         Self {
-            dir: config.spill_dir.clone(),
+            store,
             promote_on_hit: config.promote_on_disk_hit,
             policy: EvictionPolicy::default(),
-            counter: AtomicU64::new(0),
-            used: Mutex::new(0),
+            persistent: config.persist_dir.is_some(),
+            used: Mutex::new(used),
+            recovered: Mutex::new(recovered),
             stats,
         }
     }
 
-    /// Writes a spilled matrix, returning its path (accounted to this
-    /// tier) or `None` on I/O failure. Failures are counted in
-    /// `disk_io_errors`; the caller degrades to a clean drop, never a
-    /// dangling path.
-    pub fn store(&self, m: &Matrix, tag: u64) -> Option<PathBuf> {
-        if std::fs::create_dir_all(&self.dir).is_err() {
-            ReuseStats::inc(&self.stats.disk_io_errors);
-            return None;
-        }
-        let path = self.dir.join(format!(
-            "lcache_{}_{}.bin",
-            tag,
-            self.counter.fetch_add(1, Ordering::Relaxed)
-        ));
-        match mio::write_file(m, &path) {
-            Ok(()) => {
-                *self.used.lock() += m.size_bytes();
-                Some(path)
-            }
-            Err(_) => {
-                // A failed write may leave a partial file behind.
-                std::fs::remove_file(&path).ok();
-                ReuseStats::inc(&self.stats.disk_io_errors);
-                None
-            }
+    /// Verified entry metadata found by recovery, taken once by the
+    /// cache to rebuild its probe map.
+    pub fn take_recovered(&self) -> Vec<RecoveredMeta> {
+        std::mem::take(&mut *self.recovered.lock())
+    }
+
+    /// The underlying durable store (sync-point instrumentation for the
+    /// crash-recovery harness).
+    pub fn segment_store(&self) -> &SegmentStore {
+        &self.store
+    }
+
+    /// Commits a spilled matrix as a durable record carrying its
+    /// serialized lineage, cost, and reuse standing. Returns false on
+    /// I/O failure or injected crash; the caller degrades to a clean
+    /// drop, never a dangling entry.
+    pub fn store(&self, m: &Matrix, key: LineageId, compute_cost: f64, hits: u64) -> bool {
+        let item = lineage::resolve(key);
+        let rec = DurableRecord {
+            content_hash: key.content_hash(),
+            compute_cost,
+            hits,
+            height: item.height,
+            lineage_log: lineage::serialize(&item),
+            matrix_bytes: mio::to_bytes(m).to_vec(),
+        };
+        if self.store.put(&rec) {
+            *self.used.lock() += m.size_bytes();
+            true
+        } else {
+            false
         }
     }
 
-    fn discard(&self, path: &Path, size: usize) {
-        if let Err(e) = std::fs::remove_file(path) {
-            // NotFound is the promote/evict race losing benignly; other
-            // errors (permissions, I/O) are real.
-            if e.kind() != std::io::ErrorKind::NotFound {
-                ReuseStats::inc(&self.stats.disk_io_errors);
-            }
-        }
+    /// Reads a committed record's matrix without hit accounting
+    /// (recovery-time rehydration).
+    pub(crate) fn read_matrix_raw(&self, hash: u64) -> Option<Matrix> {
+        let rec = self.store.read(hash)?;
+        mio::from_bytes(rec.matrix_bytes.into()).ok()
+    }
+
+    /// Tombstones a record and reverses its byte accounting.
+    pub fn discard(&self, hash: u64, size: usize) {
+        self.store.remove(hash);
         let mut used = self.used.lock();
         *used = used.saturating_sub(size);
     }
@@ -448,11 +472,11 @@ impl CacheBackend for DiskBackend {
         _key: LineageId,
         entry: &mut CacheEntry,
     ) -> bool {
-        // Direct admission of an already-written binary. Reject paths
-        // that do not exist (a dangling admission would poison every
-        // later probe with a read failure).
-        if let Some(CachedObject::Disk(path)) = &entry.object {
-            if !path.exists() {
+        // Direct admission of an already-committed record. Reject hashes
+        // the store does not hold (a dangling admission would poison
+        // every later probe with a read failure).
+        if let Some(CachedObject::Disk(hash)) = &entry.object {
+            if !self.store.contains(*hash) {
                 ReuseStats::inc(&self.stats.disk_io_errors);
                 return false;
             }
@@ -469,18 +493,25 @@ impl CacheBackend for DiskBackend {
         reg: &BackendRegistry,
         key: LineageId,
     ) -> Materialized {
-        let (path, size) = {
+        let (hash, size) = {
             let shard = map.lock_of(key);
             let Some(e) = shard.entries.get(&key) else {
                 return Materialized::Stale;
             };
-            let Some(CachedObject::Disk(path)) = e.object.clone() else {
+            let Some(CachedObject::Disk(hash)) = e.object else {
                 return Materialized::Stale;
             };
-            (path, e.size)
+            (hash, e.size)
         };
-        match mio::read_file(&path) {
-            Ok(m) => {
+        // A checksum rejection inside `read` tombstones the record and
+        // returns nothing: the probe sees Stale, drops the entry cleanly,
+        // and falls through to recompute — corrupt bytes never surface.
+        match self
+            .store
+            .read(hash)
+            .and_then(|rec| mio::from_bytes(rec.matrix_bytes.into()).ok())
+        {
+            Some(m) => {
                 let m = Arc::new(m);
                 map.with_entry(key, |e| {
                     if let Some(e) = e {
@@ -494,17 +525,34 @@ impl CacheBackend for DiskBackend {
                         .map(|local| local.admit_existing(map, key, m.clone()))
                         .unwrap_or(false);
                     if promoted {
-                        self.discard(&path, size);
+                        self.discard(hash, size);
                     }
                 }
                 Materialized::Hit(CachedObject::Matrix(m))
             }
-            // Spill file lost or corrupt: the cache drops the entry
-            // cleanly (release reverses the accounting) and the probe
-            // falls through to recompute.
-            Err(_) => {
-                ReuseStats::inc(&self.stats.disk_io_errors);
-                Materialized::Stale
+            None => {
+                // A concurrent probe of the same key may have promoted
+                // the entry to driver memory (discarding the durable
+                // copy) between our snapshot and the read. The promotion
+                // is the hit; only a still-disk-backed entry is a real
+                // read failure (and gets dropped for recompute).
+                let promoted = {
+                    let shard = map.lock_of(key);
+                    shard.entries.get(&key).and_then(|e| match &e.object {
+                        Some(CachedObject::Matrix(m)) => Some(m.clone()),
+                        _ => None,
+                    })
+                };
+                match promoted {
+                    Some(m) => {
+                        ReuseStats::inc(&self.stats.hits_disk);
+                        Materialized::Hit(CachedObject::Matrix(m))
+                    }
+                    None => {
+                        ReuseStats::inc(&self.stats.disk_io_errors);
+                        Materialized::Stale
+                    }
+                }
             }
         }
     }
@@ -532,8 +580,8 @@ impl CacheBackend for DiskBackend {
                 }
             };
             let Some(e) = removed else { continue };
-            if let Some(CachedObject::Disk(path)) = &e.object {
-                self.discard(path, e.size);
+            if let Some(CachedObject::Disk(hash)) = &e.object {
+                self.discard(*hash, e.size);
             }
             freed += e.size;
         }
@@ -559,13 +607,17 @@ impl CacheBackend for DiskBackend {
                 ("hits", s.hits_disk),
                 ("spilled_in", s.local_spills),
                 ("io_errors", s.disk_io_errors),
+                ("recovered", s.entries_recovered),
+                ("rehydrated", s.entries_rehydrated),
+                ("crc_rejects", s.checksum_rejects),
+                ("swaps", s.manifest_swaps),
             ],
         }
     }
 
     fn release(&self, entry: &CacheEntry) {
-        if let Some(CachedObject::Disk(path)) = &entry.object {
-            self.discard(path, entry.size);
+        if let Some(CachedObject::Disk(hash)) = &entry.object {
+            self.discard(*hash, entry.size);
         }
     }
 
@@ -576,9 +628,12 @@ impl CacheBackend for DiskBackend {
 
 impl Drop for DiskBackend {
     fn drop(&mut self) {
-        // The spill directory is cache-unique (see `LineageCache::new`):
-        // safe to remove.
-        std::fs::remove_dir_all(&self.dir).ok();
+        if !self.persistent {
+            // The spill directory is cache-unique (see
+            // `LineageCache::new`): safe to remove. Persistent stores
+            // outlive the process by design.
+            std::fs::remove_dir_all(self.store.dir()).ok();
+        }
     }
 }
 

@@ -1,5 +1,6 @@
 //! Cache configuration.
 
+use memphis_sparksim::FaultPlan;
 use std::path::PathBuf;
 
 /// Configuration of the hierarchical lineage cache.
@@ -27,6 +28,29 @@ pub struct CacheConfig {
     /// reduce lock contention between concurrent sessions; 1 restores a
     /// single-lock map.
     pub shards: usize,
+    /// Durable disk-tier directory surviving restarts. `None` (default)
+    /// keeps the classic behavior: a cache-unique subdirectory of
+    /// `spill_dir`, removed when the cache is dropped. `Some(dir)` makes
+    /// the disk tier a persistent store: segments and manifest live in
+    /// `dir`, are *not* removed on drop, and are recovered (manifest
+    /// scan + checksum verification + probe-map rebuild) by the next
+    /// cache constructed over the same directory.
+    pub persist_dir: Option<PathBuf>,
+    /// Byte budget for rehydrating recovered entries into the local tier
+    /// at startup, hottest (eq. 1 score) first. `None` defaults to half
+    /// the local budget; entries beyond the budget stay disk-backed and
+    /// materialize lazily on first probe.
+    pub rehydrate_budget: Option<usize>,
+    /// Roll the active segment file once it exceeds this many bytes.
+    pub segment_max_bytes: u64,
+    /// Compact the store (rewrite live records, atomic manifest swap)
+    /// once at least this many dead bytes accumulate *and* dead bytes
+    /// reach half the store.
+    pub compact_min_dead_bytes: u64,
+    /// Seeded fault plan for the durable disk tier: torn writes, silent
+    /// record corruption, partial fsyncs, and the deterministic
+    /// kill-at-sync-point switch. Inert by default.
+    pub disk_faults: FaultPlan,
 }
 
 impl CacheConfig {
@@ -41,6 +65,11 @@ impl CacheConfig {
             promote_on_disk_hit: true,
             spill_to_disk: true,
             shards: 8,
+            persist_dir: None,
+            rehydrate_budget: None,
+            segment_max_bytes: 1 << 20,
+            compact_min_dead_bytes: 64 << 10,
+            disk_faults: FaultPlan::none(),
         }
     }
 
@@ -56,6 +85,11 @@ impl CacheConfig {
             promote_on_disk_hit: true,
             spill_to_disk: true,
             shards: 16,
+            persist_dir: None,
+            rehydrate_budget: None,
+            segment_max_bytes: 8 << 20,
+            compact_min_dead_bytes: 1 << 20,
+            disk_faults: FaultPlan::none(),
         }
     }
 }

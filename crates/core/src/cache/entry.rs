@@ -5,7 +5,6 @@ use crate::lineage::{LItem, LineageId};
 use memphis_gpusim::GpuPtr;
 use memphis_matrix::Matrix;
 use memphis_sparksim::RddRef;
-use std::path::PathBuf;
 use std::sync::Arc;
 
 /// A backend-local cached object — the wrapper of paper §3.3 around
@@ -36,8 +35,10 @@ pub enum CachedObject {
         /// Logical columns.
         cols: usize,
     },
-    /// Disk-evicted binary (driver-local file).
-    Disk(PathBuf),
+    /// Disk-evicted binary in the durable segment store, keyed by the
+    /// lineage `content_hash` — stable across restarts (allocation-order
+    /// ids are not), so recovered entries match without a rename pass.
+    Disk(u64),
 }
 
 impl CachedObject {
@@ -136,6 +137,21 @@ impl CacheEntry {
         }
     }
 
+    /// Rebuilds a CACHED disk-backed entry from a recovered durable
+    /// record: the re-interned lineage item supplies the identity, and
+    /// the persisted cost/hits keep the entry's proven-reuse standing in
+    /// eq. (1) scoring across the restart.
+    pub fn recovered(item: &LItem, compute_cost: f64, size: usize, hits: u64) -> Self {
+        let mut e = Self::cached(
+            item,
+            CachedObject::Disk(item.lid.content_hash()),
+            compute_cost,
+            size,
+        );
+        e.hits = hits;
+        e
+    }
+
     /// Creates a TO-BE-CACHED placeholder with delay factor `needed`.
     pub fn placeholder(item: &LItem, compute_cost: f64, size: usize, needed: u32) -> Self {
         let height = item.height;
@@ -180,10 +196,7 @@ mod tests {
             CachedObject::Matrix(Arc::new(Matrix::zeros(1, 1))).backend(),
             BackendId::Local
         );
-        assert_eq!(
-            CachedObject::Disk(PathBuf::from("/tmp/x")).backend(),
-            BackendId::Disk
-        );
+        assert_eq!(CachedObject::Disk(0xfeed).backend(), BackendId::Disk);
         assert_eq!(BackendId::Disk.as_str(), "disk");
     }
 
@@ -194,6 +207,19 @@ mod tests {
         assert_eq!(e.key, LineageItem::leaf("x").lid, "key is the interned id");
         let p = CacheEntry::placeholder(&LineageItem::leaf("y"), 1.0, 16, 2);
         assert_eq!(p.backend, BackendId::Local);
+    }
+
+    #[test]
+    fn recovered_entries_are_disk_backed_with_persisted_standing() {
+        let item = LineageItem::leaf("recov");
+        let e = CacheEntry::recovered(&item, 12.0, 640, 5);
+        assert_eq!(e.backend, BackendId::Disk);
+        assert_eq!(e.hits, 5, "proven-reuse standing survives the restart");
+        assert_eq!(e.status, EntryStatus::Cached);
+        match e.object {
+            Some(CachedObject::Disk(h)) => assert_eq!(h, item.lid.content_hash()),
+            other => panic!("expected a content-hash-keyed disk object, got {other:?}"),
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod backends;
 pub mod config;
+pub mod durable;
 pub mod entry;
 pub mod gpu;
 pub mod sharded;
@@ -160,14 +161,24 @@ pub struct LineageCache {
 impl LineageCache {
     /// Creates a cache with the local (driver) and disk tiers registered.
     ///
-    /// Disk-evicted binaries go to a cache-unique subdirectory of the
-    /// configured spill dir, removed when the disk tier is dropped.
+    /// Without `persist_dir`, disk-evicted binaries go to a cache-unique
+    /// subdirectory of the configured spill dir, removed when the disk
+    /// tier is dropped. With `persist_dir`, the disk tier is a durable
+    /// segment store in exactly that directory: committed entries found
+    /// there are recovered (manifest scan, checksum verification,
+    /// probe-map rebuild, budgeted rehydration into the local tier), and
+    /// the directory survives the cache's drop for the next restart.
     pub fn new(mut config: CacheConfig) -> Self {
-        config.spill_dir = config.spill_dir.join(format!(
-            "c{}_{}",
-            std::process::id(),
-            NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed)
-        ));
+        match &config.persist_dir {
+            Some(dir) => config.spill_dir = dir.clone(),
+            None => {
+                config.spill_dir = config.spill_dir.join(format!(
+                    "c{}_{}",
+                    std::process::id(),
+                    NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed)
+                ));
+            }
+        }
         let stats = Arc::new(ReuseStats::default());
         let disk = Arc::new(DiskBackend::new(&config, stats.clone()));
         let local = Arc::new(LocalBackend::new(
@@ -178,12 +189,89 @@ impl LineageCache {
         let mut registry = BackendRegistry::new();
         registry.register(local);
         registry.register(disk);
-        Self {
+        let cache = Self {
             map: ShardedEntryMap::new(config.shards),
             registry,
             config,
             stats,
             flight_pool: Pool::new(256),
+        };
+        cache.recover_from_disk();
+        cache
+    }
+
+    /// Rebuilds probe-map entries from the disk tier's recovered records:
+    /// each record's embedded lineage log is re-interned and its
+    /// `content_hash` cross-checked (a mismatch is a checksum-grade
+    /// reject), then the entry joins the map disk-backed with its
+    /// persisted cost/hits standing. The hottest entries (eq. 1 score,
+    /// content-hash tie-break for determinism) are rehydrated into the
+    /// local tier up to the configured budget; the rest materialize
+    /// lazily on first probe.
+    fn recover_from_disk(&self) {
+        let Some(disk) = self.registry.downcast::<DiskBackend>(BackendId::Disk) else {
+            return;
+        };
+        let records = disk.take_recovered();
+        if records.is_empty() {
+            return;
+        }
+        let mut candidates: Vec<(LineageId, usize, f64)> = Vec::new();
+        for rec in records {
+            let item = match lineage::deserialize(&rec.lineage_log) {
+                Ok(item) if item.lid.content_hash() == rec.content_hash => item,
+                // The record's lineage does not reproduce its identity
+                // tag: it cannot be trusted to stand for that lineage.
+                _ => {
+                    ReuseStats::inc(&self.stats.checksum_rejects);
+                    disk.discard(rec.content_hash, rec.matrix_len);
+                    continue;
+                }
+            };
+            let entry = CacheEntry::recovered(&item, rec.compute_cost, rec.matrix_len, rec.hits);
+            let score = entry.cost_size_score();
+            let key = item.lid;
+            {
+                let mut shard = self.map.lock_of(key);
+                if shard.entries.contains_key(&key) {
+                    drop(shard);
+                    disk.discard(rec.content_hash, rec.matrix_len);
+                    continue;
+                }
+                shard.entries.insert(key, entry);
+            }
+            ReuseStats::inc(&self.stats.entries_recovered);
+            candidates.push((key, rec.matrix_len, score));
+        }
+        let budget = self
+            .config
+            .rehydrate_budget
+            .unwrap_or(self.config.local_budget / 2)
+            .min(self.config.local_budget);
+        if budget == 0 {
+            return;
+        }
+        let Some(local) = self.registry.downcast::<LocalBackend>(BackendId::Local) else {
+            return;
+        };
+        candidates.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.content_hash().cmp(&b.0.content_hash()))
+        });
+        let mut spent = 0usize;
+        for (key, size, _) in candidates {
+            if spent + size > budget {
+                continue; // a smaller, colder entry may still fit
+            }
+            let Some(m) = disk.read_matrix_raw(key.content_hash()) else {
+                continue;
+            };
+            if local.admit_existing(&self.map, key, Arc::new(m)) {
+                disk.discard(key.content_hash(), size);
+                ReuseStats::inc(&self.stats.entries_rehydrated);
+                spent += size;
+            }
         }
     }
 

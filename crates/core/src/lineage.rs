@@ -692,6 +692,20 @@ mod tests {
     }
 
     #[test]
+    fn serialize_roundtrip_preserves_content_hash() {
+        // The durable disk tier keys records on `content_hash` and
+        // re-interns the embedded lineage log at recovery: the hash of
+        // the deserialized item must equal the hash the record was
+        // written under, or recovered entries could never match a probe.
+        let x = LineageItem::leaf("X.bin");
+        let t = LineageItem::new("r'", vec![], vec![x.clone()]);
+        let m = LineageItem::new("ba+*", vec!["reg=0.1".into()], vec![t, x]);
+        let back = deserialize(&serialize(&m)).unwrap();
+        assert_eq!(back.lid.content_hash(), m.lid.content_hash());
+        assert_eq!(back.lid, m.lid, "re-interning yields the same identity");
+    }
+
+    #[test]
     fn serialize_escapes_commas() {
         let leaf = LineageItem::new("rand", vec!["dims=3,4".into(), "p\\q".into()], vec![]);
         let back = deserialize(&serialize(&leaf)).unwrap();

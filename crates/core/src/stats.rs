@@ -79,6 +79,21 @@ pub struct ReuseStats {
     pub gpu_defrags: AtomicU64,
     /// LineageMap bindings rewritten by compaction.
     pub compactions: AtomicU64,
+    /// Segment files with at least one verified record found by disk-tier
+    /// recovery at startup.
+    pub segments_recovered: AtomicU64,
+    /// Durable entries rebuilt into the probe map by recovery (local
+    /// rehydrations plus lazily disk-backed entries).
+    pub entries_recovered: AtomicU64,
+    /// Recovered entries promoted ("rehydrated") into the local tier
+    /// within the startup rehydration budget.
+    pub entries_rehydrated: AtomicU64,
+    /// Durable records rejected by CRC/identity verification (at recovery
+    /// or on a later read). Each rejection degrades to a recompute, never
+    /// to surfaced corrupt data.
+    pub checksum_rejects: AtomicU64,
+    /// Atomic manifest swaps completed by disk-tier compaction.
+    pub manifest_swaps: AtomicU64,
 }
 
 /// Point-in-time copy of the counters.
@@ -151,6 +166,16 @@ pub struct ReuseStatsSnapshot {
     pub gpu_defrags: u64,
     /// See [`ReuseStats::compactions`].
     pub compactions: u64,
+    /// See [`ReuseStats::segments_recovered`].
+    pub segments_recovered: u64,
+    /// See [`ReuseStats::entries_recovered`].
+    pub entries_recovered: u64,
+    /// See [`ReuseStats::entries_rehydrated`].
+    pub entries_rehydrated: u64,
+    /// See [`ReuseStats::checksum_rejects`].
+    pub checksum_rejects: u64,
+    /// See [`ReuseStats::manifest_swaps`].
+    pub manifest_swaps: u64,
 }
 
 impl ReuseStats {
@@ -196,6 +221,11 @@ impl ReuseStats {
             gpu_evicted_to_host: self.gpu_evicted_to_host.load(Ordering::Relaxed),
             gpu_defrags: self.gpu_defrags.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
+            segments_recovered: self.segments_recovered.load(Ordering::Relaxed),
+            entries_recovered: self.entries_recovered.load(Ordering::Relaxed),
+            entries_rehydrated: self.entries_rehydrated.load(Ordering::Relaxed),
+            checksum_rejects: self.checksum_rejects.load(Ordering::Relaxed),
+            manifest_swaps: self.manifest_swaps.load(Ordering::Relaxed),
         }
     }
 }
@@ -240,6 +270,11 @@ impl memphis_obs::IntoMetrics for ReuseStatsSnapshot {
             ("gpu_evicted_to_host", self.gpu_evicted_to_host),
             ("gpu_defrags", self.gpu_defrags),
             ("compactions", self.compactions),
+            ("segments_recovered", self.segments_recovered),
+            ("entries_recovered", self.entries_recovered),
+            ("entries_rehydrated", self.entries_rehydrated),
+            ("checksum_rejects", self.checksum_rejects),
+            ("manifest_swaps", self.manifest_swaps),
         ]
     }
 }

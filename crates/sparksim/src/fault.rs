@@ -90,6 +90,25 @@ pub struct FaultPlan {
     pub shuffle_drop_rate: f64,
     /// Planned executor losses at exact (job, stage) boundaries.
     pub executor_kills: Vec<ExecutorKill>,
+    /// Probability that a durable disk record write is *torn*: only a
+    /// prefix of the record reaches the file and the store crashes (as if
+    /// the process died mid-`write`). Keyed by the store's write sequence
+    /// number.
+    pub disk_torn_write_rate: f64,
+    /// Probability that a durable record is silently bit-flipped on its
+    /// way to disk. The write is acknowledged normally; the corruption is
+    /// only detectable by the record checksum at read/recovery time.
+    pub disk_corrupt_rate: f64,
+    /// Probability that an fsync "succeeds" while actually losing every
+    /// byte written since the previous sync, then crashing the store —
+    /// the classic lying-disk/partial-fsync power-loss failure. Keyed by
+    /// the store's sync sequence number.
+    pub disk_partial_fsync_rate: f64,
+    /// Deterministic kill switch: crash the durable store at exactly the
+    /// Nth sync point (1-based; every segment fsync, manifest fsync, and
+    /// manifest rename is one sync point). Bytes written since the
+    /// previous sync are lost. Drives the kill-at-every-sync sweep.
+    pub disk_kill_at_sync: Option<u64>,
 }
 
 impl Default for FaultPlan {
@@ -107,6 +126,10 @@ impl FaultPlan {
             cached_drop_rate: 0.0,
             shuffle_drop_rate: 0.0,
             executor_kills: Vec::new(),
+            disk_torn_write_rate: 0.0,
+            disk_corrupt_rate: 0.0,
+            disk_partial_fsync_rate: 0.0,
+            disk_kill_at_sync: None,
         }
     }
 
@@ -144,6 +167,64 @@ impl FaultPlan {
             executor,
         });
         self
+    }
+
+    /// Sets the torn-disk-write rate.
+    pub fn with_disk_torn_write_rate(mut self, rate: f64) -> Self {
+        self.disk_torn_write_rate = rate;
+        self
+    }
+
+    /// Sets the silent record-corruption rate.
+    pub fn with_disk_corrupt_rate(mut self, rate: f64) -> Self {
+        self.disk_corrupt_rate = rate;
+        self
+    }
+
+    /// Sets the partial-fsync (lying disk) rate.
+    pub fn with_disk_partial_fsync_rate(mut self, rate: f64) -> Self {
+        self.disk_partial_fsync_rate = rate;
+        self
+    }
+
+    /// Crashes the durable store at exactly the Nth sync point (1-based).
+    pub fn with_disk_kill_at_sync(mut self, sync_point: u64) -> Self {
+        self.disk_kill_at_sync = Some(sync_point);
+        self
+    }
+
+    /// True when the plan can inject at least one *disk* fault. Separate
+    /// from [`FaultPlan::is_active`], which gates cluster-level behavior
+    /// (lazy-GC downgrades) and must not change when only disk faults are
+    /// configured.
+    pub fn disk_faults_active(&self) -> bool {
+        self.disk_torn_write_rate > 0.0
+            || self.disk_corrupt_rate > 0.0
+            || self.disk_partial_fsync_rate > 0.0
+            || self.disk_kill_at_sync.is_some()
+    }
+
+    /// Should the `write_seq`-th durable record write be torn?
+    pub fn should_tear_disk_write(&self, write_seq: u64) -> bool {
+        self.disk_torn_write_rate > 0.0
+            && decide(self.seed, 4, [write_seq, 0, 0, 0]) < self.disk_torn_write_rate
+    }
+
+    /// Should the `write_seq`-th durable record be silently bit-flipped?
+    pub fn should_corrupt_disk_record(&self, write_seq: u64) -> bool {
+        self.disk_corrupt_rate > 0.0
+            && decide(self.seed, 5, [write_seq, 0, 0, 0]) < self.disk_corrupt_rate
+    }
+
+    /// Should the `sync_seq`-th fsync lie (lose unsynced bytes + crash)?
+    pub fn should_drop_fsync(&self, sync_seq: u64) -> bool {
+        self.disk_partial_fsync_rate > 0.0
+            && decide(self.seed, 6, [sync_seq, 0, 0, 0]) < self.disk_partial_fsync_rate
+    }
+
+    /// Is `sync_seq` the planned deterministic kill point?
+    pub fn should_kill_at_sync(&self, sync_seq: u64) -> bool {
+        self.disk_kill_at_sync == Some(sync_seq)
     }
 
     /// True when the plan can inject at least one fault (fast-path gate).
@@ -322,6 +403,40 @@ mod tests {
         assert_eq!(plan.kills_at(2, 1).collect::<Vec<_>>(), vec![0]);
         assert_eq!(plan.kills_at(2, 0).count(), 0);
         assert_eq!(plan.kills_at(1, 1).count(), 0);
+    }
+
+    #[test]
+    fn disk_faults_are_separate_from_cluster_faults() {
+        let plan = FaultPlan::seeded(9)
+            .with_disk_torn_write_rate(0.5)
+            .with_disk_corrupt_rate(0.5)
+            .with_disk_partial_fsync_rate(0.5)
+            .with_disk_kill_at_sync(3);
+        assert!(plan.disk_faults_active());
+        assert!(
+            !plan.is_active(),
+            "disk faults must not flip cluster-level fault gating"
+        );
+        assert!(plan.should_kill_at_sync(3));
+        assert!(!plan.should_kill_at_sync(2));
+        // Deterministic decisions per sequence number.
+        for seq in 0..100 {
+            assert_eq!(
+                plan.should_tear_disk_write(seq),
+                plan.should_tear_disk_write(seq)
+            );
+            assert_eq!(
+                plan.should_corrupt_disk_record(seq),
+                plan.should_corrupt_disk_record(seq)
+            );
+            assert_eq!(plan.should_drop_fsync(seq), plan.should_drop_fsync(seq));
+        }
+        let inert = FaultPlan::none();
+        assert!(!inert.disk_faults_active());
+        assert!(!inert.should_tear_disk_write(0));
+        assert!(!inert.should_corrupt_disk_record(0));
+        assert!(!inert.should_drop_fsync(0));
+        assert!(!inert.should_kill_at_sync(1));
     }
 
     #[test]

@@ -213,6 +213,109 @@ pub fn run_serve(p: &ServeParams) -> ServeReport {
     }
 }
 
+/// Outcome of a warm-restart run ([`run_warm_restart`]).
+#[derive(Debug, Clone)]
+pub struct WarmRestartReport {
+    /// Shared entries spilled to the durable tier before the restart.
+    pub spilled_before_restart: u64,
+    /// Durable entries rebuilt into the probe map at restart.
+    pub entries_recovered: u64,
+    /// Recovered entries promoted straight back to driver memory.
+    pub entries_rehydrated: u64,
+    /// Post-restart probes served by materializing a durable entry.
+    pub disk_warm_hits: u64,
+    /// Shared ids computed at least once after the restart (the ids the
+    /// crash lost; warm ids must not appear here).
+    pub phase_b_computes: u64,
+    /// Concurrent duplicate computations of one shared id after the
+    /// restart; coalescing makes this impossible — must be 0.
+    pub duplicate_shared_computes: u64,
+    /// Maximum completions of any single shared id after the restart
+    /// (exactly-once: must be <= 1).
+    pub max_completions_per_id: u64,
+    /// Global cache counters of the restarted cache.
+    pub reuse: ReuseStatsSnapshot,
+}
+
+/// Serving warm restart: phase A completes the shared working set over a
+/// persistent disk tier whose local budget is too small to hold it —
+/// every entry is re-probed (proven) immediately, so eq. (1) eviction
+/// spills instead of dropping — then the cache is dropped mid-workload
+/// (the restart). Phase B reopens the same directory and runs the
+/// concurrent shared sweep: recovered entries serve warm hits from disk
+/// (or from memory, if rehydrated), lost entries are computed exactly
+/// once under in-flight coalescing.
+pub fn run_warm_restart(p: &ServeParams, dir: &std::path::Path) -> WarmRestartReport {
+    let _span = memphis_obs::span(cat::SERVE, "warm_restart");
+    let payload_bytes = shared_payload(0).size_bytes();
+
+    // Phase A: warm the durable tier. The budget holds only a third of
+    // the shared set, so completing the full set evicts — and, because
+    // every entry is proven by its immediate re-probe, spills — the rest.
+    let spilled_before_restart;
+    {
+        let mut cfg = CacheConfig::test();
+        cfg.persist_dir = Some(dir.to_path_buf());
+        cfg.local_budget = (p.shared_items * payload_bytes) / 3;
+        cfg.shards = p.shards;
+        let cache = LineageCache::new(cfg);
+        for idx in 0..p.shared_items {
+            if let Probed::Compute(guard) = cache.probe_or_begin(&shared_item(idx)) {
+                let m = shared_payload(idx);
+                let size = m.size_bytes();
+                cache.complete(guard, CachedObject::Matrix(Arc::new(m)), 100.0, size, 1);
+            }
+            // Prove reuse before eviction pressure reaches this entry.
+            cache.probe(&shared_item(idx)).expect("just completed");
+        }
+        spilled_before_restart = cache.stats().local_spills;
+        // Dropping the cache is the restart: resident entries are lost,
+        // the durable tier keeps everything spilled so far.
+    }
+
+    // Phase B: reopen over the surviving files. A small rehydration
+    // budget promotes the hottest couple of entries eagerly; the rest
+    // stay on disk and must serve warm hits lazily.
+    let mut cfg = CacheConfig::test();
+    cfg.persist_dir = Some(dir.to_path_buf());
+    cfg.local_budget = p.local_budget;
+    cfg.shards = p.shards;
+    cfg.rehydrate_budget = Some(2 * payload_bytes);
+    let cache = Arc::new(LineageCache::new(cfg));
+    let entries_recovered = cache.stats().entries_recovered;
+    let entries_rehydrated = cache.stats().entries_rehydrated;
+
+    let start = Barrier::new(p.sessions);
+    let ledger = Mutex::new(SharedLedger::default());
+    std::thread::scope(|scope| {
+        for s in 0..p.sessions {
+            let cache = Arc::clone(&cache);
+            let start = &start;
+            let ledger = &ledger;
+            scope.spawn(move || {
+                start.wait();
+                run_shared_sweep(&cache, p, s, ledger);
+            });
+        }
+    });
+    for i in 0..p.pinned_items {
+        cache.unpin(&shared_item(i));
+    }
+
+    let ledger = ledger.into_inner();
+    let reuse = cache.stats();
+    WarmRestartReport {
+        spilled_before_restart,
+        entries_recovered,
+        entries_rehydrated,
+        disk_warm_hits: reuse.hits_disk,
+        phase_b_computes: ledger.counts.len() as u64,
+        duplicate_shared_computes: ledger.duplicates,
+        max_completions_per_id: ledger.counts.values().copied().max().unwrap_or(0),
+        reuse,
+    }
+}
+
 /// Phase 1: all sessions collide on one item; the owner completes only
 /// once every other session is parked on the in-flight marker.
 fn run_rendezvous(cache: &LineageCache, item: &LItem, p: &ServeParams, coalesced: &AtomicU64) {
@@ -325,6 +428,30 @@ mod tests {
                 "{k} checksums diverged: {cs:?}"
             );
         }
+    }
+
+    #[test]
+    fn warm_restart_serves_disk_hits_exactly_once() {
+        let p = ServeParams::test(4, 42);
+        let dir = std::env::temp_dir().join(format!("memphis_warm_restart_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = run_warm_restart(&p, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert!(r.spilled_before_restart > 0, "{r:?}");
+        assert_eq!(r.entries_recovered, r.spilled_before_restart, "{r:?}");
+        assert!(r.entries_rehydrated > 0, "{r:?}");
+        assert!(r.disk_warm_hits > 0, "{r:?}");
+        assert_eq!(r.duplicate_shared_computes, 0, "{r:?}");
+        assert!(r.max_completions_per_id <= 1, "{r:?}");
+        // Everything the restart lost is computed; everything durable is
+        // served warm.
+        assert_eq!(
+            r.phase_b_computes + r.entries_recovered,
+            p.shared_items as u64,
+            "{r:?}"
+        );
+        assert_eq!(r.reuse.hits + r.reuse.misses, r.reuse.probes, "{r:?}");
     }
 
     #[test]

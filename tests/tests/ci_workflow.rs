@@ -146,6 +146,10 @@ fn invoked_scripts_exist_and_are_executable() {
         "serve_shed",
         "serve_coalesced",
         "serve_quota_evictions",
+        "segments_recovered",
+        "entries_rehydrated",
+        "checksum_rejects",
+        "manifest_swaps",
     ] {
         assert!(
             baseline.contains(&format!("\"{key}\"")),
@@ -164,6 +168,7 @@ fn ci_script_defines_all_stages() {
         "stage_obs",
         "stage_concurrency",
         "stage_serve",
+        "stage_recovery",
         "stage_bench_gate",
         "stage_perf",
         "stage_lint",
@@ -188,4 +193,7 @@ fn ci_script_defines_all_stages() {
     assert!(sh.contains("--test disk_tier"));
     assert!(sh.contains("--test serving"));
     assert!(sh.contains("--bin exp_serve"));
+    // The recovery stage runs the crash-recovery differential suite
+    // under both chaos seeds, with one single-threaded pass.
+    assert!(sh.contains("--test crash_recovery"));
 }

@@ -182,3 +182,113 @@ fn disk_io_errors_surface_in_metrics_and_snapshots() {
     );
     let _ = std::fs::remove_file(&blocker);
 }
+
+/// Regression: spill files are keyed by the lineage *content hash* — a
+/// pure function of the lineage log — not by allocation-order ids. A
+/// fresh process (new intern table, different interning order) over the
+/// same directory must find the same durable entry under the same key,
+/// with no rename or rewrite pass.
+#[test]
+fn spill_keys_are_content_hashes_stable_across_restart() {
+    use memphis_core::cache::backends::DiskBackend;
+    use memphis_core::cache::durable::SegmentStore;
+
+    let dir = spill_dir("stable_keys");
+    let _ = std::fs::remove_dir_all(&dir);
+    let seed = chaos_seed();
+    let m1 = rand_uniform(32, 32, -1.0, 1.0, seed);
+    let m2 = rand_uniform(32, 32, -1.0, 1.0, seed + 1);
+    let i1 = item("disk/stable_across_restart");
+    let hash = i1.lid.content_hash();
+
+    {
+        let mut cfg = CacheConfig::test();
+        cfg.local_budget = 12 << 10;
+        cfg.persist_dir = Some(dir.clone());
+        let c = LineageCache::new(cfg);
+        c.put(&i1, mat(&m1), 1.0, m1.size_bytes(), 1);
+        c.probe(&i1).expect("warm hit"); // proven → spills
+        c.put(
+            &item("disk/stable_pressure"),
+            mat(&m2),
+            100.0,
+            m2.size_bytes(),
+            1,
+        );
+        assert_eq!(c.stats().local_spills, 1);
+        let disk = c
+            .registry()
+            .downcast::<DiskBackend>(BackendId::Disk)
+            .unwrap();
+        assert!(
+            disk.segment_store().contains(hash),
+            "spill must be stored under the lineage content hash"
+        );
+    }
+
+    // Skew the fresh process's interning order: a restart never replays
+    // allocation order, so any allocation-order key would now dangle.
+    for j in 0..32 {
+        let _ = item(&format!("disk/unrelated_intern_{j}"));
+    }
+
+    // First reopen: the durable entry is found under the same
+    // content-hash key, with no rename or rewrite pass — recovery is
+    // read-only, so a further reopen sees the identical digest.
+    let digest = {
+        let mut cfg = CacheConfig::test();
+        cfg.local_budget = 12 << 10;
+        cfg.persist_dir = Some(dir.clone());
+        cfg.rehydrate_budget = Some(0);
+        let c = LineageCache::new(cfg);
+        assert_eq!(c.stats().entries_recovered, 1, "one durable entry");
+        let disk = c
+            .registry()
+            .downcast::<DiskBackend>(BackendId::Disk)
+            .unwrap();
+        assert!(
+            disk.segment_store().contains(hash),
+            "recovered store holds the same content-hash key"
+        );
+        disk.segment_store().durable_digest()
+    };
+
+    // Second reopen: same digest, and the probe serves the original
+    // bytes from disk under the re-interned lineage identity.
+    let mut cfg = CacheConfig::test();
+    cfg.local_budget = 12 << 10;
+    cfg.persist_dir = Some(dir.clone());
+    cfg.rehydrate_budget = Some(0);
+    let c = LineageCache::new(cfg);
+    let disk = c
+        .registry()
+        .downcast::<DiskBackend>(BackendId::Disk)
+        .unwrap();
+    assert_eq!(
+        disk.segment_store().durable_digest(),
+        digest,
+        "recovery must not rewrite the durable state"
+    );
+    match c.probe(&i1).expect("recovered disk hit").object {
+        CachedObject::Matrix(got) => {
+            assert!(got.approx_eq(&m1, 0.0), "recovered bytes bit-identical")
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(c.stats().hits_disk, 1);
+    assert_eq!(c.stats().checksum_rejects, 0);
+    drop(c);
+
+    // The raw store agrees: the promoted entry's durable copy was
+    // consumed by promote-on-hit; nothing else changed.
+    let (store, _) = SegmentStore::open(
+        dir.clone(),
+        1 << 20,
+        u64::MAX / 4,
+        memphis_sparksim::FaultPlan::none(),
+        Arc::new(memphis_core::stats::ReuseStats::default()),
+    );
+    assert!(!store.contains(hash), "promotion discards the disk copy");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}

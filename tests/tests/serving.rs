@@ -166,3 +166,36 @@ fn fault_free_run_is_clean() {
         "shared items must reuse across requests"
     );
 }
+
+/// Warm restart across the durable tier: a serving cache spills its
+/// proven shared working set, restarts, and the recovered tier serves
+/// warm hits while the coalescing ledger proves exactly-once compute of
+/// everything the restart lost (seeded by `CHAOS_SEED` like the rest of
+/// the suite).
+#[test]
+fn warm_restart_recovers_shared_set_with_exactly_once_compute() {
+    let seed = chaos_seed();
+    let p = memphis_workloads::serve::ServeParams::test(6, seed);
+    let dir = std::env::temp_dir().join(format!(
+        "memphis_serving_warm_restart_{seed}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let r = memphis_workloads::serve::run_warm_restart(&p, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The restart must actually cross the durable tier...
+    assert!(r.spilled_before_restart > 0, "{r:?}");
+    assert_eq!(r.entries_recovered, r.spilled_before_restart, "{r:?}");
+    assert!(r.disk_warm_hits > 0, "warm hits must come from disk: {r:?}");
+    // ...and the ledger must show exactly-once compute of the lost ids.
+    assert_eq!(r.duplicate_shared_computes, 0, "{r:?}");
+    assert!(r.max_completions_per_id <= 1, "{r:?}");
+    assert_eq!(
+        r.phase_b_computes + r.entries_recovered,
+        p.shared_items as u64,
+        "computed exactly the ids the restart lost: {r:?}"
+    );
+    assert_eq!(r.reuse.checksum_rejects, 0, "{r:?}");
+    assert_eq!(r.reuse.hits + r.reuse.misses, r.reuse.probes, "{r:?}");
+}
