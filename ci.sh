@@ -5,8 +5,8 @@
 # Usage: ./ci.sh [--skip-lint] [stage ...]
 #   --skip-lint  omit the lint stage (CI runs it in a separate fast job)
 #   stage ...    run only the named stages (build test chaos obs
-#                concurrency serve recovery bench_gate perf lint);
-#                default is all of them.
+#                concurrency serve cluster recovery bench_gate perf
+#                lint); default is all of them.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -85,6 +85,21 @@ stage_serve() {
     cargo run -q --release -p memphis-bench --bin exp_serve
 }
 
+# Cluster suite: node-count invariance, bounded lossless churn, remote
+# coalescing, and hotspot flattening under both chaos seeds (plus one
+# single-threaded pass), then the full exp_cluster experiment (which
+# re-asserts digest invariance across node counts {1,2,4,8}, across
+# mid-run join/leave, and the replication flattening claim).
+stage_cluster() {
+    for seed in 42 1337; do
+        CHAOS_SEED="$seed" cargo test -q -p memphis-cluster
+        CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test cluster
+    done
+    CHAOS_SEED=42 cargo test -q -p memphis-integration --test cluster \
+        -- --test-threads=1
+    cargo run -q --release -p memphis-bench --bin exp_cluster
+}
+
 # Crash-recovery suite: the kill-at-every-sync differential sweep and
 # the torn-write/corruption proptest over the durable disk tier, under
 # both chaos seeds, plus one single-threaded pass (shakes out scratch
@@ -117,7 +132,7 @@ stage_lint() {
     cargo fmt --check
 }
 
-ALL_STAGES=(build test chaos obs concurrency serve recovery bench_gate perf lint)
+ALL_STAGES=(build test chaos obs concurrency serve cluster recovery bench_gate perf lint)
 SKIP_LINT=0
 REQUESTED=()
 for arg in "$@"; do
@@ -135,7 +150,7 @@ for stage in "${REQUESTED[@]}"; do
         continue
     fi
     case "$stage" in
-        build|test|chaos|obs|concurrency|serve|recovery|bench_gate|perf|lint)
+        build|test|chaos|obs|concurrency|serve|cluster|recovery|bench_gate|perf|lint)
             run_stage "$stage" "stage_$stage" ;;
         *)
             echo "ci: unknown stage '$stage' (known: ${ALL_STAGES[*]})" >&2

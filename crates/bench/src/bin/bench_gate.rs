@@ -10,10 +10,10 @@
 //! `memphis_bench::gate::GATED`) are exact by construction, so the
 //! comparison is equality, not a tolerance band.
 
-use memphis_bench::gate::{compare_keys, render, GATED, GATED_RECOVERY};
+use memphis_bench::gate::{compare_keys, render, GATED, GATED_CLUSTER, GATED_RECOVERY};
 use memphis_bench::golden::{
-    run_concurrency_gate, run_recovery_gate, run_serve_gate, ConcGateParams, RecoveryGateParams,
-    ServeGateParams,
+    run_cluster_gate, run_concurrency_gate, run_recovery_gate, run_serve_gate, ClusterGateParams,
+    ConcGateParams, RecoveryGateParams, ServeGateParams,
 };
 
 fn main() {
@@ -24,10 +24,16 @@ fn main() {
     let o = run_concurrency_gate(&ConcGateParams::full());
     let s = run_serve_gate(&ServeGateParams::full());
     let r = run_recovery_gate(&RecoveryGateParams::full());
+    let c = run_cluster_gate(&ClusterGateParams::full());
     assert!(
         s.invariants_hold(),
         "serve gate invariants failed: {:?}",
         s.counters
+    );
+    assert!(
+        c.invariants_hold(),
+        "cluster gate invariants failed: {:?}",
+        c.report.stats
     );
     let report = render(&[
         ("hits", o.hits),
@@ -44,6 +50,18 @@ fn main() {
         ("entries_rehydrated", r.entries_rehydrated),
         ("checksum_rejects", r.checksum_rejects),
         ("manifest_swaps", r.manifest_swaps),
+        ("remote_hits", c.report.stats.remote_hits),
+        ("remote_misses", c.report.stats.remote_misses),
+        ("transfer_bytes", c.report.stats.transfer_bytes),
+        ("rebalance_moves", c.report.stats.rebalance_moves),
+        ("replica_hits", c.report.stats.replica_hits),
+        (
+            "replica_invalidations",
+            c.report.stats.replica_invalidations,
+        ),
+        ("handoff_hits", c.report.stats.handoff_hits),
+        ("remote_coalesced", c.report.stats.remote_coalesced),
+        ("cluster_computes", c.report.stats.computes),
         ("wall_clock_ms", o.elapsed.as_millis() as u64),
     ]);
     std::fs::write(&out_path, &report).unwrap_or_else(|e| {
@@ -60,7 +78,12 @@ fn main() {
         eprintln!("bench_gate: cannot read baseline {baseline_path}: {e}");
         std::process::exit(2);
     });
-    let keys: Vec<&str> = GATED.iter().chain(GATED_RECOVERY.iter()).copied().collect();
+    let keys: Vec<&str> = GATED
+        .iter()
+        .chain(GATED_RECOVERY.iter())
+        .chain(GATED_CLUSTER.iter())
+        .copied()
+        .collect();
     let diff = compare_keys(&report, &baseline, &keys);
     for (key, got) in &diff.matches {
         println!("bench_gate: {key:<16} {got} == baseline");

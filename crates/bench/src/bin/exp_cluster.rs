@@ -1,0 +1,221 @@
+//! Cluster experiment: multi-node cache sharding with cross-node reuse,
+//! bounded rebalancing, and hot-item replication.
+//!
+//! Asserts the cluster determinism contract for each seed: the served
+//! digest is bit-identical across node counts {1, 2, 4, 8} and across a
+//! mid-run join/leave (membership is a placement concern, never a
+//! correctness concern); repeated runs produce identical counter
+//! snapshots; churn alone never forces a recompute. The skew scenario
+//! shows replication flattening a hotspot: with R=2 the hottest node's
+//! share of hot-item serves drops strictly below the unreplicated run.
+//! Finally the serve-layer dispatcher demonstrates warm cross-trace
+//! reuse surviving a join/leave between traces. Supports the shared
+//! `--trace` / `--json` observability flags.
+
+use memphis_bench::{header, obs_absorb, obs_finish, obs_init, obs_record};
+use memphis_serve::{open_loop, ClusterDispatcher, ClusterServeConfig, StreamSpec};
+use memphis_workloads::{run_cluster, ClusterParams, ClusterReport};
+
+/// Hotspot scenario used for the flattening comparison: one very hot
+/// item drawing 90% of traffic, replication the only variable. With
+/// R=0 every hot read lands on the item's single primary node (max
+/// share 1000 by construction); replication must strictly beat that.
+fn skew_params(seed: u64, replicas: usize) -> ClusterParams {
+    let mut p = ClusterParams::test(4, seed);
+    p.hot_items = 1;
+    p.hot_frac = 0.9;
+    p.requests = 400;
+    p.replicas = replicas;
+    p
+}
+
+fn print_report(label: &str, r: &ClusterReport) {
+    let s = &r.stats;
+    println!(
+        "{label:<24} digest={:016x}  local={} remote={} replica={} handoff={} \
+         computes={} recomputes={}",
+        r.digest,
+        s.local_hits,
+        s.remote_hits,
+        s.replica_hits,
+        s.handoff_hits,
+        s.computes,
+        r.recomputes
+    );
+    println!(
+        "{:<24} moves={} drops={} replicas(placed/inval/dropped)={}/{}/{} \
+         transfer={}B ticks={}",
+        "",
+        s.rebalance_moves,
+        s.rebalance_drops,
+        s.replicas_placed,
+        s.replica_invalidations,
+        s.replicas_dropped,
+        s.transfer_bytes,
+        s.virtual_ticks
+    );
+}
+
+fn main() {
+    obs_init();
+    header(
+        "Cluster layer (sharding, cross-node reuse, rebalancing, replication)",
+        "HRW-sharded multi-node cache: bit-identical results across node \
+         counts and membership churn, zero churn-forced recomputes, \
+         replication flattens a skewed hotspot",
+    );
+
+    for seed in [42u64, 1337] {
+        // --- Node-count invariance: {1, 2, 4, 8} nodes, same trace. ---
+        let runs: Vec<(usize, ClusterReport)> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&n| (n, run_cluster(&ClusterParams::test(n, seed))))
+            .collect();
+        let d0 = runs[0].1.digest;
+        for (n, r) in &runs {
+            assert_eq!(
+                r.digest, d0,
+                "seed {seed}: digest diverged at {n} nodes — results must \
+                 not depend on the node count"
+            );
+            assert_eq!(
+                r.recomputes, 0,
+                "seed {seed}: {n} nodes recomputed a cached item"
+            );
+            assert_eq!(
+                r.pending_moves, 0,
+                "seed {seed}: {n} nodes left moves queued"
+            );
+        }
+        // Repeated run → identical counter snapshot (full determinism).
+        let again = run_cluster(&ClusterParams::test(4, seed));
+        assert_eq!(
+            again.stats, runs[2].1.stats,
+            "seed {seed}: counters must be exact"
+        );
+        assert_eq!(again.hot_serves, runs[2].1.hot_serves);
+
+        // --- Churn invariance: mid-run join + leave, same digest. ---
+        let mut churned = ClusterParams::test(4, seed);
+        churned.churn = true;
+        let c = run_cluster(&churned);
+        assert_eq!(
+            c.digest, d0,
+            "seed {seed}: a mid-run join/leave changed the served results"
+        );
+        assert_eq!(
+            c.recomputes, 0,
+            "seed {seed}: churn alone forced a recompute"
+        );
+        assert!(
+            c.stats.rebalance_moves > 0,
+            "seed {seed}: churn moved nothing"
+        );
+
+        // --- Gate configuration: every counter class exercised. ---
+        let g = run_cluster(&ClusterParams::gate(seed));
+        assert!(g.stats.remote_hits > 0, "seed {seed}: no cross-node reuse");
+        assert!(
+            g.stats.replica_hits > 0,
+            "seed {seed}: no replica served a read"
+        );
+        assert!(
+            g.stats.replica_invalidations > 0,
+            "seed {seed}: writes never invalidated"
+        );
+        assert!(
+            g.stats.transfer_bytes > 0,
+            "seed {seed}: nothing crossed the fabric"
+        );
+        assert_eq!(
+            g.recomputes, 0,
+            "seed {seed}: only invalidations may force recomputes"
+        );
+
+        println!("seed={seed}");
+        for (n, r) in &runs {
+            print_report(&format!("  nodes={n}"), r);
+        }
+        print_report("  nodes=4 churn", &c);
+        print_report("  gate (churn+inval)", &g);
+
+        // --- Replication flattens the hotspot. ---
+        let norep = run_cluster(&skew_params(seed, 0));
+        let rep = run_cluster(&skew_params(seed, 2));
+        assert_eq!(
+            norep.digest, rep.digest,
+            "seed {seed}: replication changed results"
+        );
+        assert!(
+            rep.hot_max_share_x1000 < norep.hot_max_share_x1000,
+            "seed {seed}: replication must flatten the hotspot \
+             (R=0 max share {}/1000, R=2 max share {}/1000)",
+            norep.hot_max_share_x1000,
+            rep.hot_max_share_x1000
+        );
+        println!(
+            "  hotspot max share: R=0 {:>4}/1000 -> R=2 {:>4}/1000  \
+             (hot serves per node: {:?} -> {:?})",
+            norep.hot_max_share_x1000, rep.hot_max_share_x1000, norep.hot_serves, rep.hot_serves
+        );
+
+        obs_absorb(&g.stats);
+        obs_record(
+            "exp_cluster",
+            [
+                ("seed", seed),
+                ("remote_hits", g.stats.remote_hits),
+                ("replica_hits", g.stats.replica_hits),
+                ("rebalance_moves", g.stats.rebalance_moves),
+                ("replica_invalidations", g.stats.replica_invalidations),
+                ("hot_share_norep_x1000", norep.hot_max_share_x1000),
+                ("hot_share_rep_x1000", rep.hot_max_share_x1000),
+            ],
+        );
+    }
+
+    // --- Serve-layer dispatch: warm reuse survives membership churn. ---
+    println!();
+    for seed in [42u64, 1337] {
+        let mut spec = StreamSpec::test();
+        spec.requests = 96;
+        spec.pipeline_every = 24;
+        let trace = open_loop(seed, &spec);
+        let d = ClusterDispatcher::new(ClusterServeConfig::test());
+        let cold = d.run(&trace);
+        d.cluster().join(4);
+        d.cluster().leave(0);
+        let warm = d.run(&trace);
+        assert_eq!(
+            cold.digest, warm.digest,
+            "seed {seed}: churn changed dispatch results"
+        );
+        assert_eq!(
+            warm.cluster.computes, cold.cluster.computes,
+            "seed {seed}: the warm pass after join/leave must not recompute"
+        );
+        println!(
+            "dispatch seed={seed:<5} requests={} shared={} pipelines={} epochs={}  \
+             cold computes={}  warm pass: +0 computes, remote={} replica={} moves={}",
+            cold.completed,
+            cold.shared,
+            cold.pipelines,
+            warm.epochs,
+            cold.cluster.computes,
+            warm.cluster.remote_hits,
+            warm.cluster.replica_hits,
+            warm.cluster.rebalance_moves
+        );
+        obs_record(
+            "exp_cluster_dispatch",
+            [
+                ("seed", seed),
+                ("completed", cold.completed),
+                ("computes", cold.cluster.computes),
+                ("remote_hits", warm.cluster.remote_hits),
+                ("rebalance_moves", warm.cluster.rebalance_moves),
+            ],
+        );
+    }
+    obs_finish();
+}

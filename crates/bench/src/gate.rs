@@ -37,6 +37,19 @@ pub const GATED_RECOVERY: [&str; 4] = [
     "manifest_swaps",
 ];
 
+/// The cluster layer's scale-out counters, gated by `bench_gate` (like
+/// [`GATED_RECOVERY`], the perf stage keeps its older schema). The
+/// cluster gate harness is single-threaded and every decision is a
+/// SplitMix64 hash, so each of these is exact per `(seed, config)`.
+pub const GATED_CLUSTER: [&str; 6] = [
+    "remote_hits",
+    "remote_misses",
+    "transfer_bytes",
+    "rebalance_moves",
+    "replica_hits",
+    "replica_invalidations",
+];
+
 /// Renders a flat `{"k": v, ...}` JSON object.
 pub fn render(pairs: &[(&str, u64)]) -> String {
     let body = pairs
@@ -204,6 +217,25 @@ mod tests {
             diff.regressions,
             vec![("checksum_rejects".to_string(), 4, 1)]
         );
+    }
+
+    #[test]
+    fn compare_keys_gates_the_cluster_slice() {
+        let base = render(&[
+            ("remote_hits", 207),
+            ("remote_misses", 0),
+            ("transfer_bytes", 585728),
+            ("rebalance_moves", 15),
+            ("replica_hits", 220),
+            ("replica_invalidations", 6),
+        ]);
+        let diff = compare_keys(&base, &base, &GATED_CLUSTER);
+        assert!(diff.passed());
+        assert_eq!(diff.matches.len(), GATED_CLUSTER.len());
+
+        let bad = base.replace("\"replica_hits\": 220", "\"replica_hits\": 0");
+        let diff = compare_keys(&bad, &base, &GATED_CLUSTER);
+        assert_eq!(diff.regressions, vec![("replica_hits".to_string(), 0, 220)]);
     }
 
     #[test]

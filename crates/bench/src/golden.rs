@@ -731,3 +731,63 @@ pub fn run_recovery_gate(p: &RecoveryGateParams) -> RecoveryGateOutcome {
         elapsed: t0.elapsed(),
     }
 }
+
+// ----------------------------------------------------------------------
+// Cluster smoke gate (PR 8): deterministic scale-out counters
+// ----------------------------------------------------------------------
+
+/// Scale knobs for the cluster gate — a thin veneer over the workloads
+/// cluster harness ([`memphis_workloads::ClusterParams`]) pinning the
+/// gated configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterGateParams {
+    /// Harness seed.
+    pub seed: u64,
+}
+
+impl ClusterGateParams {
+    /// The committed-baseline scale (seed 42, 4 nodes, churn +
+    /// replication + invalidations on).
+    pub fn full() -> Self {
+        Self { seed: 42 }
+    }
+}
+
+/// Deterministic counters of the cluster gate: the harness is
+/// single-threaded and every decision is hashed, so every field except
+/// `elapsed` is a pure function of the parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterGateOutcome {
+    /// Full harness report (digest, counters, hotspot shares).
+    pub report: memphis_workloads::ClusterReport,
+    /// Wall clock (informational; never gated).
+    pub elapsed: Duration,
+}
+
+impl ClusterGateOutcome {
+    /// Structural invariants any healthy gate run satisfies — checked
+    /// before the baseline comparison so a broken run fails loudly
+    /// rather than just diverging.
+    pub fn invariants_hold(&self) -> bool {
+        let s = &self.report.stats;
+        s.remote_hits > 0
+            && s.replica_hits > 0
+            && s.rebalance_moves > 0
+            && s.replica_invalidations > 0
+            && s.transfer_bytes > 0
+            && self.report.recomputes == 0
+            && self.report.pending_moves == 0
+    }
+}
+
+/// Runs the gated cluster trace: 4 nodes, skewed hotspot, a mid-run
+/// join and leave, hot-item replication, and periodic write
+/// invalidations.
+pub fn run_cluster_gate(p: &ClusterGateParams) -> ClusterGateOutcome {
+    let t0 = Instant::now();
+    let report = memphis_workloads::run_cluster(&memphis_workloads::ClusterParams::gate(p.seed));
+    ClusterGateOutcome {
+        report,
+        elapsed: t0.elapsed(),
+    }
+}

@@ -1,0 +1,67 @@
+//! Deterministic network cost model.
+//!
+//! The cluster is simulated, so the "network" is an accounting device:
+//! every remote interaction charges a number of *virtual-time ticks*
+//! that is a pure function of the model parameters and the payload
+//! size. No wall-clock time, no randomness — two runs with the same
+//! `(seed, config)` charge identical tick totals, which is what lets
+//! the node-count-invariance and churn tests compare whole counter
+//! snapshots for equality.
+
+/// Latency/bandwidth parameters for one (homogeneous) cluster fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkModel {
+    /// One-way control-message latency in virtual ticks.
+    pub latency_ticks: u64,
+    /// Payload bytes transferred per virtual tick.
+    pub bytes_per_tick: u64,
+}
+
+impl NetworkModel {
+    /// Small test fabric: 4-tick latency, 1 KiB/tick.
+    pub fn test() -> Self {
+        Self {
+            latency_ticks: 4,
+            bytes_per_tick: 1024,
+        }
+    }
+
+    /// Ticks for a metadata-only remote probe (request + response).
+    pub fn probe_ticks(&self) -> u64 {
+        2 * self.latency_ticks
+    }
+
+    /// Ticks to stream `bytes` of payload: one latency plus the
+    /// bandwidth term (ceiling division; a zero-byte transfer still
+    /// pays the latency).
+    pub fn transfer_ticks(&self, bytes: usize) -> u64 {
+        self.latency_ticks + (bytes as u64).div_ceil(self.bytes_per_tick.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_is_latency_plus_bandwidth() {
+        let net = NetworkModel {
+            latency_ticks: 3,
+            bytes_per_tick: 100,
+        };
+        assert_eq!(net.probe_ticks(), 6);
+        assert_eq!(net.transfer_ticks(0), 3);
+        assert_eq!(net.transfer_ticks(1), 4);
+        assert_eq!(net.transfer_ticks(100), 4);
+        assert_eq!(net.transfer_ticks(101), 5);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_clamped_not_divided() {
+        let net = NetworkModel {
+            latency_ticks: 1,
+            bytes_per_tick: 0,
+        };
+        assert_eq!(net.transfer_ticks(10), 11);
+    }
+}

@@ -132,6 +132,23 @@ impl Drop for ComputeGuard {
     }
 }
 
+/// A resident (materialized) entry exported for cluster migration:
+/// the interned identity plus the standing needed to re-admit the
+/// object on another node ([`LineageCache::export_resident`]).
+#[derive(Debug, Clone)]
+pub struct ResidentEntry {
+    /// Interned lineage identity.
+    pub key: LineageId,
+    /// Cloned handle to the cached object.
+    pub object: CachedObject,
+    /// Analytical compute cost `c(o)`.
+    pub cost: f64,
+    /// Size in bytes `s(o)`.
+    pub size: usize,
+    /// Reuse hits `r_h` (proven-reuse standing).
+    pub hits: u64,
+}
+
 /// How an admission attempt ended (see [`LineageCache::admit`]).
 enum Admitted {
     /// Stored and inserted into the probe map.
@@ -430,6 +447,70 @@ impl LineageCache {
             if let Some(b) = self.registry.get(e.backend) {
                 b.release(&e);
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CLUSTER SUPPORT (control-plane reads/removals)
+    // ------------------------------------------------------------------
+
+    /// Control-plane read: clones the resident object for `key` without
+    /// touching reuse stats, hit counts, or recency — a migration or
+    /// replica copy must not inflate the entry's eq.(1) standing the way
+    /// a real probe would. Placeholders and non-resident tiers (disk,
+    /// spilled) return `None`.
+    pub fn peek(&self, key: LineageId) -> Option<ResidentEntry> {
+        self.map.with_entry(key, |e| {
+            let e = e?;
+            let object = e.object.clone()?;
+            if matches!(object, CachedObject::Disk(_)) {
+                return None;
+            }
+            Some(ResidentEntry {
+                key,
+                object,
+                cost: e.compute_cost,
+                size: e.size,
+                hits: e.hits,
+            })
+        })
+    }
+
+    /// Exports every resident (materialized, in-memory) entry, sorted by
+    /// content hash so migration plans built from the export are
+    /// deterministic regardless of shard iteration order.
+    pub fn export_resident(&self) -> Vec<ResidentEntry> {
+        let mut out = Vec::new();
+        self.map.for_each(|key, e| {
+            if let Some(object) = e.object.clone() {
+                if !matches!(object, CachedObject::Disk(_)) {
+                    out.push(ResidentEntry {
+                        key,
+                        object,
+                        cost: e.compute_cost,
+                        size: e.size,
+                        hits: e.hits,
+                    });
+                }
+            }
+        });
+        out.sort_by_key(|r| r.key.content_hash());
+        out
+    }
+
+    /// Control-plane removal: drops the entry for `key` (releasing its
+    /// backend accounting) without counting an eviction. Used when the
+    /// cluster layer migrates a primary away or invalidates a replica.
+    /// Returns false when no entry was present.
+    pub fn remove(&self, key: LineageId) -> bool {
+        match self.map.remove_entry(key) {
+            Some(e) => {
+                if let Some(b) = self.registry.get(e.backend) {
+                    b.release(&e);
+                }
+                true
+            }
+            None => false,
         }
     }
 

@@ -66,4 +66,6 @@ pub mod cat {
     pub const ASYNC: &str = "async";
     /// Multi-session serving harness: per-session phases and rendezvous.
     pub const SERVE: &str = "serve";
+    /// Cluster layer: remote probes, transfers, rebalance epochs.
+    pub const CLUSTER: &str = "cluster";
 }

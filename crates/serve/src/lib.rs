@@ -29,6 +29,7 @@
 //! virtual tick clock, and worker threads execute only pure payloads.
 
 pub mod admission;
+pub mod cluster;
 pub mod gen;
 pub mod pressure;
 pub mod queue;
@@ -38,6 +39,7 @@ pub mod scheduler;
 pub mod stats;
 
 pub use admission::{TenantCaps, TokenBucket};
+pub use cluster::{ClusterDispatcher, ClusterServeConfig, ClusterServeReport};
 pub use gen::{open_loop, StreamSpec};
 pub use pressure::{PressureLevel, PressureMonitor};
 pub use queue::RequestQueue;

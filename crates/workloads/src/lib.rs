@@ -4,10 +4,12 @@
 //! the seven end-to-end pipelines of §6.3.
 
 pub mod builtins;
+pub mod cluster;
 pub mod data;
 pub mod harness;
 pub mod pipelines;
 pub mod serve;
 
+pub use cluster::{run_cluster, ClusterParams, ClusterReport};
 pub use harness::{run_timed, Backends, WorkloadOutcome};
 pub use serve::{run_serve, ServeParams, ServeReport};

@@ -89,6 +89,8 @@ fn workflow_uploads_observability_artifacts() {
     assert!(y.contains("exp_concurrent.metrics.json"));
     assert!(y.contains("exp_serve.trace.json"));
     assert!(y.contains("exp_serve.metrics.json"));
+    assert!(y.contains("exp_cluster.trace.json"));
+    assert!(y.contains("exp_cluster.metrics.json"));
     assert!(
         y.contains("--trace") && y.contains("--json"),
         "ci.yml: exp run must request trace + metrics artifacts"
@@ -150,6 +152,12 @@ fn invoked_scripts_exist_and_are_executable() {
         "entries_rehydrated",
         "checksum_rejects",
         "manifest_swaps",
+        "remote_hits",
+        "remote_misses",
+        "transfer_bytes",
+        "rebalance_moves",
+        "replica_hits",
+        "replica_invalidations",
     ] {
         assert!(
             baseline.contains(&format!("\"{key}\"")),
@@ -168,6 +176,7 @@ fn ci_script_defines_all_stages() {
         "stage_obs",
         "stage_concurrency",
         "stage_serve",
+        "stage_cluster",
         "stage_recovery",
         "stage_bench_gate",
         "stage_perf",
@@ -193,6 +202,11 @@ fn ci_script_defines_all_stages() {
     assert!(sh.contains("--test disk_tier"));
     assert!(sh.contains("--test serving"));
     assert!(sh.contains("--bin exp_serve"));
+    // The cluster stage runs the sharding/churn/replication suite under
+    // both chaos seeds (plus a single-threaded pass) and the full
+    // experiment binary.
+    assert!(sh.contains("--test cluster"));
+    assert!(sh.contains("--bin exp_cluster"));
     // The recovery stage runs the crash-recovery differential suite
     // under both chaos seeds, with one single-threaded pass.
     assert!(sh.contains("--test crash_recovery"));
