@@ -5,23 +5,53 @@
 # Usage: ./ci.sh [--skip-lint] [stage ...]
 #   --skip-lint  omit the lint stage (CI runs it in a separate fast job)
 #   stage ...    run only the named stages (build test chaos obs
-#                concurrency serve cluster recovery bench_gate perf
-#                lint); default is all of them.
+#                concurrency serve cluster recovery latency bench_gate
+#                perf lint); default is all of them.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 STAGE_NAMES=()
 STAGE_TIMES=()
+CURRENT_STAGE=""
+CURRENT_T0=0
+
+# `set -e` aborts mid-stage on the first failing command, which used to
+# skip the summary table entirely — the most useful output on a red run.
+# The EXIT trap prints it unconditionally, marking the stage that died.
+print_summary() {
+    local status=$?
+    echo
+    echo "ci: stage summary"
+    printf '  %-12s %8s\n' stage seconds
+    local total=0
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '  %-12s %8s\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}"
+        total=$((total + STAGE_TIMES[$i]))
+    done
+    if [ "$status" -ne 0 ] && [ -n "$CURRENT_STAGE" ]; then
+        local dt=$(($(date +%s) - CURRENT_T0))
+        printf '  %-12s %8s  FAILED\n' "$CURRENT_STAGE" "$dt"
+        total=$((total + dt))
+    fi
+    printf '  %-12s %8s\n' total "$total"
+    if [ "$status" -eq 0 ]; then
+        echo "ci: all checks passed"
+    else
+        echo "ci: FAILED${CURRENT_STAGE:+ in stage '$CURRENT_STAGE'} (exit $status)" >&2
+    fi
+}
+trap print_summary EXIT
 
 run_stage() {
     local name="$1"
     shift
     echo
     echo "=== stage: $name ==="
-    local t0
-    t0=$(date +%s)
+    CURRENT_STAGE="$name"
+    CURRENT_T0=$(date +%s)
     "$@"
-    local dt=$(($(date +%s) - t0))
+    local dt=$(($(date +%s) - CURRENT_T0))
+    CURRENT_STAGE=""
     STAGE_NAMES+=("$name")
     STAGE_TIMES+=("$dt")
     echo "=== stage: $name done in ${dt}s ==="
@@ -112,6 +142,21 @@ stage_recovery() {
         -- --test-threads=1
 }
 
+# Latency suite: the delayed-hits eviction/admission layer — TTNA
+# tracking, the zero-waiter eq. (1) fixed point, MURS admission
+# shedding, and policy-independent served digests under both chaos
+# seeds (plus one single-threaded pass), then the full exp_latency
+# experiment (which re-asserts the p99 drop at gate scale for seeds
+# 42 and 1337).
+stage_latency() {
+    for seed in 42 1337; do
+        CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test latency
+    done
+    CHAOS_SEED=42 cargo test -q -p memphis-integration --test latency \
+        -- --test-threads=1
+    cargo run -q --release -p memphis-bench --bin exp_latency
+}
+
 # Bench smoke gate: deterministic reuse/eviction/coalescing counters
 # must match the committed baseline exactly.
 stage_bench_gate() {
@@ -132,7 +177,7 @@ stage_lint() {
     cargo fmt --check
 }
 
-ALL_STAGES=(build test chaos obs concurrency serve cluster recovery bench_gate perf lint)
+ALL_STAGES=(build test chaos obs concurrency serve cluster recovery latency bench_gate perf lint)
 SKIP_LINT=0
 REQUESTED=()
 for arg in "$@"; do
@@ -150,21 +195,10 @@ for stage in "${REQUESTED[@]}"; do
         continue
     fi
     case "$stage" in
-        build|test|chaos|obs|concurrency|serve|cluster|recovery|bench_gate|perf|lint)
+        build|test|chaos|obs|concurrency|serve|cluster|recovery|latency|bench_gate|perf|lint)
             run_stage "$stage" "stage_$stage" ;;
         *)
             echo "ci: unknown stage '$stage' (known: ${ALL_STAGES[*]})" >&2
             exit 2 ;;
     esac
 done
-
-echo
-echo "ci: stage summary"
-printf '  %-12s %8s\n' stage seconds
-total=0
-for i in "${!STAGE_NAMES[@]}"; do
-    printf '  %-12s %8s\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}"
-    total=$((total + STAGE_TIMES[$i]))
-done
-printf '  %-12s %8s\n' total "$total"
-echo "ci: all checks passed"

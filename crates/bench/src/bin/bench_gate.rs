@@ -10,10 +10,12 @@
 //! `memphis_bench::gate::GATED`) are exact by construction, so the
 //! comparison is equality, not a tolerance band.
 
-use memphis_bench::gate::{compare_keys, render, GATED, GATED_CLUSTER, GATED_RECOVERY};
+use memphis_bench::gate::{
+    compare_keys, render, GATED, GATED_CLUSTER, GATED_LATENCY, GATED_RECOVERY,
+};
 use memphis_bench::golden::{
-    run_cluster_gate, run_concurrency_gate, run_recovery_gate, run_serve_gate, ClusterGateParams,
-    ConcGateParams, RecoveryGateParams, ServeGateParams,
+    run_cluster_gate, run_concurrency_gate, run_latency_gate, run_recovery_gate, run_serve_gate,
+    ClusterGateParams, ConcGateParams, LatencyGateParams, RecoveryGateParams, ServeGateParams,
 };
 
 fn main() {
@@ -25,6 +27,7 @@ fn main() {
     let s = run_serve_gate(&ServeGateParams::full());
     let r = run_recovery_gate(&RecoveryGateParams::full());
     let c = run_cluster_gate(&ClusterGateParams::full());
+    let l = run_latency_gate(&LatencyGateParams::full());
     assert!(
         s.invariants_hold(),
         "serve gate invariants failed: {:?}",
@@ -34,6 +37,14 @@ fn main() {
         c.invariants_hold(),
         "cluster gate invariants failed: {:?}",
         c.report.stats
+    );
+    assert!(
+        l.invariants_hold(),
+        "latency gate invariants failed: p99 paper={} delayed={} digests {:016x}/{:016x}",
+        l.p99_paper,
+        l.p99_delayed,
+        l.paper.digest,
+        l.delayed.digest
     );
     let report = render(&[
         ("hits", o.hits),
@@ -62,6 +73,18 @@ fn main() {
         ("handoff_hits", c.report.stats.handoff_hits),
         ("remote_coalesced", c.report.stats.remote_coalesced),
         ("cluster_computes", c.report.stats.computes),
+        ("latency_served", l.paper.served),
+        ("latency_p99_paper", l.p99_paper),
+        ("latency_p99_delayed", l.p99_delayed),
+        ("latency_mad_evictions", l.delayed.reuse.mad_evictions),
+        (
+            "latency_ttna_rejects",
+            l.delayed.reuse.ttna_admission_rejects,
+        ),
+        (
+            "latency_delay_ticks_saved",
+            l.delayed.reuse.delayed_hit_ticks_saved,
+        ),
         ("wall_clock_ms", o.elapsed.as_millis() as u64),
     ]);
     std::fs::write(&out_path, &report).unwrap_or_else(|e| {
@@ -82,6 +105,7 @@ fn main() {
         .iter()
         .chain(GATED_RECOVERY.iter())
         .chain(GATED_CLUSTER.iter())
+        .chain(GATED_LATENCY.iter())
         .copied()
         .collect();
     let diff = compare_keys(&report, &baseline, &keys);

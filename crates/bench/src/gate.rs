@@ -50,6 +50,19 @@ pub const GATED_CLUSTER: [&str; 6] = [
     "replica_invalidations",
 ];
 
+/// The latency gate's delayed-hits counters, gated by `bench_gate`
+/// (the perf stage keeps its older schema). The latency harness is
+/// single-threaded with SplitMix64 arrivals, so the p99s, the served
+/// count, and every policy counter are exact per seed.
+pub const GATED_LATENCY: [&str; 6] = [
+    "latency_served",
+    "latency_p99_paper",
+    "latency_p99_delayed",
+    "latency_mad_evictions",
+    "latency_ttna_rejects",
+    "latency_delay_ticks_saved",
+];
+
 /// Renders a flat `{"k": v, ...}` JSON object.
 pub fn render(pairs: &[(&str, u64)]) -> String {
     let body = pairs
@@ -236,6 +249,28 @@ mod tests {
         let bad = base.replace("\"replica_hits\": 220", "\"replica_hits\": 0");
         let diff = compare_keys(&bad, &base, &GATED_CLUSTER);
         assert_eq!(diff.regressions, vec![("replica_hits".to_string(), 0, 220)]);
+    }
+
+    #[test]
+    fn compare_keys_gates_the_latency_slice() {
+        let base = render(&[
+            ("latency_served", 18282),
+            ("latency_p99_paper", 20),
+            ("latency_p99_delayed", 1),
+            ("latency_mad_evictions", 1576),
+            ("latency_ttna_rejects", 6),
+            ("latency_delay_ticks_saved", 233100),
+        ]);
+        let diff = compare_keys(&base, &base, &GATED_LATENCY);
+        assert!(diff.passed());
+        assert_eq!(diff.matches.len(), GATED_LATENCY.len());
+
+        let bad = base.replace("\"latency_p99_delayed\": 1", "\"latency_p99_delayed\": 20");
+        let diff = compare_keys(&bad, &base, &GATED_LATENCY);
+        assert_eq!(
+            diff.regressions,
+            vec![("latency_p99_delayed".to_string(), 20, 1)]
+        );
     }
 
     #[test]

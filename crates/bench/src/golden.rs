@@ -791,3 +791,76 @@ pub fn run_cluster_gate(p: &ClusterGateParams) -> ClusterGateOutcome {
         elapsed: t0.elapsed(),
     }
 }
+
+// ----------------------------------------------------------------------
+// Latency gate (PR 9): delayed-hits policy vs eq. (1) on a skewed trace
+// ----------------------------------------------------------------------
+
+/// Scale knobs for the latency gate — a veneer over the workloads
+/// latency harness ([`memphis_workloads::LatencyParams`]) pinning the
+/// gated configuration. The gate runs the *same* trace under both
+/// [`CachePolicy`](memphis_core::CachePolicy) variants.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyGateParams {
+    /// Harness seed.
+    pub seed: u64,
+}
+
+impl LatencyGateParams {
+    /// The committed-baseline scale (seed 42).
+    pub fn full() -> Self {
+        Self { seed: 42 }
+    }
+}
+
+/// Deterministic outcome of the latency gate: both policy runs plus the
+/// nearest-rank p99 of each latency sample. Everything except `elapsed`
+/// is a pure function of the seed.
+#[derive(Debug, Clone)]
+pub struct LatencyGateOutcome {
+    /// The trace under eq. (1)/(2) exactly as published.
+    pub paper: memphis_workloads::LatencyReport,
+    /// The trace under the delayed-hits extension.
+    pub delayed: memphis_workloads::LatencyReport,
+    /// p99 per-arrival virtual latency under `Paper`, in ticks.
+    pub p99_paper: u64,
+    /// p99 per-arrival virtual latency under `DelayedHits`, in ticks.
+    pub p99_delayed: u64,
+    /// Wall clock (informational; never gated).
+    pub elapsed: Duration,
+}
+
+impl LatencyGateOutcome {
+    /// Structural invariants any healthy gate run satisfies — checked
+    /// before the baseline comparison so a broken run fails loudly
+    /// rather than just diverging.
+    pub fn invariants_hold(&self) -> bool {
+        self.paper.digest == self.delayed.digest
+            && self.paper.served == self.delayed.served
+            && self.p99_delayed < self.p99_paper
+            && self.delayed.reuse.mad_evictions > 0
+            && self.delayed.reuse.ttna_admission_rejects > 0
+            && self.delayed.reuse.delayed_hit_ticks_saved > 0
+            && self.paper.reuse.mad_evictions == 0
+            && self.paper.reuse.ttna_admission_rejects == 0
+            && self.paper.reuse.delayed_hit_ticks_saved == 0
+    }
+}
+
+/// Runs the gated skewed trace under both cache policies and computes
+/// the p99 virtual-latency of each.
+pub fn run_latency_gate(p: &LatencyGateParams) -> LatencyGateOutcome {
+    let t0 = Instant::now();
+    let params = memphis_workloads::LatencyParams::gate(p.seed);
+    let paper = memphis_workloads::run_latency(&params, memphis_core::CachePolicy::Paper);
+    let delayed = memphis_workloads::run_latency(&params, memphis_core::CachePolicy::DelayedHits);
+    let p99_paper = crate::gate::percentile(&paper.latencies, 99.0);
+    let p99_delayed = crate::gate::percentile(&delayed.latencies, 99.0);
+    LatencyGateOutcome {
+        paper,
+        delayed,
+        p99_paper,
+        p99_delayed,
+        elapsed: t0.elapsed(),
+    }
+}

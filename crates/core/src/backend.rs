@@ -12,6 +12,7 @@
 //! [`EvictionPolicy`]: eq. (1) cost&size scoring for entry-granularity
 //! tiers and eq. (2) recency/height/cost scoring for GPU free pointers.
 
+use crate::cache::config::CachePolicy;
 use crate::cache::entry::{CacheEntry, CachedObject};
 use crate::cache::sharded::{Inflight, ShardedEntryMap};
 use crate::lineage::LineageId;
@@ -65,15 +66,34 @@ pub struct EvictionPolicy {
     /// entry selection, scanning a bounded sample keeps eviction O(1)
     /// amortized instead of O(entries) per insertion.
     pub sample_limit: usize,
+    /// Cost model: `Paper` scores by eq. (1) exactly; `DelayedHits`
+    /// adds the TTNA-discounted aggregate-delay term.
+    pub policy: CachePolicy,
 }
 
 impl Default for EvictionPolicy {
     fn default() -> Self {
-        Self { sample_limit: 64 }
+        Self {
+            sample_limit: 64,
+            policy: CachePolicy::Paper,
+        }
     }
 }
 
 impl EvictionPolicy {
+    /// Half-life (in virtual-clock ticks) of the TTNA discount: an
+    /// entry expected back within `TTNA_HALF_LIFE` ticks keeps more
+    /// than half of its aggregate-delay credit; one expected back much
+    /// later keeps almost none.
+    pub const TTNA_HALF_LIFE: f64 = 64.0;
+
+    /// A policy with the default sample bound and the given cost model.
+    pub fn with_policy(policy: CachePolicy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
+        }
+    }
     /// Eq. (1) score `(r_h + r_m + r_j) * c(o) / s(o)` — smallest is
     /// evicted first.
     pub fn cost_size_score(refs: u64, cost: f64, size: usize) -> f64 {
@@ -83,6 +103,38 @@ impl EvictionPolicy {
     /// Eq. (1) applied to an entry's reuse metadata.
     pub fn entry_score(e: &CacheEntry) -> f64 {
         Self::cost_size_score(e.hits + e.misses + e.jobs, e.compute_cost, e.size)
+    }
+
+    /// Delayed-hits extension of eq. (1):
+    /// `refs.max(1) * (c(o) + aggregate_delay * discount) / s(o)` where
+    /// `aggregate_delay = miss_waiters * c(o)` (every coalesced waiter
+    /// stacked behind a miss paid the full recompute latency again) and
+    /// `discount = H / (H + TTNA)` fades the credit of entries not
+    /// expected back soon. An entry with no observed inter-probe gap yet
+    /// carries no TTNA evidence, so its delay credit is *not* discounted
+    /// (`discount = 1`): a freshly readmitted batch-serving entry keeps
+    /// its waiter protection through the window before its next probe
+    /// instead of collapsing back to eq. (1) and thrashing. With zero
+    /// observed waiters the delay term vanishes and the score is
+    /// *exactly* eq. (1) — the `Paper` policy is the zero-pressure fixed
+    /// point, not an approximation of it.
+    pub fn delayed_hits_score(e: &CacheEntry) -> f64 {
+        let refs = ((e.hits + e.misses + e.jobs) as f64).max(1.0);
+        let discount = if e.probe_gaps == 0 {
+            1.0
+        } else {
+            Self::TTNA_HALF_LIFE / (Self::TTNA_HALF_LIFE + e.ttna_ewma)
+        };
+        let aggregate_delay = e.miss_waiters as f64 * e.compute_cost;
+        refs * (e.compute_cost + aggregate_delay * discount) / e.size.max(1) as f64
+    }
+
+    /// The entry score under this policy's cost model.
+    pub fn score(&self, e: &CacheEntry) -> f64 {
+        match self.policy {
+            CachePolicy::Paper => Self::entry_score(e),
+            CachePolicy::DelayedHits => Self::delayed_hits_score(e),
+        }
     }
 
     /// Eq. (2) score `T_a(o) + 1/h(o) + c(o)` (each term normalized) —
@@ -108,8 +160,8 @@ impl EvictionPolicy {
         candidates
             .take(self.sample_limit)
             .min_by(|(_, a), (_, b)| {
-                Self::entry_score(a)
-                    .partial_cmp(&Self::entry_score(b))
+                self.score(a)
+                    .partial_cmp(&self.score(b))
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(k, _)| *k)

@@ -18,7 +18,7 @@
 use crate::backend::{
     BackendId, BackendRegistry, BackendSnapshot, CacheBackend, EvictionPolicy, Materialized,
 };
-use crate::cache::config::CacheConfig;
+use crate::cache::config::{CacheConfig, CachePolicy};
 use crate::cache::durable::{DurableRecord, RecoveredMeta, SegmentStore};
 use crate::cache::entry::{CacheEntry, CachedObject};
 use crate::cache::gpu::GpuMemoryManager;
@@ -32,6 +32,7 @@ use memphis_sparksim::StorageLevel;
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 // ----------------------------------------------------------------------
@@ -68,7 +69,7 @@ impl LocalBackend {
         Self {
             budget: config.local_budget,
             spill_enabled: config.spill_to_disk,
-            policy: EvictionPolicy::default(),
+            policy: EvictionPolicy::with_policy(config.policy),
             used: Mutex::new(0),
             tenants: Mutex::new(TenantLedger::default()),
             stats,
@@ -163,6 +164,13 @@ impl LocalBackend {
             };
             let msize = m.size_bytes();
             let tenant = e.tenant;
+            if self.policy.policy == CachePolicy::DelayedHits {
+                // Leave the victim's TTNA estimate behind so the
+                // pressure-gated admission path can recognize it cycling
+                // back, and count the eviction against the MAD score.
+                map.record_ghost(victim, e.estimated_ttna());
+                ReuseStats::inc(&self.stats.mad_evictions);
+            }
             // Spill only entries with proven reuse (at least one hit) to
             // disk; unproven entries are dropped — avoiding disk-write
             // storms when a stream of never-reused intermediates thrashes
@@ -301,7 +309,19 @@ impl CacheBackend for LocalBackend {
             return Materialized::Stale;
         };
         e.hits += 1;
+        let saved = if self.policy.policy == CachePolicy::DelayedHits && e.miss_waiters > 0 {
+            // Every resident hit of a fan-out entry avoids re-imposing
+            // the stacked delay its misses were observed to cause.
+            (e.miss_waiters as f64 * e.compute_cost) as u64
+        } else {
+            0
+        };
         drop(shard);
+        if saved > 0 {
+            self.stats
+                .delayed_hit_ticks_saved
+                .fetch_add(saved, Ordering::Relaxed);
+        }
         ReuseStats::inc(&self.stats.hits_local);
         Materialized::Hit(object)
     }
@@ -343,6 +363,9 @@ impl CacheBackend for LocalBackend {
                 ("spills", s.local_spills),
                 ("drops", s.local_drops),
                 ("quota_evicts", s.quota_evictions),
+                ("ttna_rejects", s.ttna_admission_rejects),
+                ("delay_ticks_saved", s.delayed_hit_ticks_saved),
+                ("mad_evicts", s.mad_evictions),
             ],
         }
     }
@@ -403,7 +426,7 @@ impl DiskBackend {
         Self {
             store,
             promote_on_hit: config.promote_on_disk_hit,
-            policy: EvictionPolicy::default(),
+            policy: EvictionPolicy::with_policy(config.policy),
             persistent: config.persist_dir.is_some(),
             used: Mutex::new(used),
             recovered: Mutex::new(recovered),
@@ -666,7 +689,7 @@ impl SparkTier {
     pub fn new(backend: SparkBackend, config: &CacheConfig, stats: Arc<ReuseStats>) -> Self {
         Self {
             backend,
-            policy: EvictionPolicy::default(),
+            policy: EvictionPolicy::with_policy(config.policy),
             materialize_after_misses: config.materialize_after_misses,
             est: Mutex::new(0),
             stats,

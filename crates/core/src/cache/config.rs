@@ -3,6 +3,25 @@
 use memphis_sparksim::FaultPlan;
 use std::path::PathBuf;
 
+/// Which eviction/admission cost model the cache runs.
+///
+/// `Paper` is the reproduction's default — eq. (1)/(2) scoring exactly
+/// as published, and every gated experiment counter is bit-identical to
+/// the committed baselines under it. `DelayedHits` extends eq. (1) with
+/// the delayed-hits aggregate-delay term (waiters stacked behind a
+/// coalesced miss cost more than the recompute alone), discounted by
+/// the entry's estimated time-to-next-access, plus MURS-style
+/// admission shedding under memory pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Eq. (1)/(2) exactly as in the paper.
+    #[default]
+    Paper,
+    /// Eq. (1) + aggregate-delay term, TTNA-discounted, with
+    /// pressure-gated TTNA admission shedding.
+    DelayedHits,
+}
+
 /// Configuration of the hierarchical lineage cache.
 #[derive(Debug, Clone)]
 pub struct CacheConfig {
@@ -51,6 +70,11 @@ pub struct CacheConfig {
     /// record corruption, partial fsyncs, and the deterministic
     /// kill-at-sync-point switch. Inert by default.
     pub disk_faults: FaultPlan,
+    /// Eviction/admission cost model. `Paper` (the default) keeps every
+    /// experiment bit-identical to the published eq. (1)/(2) behavior;
+    /// `DelayedHits` folds observed coalescing pressure and estimated
+    /// time-to-next-access into scoring and admission.
+    pub policy: CachePolicy,
 }
 
 impl CacheConfig {
@@ -70,6 +94,7 @@ impl CacheConfig {
             segment_max_bytes: 1 << 20,
             compact_min_dead_bytes: 64 << 10,
             disk_faults: FaultPlan::none(),
+            policy: CachePolicy::Paper,
         }
     }
 
@@ -90,6 +115,7 @@ impl CacheConfig {
             segment_max_bytes: 8 << 20,
             compact_min_dead_bytes: 1 << 20,
             disk_faults: FaultPlan::none(),
+            policy: CachePolicy::Paper,
         }
     }
 }

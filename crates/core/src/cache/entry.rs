@@ -109,7 +109,24 @@ pub struct CacheEntry {
     /// over-quota tenants are preferred eviction victims; `None` (the
     /// default for non-serving callers) is never quota-charged.
     pub tenant: Option<u16>,
+    /// EWMA of inter-probe gaps on the global virtual clock — the
+    /// time-to-next-access estimate of the `DelayedHits` policy. Zero
+    /// until the first gap is observed (see `probe_gaps`).
+    pub ttna_ewma: f64,
+    /// Number of inter-probe gap samples folded into `ttna_ewma`; while
+    /// zero the TTNA is unknown and the delayed-hits discount is zero.
+    pub probe_gaps: u64,
+    /// Virtual-clock tick of the most recent probe (0 = never probed).
+    pub last_probe_tick: u64,
+    /// Coalesced waiters observed stacked behind misses of this entry —
+    /// the aggregate-delay signal: each waiter paid the full recompute
+    /// latency on top of the miss itself.
+    pub miss_waiters: u64,
 }
+
+/// Smoothing factor for the inter-probe-gap EWMA (higher = faster
+/// adaptation to the most recent gap).
+pub const TTNA_ALPHA: f64 = 0.3;
 
 impl CacheEntry {
     /// Creates a stored (CACHED) entry owned by the object's tier.
@@ -134,6 +151,10 @@ impl CacheEntry {
             gc_done: false,
             pinned: false,
             tenant: None,
+            ttna_ewma: 0.0,
+            probe_gaps: 0,
+            last_probe_tick: 0,
+            miss_waiters: 0,
         }
     }
 
@@ -173,6 +194,39 @@ impl CacheEntry {
             gc_done: false,
             pinned: false,
             tenant: None,
+            ttna_ewma: 0.0,
+            probe_gaps: 0,
+            last_probe_tick: 0,
+            miss_waiters: 0,
+        }
+    }
+
+    /// Folds a probe at virtual-clock tick `clock` into the TTNA
+    /// estimate: the gap since the previous probe updates the EWMA.
+    /// Pure bookkeeping — under `CachePolicy::Paper` the estimate is
+    /// never read, so recording it cannot perturb eq. (1) behavior.
+    pub fn observe_probe(&mut self, clock: u64) {
+        if self.last_probe_tick != 0 && clock > self.last_probe_tick {
+            let gap = (clock - self.last_probe_tick) as f64;
+            self.ttna_ewma = if self.probe_gaps == 0 {
+                gap
+            } else {
+                TTNA_ALPHA * gap + (1.0 - TTNA_ALPHA) * self.ttna_ewma
+            };
+            self.probe_gaps += 1;
+        }
+        self.last_probe_tick = clock;
+    }
+
+    /// Estimated ticks until the next access: the inter-probe EWMA, or
+    /// infinity while no re-access was ever observed (one probe — or
+    /// none — in the entry's whole lifetime gives no evidence it will
+    /// come back).
+    pub fn estimated_ttna(&self) -> f64 {
+        if self.probe_gaps == 0 {
+            f64::INFINITY
+        } else {
+            self.ttna_ewma
         }
     }
 

@@ -45,14 +45,14 @@ use crate::lineage::{self, LItem, LineageId};
 use crate::pool::Pool;
 use crate::stats::{ReuseStats, ReuseStatsSnapshot};
 use backends::{DiskBackend, GpuTier, LocalBackend, SparkTier};
-use config::CacheConfig;
+use config::{CacheConfig, CachePolicy};
 use entry::{CacheEntry, CachedObject, EntryStatus};
 use gpu::{GpuAlloc, GpuMemoryManager};
 use memphis_gpusim::{GpuDevice, GpuError, GpuPtr};
 use sharded::{Inflight, InflightOutcome, ShardedEntryMap};
 use spark::SparkBackend;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// A successful probe: the reusable object plus the canonical lineage item
@@ -173,6 +173,45 @@ pub struct LineageCache {
     /// Recycled in-flight markers (see [`Pool`]): the steady-state
     /// miss→own→complete cycle reuses markers instead of allocating.
     flight_pool: Pool<Arc<Inflight>>,
+    /// Last memory-pressure level reported by an external monitor
+    /// (0 = Normal, 1 = Shed, 2 = Suspend). Read by the `DelayedHits`
+    /// admission gate; never acted on under `Paper`.
+    pressure: AtomicU8,
+}
+
+/// Memory-pressure level reported to the cache by an external monitor
+/// (the serving layer's `PressureMonitor`). Under the `DelayedHits`
+/// policy, `Shed` and above arm MURS-style admission shedding: entries
+/// whose estimated time-to-next-access exceeds their expected cache
+/// lifetime are rejected at admission. Under `Paper` the level is
+/// recorded but never acted on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum MemoryPressure {
+    /// Committed bytes within budget; admit normally.
+    #[default]
+    Normal,
+    /// Monitor is shedding load; reject long-TTNA admissions.
+    Shed,
+    /// Monitor is suspending streams; reject long-TTNA admissions.
+    Suspend,
+}
+
+/// Expected-lifetime heuristic: each budget slot an entry's size could
+/// occupy is worth this many virtual-clock ticks of expected residency.
+const LIFETIME_TICKS_PER_SLOT: f64 = 16.0;
+
+/// Point-in-time TTNA/coalescing metadata of one cache entry (see
+/// [`LineageCache::entry_reuse_meta`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryReuseMeta {
+    /// EWMA of inter-probe virtual-clock gaps.
+    pub ttna_ewma: f64,
+    /// Gap samples folded into the EWMA (0 = TTNA unknown).
+    pub probe_gaps: u64,
+    /// Tick of the most recent probe.
+    pub last_probe_tick: u64,
+    /// Coalesced waiters observed stacked behind this entry's misses.
+    pub miss_waiters: u64,
 }
 
 impl LineageCache {
@@ -212,9 +251,33 @@ impl LineageCache {
             config,
             stats,
             flight_pool: Pool::new(256),
+            pressure: AtomicU8::new(0),
         };
         cache.recover_from_disk();
         cache
+    }
+
+    /// Reports the current memory-pressure level (typically wired from
+    /// the serving layer's pressure monitor once per scheduler tick).
+    pub fn set_memory_pressure(&self, level: MemoryPressure) {
+        self.pressure.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// The last reported memory-pressure level.
+    pub fn memory_pressure(&self) -> MemoryPressure {
+        match self.pressure.load(Ordering::Relaxed) {
+            0 => MemoryPressure::Normal,
+            1 => MemoryPressure::Shed,
+            _ => MemoryPressure::Suspend,
+        }
+    }
+
+    /// Expected cache lifetime (in virtual-clock ticks) of an entry of
+    /// `size` bytes: the more budget slots its size class has, the
+    /// longer an admitted entry can expect to stay resident.
+    fn expected_lifetime_ticks(&self, size: usize) -> f64 {
+        let slots = (self.config.local_budget / size.max(1)).max(1);
+        slots as f64 * LIFETIME_TICKS_PER_SLOT
     }
 
     /// Rebuilds probe-map entries from the disk tier's recovered records:
@@ -531,6 +594,9 @@ impl LineageCache {
             let mut shard = self.map.lock_of(key);
             let e = shard.entries.get_mut(&key)?;
             e.last_access = clock;
+            // Fold this probe's inter-arrival gap into the TTNA EWMA
+            // (pure bookkeeping; only `DelayedHits` ever reads it).
+            e.observe_probe(clock);
             // TO-BE-CACHED placeholder: not reusable yet.
             e.object.as_ref()?;
             (e.is_function, e.backend)
@@ -759,6 +825,13 @@ impl LineageCache {
         let woken = flight.resolve(InflightOutcome::Done { object, canonical });
         if woken > 0 {
             ReuseStats::inc(&self.stats.wakeup_batches);
+            // The waiters this miss kept stacked are the entry's
+            // aggregate-delay evidence for delayed-hits scoring.
+            self.map.with_entry(key, |e| {
+                if let Some(e) = e {
+                    e.miss_waiters += woken;
+                }
+            });
         } else {
             ReuseStats::inc(&self.stats.wakeup_skips);
         }
@@ -778,6 +851,36 @@ impl LineageCache {
                 e.jobs += 1;
             }
         });
+    }
+
+    /// Records `n` coalesced waiters observed stacked behind a miss of
+    /// `item` — the aggregate-delay evidence of the `DelayedHits`
+    /// policy. The concurrent path feeds this automatically from
+    /// in-flight wakeups; single-threaded virtual-time harnesses (which
+    /// coalesce batched arrivals without ever blocking) call it
+    /// directly after completing the miss.
+    pub fn note_miss_waiters(&self, item: &LItem, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.map.with_entry(item.lid, |e| {
+            if let Some(e) = e {
+                e.miss_waiters += n;
+            }
+        });
+    }
+
+    /// Point-in-time TTNA/coalescing metadata of an entry, if cached
+    /// (tests and harnesses; not part of the probe hot path).
+    pub fn entry_reuse_meta(&self, item: &LItem) -> Option<EntryReuseMeta> {
+        self.map.with_entry(item.lid, |e| {
+            e.map(|e| EntryReuseMeta {
+                ttna_ewma: e.ttna_ewma,
+                probe_gaps: e.probe_gaps,
+                last_probe_tick: e.last_probe_tick,
+                miss_waiters: e.miss_waiters,
+            })
+        })
     }
 
     /// Pins an existing entry (never an eviction victim). Returns false
@@ -964,6 +1067,29 @@ impl LineageCache {
                 false
             }
             Plan::Store { carry } => {
+                // MURS-style admission shedding: under pressure, an
+                // entry that a previous eviction proved unlikely to be
+                // re-accessed within its expected residency is not
+                // worth the evictions its admission would force.
+                if self.config.policy == CachePolicy::DelayedHits
+                    && self.memory_pressure() >= MemoryPressure::Shed
+                {
+                    if let Some(ttna) = self.map.ghost_ttna(key) {
+                        if ttna > self.expected_lifetime_ticks(size_hint) {
+                            ReuseStats::inc(&self.stats.ttna_admission_rejects);
+                            let mut shard = self.map.lock_of(key);
+                            if shard
+                                .entries
+                                .get(&key)
+                                .map(|e| e.object.is_none())
+                                .unwrap_or(false)
+                            {
+                                shard.entries.remove(&key);
+                            }
+                            return false;
+                        }
+                    }
+                }
                 let admitted =
                     self.admit(item, object, cost, size_hint, backend, clock, pin, tenant);
                 match admitted {
@@ -1025,6 +1151,9 @@ impl LineageCache {
         let mut e = CacheEntry::cached(item, object, cost, size_hint);
         e.backend = backend;
         e.last_access = clock;
+        // Admission is an access: seeding the probe tick lets the first
+        // post-admission hit already yield a TTNA gap sample.
+        e.last_probe_tick = clock;
         e.pinned = pin;
         e.tenant = tenant;
         // Tier admission (MAKE_SPACE, persist, accounting) runs with no
@@ -1044,6 +1173,12 @@ impl LineageCache {
             }
             _ => {
                 shard.entries.insert(key, e);
+                drop(shard);
+                if self.config.policy == CachePolicy::DelayedHits {
+                    // Residency restarts the evidence: a later eviction
+                    // re-records a fresh TTNA ghost.
+                    self.map.clear_ghost(key);
+                }
                 Admitted::Stored
             }
         }

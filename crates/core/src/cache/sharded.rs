@@ -28,6 +28,7 @@ use crate::backend::{EntryMap, EvictionPolicy};
 use crate::cache::entry::{CacheEntry, CachedObject};
 use crate::lineage::{LItem, LineageId};
 use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -133,7 +134,17 @@ pub struct ShardedEntryMap {
     mask: u64,
     clock: AtomicU64,
     contention: AtomicU64,
+    /// TTNA "ghost" table: evicted entries leave their last
+    /// time-to-next-access estimate behind, keyed by content hash, so
+    /// the `DelayedHits` admission gate can recognize a long-TTNA entry
+    /// cycling back under memory pressure. Bounded; only written while
+    /// the delayed-hits policy is active.
+    ghosts: Mutex<HashMap<u64, f64>>,
 }
+
+/// Ghost-table bound: once full the table is cleared wholesale (the
+/// estimates are advisory; forgetting them only means admitting).
+const GHOST_CAP: usize = 4096;
 
 impl ShardedEntryMap {
     /// Creates a map with `shards` partitions (rounded up to a power of
@@ -146,7 +157,28 @@ impl ShardedEntryMap {
             mask: (n - 1) as u64,
             clock: AtomicU64::new(0),
             contention: AtomicU64::new(0),
+            ghosts: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Records an evicted entry's TTNA estimate in the ghost table.
+    pub fn record_ghost(&self, key: LineageId, ttna: f64) {
+        let mut g = self.ghosts.lock();
+        if g.len() >= GHOST_CAP {
+            g.clear();
+        }
+        g.insert(key.content_hash(), ttna);
+    }
+
+    /// Last TTNA estimate an eviction recorded for `key`, if any.
+    pub fn ghost_ttna(&self, key: LineageId) -> Option<f64> {
+        self.ghosts.lock().get(&key.content_hash()).copied()
+    }
+
+    /// Drops `key`'s ghost record (called when the entry is admitted
+    /// again, so a later eviction re-records fresh evidence).
+    pub fn clear_ghost(&self, key: LineageId) {
+        self.ghosts.lock().remove(&key.content_hash());
     }
 
     /// Number of shards.
@@ -256,7 +288,7 @@ impl ShardedEntryMap {
                 .filter(|(k, e)| !e.pinned && filter(**k, e))
                 .take(policy.sample_limit)
             {
-                let score = EvictionPolicy::entry_score(e);
+                let score = policy.score(e);
                 // Score ties break on the content-derived lineage hash,
                 // not map iteration order: victim identity (and with it
                 // every downstream eviction counter) stays identical run

@@ -94,6 +94,19 @@ pub struct ReuseStats {
     pub checksum_rejects: AtomicU64,
     /// Atomic manifest swaps completed by disk-tier compaction.
     pub manifest_swaps: AtomicU64,
+    /// Admissions rejected by MURS-style shedding: under `Shed`/
+    /// `Suspend` memory pressure with the `DelayedHits` policy, entries
+    /// whose estimated time-to-next-access exceeds their expected cache
+    /// lifetime are not admitted. Always zero under `Paper`.
+    pub ttna_admission_rejects: AtomicU64,
+    /// Waiter-ticks of stacked miss latency avoided by residency: on
+    /// every local hit of an entry with observed coalesced waiters, its
+    /// `miss_waiters * compute_cost` is credited here (the aggregate
+    /// delay a miss would have re-imposed). Always zero under `Paper`.
+    pub delayed_hit_ticks_saved: AtomicU64,
+    /// Evictions performed while scoring with the delayed-hits (mean
+    /// aggregate delay) extension. Always zero under `Paper`.
+    pub mad_evictions: AtomicU64,
 }
 
 /// Point-in-time copy of the counters.
@@ -176,6 +189,12 @@ pub struct ReuseStatsSnapshot {
     pub checksum_rejects: u64,
     /// See [`ReuseStats::manifest_swaps`].
     pub manifest_swaps: u64,
+    /// See [`ReuseStats::ttna_admission_rejects`].
+    pub ttna_admission_rejects: u64,
+    /// See [`ReuseStats::delayed_hit_ticks_saved`].
+    pub delayed_hit_ticks_saved: u64,
+    /// See [`ReuseStats::mad_evictions`].
+    pub mad_evictions: u64,
 }
 
 impl ReuseStats {
@@ -226,6 +245,9 @@ impl ReuseStats {
             entries_rehydrated: self.entries_rehydrated.load(Ordering::Relaxed),
             checksum_rejects: self.checksum_rejects.load(Ordering::Relaxed),
             manifest_swaps: self.manifest_swaps.load(Ordering::Relaxed),
+            ttna_admission_rejects: self.ttna_admission_rejects.load(Ordering::Relaxed),
+            delayed_hit_ticks_saved: self.delayed_hit_ticks_saved.load(Ordering::Relaxed),
+            mad_evictions: self.mad_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -275,6 +297,9 @@ impl memphis_obs::IntoMetrics for ReuseStatsSnapshot {
             ("entries_rehydrated", self.entries_rehydrated),
             ("checksum_rejects", self.checksum_rejects),
             ("manifest_swaps", self.manifest_swaps),
+            ("ttna_admission_rejects", self.ttna_admission_rejects),
+            ("delayed_hit_ticks_saved", self.delayed_hit_ticks_saved),
+            ("mad_evictions", self.mad_evictions),
         ]
     }
 }

@@ -39,7 +39,7 @@ use crate::request::{Outcome, Request, TenantId, Work};
 use crate::rng::{decide, salt};
 use crate::stats::ServeCounters;
 use memphis_core::cache::entry::CachedObject;
-use memphis_core::cache::{ComputeGuard, LineageCache, Probed};
+use memphis_core::cache::{ComputeGuard, LineageCache, MemoryPressure, Probed};
 use memphis_core::lineage::{LItem, LineageId, LineageItem};
 use memphis_core::stats::ReuseStatsSnapshot;
 use memphis_matrix::Matrix;
@@ -420,6 +420,16 @@ impl Scheduler {
             // ---- shed queued past-deadline requests under pressure ----
             {
                 let mut committed = inflight_bytes + queue.queued_bytes();
+                // Mirror the monitor's level into the cache once per
+                // tick so the DelayedHits admission gate (MURS-style
+                // TTNA shedding) sees the same pressure the dispatcher
+                // acts on. A no-op under the Paper policy.
+                self.cache
+                    .set_memory_pressure(match monitor.level(committed) {
+                        PressureLevel::Normal => MemoryPressure::Normal,
+                        PressureLevel::Shed => MemoryPressure::Shed,
+                        PressureLevel::Suspend => MemoryPressure::Suspend,
+                    });
                 if monitor.level(committed) >= PressureLevel::Shed && !queue.is_empty() {
                     let expired = queue.shed_expired(now, |id| table[by_id[&id]].req.mem_estimate);
                     for id in expired {

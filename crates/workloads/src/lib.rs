@@ -7,9 +7,11 @@ pub mod builtins;
 pub mod cluster;
 pub mod data;
 pub mod harness;
+pub mod latency;
 pub mod pipelines;
 pub mod serve;
 
 pub use cluster::{run_cluster, ClusterParams, ClusterReport};
 pub use harness::{run_timed, Backends, WorkloadOutcome};
+pub use latency::{run_latency, LatencyParams, LatencyReport};
 pub use serve::{run_serve, ServeParams, ServeReport};

@@ -9,7 +9,11 @@
 //!
 //! This file deliberately holds a SINGLE test: the default test harness
 //! runs tests on threads whose own bookkeeping would pollute a global
-//! allocation counter shared across tests.
+//! allocation counter shared across tests. Even then the counter must
+//! be per-thread: libtest's MAIN thread lazily allocates its channel
+//! wait context while the test thread is inside the measured window
+//! (a scheduling race that made a process-global count flaky), so only
+//! allocations made by the thread that opted in are counted.
 
 use memphis_core::cache::config::CacheConfig;
 use memphis_core::cache::entry::CachedObject;
@@ -17,17 +21,28 @@ use memphis_core::cache::LineageCache;
 use memphis_core::lineage::LineageItem;
 use memphis_matrix::Matrix;
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// System allocator with an allocation counter.
+/// System allocator that counts allocations, but only those made by a
+/// thread that has set [`TRACKING`] — harness threads stay invisible.
 struct Counting;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    // Const-initialized and `Cell<bool>` has no destructor, so reading
+    // it from the allocator hook performs no lazy registration and no
+    // allocation of its own.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
 unsafe impl GlobalAlloc for Counting {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if TRACKING.try_with(Cell::get).unwrap_or(false) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.alloc(layout)
     }
 
@@ -36,7 +51,9 @@ unsafe impl GlobalAlloc for Counting {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if TRACKING.try_with(Cell::get).unwrap_or(false) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -79,6 +96,7 @@ fn warm_probe_hits_allocate_nothing() {
         assert!(cache.probe(it).is_some(), "warmup probe must hit");
     }
 
+    TRACKING.with(|f| f.set(true));
     let before = ALLOCS.load(Ordering::Relaxed);
     let mut hits = 0u64;
     for _ in 0..64 {
@@ -94,6 +112,7 @@ fn warm_probe_hits_allocate_nothing() {
         }
     }
     let after = ALLOCS.load(Ordering::Relaxed);
+    TRACKING.with(|f| f.set(false));
 
     assert_eq!(hits, 64 * 16);
     assert_eq!(

@@ -91,6 +91,8 @@ fn workflow_uploads_observability_artifacts() {
     assert!(y.contains("exp_serve.metrics.json"));
     assert!(y.contains("exp_cluster.trace.json"));
     assert!(y.contains("exp_cluster.metrics.json"));
+    assert!(y.contains("exp_latency.trace.json"));
+    assert!(y.contains("exp_latency.metrics.json"));
     assert!(
         y.contains("--trace") && y.contains("--json"),
         "ci.yml: exp run must request trace + metrics artifacts"
@@ -158,6 +160,12 @@ fn invoked_scripts_exist_and_are_executable() {
         "rebalance_moves",
         "replica_hits",
         "replica_invalidations",
+        "latency_served",
+        "latency_p99_paper",
+        "latency_p99_delayed",
+        "latency_mad_evictions",
+        "latency_ttna_rejects",
+        "latency_delay_ticks_saved",
     ] {
         assert!(
             baseline.contains(&format!("\"{key}\"")),
@@ -178,6 +186,7 @@ fn ci_script_defines_all_stages() {
         "stage_serve",
         "stage_cluster",
         "stage_recovery",
+        "stage_latency",
         "stage_bench_gate",
         "stage_perf",
         "stage_lint",
@@ -210,4 +219,38 @@ fn ci_script_defines_all_stages() {
     // The recovery stage runs the crash-recovery differential suite
     // under both chaos seeds, with one single-threaded pass.
     assert!(sh.contains("--test crash_recovery"));
+    // The latency stage runs the delayed-hits suite under both chaos
+    // seeds (plus a single-threaded pass) and the full experiment
+    // binary.
+    assert!(sh.contains("--test latency"));
+    assert!(sh.contains("--bin exp_latency"));
+}
+
+#[test]
+fn ci_script_prints_stage_summary_on_failure() {
+    // `set -e` kills the script mid-stage on the first red command; an
+    // EXIT trap must still print the stage-timing summary and mark the
+    // failing stage, or red runs lose their most useful output.
+    let sh = std::fs::read_to_string(repo_root().join("ci.sh")).unwrap();
+    assert!(
+        sh.contains("trap print_summary EXIT"),
+        "ci.sh: the stage summary must be installed as an EXIT trap"
+    );
+    let trap_fn = sh
+        .split("print_summary()")
+        .nth(1)
+        .expect("ci.sh: print_summary function missing");
+    let body: String = trap_fn.chars().take(1200).collect();
+    assert!(
+        body.contains("FAILED"),
+        "ci.sh: the trap must mark the failing stage"
+    );
+    assert!(
+        body.contains("local status=$?"),
+        "ci.sh: the trap must capture the exit status before any command"
+    );
+    // The trap decides pass/fail from the recorded status, and the
+    // in-flight stage is tracked so a mid-stage abort can be attributed.
+    assert!(sh.contains("CURRENT_STAGE="));
+    assert!(body.contains("ci: all checks passed"));
 }
