@@ -5,8 +5,8 @@
 # Usage: ./ci.sh [--skip-lint] [stage ...]
 #   --skip-lint  omit the lint stage (CI runs it in a separate fast job)
 #   stage ...    run only the named stages (build test chaos obs
-#                concurrency serve cluster recovery latency bench_gate
-#                perf lint); default is all of them.
+#                concurrency serve cluster recovery latency script
+#                bench_gate perf lint); default is all of them.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -157,6 +157,22 @@ stage_latency() {
     cargo run -q --release -p memphis-bench --bin exp_latency
 }
 
+# Script suite: the DML frontend's round-trip and span-diagnostic
+# contract, the corpus/builder-twin digest identity, and the structured
+# differential fuzzer under both chaos seeds (plus one single-threaded
+# pass), then the full exp_script experiment (corpus differential +
+# 200 generated programs per seed, zero divergences).
+stage_script() {
+    for seed in 42 1337; do
+        CHAOS_SEED="$seed" cargo test -q -p memphis-script
+        CHAOS_SEED="$seed" cargo test -q -p memphis-workloads script
+        CHAOS_SEED="$seed" cargo test -q -p memphis-integration --test script
+    done
+    CHAOS_SEED=42 cargo test -q -p memphis-integration --test script \
+        -- --test-threads=1
+    cargo run -q --release -p memphis-bench --bin exp_script
+}
+
 # Bench smoke gate: deterministic reuse/eviction/coalescing counters
 # must match the committed baseline exactly.
 stage_bench_gate() {
@@ -177,7 +193,7 @@ stage_lint() {
     cargo fmt --check
 }
 
-ALL_STAGES=(build test chaos obs concurrency serve cluster recovery latency bench_gate perf lint)
+ALL_STAGES=(build test chaos obs concurrency serve cluster recovery latency script bench_gate perf lint)
 SKIP_LINT=0
 REQUESTED=()
 for arg in "$@"; do
@@ -195,7 +211,7 @@ for stage in "${REQUESTED[@]}"; do
         continue
     fi
     case "$stage" in
-        build|test|chaos|obs|concurrency|serve|cluster|recovery|latency|bench_gate|perf|lint)
+        build|test|chaos|obs|concurrency|serve|cluster|recovery|latency|script|bench_gate|perf|lint)
             run_stage "$stage" "stage_$stage" ;;
         *)
             echo "ci: unknown stage '$stage' (known: ${ALL_STAGES[*]})" >&2

@@ -11,11 +11,12 @@
 //! comparison is equality, not a tolerance band.
 
 use memphis_bench::gate::{
-    compare_keys, render, GATED, GATED_CLUSTER, GATED_LATENCY, GATED_RECOVERY,
+    compare_keys, render, GATED, GATED_CLUSTER, GATED_LATENCY, GATED_RECOVERY, GATED_SCRIPT,
 };
 use memphis_bench::golden::{
-    run_cluster_gate, run_concurrency_gate, run_latency_gate, run_recovery_gate, run_serve_gate,
-    ClusterGateParams, ConcGateParams, LatencyGateParams, RecoveryGateParams, ServeGateParams,
+    run_cluster_gate, run_concurrency_gate, run_latency_gate, run_recovery_gate, run_script_gate,
+    run_serve_gate, ClusterGateParams, ConcGateParams, LatencyGateParams, RecoveryGateParams,
+    ScriptGateParams, ServeGateParams,
 };
 
 fn main() {
@@ -28,6 +29,7 @@ fn main() {
     let r = run_recovery_gate(&RecoveryGateParams::full());
     let c = run_cluster_gate(&ClusterGateParams::full());
     let l = run_latency_gate(&LatencyGateParams::full());
+    let sc = run_script_gate(&ScriptGateParams::full());
     assert!(
         s.invariants_hold(),
         "serve gate invariants failed: {:?}",
@@ -45,6 +47,10 @@ fn main() {
         l.p99_delayed,
         l.paper.digest,
         l.delayed.digest
+    );
+    assert!(
+        sc.invariants_hold(),
+        "script gate invariants failed: {sc:?}"
     );
     let report = render(&[
         ("hits", o.hits),
@@ -85,6 +91,11 @@ fn main() {
             "latency_delay_ticks_saved",
             l.delayed.reuse.delayed_hit_ticks_saved,
         ),
+        ("script_programs_fuzzed", sc.programs_fuzzed),
+        ("script_divergences", sc.divergences),
+        ("script_lowered_nodes", sc.lowered_nodes),
+        ("script_corpus_scripts", sc.corpus_scripts),
+        ("script_corpus_digest", sc.corpus_digest),
         ("wall_clock_ms", o.elapsed.as_millis() as u64),
     ]);
     std::fs::write(&out_path, &report).unwrap_or_else(|e| {
@@ -106,6 +117,7 @@ fn main() {
         .chain(GATED_RECOVERY.iter())
         .chain(GATED_CLUSTER.iter())
         .chain(GATED_LATENCY.iter())
+        .chain(GATED_SCRIPT.iter())
         .copied()
         .collect();
     let diff = compare_keys(&report, &baseline, &keys);

@@ -63,6 +63,19 @@ pub const GATED_LATENCY: [&str; 6] = [
     "latency_delay_ticks_saved",
 ];
 
+/// The script frontend's gate counters (PR 10), gated by `bench_gate`
+/// (the perf stage keeps its older schema). The fuzz campaign is
+/// SplitMix64-seeded and the corpus is embedded at compile time, so
+/// program counts, lowered node totals, and the folded corpus digest
+/// are exact per seed.
+pub const GATED_SCRIPT: [&str; 5] = [
+    "script_programs_fuzzed",
+    "script_divergences",
+    "script_lowered_nodes",
+    "script_corpus_scripts",
+    "script_corpus_digest",
+];
+
 /// Renders a flat `{"k": v, ...}` JSON object.
 pub fn render(pairs: &[(&str, u64)]) -> String {
     let body = pairs
@@ -270,6 +283,27 @@ mod tests {
         assert_eq!(
             diff.regressions,
             vec![("latency_p99_delayed".to_string(), 20, 1)]
+        );
+    }
+
+    #[test]
+    fn compare_keys_gates_the_script_slice() {
+        let base = render(&[
+            ("script_programs_fuzzed", 40),
+            ("script_divergences", 0),
+            ("script_lowered_nodes", 1200),
+            ("script_corpus_scripts", 7),
+            ("script_corpus_digest", 12345),
+        ]);
+        let diff = compare_keys(&base, &base, &GATED_SCRIPT);
+        assert!(diff.passed());
+        assert_eq!(diff.matches.len(), GATED_SCRIPT.len());
+
+        let bad = base.replace("\"script_divergences\": 0", "\"script_divergences\": 3");
+        let diff = compare_keys(&bad, &base, &GATED_SCRIPT);
+        assert_eq!(
+            diff.regressions,
+            vec![("script_divergences".to_string(), 3, 0)]
         );
     }
 

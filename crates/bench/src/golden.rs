@@ -847,6 +847,107 @@ impl LatencyGateOutcome {
     }
 }
 
+// ----------------------------------------------------------------------
+// Script gate (PR 10): DML corpus + structured differential fuzzing
+// ----------------------------------------------------------------------
+
+/// Scale knobs for the script gate — the committed `.dml` corpus plus a
+/// seeded slice of the structured differential fuzzer
+/// ([`memphis_workloads::script::fuzz_campaign`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ScriptGateParams {
+    /// Fuzzer seed.
+    pub seed: u64,
+    /// Generated programs to run through the full differential.
+    pub programs: u64,
+}
+
+impl ScriptGateParams {
+    /// The committed-baseline scale (seed 42, 40 programs).
+    pub fn full() -> Self {
+        Self {
+            seed: 42,
+            programs: 40,
+        }
+    }
+
+    /// Milliseconds-scale knobs for the golden smoke tests.
+    pub fn tiny() -> Self {
+        Self {
+            seed: 42,
+            programs: 4,
+        }
+    }
+}
+
+/// Deterministic outcome of the script gate. Everything except
+/// `elapsed` is a pure function of `(seed, programs)` and the embedded
+/// corpus bytes.
+#[derive(Debug, Clone)]
+pub struct ScriptGateOutcome {
+    /// Fuzz programs generated and executed through the differential.
+    pub programs_fuzzed: u64,
+    /// Programs whose configurations disagreed (must be 0).
+    pub divergences: u64,
+    /// Lowered DAG nodes across the corpus plus the fuzz slice.
+    pub lowered_nodes: u64,
+    /// Corpus scripts compiled and run.
+    pub corpus_scripts: u64,
+    /// FNV fold of every corpus script's reuse-on sink digest, in
+    /// corpus order.
+    pub corpus_digest: u64,
+    /// Wall clock (informational; never gated).
+    pub elapsed: Duration,
+}
+
+impl ScriptGateOutcome {
+    /// Structural invariants any healthy gate run satisfies — checked
+    /// before the baseline comparison so a broken run fails loudly
+    /// rather than just diverging.
+    pub fn invariants_hold(&self) -> bool {
+        self.divergences == 0
+            && self.programs_fuzzed > 0
+            && self.corpus_scripts == memphis_workloads::script::CORPUS.len() as u64
+            && self.lowered_nodes > 0
+    }
+}
+
+/// Compiles and differentially runs every committed corpus script, then
+/// fuzzes `programs` generated programs under the same differential
+/// (reuse-on/off, `Paper`/`DelayedHits`, warm-restart).
+pub fn run_script_gate(p: &ScriptGateParams) -> ScriptGateOutcome {
+    use memphis_workloads::script;
+
+    let t0 = Instant::now();
+    let mut corpus_digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut lowered_nodes = 0u64;
+    let mut corpus_scripts = 0u64;
+    for (name, src) in script::CORPUS {
+        let c = memphis_script::compile(src)
+            .unwrap_or_else(|e| panic!("corpus script {name} must compile: {e}"));
+        lowered_nodes += c.node_count();
+        let digests = script::differential_digests(&c, name)
+            .unwrap_or_else(|e| panic!("corpus script {name} must run: {e:?}"));
+        assert!(
+            script::digests_agree(&digests),
+            "corpus script {name} diverged: {digests:?}"
+        );
+        corpus_digest ^= digests[0].1;
+        corpus_digest = corpus_digest.wrapping_mul(0x0000_0100_0000_01b3);
+        corpus_scripts += 1;
+    }
+
+    let fuzz = script::fuzz_campaign(p.seed, p.programs, None);
+    ScriptGateOutcome {
+        programs_fuzzed: fuzz.programs,
+        divergences: fuzz.divergences,
+        lowered_nodes: lowered_nodes + fuzz.lowered_nodes,
+        corpus_scripts,
+        corpus_digest,
+        elapsed: t0.elapsed(),
+    }
+}
+
 /// Runs the gated skewed trace under both cache policies and computes
 /// the p99 virtual-latency of each.
 pub fn run_latency_gate(p: &LatencyGateParams) -> LatencyGateOutcome {

@@ -5,9 +5,24 @@
 //! noise, so nothing here asserts on elapsed time.
 
 use memphis_bench::golden::{
-    run_fig2c, run_fig2d, run_recovery_gate, run_table2, Fig2cParams, Fig2dParams,
-    RecoveryGateParams, Table2Params,
+    run_fig2c, run_fig2d, run_recovery_gate, run_script_gate, run_table2, Fig2cParams, Fig2dParams,
+    RecoveryGateParams, ScriptGateParams, Table2Params,
 };
+
+#[test]
+fn script_gate_corpus_and_fuzz_slice_are_divergence_free_and_exact() {
+    let p = ScriptGateParams::tiny();
+    let out = run_script_gate(&p);
+    assert!(out.invariants_hold(), "{out:?}");
+    assert_eq!(out.programs_fuzzed, p.programs);
+    assert_eq!(out.divergences, 0, "{out:?}");
+
+    // The whole outcome is a pure function of (seed, programs, corpus).
+    let again = run_script_gate(&p);
+    assert_eq!(out.corpus_digest, again.corpus_digest);
+    assert_eq!(out.lowered_nodes, again.lowered_nodes);
+    assert_eq!(out.corpus_scripts, again.corpus_scripts);
+}
 
 #[test]
 fn fig2c_lazy_reuse_hits_where_eager_recomputes() {

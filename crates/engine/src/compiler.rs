@@ -116,12 +116,27 @@ pub fn infer_dims(dag: &Dag, var_dims: &HashMap<String, (usize, usize)>) -> Vec<
             }
             OpKind::BinaryScalar { .. }
             | OpKind::Unary(_)
+            | OpKind::Alias
             | OpKind::Checkpoint
             | OpKind::Prefetch
             | OpKind::Broadcast => get(&dims, &n.inputs[0]),
             OpKind::Agg(_, AggDir::Full) => (1, 1),
             OpKind::Agg(_, AggDir::Row) => (get(&dims, &n.inputs[0]).0, 1),
             OpKind::Agg(_, AggDir::Col) => (1, get(&dims, &n.inputs[0]).1),
+            OpKind::Literal(_) => (1, 1),
+            OpKind::SliceRows { start, end } => {
+                (end.saturating_sub(*start), get(&dims, &n.inputs[0]).1)
+            }
+            OpKind::SliceCols { start, end } => {
+                (get(&dims, &n.inputs[0]).0, end.saturating_sub(*start))
+            }
+            OpKind::Conv2d(p) => (get(&dims, &n.inputs[0]).0, p.out_cols()),
+            OpKind::MaxPool2d(p) => (get(&dims, &n.inputs[0]).0, p.out_cols()),
+            OpKind::Affine => {
+                let x = get(&dims, &n.inputs[0]);
+                let w = get(&dims, &n.inputs[1]);
+                (x.0, w.1)
+            }
             OpKind::Evict(_) => (0, 0),
         };
         dims[n.id] = d;
@@ -185,6 +200,13 @@ fn opcode_of(kind: &OpKind) -> &'static str {
         OpKind::Binary(op) | OpKind::BinaryScalar { op, .. } => op.opcode(),
         OpKind::Unary(op) => op.opcode(),
         OpKind::Agg(op, _) => op.opcode(),
+        OpKind::Literal(_) => "assignvar",
+        OpKind::Alias => "assignvar",
+        OpKind::SliceRows { .. } => "rightIndex",
+        OpKind::SliceCols { .. } => "rightIndexCol",
+        OpKind::Conv2d(_) => "conv2d",
+        OpKind::MaxPool2d(_) => "maxpool",
+        OpKind::Affine => "affine",
         OpKind::Checkpoint => "chkpoint",
         OpKind::Prefetch => "prefetch",
         OpKind::Broadcast => "broadcast",

@@ -136,6 +136,17 @@ fn run_dag(
             },
             OpKind::Unary(op) => ctx.unary(&out, &ins[0], *op)?,
             OpKind::Agg(op, dir) => ctx.agg(&out, &ins[0], *op, *dir)?,
+            OpKind::Literal(v) => ctx.literal(&out, *v)?,
+            OpKind::Alias => {
+                if out != ins[0] {
+                    ctx.assign(&out, &ins[0])?;
+                }
+            }
+            OpKind::SliceRows { start, end } => ctx.slice_rows(&out, &ins[0], *start, *end)?,
+            OpKind::SliceCols { start, end } => ctx.slice_cols(&out, &ins[0], *start, *end)?,
+            OpKind::Conv2d(p) => ctx.conv2d(&out, &ins[0], &ins[1], *p)?,
+            OpKind::MaxPool2d(p) => ctx.max_pool2d(&out, &ins[0], *p)?,
+            OpKind::Affine => ctx.affine(&out, &ins[0], &ins[1], &ins[2])?,
             OpKind::Checkpoint => {
                 ctx.checkpoint(&ins[0])?;
                 if out != ins[0] {

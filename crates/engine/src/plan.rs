@@ -4,6 +4,7 @@
 
 use memphis_matrix::ops::agg::AggOp;
 use memphis_matrix::ops::binary::BinaryOp;
+use memphis_matrix::ops::nn::{Conv2dParams, Pool2dParams};
 use memphis_matrix::ops::unary::UnaryOp;
 
 use crate::ops::AggDir;
@@ -59,6 +60,30 @@ pub enum OpKind {
     Unary(UnaryOp),
     /// Aggregation.
     Agg(AggOp, AggDir),
+    /// Scalar literal binding (script frontend: `a = 0.5;`).
+    Literal(f64),
+    /// Lineage-preserving variable aliasing (script frontend: `a = b;`).
+    Alias,
+    /// Row slice `[start, end)`.
+    SliceRows {
+        /// First row (inclusive).
+        start: usize,
+        /// Last row (exclusive).
+        end: usize,
+    },
+    /// Column slice `[start, end)`.
+    SliceCols {
+        /// First column (inclusive).
+        start: usize,
+        /// Last column (exclusive).
+        end: usize,
+    },
+    /// 2-D convolution over NCHW-linearized images (inputs: X, W).
+    Conv2d(Conv2dParams),
+    /// 2-D max pooling over NCHW-linearized images.
+    MaxPool2d(Pool2dParams),
+    /// Fully-connected layer `X %*% W + b` (inputs: X, W, b).
+    Affine,
     /// Compiler-inserted `persist()` on the input (checkpoint, §5.2).
     Checkpoint,
     /// Compiler-inserted asynchronous prefetch of the input (§5.1).

@@ -1,0 +1,217 @@
+//! Typed abstract syntax tree for the script language. Spans point at the
+//! first character of each construct; the lowering pass annotates every
+//! expression with a [`Ty`] as it walks the tree.
+
+use crate::Span;
+
+/// Static type of an expression: a scalar or a matrix of known dims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// A runtime scalar (f64).
+    Scalar,
+    /// A dense matrix with compile-time-known dims.
+    Matrix(usize, usize),
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Scalar => write!(f, "scalar"),
+            Ty::Matrix(r, c) => write!(f, "matrix[{r}x{c}]"),
+        }
+    }
+}
+
+/// Binary operators at the expression level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*` (elementwise).
+    Mul,
+    /// `/` (elementwise).
+    Div,
+    /// `^` (elementwise power).
+    Pow,
+    /// `%*%` matrix multiply.
+    MatMul,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `<=`.
+    Le,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+}
+
+impl BinOp {
+    /// Source form of the operator.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "^",
+            BinOp::MatMul => "%*%",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Le => "<=",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+        }
+    }
+}
+
+/// A call argument: an expression or a string literal (used by `read` and
+/// the directional aggregations, e.g. `sum(X, "col")`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// Expression argument.
+    Expr(Expr),
+    /// String literal argument.
+    Str(String, Span),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64, Span),
+    /// Variable reference.
+    Var(String, Span),
+    /// Unary negation.
+    Neg(Box<Expr>, Span),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Position of the operator.
+        span: Span,
+    },
+    /// Builtin or user-function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Arg>,
+        /// Position of the callee.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The span of the expression's anchor token.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Num(_, s) | Expr::Var(_, s) | Expr::Neg(_, s) => *s,
+            Expr::Binary { span, .. } | Expr::Call { span, .. } => *span,
+        }
+    }
+}
+
+/// Loop iteration domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeqSpec {
+    /// Explicit value list `[e1, e2, ...]`.
+    List(Vec<Expr>),
+    /// `seq(from, to)` — inclusive integer-stepped range.
+    Range(Box<Expr>, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `name = expr;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Right-hand side.
+        expr: Expr,
+        /// Position of the target.
+        span: Span,
+    },
+    /// `for (v in ...) { ... }` (runtime loop) or
+    /// `parfor (v in ...) { ... }` (compile-time unrolled).
+    For {
+        /// Loop variable.
+        var: String,
+        /// Iteration domain.
+        seq: SeqSpec,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Unroll at compile time (`parfor`).
+        unroll: bool,
+        /// Position of the keyword.
+        span: Span,
+    },
+    /// `if (cond) { ... } [else { ... }]`
+    If {
+        /// Scalar condition.
+        cond: Expr,
+        /// Taken when non-zero.
+        then_body: Vec<Stmt>,
+        /// Taken when zero.
+        else_body: Vec<Stmt>,
+        /// Position of the keyword.
+        span: Span,
+    },
+    /// `print(name);` — marks a result sink.
+    Print {
+        /// Variable to publish.
+        name: String,
+        /// Position.
+        span: Span,
+    },
+    /// `checkpoint(name);` — persists the variable (§5.2).
+    Checkpoint {
+        /// Variable to persist.
+        name: String,
+        /// Position.
+        span: Span,
+    },
+    /// `evict(fraction);` — GPU cache cleanup.
+    Evict {
+        /// Fraction in [0, 1].
+        fraction: f64,
+        /// Position.
+        span: Span,
+    },
+}
+
+/// A user function: straight-line body plus a return expression. Inlined
+/// at every call site by the lowering pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// Body statements (assignments and `parfor` only).
+    pub body: Vec<Stmt>,
+    /// Returned expression.
+    pub ret: Expr,
+    /// Position of the `function` keyword.
+    pub span: Span,
+}
+
+/// A whole script: function definitions plus top-level statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// Functions (inlined at call sites).
+    pub funcs: Vec<FuncDef>,
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}

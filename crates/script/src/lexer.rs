@@ -1,0 +1,311 @@
+//! Tokenizer for the DML-like script language. Every token carries the
+//! 1-based line:col position of its first character so parse and type
+//! errors point into the source.
+
+use crate::{Result, ScriptError, Span};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (always stored as f64).
+    Num(f64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `^`.
+    Caret,
+    /// `%*%` matrix multiply.
+    MatMul,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `<=`.
+    Le,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    Ne,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Short human-readable name used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Num(v) => format!("number `{v}`"),
+            Tok::Str(s) => format!("string \"{s}\""),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Caret => "`^`".into(),
+            Tok::MatMul => "`%*%`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::Ne => "`!=`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Position of the first character.
+    pub span: Span,
+}
+
+/// Tokenizes the whole source. `#` starts a comment to end of line.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let n = chars.len();
+    macro_rules! push {
+        ($tok:expr, $span:expr, $len:expr) => {{
+            out.push(Token {
+                tok: $tok,
+                span: $span,
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+    while i < n {
+        let c = chars[i];
+        let span = Span { line, col };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '#' => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(Tok::LParen, span, 1),
+            ')' => push!(Tok::RParen, span, 1),
+            '{' => push!(Tok::LBrace, span, 1),
+            '}' => push!(Tok::RBrace, span, 1),
+            '[' => push!(Tok::LBracket, span, 1),
+            ']' => push!(Tok::RBracket, span, 1),
+            ',' => push!(Tok::Comma, span, 1),
+            ';' => push!(Tok::Semi, span, 1),
+            '+' => push!(Tok::Plus, span, 1),
+            '-' => push!(Tok::Minus, span, 1),
+            '*' => push!(Tok::Star, span, 1),
+            '/' => push!(Tok::Slash, span, 1),
+            '^' => push!(Tok::Caret, span, 1),
+            '%' => {
+                if i + 2 < n && chars[i + 1] == '*' && chars[i + 2] == '%' {
+                    push!(Tok::MatMul, span, 3);
+                } else {
+                    return Err(ScriptError::at(span, "expected `%*%`"));
+                }
+            }
+            '<' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    push!(Tok::Le, span, 2);
+                } else {
+                    push!(Tok::Lt, span, 1);
+                }
+            }
+            '>' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    push!(Tok::Ge, span, 2);
+                } else {
+                    push!(Tok::Gt, span, 1);
+                }
+            }
+            '=' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    push!(Tok::EqEq, span, 2);
+                } else {
+                    push!(Tok::Assign, span, 1);
+                }
+            }
+            '!' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    push!(Tok::Ne, span, 2);
+                } else {
+                    return Err(ScriptError::at(span, "expected `!=`"));
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                while j < n && chars[j] != '"' {
+                    if chars[j] == '\n' {
+                        return Err(ScriptError::at(span, "unterminated string literal"));
+                    }
+                    s.push(chars[j]);
+                    j += 1;
+                }
+                if j >= n {
+                    return Err(ScriptError::at(span, "unterminated string literal"));
+                }
+                let len = j + 1 - i;
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    span,
+                });
+                i += len;
+                col += len as u32;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut j = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while j < n {
+                    let d = chars[j];
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !seen_dot && !seen_exp {
+                        seen_dot = true;
+                        j += 1;
+                    } else if (d == 'e' || d == 'E') && !seen_exp && j > i {
+                        seen_exp = true;
+                        j += 1;
+                        if j < n && (chars[j] == '+' || chars[j] == '-') {
+                            j += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[i..j].iter().collect();
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| ScriptError::at(span, format!("invalid number `{text}`")))?;
+                let len = j - i;
+                out.push(Token {
+                    tok: Tok::Num(v),
+                    span,
+                });
+                i += len;
+                col += len as u32;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                let len = j - i;
+                out.push(Token {
+                    tok: Tok::Ident(text),
+                    span,
+                });
+                i += len;
+                col += len as u32;
+            }
+            other => {
+                return Err(ScriptError::at(
+                    span,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_carry_positions() {
+        let toks = tokenize("X = t(A) %*% B;\ny = 1.5e2;").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("X".into()));
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[2].tok, Tok::Ident("t".into()));
+        assert!(toks.iter().any(|t| t.tok == Tok::MatMul));
+        let num = toks.iter().find(|t| matches!(t.tok, Tok::Num(_))).unwrap();
+        assert_eq!(num.tok, Tok::Num(150.0));
+        assert_eq!(num.span.line, 2);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("# header\nx = 1; # trailing\n").unwrap();
+        assert_eq!(toks[0].span.line, 2);
+        assert_eq!(toks.len(), 5); // x = 1 ; eof
+    }
+
+    #[test]
+    fn bad_character_is_an_error_with_span() {
+        let e = tokenize("x = 1;\ny = @;").unwrap_err();
+        assert_eq!(e.span, Span { line: 2, col: 5 });
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let e = tokenize("x = read(\"oops, 3, 3);").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn lone_percent_requires_matmul() {
+        let e = tokenize("x = a % b;").unwrap_err();
+        assert!(e.message.contains("%*%"));
+    }
+}

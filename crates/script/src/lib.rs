@@ -1,0 +1,107 @@
+//! memphis-script: a DML-like text frontend for the MEMPHIS engine
+//! (ROADMAP item 5). A lexer → recursive-descent parser → typed AST →
+//! lowering pass emits the engine's block/DAG [`Program`] representation,
+//! so workloads are *data* rather than Rust builder code. A pretty-printer
+//! guarantees `parse → print → parse` round-trips to the same program (and
+//! therefore the same interned `LineageId`s at runtime), and a seeded
+//! structured fuzzer ([`fuzz`]) generates random well-typed programs for
+//! differential testing of the whole reuse/eviction/recovery stack.
+//!
+//! Grammar, lowering rules, and the fuzzer's shrink strategy are
+//! documented in DESIGN.md §12.
+//!
+//! [`Program`]: memphis_engine::plan::Program
+
+pub mod ast;
+pub mod fuzz;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod printer;
+
+use std::fmt;
+
+pub use lower::{Compiled, ReadSpec};
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A parse, type, or lowering error with the source position it points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the source the error was detected.
+    pub span: Span,
+}
+
+impl ScriptError {
+    /// Creates an error at `span`.
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, ScriptError>;
+
+/// Parses source text into an AST.
+pub fn parse(src: &str) -> Result<ast::Script> {
+    parser::parse(src)
+}
+
+/// Compiles source text all the way to an executable [`Compiled`] program
+/// (parse + typecheck + lowering).
+pub fn compile(src: &str) -> Result<Compiled> {
+    let script = parse(src)?;
+    lower::lower(&script)
+}
+
+/// Pretty-prints an AST back to canonical source text.
+pub fn print_source(script: &ast::Script) -> String {
+    printer::print(script)
+}
+
+/// A deterministic textual form of a lowered program, suitable for
+/// equality assertions: block structure in order, then `var_dims` sorted
+/// by name (the raw `Debug` form iterates a `HashMap`, whose order is
+/// unstable across runs).
+pub fn canonical_debug(p: &memphis_engine::plan::Program) -> String {
+    let mut dims: Vec<_> = p.var_dims.iter().collect();
+    dims.sort();
+    format!("{:?} dims={:?}", p.blocks, dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_carries_line_and_col() {
+        let e = ScriptError::at(Span { line: 3, col: 7 }, "boom");
+        assert_eq!(e.to_string(), "line 3:7: boom");
+    }
+}

@@ -1,0 +1,187 @@
+//! Canonical pretty-printer. Binary expressions are fully parenthesized
+//! so the printed form reparses to the same tree regardless of
+//! precedence, which is what makes `parse → print → parse` round-trip to
+//! an identical lowered program (and identical interned lineage).
+
+use crate::ast::{Arg, Expr, FuncDef, Script, SeqSpec, Stmt};
+use std::fmt::Write;
+
+/// Prints a script back to source text.
+pub fn print(script: &Script) -> String {
+    let mut out = String::new();
+    for f in &script.funcs {
+        func(&mut out, f);
+    }
+    for s in &script.stmts {
+        stmt(&mut out, s, 0);
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn func(out: &mut String, f: &FuncDef) {
+    let _ = writeln!(out, "function {}({}) {{", f.name, f.params.join(", "));
+    for s in &f.body {
+        stmt(out, s, 1);
+    }
+    indent(out, 1);
+    let _ = writeln!(out, "return({});", expr(&f.ret));
+    out.push_str("}\n");
+}
+
+fn stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match s {
+        Stmt::Assign { name, expr: e, .. } => {
+            let _ = writeln!(out, "{name} = {};", expr(e));
+        }
+        Stmt::For {
+            var,
+            seq,
+            body,
+            unroll,
+            ..
+        } => {
+            let kw = if *unroll { "parfor" } else { "for" };
+            let _ = writeln!(out, "{kw} ({var} in {}) {{", seq_spec(seq));
+            for b in body {
+                stmt(out, b, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            for b in then_body {
+                stmt(out, b, level + 1);
+            }
+            indent(out, level);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for b in else_body {
+                    stmt(out, b, level + 1);
+                }
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::Print { name, .. } => {
+            let _ = writeln!(out, "print({name});");
+        }
+        Stmt::Checkpoint { name, .. } => {
+            let _ = writeln!(out, "checkpoint({name});");
+        }
+        Stmt::Evict { fraction, .. } => {
+            let _ = writeln!(out, "evict({});", num(*fraction));
+        }
+    }
+}
+
+fn seq_spec(seq: &SeqSpec) -> String {
+    match seq {
+        SeqSpec::List(values) => {
+            let items: Vec<String> = values.iter().map(expr).collect();
+            format!("[{}]", items.join(", "))
+        }
+        SeqSpec::Range(a, b) => format!("seq({}, {})", expr(a), expr(b)),
+    }
+}
+
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Num(v, _) => num(*v),
+        Expr::Var(name, _) => name.clone(),
+        Expr::Neg(a, _) => format!("(-{})", expr(a)),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!("({} {} {})", expr(lhs), op.as_str(), expr(rhs))
+        }
+        Expr::Call { name, args, .. } => {
+            let items: Vec<String> = args
+                .iter()
+                .map(|a| match a {
+                    Arg::Expr(e) => expr(e),
+                    Arg::Str(s, _) => format!("\"{s}\""),
+                })
+                .collect();
+            format!("{name}({})", items.join(", "))
+        }
+    }
+}
+
+/// Prints an f64 so it reparses to the same bits. Rust's `Display`
+/// produces the shortest round-tripping decimal; negative values are
+/// parenthesized in expression position by the caller when needed.
+fn num(v: f64) -> String {
+    if v == f64::INFINITY {
+        return "1e999".to_string();
+    }
+    if v == f64::NEG_INFINITY {
+        return "-1e999".to_string();
+    }
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn roundtrip_reparses_to_identical_lowering() {
+        let src = "\
+function scale(M, f) { S = M * f; return(S); }
+X = read(\"d/X\", 6, 3);
+y = read(\"d/y\", 6, 1);
+for (reg in [0.1, 0.2]) {
+  G = tsmm(X);
+  A = G + reg;
+  w = solve(A, xty(X, y));
+}
+parfor (i in seq(1, 2)) { Z = scale(X, i); }
+s = sum(Z);
+if (s > 0) { out = Z * 2; } else { out = Z; }
+print(w);
+print(out);
+";
+        let ast1 = parse(src).unwrap();
+        let printed = print(&ast1);
+        let ast2 = parse(&printed).unwrap();
+        let p1 = crate::lower::lower(&ast1).unwrap();
+        let p2 = crate::lower::lower(&ast2).unwrap();
+        assert_eq!(
+            crate::canonical_debug(&p1.program),
+            crate::canonical_debug(&p2.program),
+            "printed:\n{printed}"
+        );
+        assert_eq!(p1.reads, p2.reads);
+        assert_eq!(p1.prints, p2.prints);
+        // Printing is a fixpoint.
+        assert_eq!(printed, print(&ast2));
+    }
+
+    #[test]
+    fn negative_numbers_roundtrip() {
+        let src = "x = -3.5;\ny = (0 - x) * -2;\n";
+        let ast1 = parse(src).unwrap();
+        let printed = print(&ast1);
+        let ast2 = parse(&printed).unwrap();
+        let p1 = crate::lower::lower(&ast1).unwrap();
+        let p2 = crate::lower::lower(&ast2).unwrap();
+        assert_eq!(
+            crate::canonical_debug(&p1.program),
+            crate::canonical_debug(&p2.program)
+        );
+    }
+}

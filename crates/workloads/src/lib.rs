@@ -9,6 +9,7 @@ pub mod data;
 pub mod harness;
 pub mod latency;
 pub mod pipelines;
+pub mod script;
 pub mod serve;
 
 pub use cluster::{run_cluster, ClusterParams, ClusterReport};

@@ -24,6 +24,12 @@ pub fn session_kind(seed: u64, s: usize) -> &'static str {
     SESSION_MIX[((seed as usize) + s) % SESSION_MIX.len()]
 }
 
+/// The script-only tenant pipelines (PR 10): corpus `.dml` programs that
+/// have no builder-API counterpart, routable through
+/// [`run_session_kind`] like any other serving workload. Kept separate
+/// from [`SESSION_MIX`] so the gated serve counters are unchanged.
+pub const SCRIPT_SESSION_MIX: [&str; 3] = ["cvgrid", "ensemble", "minibatch"];
+
 /// Builds a session execution context over a shared lineage cache with
 /// MEMPHIS reuse on (the serving-layer configuration).
 pub fn session_context(cache: &Arc<LineageCache>) -> ExecutionContext {
@@ -35,14 +41,16 @@ pub fn session_context(cache: &Arc<LineageCache>) -> ExecutionContext {
     )
 }
 
-/// Runs one session pipeline of `kind` (a [`SESSION_MIX`] name) at test
-/// scale, returning its checksum. Unknown kinds fall back to tlvis,
-/// matching the historical serving-harness dispatch.
+/// Runs one session pipeline of `kind` (a [`SESSION_MIX`] or
+/// [`SCRIPT_SESSION_MIX`] name) at test scale, returning its checksum.
+/// Unknown kinds fall back to tlvis, matching the historical
+/// serving-harness dispatch.
 pub fn run_session_kind(ctx: &mut ExecutionContext, kind: &str) -> Result<f64> {
     match kind {
         "hcv" => hcv::run(ctx, &hcv::HcvParams::small()),
         "pnmf" => pnmf::run(ctx, &pnmf::PnmfParams::small()),
         "hband" => hband::run(ctx, &hband::HbandParams::small()),
+        "cvgrid" | "ensemble" | "minibatch" => crate::script::run_corpus(ctx, kind),
         _ => tlvis::run(ctx, &tlvis::TlvisParams::small()),
     }
 }

@@ -93,6 +93,8 @@ fn workflow_uploads_observability_artifacts() {
     assert!(y.contains("exp_cluster.metrics.json"));
     assert!(y.contains("exp_latency.trace.json"));
     assert!(y.contains("exp_latency.metrics.json"));
+    assert!(y.contains("exp_script.trace.json"));
+    assert!(y.contains("exp_script.metrics.json"));
     assert!(
         y.contains("--trace") && y.contains("--json"),
         "ci.yml: exp run must request trace + metrics artifacts"
@@ -166,6 +168,11 @@ fn invoked_scripts_exist_and_are_executable() {
         "latency_mad_evictions",
         "latency_ttna_rejects",
         "latency_delay_ticks_saved",
+        "script_programs_fuzzed",
+        "script_divergences",
+        "script_lowered_nodes",
+        "script_corpus_scripts",
+        "script_corpus_digest",
     ] {
         assert!(
             baseline.contains(&format!("\"{key}\"")),
@@ -187,6 +194,7 @@ fn ci_script_defines_all_stages() {
         "stage_cluster",
         "stage_recovery",
         "stage_latency",
+        "stage_script",
         "stage_bench_gate",
         "stage_perf",
         "stage_lint",
@@ -224,6 +232,12 @@ fn ci_script_defines_all_stages() {
     // binary.
     assert!(sh.contains("--test latency"));
     assert!(sh.contains("--bin exp_latency"));
+    // The script stage runs the frontend + fuzzer suites under both
+    // chaos seeds (plus a single-threaded pass) and the full experiment
+    // binary.
+    assert!(sh.contains("--test script"));
+    assert!(sh.contains("-p memphis-script"));
+    assert!(sh.contains("--bin exp_script"));
 }
 
 #[test]
